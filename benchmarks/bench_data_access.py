@@ -1,0 +1,71 @@
+"""Benchmarks for Figures 1-6: per-job data sizes and file-access patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import figure1, figure2, figure3, figure4, figure5, figure6
+
+
+def test_bench_figure1(benchmark, paper_traces):
+    """Figure 1: per-job input/shuffle/output size CDFs for every workload."""
+    result = benchmark(figure1, paper_traces)
+    assert len(result.rows) == len(paper_traces)
+    # Shape check: median sizes differ by several orders of magnitude across
+    # workloads (paper: 6 / 8 / 4 orders for input / shuffle / output).
+    spread_notes = [note for note in result.notes if "orders of magnitude" in note]
+    input_spread = float(spread_notes[0].split("spreads ")[1].split(" orders")[0])
+    assert input_spread >= 3.0
+
+
+def test_bench_figure2(benchmark, access_traces):
+    """Figure 2: file access frequency vs rank follows a Zipf-like line."""
+    result = benchmark(figure2, access_traces)
+    slopes = [float(row[4]) for row in result.rows if row[4] != "-"]
+    assert slopes, "no fitted slopes"
+    # Shape check: every fitted slope sits in a band around the paper's ~5/6.
+    assert all(0.4 < slope < 1.4 for slope in slopes)
+
+
+def test_bench_figure3(benchmark, access_traces):
+    """Figure 3: jobs vs input file size and stored bytes vs input file size."""
+    result = benchmark(figure3, access_traces)
+    for row in result.rows:
+        jobs_small = float(row[1].rstrip("%"))
+        bytes_small = float(row[2].rstrip("%"))
+        eighty_x = float(row[3])
+        # Shape checks: the files most jobs access hold a far smaller share of
+        # stored bytes, and 80% of accesses go to well under 20% of the bytes
+        # (paper: an 80-1 to 80-8 rule).
+        assert bytes_small <= jobs_small
+        assert eighty_x < 20.0
+
+
+def test_bench_figure4(benchmark, access_traces):
+    """Figure 4: same as Figure 3 for output files."""
+    output_traces = {
+        name: trace for name, trace in access_traces.items()
+        if any(job.output_path is not None for job in trace.jobs[:100])
+    }
+    result = benchmark(figure4, output_traces)
+    assert len(result.rows) == len(output_traces)
+
+
+def test_bench_figure5(benchmark, access_traces):
+    """Figure 5: data re-access interval CDFs."""
+    result = benchmark(figure5, access_traces)
+    fractions = [float(row[1].rstrip("%")) for row in result.rows]
+    # Shape check (paper: 75% of re-accesses within six hours): the bulk of
+    # re-accesses is hours-scale for every workload, and most workloads clear
+    # the paper's 75% mark.
+    assert all(fraction > 40.0 for fraction in fractions)
+    assert sum(fraction > 70.0 for fraction in fractions) >= len(fractions) // 2
+
+
+def test_bench_figure6(benchmark, access_traces):
+    """Figure 6: fraction of jobs re-accessing pre-existing data."""
+    result = benchmark(figure6, access_traces)
+    either = {row[0]: float(row[3].rstrip("%")) for row in result.rows}
+    # Shape check (paper: up to 78% re-access for CC-c/d/e, lower for others).
+    assert max(either.values()) > 60.0
+    assert all(value <= 95.0 for value in either.values())

@@ -1,0 +1,104 @@
+"""Benchmarks for the extension ablations: tiering, stragglers, energy,
+consolidation, workload evolution, and workload-suite selection.
+
+Each benchmark regenerates one of the measurable versions of the paper's
+qualitative recommendations (§5.2, §6.2, §7) and asserts the expected *shape*
+of the result — who wins, in which direction, by roughly how much.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    consolidation_ablation,
+    energy_ablation,
+    evolution_experiment,
+    straggler_ablation,
+    tiered_cluster_ablation,
+    workload_suite_experiment,
+)
+
+
+def test_bench_ablation_tiered(benchmark, cc_c_trace):
+    """§6.2: the performance/capacity split must not hurt small-job wait times."""
+    result = benchmark.pedantic(
+        tiered_cluster_ablation, args=(cc_c_trace,),
+        kwargs={"n_nodes": 60, "max_simulated_jobs": 1500},
+        iterations=1, rounds=1,
+    )
+    waits = {row[0].split(",")[0].split(" ")[0]: float(row[1]) for row in result.rows}
+    assert waits["tiered"] <= waits["unified"] + 1e-6
+
+
+def test_bench_ablation_stragglers(benchmark, cc_c_trace):
+    """§6.2: speculative execution helps large jobs more than single-task small jobs."""
+    result = benchmark.pedantic(
+        straggler_ablation, args=(cc_c_trace,),
+        kwargs={"probability": 0.1, "slowdown": 5.0, "n_nodes": 60,
+                "max_simulated_jobs": 1200, "seed": 0},
+        iterations=1, rounds=1,
+    )
+    rows = {row[0]: row for row in result.rows}
+    none_small = float(rows["none"][1].rstrip("x"))
+    spec_small = float(rows["speculative execution"][1].rstrip("x"))
+    none_large = float(rows["none"][2].rstrip("x"))
+    spec_large = float(rows["speculative execution"][2].rstrip("x"))
+    # Straggler injection slows jobs down; speculation never makes things worse.
+    assert none_small >= 1.0 and none_large >= 1.0
+    assert spec_small <= none_small + 0.05
+    assert spec_large <= none_large + 0.05
+    # Speculation rescues some stragglers only when mitigation is enabled.
+    assert int(rows["none"][3]) == 0
+    assert int(rows["speculative execution"][3]) > 0
+
+
+def test_bench_ablation_energy(benchmark, cc_e_trace):
+    """§5.2: a bursty, low-median workload leaves headroom for power-down savings."""
+    result = benchmark.pedantic(
+        energy_ablation, args=(cc_e_trace,),
+        kwargs={"n_nodes": 60, "max_simulated_jobs": 3000},
+        iterations=1, rounds=1,
+    )
+    rows = {row[0]: row for row in result.rows}
+    always_on_kwh = float(rows["always on"][1])
+    power_down_kwh = float(rows["power-down"][1])
+    savings = float(rows["power-down"][2].rstrip("%"))
+    assert power_down_kwh <= always_on_kwh
+    assert savings >= 10.0  # bursty workloads spend most hours far below peak
+
+
+def test_bench_ablation_consolidation(benchmark, paper_traces):
+    """§5.2: multiplexing workloads reduces (but does not remove) burstiness."""
+    result = benchmark.pedantic(
+        consolidation_ablation, args=(paper_traces,), iterations=1, rounds=1,
+    )
+    ratios = {row[0]: float(row[1].split(":")[0]) for row in result.rows}
+    consolidated = ratios.pop("consolidated")
+    assert consolidated <= max(ratios.values())
+    assert consolidated > 1.0  # the consolidated workload remains bursty
+
+
+def test_bench_evolution(benchmark, paper_traces):
+    """§4.1: FB input/shuffle medians grow while the output median shrinks."""
+    result = benchmark.pedantic(
+        evolution_experiment, args=(paper_traces["FB-2009"], paper_traces["FB-2010"]),
+        iterations=1, rounds=1,
+    )
+    shifts = {row[0]: float(row[3]) for row in result.rows}
+    assert shifts["input_bytes"] > 0
+    assert shifts["shuffle_bytes"] > 0
+    assert shifts["output_bytes"] < 0
+
+
+def test_bench_workload_suite(benchmark, paper_traces):
+    """§7: a small suite of representative workloads covers all seven."""
+    result = benchmark.pedantic(
+        workload_suite_experiment, args=(paper_traces,), kwargs={"suite_size": 3},
+        iterations=1, rounds=1,
+    )
+    assert len(result.rows) == len(paper_traces)
+    representatives = {row[1] for row in result.rows}
+    assert 1 <= len(representatives) <= 3
+    # Every workload is assigned to a representative that is itself a workload.
+    assert representatives <= set(paper_traces)

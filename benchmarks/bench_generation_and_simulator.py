@@ -1,0 +1,35 @@
+"""Throughput benchmarks for the substrates themselves.
+
+These are not paper figures; they track the cost of the two expensive building
+blocks (trace generation and replay) so regressions in the substrates are
+visible next to the experiment benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator import ClusterConfig, FairScheduler, WorkloadReplayer
+from repro.traces import generate_trace, get_spec
+
+
+def test_bench_trace_generation(benchmark):
+    """Generate a 0.1-scale CC-b workload (~2.3k jobs) from its spec."""
+    spec = get_spec("CC-b")
+    trace = benchmark(generate_trace, spec, 7, 0.1)
+    assert len(trace) == sum(spec.scaled_counts(0.1))
+
+
+def test_bench_replay_throughput(benchmark, cc_e_trace):
+    """Replay 2000 CC-e jobs under the fair scheduler on a 100-node cluster."""
+
+    def run():
+        replayer = WorkloadReplayer(
+            cluster_config=ClusterConfig(n_nodes=100),
+            scheduler=FairScheduler(),
+            max_simulated_jobs=2000,
+        )
+        return replayer.replay(cc_e_trace)
+
+    metrics = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert metrics.finished_jobs == 2000

@@ -1,0 +1,66 @@
+"""Benchmarks for the SWIM synthesis/replay pipeline (§7) and the ablations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    burstiness_metric_ablation,
+    cache_policy_ablation,
+    k_selection_ablation,
+    swim_replay,
+)
+from repro.units import GB
+
+
+def test_bench_swim_replay(benchmark, fb2009_trace):
+    """Section 7: synthesize a scaled FB-2009 workload and replay it."""
+    result = benchmark.pedantic(
+        swim_replay, args=(fb2009_trace,),
+        kwargs={"n_jobs": 1500, "horizon_s": 4 * 3600.0, "target_machines": 20, "seed": 0},
+        iterations=1, rounds=1,
+    )
+    values = dict((row[0], row[1]) for row in result.rows)
+    assert int(values["finished jobs"]) == 1500
+    # Shape check: the synthetic workload preserves the dominance of small jobs.
+    source_share = float(values["small-job share (source)"].rstrip("%"))
+    synth_share = float(values["small-job share (synthetic)"].rstrip("%"))
+    assert abs(source_share - synth_share) < 10.0
+
+
+def test_bench_ablation_cache(benchmark, cc_c_trace):
+    """Cache-policy ablation (§4.2-4.3): size-threshold admission vs baselines."""
+    result = benchmark.pedantic(
+        cache_policy_ablation, args=(cc_c_trace,),
+        kwargs={"cache_capacity_bytes": 512 * GB, "max_simulated_jobs": 3000, "n_nodes": 100},
+        iterations=1, rounds=1,
+    )
+    rates = {row[0]: float(row[1].rstrip("%")) for row in result.rows}
+    # Shape checks: caching beats no caching, the unlimited cache upper-bounds
+    # every policy, and the paper's size-threshold policy captures most of the
+    # achievable hits with bounded capacity.
+    assert rates["no-cache"] == 0.0
+    assert rates["unlimited"] >= rates["size-threshold+lru"]
+    assert rates["size-threshold+lru"] > 0.5 * rates["unlimited"]
+    assert rates["size-threshold+lru"] > 0.0
+
+
+def test_bench_ablation_burstiness(benchmark, cc_c_trace):
+    """Burstiness-metric ablation (§5.2): median vs mean normalization."""
+    result = benchmark(burstiness_metric_ablation, cc_c_trace)
+    rows = {row[0]: row for row in result.rows}
+    outlier_row = rows["constant + single outlier"]
+    # The median-normalized ratio reports the outlier at full magnitude while
+    # the mean-normalized ratio understates it.
+    assert float(outlier_row[1]) > float(outlier_row[2])
+
+
+def test_bench_ablation_kselect(benchmark, cc_e_trace):
+    """k-selection ablation (§6.2): the small-jobs conclusion is threshold-insensitive."""
+    result = benchmark.pedantic(
+        k_selection_ablation, args=(cc_e_trace,),
+        kwargs={"max_k": 8, "seed": 0, "max_jobs": 4000},
+        iterations=1, rounds=1,
+    )
+    fractions = [float(row[2].rstrip("%")) for row in result.rows]
+    assert all(fraction > 80.0 for fraction in fractions)

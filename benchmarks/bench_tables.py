@@ -1,0 +1,35 @@
+"""Benchmarks for Table 1 (trace summaries) and Table 2 (k-means job types)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import table1, table2
+from benchmarks.conftest import BENCH_SCALES
+
+
+def test_bench_table1(benchmark, paper_traces):
+    """Table 1: summarize every workload trace."""
+    result = benchmark(table1, paper_traces, BENCH_SCALES)
+    assert len(result.rows) == len(paper_traces)
+    # Shape check: the two Facebook workloads dominate the job counts even at
+    # reduced scale factors relative to the Cloudera clusters of similar size.
+    jobs = {row[0]: int(row[3]) for row in result.rows}
+    assert jobs["FB-2009"] > jobs["CC-a"]
+
+
+def test_bench_table2(benchmark, paper_traces):
+    """Table 2: cluster jobs into types for every workload (bounded job counts)."""
+    result = benchmark.pedantic(
+        table2, args=(paper_traces,),
+        kwargs={"max_k": 8, "seed": 0, "max_jobs_per_workload": 4000},
+        iterations=1, rounds=1,
+    )
+    assert len(result.rows) >= len(paper_traces)
+    # Shape check (paper: small jobs form >92% of every workload — allow some
+    # slack for the clustering being run on a bounded subsample and for the
+    # labelling heuristic splitting borderline clusters).
+    percentages = [float(note.split("small-job fraction ")[1].split("%")[0])
+                   for note in result.notes]
+    assert all(percentage > 70.0 for percentage in percentages)
+    assert sum(percentage > 90.0 for percentage in percentages) >= len(percentages) // 2

@@ -1,0 +1,64 @@
+"""Benchmarks for Figures 7-10: temporal behaviour and compute patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import figure7, figure8, figure9, figure10
+
+
+def test_bench_figure7(benchmark, paper_traces):
+    """Figure 7: weekly time series of submissions, I/O, task-time, utilization.
+
+    The utilization column requires replaying a week on the simulator, so the
+    benchmark bounds the number of simulated jobs per workload.
+    """
+    result = benchmark.pedantic(
+        figure7, args=(paper_traces,),
+        kwargs={"simulate_utilization": True, "max_simulated_jobs": 1500},
+        iterations=1, rounds=1,
+    )
+    assert len(result.rows) == len(paper_traces)
+    # Every workload contributes the three submission-side series.
+    for name in paper_traces:
+        assert "%s/jobs_per_hour" % name in result.series
+        assert "%s/task_seconds_per_hour" % name in result.series
+
+
+def test_bench_figure8(benchmark, paper_traces):
+    """Figure 8: burstiness (percentile-to-median) with sine references."""
+    result = benchmark(figure8, paper_traces)
+    ratios = {row[0]: float(row[1].split(":")[0]) for row in result.rows}
+    # Shape checks: every workload is far burstier than the sine references,
+    # and the 2010 Facebook workload is less bursty than the 2009 one (the
+    # paper attributes this to more organizations multiplexing on the cluster).
+    assert ratios["sine + 2"] < 2.0
+    workload_ratios = {name: value for name, value in ratios.items() if not name.startswith("sine")}
+    assert min(workload_ratios.values()) > 3.0
+    assert ratios["FB-2010"] < ratios["FB-2009"]
+
+
+def test_bench_figure9(benchmark, paper_traces):
+    """Figure 9: correlations between hourly jobs / bytes / task-time."""
+    result = benchmark(figure9, paper_traces)
+    average = result.rows[-1]
+    assert average[0] == "average"
+    jobs_bytes, jobs_compute, bytes_compute = (float(average[1]), float(average[2]),
+                                               float(average[3]))
+    # Shape check (paper averages 0.21 / 0.14 / 0.62): bytes vs compute is by
+    # far the strongest correlation.
+    assert bytes_compute > jobs_bytes
+    assert bytes_compute > jobs_compute
+    assert bytes_compute > 0.4
+
+
+def test_bench_figure10(benchmark, named_traces):
+    """Figure 10: job-name first-word mix weighted by jobs, bytes and task-time."""
+    result = benchmark(figure10, named_traces)
+    # Three weighting panels per named workload.
+    assert len(result.rows) == 3 * len(named_traces)
+    # Shape check: query-like frameworks contribute at least 20% of jobs
+    # somewhere and the top words cover the majority of every workload.
+    job_rows = [row for row in result.rows if row[1] == "jobs"]
+    framework_shares = [float(row[3].rstrip("%")) for row in job_rows]
+    assert max(framework_shares) >= 20.0

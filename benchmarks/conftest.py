@@ -1,0 +1,69 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper.  Workload
+traces are generated once per session at benchmark scales (full scale for the
+Cloudera workloads, down-scaled-and-time-compressed for the two Facebook
+workloads) so the pytest-benchmark timings measure the analysis itself, not
+trace generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces import PAPER_WORKLOAD_NAMES, load_all_paper_workloads, load_workload
+
+#: Scales used for benchmark runs (recorded in EXPERIMENTS.md).
+BENCH_SCALES = {
+    "CC-a": 1.0,
+    "CC-b": 0.5,
+    "CC-c": 0.5,
+    "CC-d": 0.5,
+    "CC-e": 1.0,
+    "FB-2009": 0.01,
+    "FB-2010": 0.01,
+}
+
+BENCH_SEED = 2012
+
+
+@pytest.fixture(scope="session")
+def paper_traces():
+    """All seven paper workloads at benchmark scales, keyed by name."""
+    return {
+        name: load_workload(name, seed=BENCH_SEED, scale=BENCH_SCALES[name])
+        for name in PAPER_WORKLOAD_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def access_traces(paper_traces):
+    """The workloads that record file paths (used by Figures 2-6)."""
+    return {
+        name: trace for name, trace in paper_traces.items()
+        if any(job.input_path is not None for job in trace.jobs[:100])
+    }
+
+
+@pytest.fixture(scope="session")
+def named_traces(paper_traces):
+    """The workloads that record job names (used by Figure 10)."""
+    return {
+        name: trace for name, trace in paper_traces.items()
+        if any(job.name is not None for job in trace.jobs[:100])
+    }
+
+
+@pytest.fixture(scope="session")
+def fb2009_trace(paper_traces):
+    return paper_traces["FB-2009"]
+
+
+@pytest.fixture(scope="session")
+def cc_c_trace(paper_traces):
+    return paper_traces["CC-c"]
+
+
+@pytest.fixture(scope="session")
+def cc_e_trace(paper_traces):
+    return paper_traces["CC-e"]

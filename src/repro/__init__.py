@@ -1,0 +1,40 @@
+"""repro: reproduction of "Interactive Analytical Processing in Big Data Systems:
+A Cross-Industry Study of MapReduce Workloads" (Chen, Alspaugh, Katz — VLDB 2012).
+
+The library has four layers (see DESIGN.md):
+
+* :mod:`repro.traces` — job-level trace schema, I/O, and statistical models of
+  the paper's seven workloads (FB-2009, FB-2010, CC-a..CC-e).
+* :mod:`repro.synth` — synthesis primitives (distributions, arrival processes,
+  file popularity) and the SWIM-style scaled-workload synthesizer.
+* :mod:`repro.core` — the paper's characterization methodology: data access,
+  temporal and compute pattern analysis, k-means job clustering, burstiness.
+* :mod:`repro.simulator` — a discrete-event MapReduce cluster simulator used
+  to replay workloads and evaluate storage-cache and scheduling policies.
+
+Quickstart::
+
+    import repro
+
+    trace = repro.load_workload("FB-2009", scale=0.001, seed=1)
+    report = repro.characterize(trace)
+    print(report.render())
+"""
+
+from .errors import ReproError
+from .traces import Job, Trace, load_workload, load_all_paper_workloads, PAPER_WORKLOAD_NAMES
+from .core import WorkloadCharacterizer, characterize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Job",
+    "Trace",
+    "load_workload",
+    "load_all_paper_workloads",
+    "PAPER_WORKLOAD_NAMES",
+    "WorkloadCharacterizer",
+    "characterize",
+]

@@ -1,0 +1,49 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from .rendering import ExperimentResult, series_preview
+from .table1 import table1
+from .table2 import table2
+from .figures_data import figure1, figure2, figure3, figure4, figure5, figure6
+from .figures_temporal import figure7, figure8, figure9
+from .figure10 import figure10
+from .swim_replay import swim_replay
+from .ablations import burstiness_metric_ablation, cache_policy_ablation, k_selection_ablation
+from .extensions import (
+    consolidation_ablation,
+    energy_ablation,
+    evolution_experiment,
+    straggler_ablation,
+    tiered_cluster_ablation,
+    workload_suite_experiment,
+)
+from .suite import EXPERIMENT_IDS, render_suite, run_suite
+
+__all__ = [
+    "ExperimentResult",
+    "series_preview",
+    "table1",
+    "table2",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "swim_replay",
+    "cache_policy_ablation",
+    "burstiness_metric_ablation",
+    "k_selection_ablation",
+    "tiered_cluster_ablation",
+    "straggler_ablation",
+    "energy_ablation",
+    "consolidation_ablation",
+    "evolution_experiment",
+    "workload_suite_experiment",
+    "EXPERIMENT_IDS",
+    "run_suite",
+    "render_suite",
+]

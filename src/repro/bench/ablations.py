@@ -1,0 +1,140 @@
+"""Ablation experiments for the design choices the paper argues for.
+
+Three ablations, each exercising one recommendation made in the paper:
+
+* ``cache_policy_ablation`` (§4.2-4.3) — compare storage-cache policies
+  (no cache, LRU, LFU, size-threshold admission, unlimited) on a replayed
+  workload.  The paper's argument is that a size-threshold admission policy
+  captures most accesses with a capacity detached from total data growth.
+* ``burstiness_metric_ablation`` (§5.2) — compare the paper's
+  percentile-to-median metric against the plain peak-to-average ratio on
+  signals with and without extreme outliers, showing why the median-based
+  metric is the more robust summary.
+* ``k_selection_ablation`` (§6.2) — sweep the k-means improvement threshold
+  and report the chosen k and small-job fraction, showing the clustering
+  conclusion (small jobs dominate) is insensitive to the threshold choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.clustering import cluster_jobs
+from ..core.kmeans import log_standardize, select_k
+from ..core.stats import percentile_ratio_curve
+from ..simulator.cache import LfuCache, LruCache, NoCache, SizeThresholdCache, UnlimitedCache
+from ..simulator.cluster import ClusterConfig
+from ..simulator.replay import WorkloadReplayer
+from ..synth.arrival import sine_reference_series
+from ..traces.trace import Trace
+from ..units import GB, format_bytes
+from .rendering import ExperimentResult
+
+__all__ = ["cache_policy_ablation", "burstiness_metric_ablation", "k_selection_ablation"]
+
+
+def cache_policy_ablation(trace: Trace, cache_capacity_bytes: float = 512 * GB,
+                          size_threshold_bytes: float = 4 * GB,
+                          max_simulated_jobs: Optional[int] = 4000,
+                          n_nodes: int = 100) -> ExperimentResult:
+    """Replay one workload under each cache policy and compare hit rates."""
+    policies = {
+        "no-cache": NoCache(),
+        "lru": LruCache(cache_capacity_bytes),
+        "lfu": LfuCache(cache_capacity_bytes),
+        "size-threshold+lru": SizeThresholdCache(cache_capacity_bytes, size_threshold_bytes),
+        "unlimited": UnlimitedCache(),
+    }
+    result = ExperimentResult(
+        experiment_id="ablation_cache",
+        title="Cache policy comparison on replayed workload %s" % trace.name,
+        headers=["Policy", "Hit rate", "Byte hit rate", "Cache used", "Evictions", "Rejected admissions"],
+    )
+    for name, cache in policies.items():
+        replayer = WorkloadReplayer(
+            cluster_config=ClusterConfig(n_nodes=n_nodes),
+            cache=cache,
+            max_simulated_jobs=max_simulated_jobs,
+        )
+        metrics = replayer.replay(trace)
+        stats = metrics.cache_stats
+        result.rows.append([
+            name,
+            "%.1f%%" % (100 * stats.hit_rate),
+            "%.1f%%" % (100 * stats.byte_hit_rate),
+            format_bytes(cache.used_bytes) if np.isfinite(cache.used_bytes) else "inf",
+            str(stats.evictions),
+            str(stats.admissions_rejected),
+        ])
+    result.notes.append(
+        "paper argument: a size-threshold admission policy captures the bulk of accesses "
+        "(which hit small files) while bounding cache capacity; LRU-style eviction works "
+        "because 75%% of re-accesses fall within hours"
+    )
+    return result
+
+
+def burstiness_metric_ablation(trace: Trace) -> ExperimentResult:
+    """Compare peak-to-median against peak-to-mean on real and synthetic signals."""
+    from ..core.burstiness import hourly_task_seconds
+
+    result = ExperimentResult(
+        experiment_id="ablation_burstiness",
+        title="Burstiness metric: median-normalized vs mean-normalized",
+        headers=["Signal", "Peak:median", "Peak:mean", "99th:median", "99th:mean"],
+    )
+
+    def row(label, series):
+        series = np.asarray(series, dtype=float)
+        positive = series[series > 0]
+        median = float(np.median(positive))
+        mean = float(np.mean(positive))
+        result.rows.append([
+            label,
+            "%.1f" % (positive.max() / median),
+            "%.1f" % (positive.max() / mean),
+            "%.1f" % (np.percentile(positive, 99) / median),
+            "%.1f" % (np.percentile(positive, 99) / mean),
+        ])
+
+    row("%s hourly task-time" % trace.name, hourly_task_seconds(trace))
+    row("sine + 2", sine_reference_series(14 * 24, 2.0))
+    row("sine + 20", sine_reference_series(14 * 24, 20.0))
+    # A synthetic series with one extreme outlier: the mean-based ratio is
+    # dragged down by the outlier inflating the mean, while the median-based
+    # ratio still reports the burst.
+    outlier_series = np.ones(200)
+    outlier_series[100] = 1000.0
+    row("constant + single outlier", outlier_series)
+    result.notes.append(
+        "the median-normalized metric (the paper's choice) is robust to rare extreme "
+        "hours, while mean-normalized ratios understate burstiness when outliers inflate the mean"
+    )
+    return result
+
+
+def k_selection_ablation(trace: Trace, max_k: int = 10, seed: int = 0,
+                         max_jobs: int = 10000) -> ExperimentResult:
+    """Sweep the k-selection improvement threshold and report chosen k."""
+    clustered_trace = trace[:max_jobs] if len(trace) > max_jobs else trace
+    features = log_standardize(clustered_trace.feature_matrix())
+    result = ExperimentResult(
+        experiment_id="ablation_kselect",
+        title="Sensitivity of automatic k selection (workload %s)" % trace.name,
+        headers=["Improvement threshold", "Chosen k", "Small-job fraction"],
+    )
+    for threshold in (0.02, 0.05, 0.10, 0.20, 0.30):
+        selection = select_k(features, max_k=max_k, seed=seed, improvement_threshold=threshold)
+        clustering = cluster_jobs(clustered_trace, k=selection.chosen_k, seed=seed)
+        result.rows.append([
+            "%.2f" % threshold,
+            str(selection.chosen_k),
+            "%.1f%%" % (100 * clustering.small_job_fraction),
+        ])
+    result.notes.append(
+        "the dominant-small-jobs conclusion is stable across thresholds even though "
+        "the exact cluster count varies"
+    )
+    return result

@@ -1,0 +1,128 @@
+"""Benchmark suite runner: regenerate every table and figure in one call.
+
+:func:`run_suite` generates the seven paper workloads at configurable scales,
+runs every experiment module, and returns the collected
+:class:`~repro.bench.rendering.ExperimentResult` objects;
+:func:`render_suite` turns them into the plain-text report that EXPERIMENTS.md
+is built from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..traces.registry import DEFAULT_SCALES, load_all_paper_workloads
+from ..traces.trace import Trace
+from .ablations import burstiness_metric_ablation, cache_policy_ablation, k_selection_ablation
+from .extensions import (
+    consolidation_ablation,
+    energy_ablation,
+    evolution_experiment,
+    straggler_ablation,
+    tiered_cluster_ablation,
+    workload_suite_experiment,
+)
+from .figure10 import figure10
+from .figures_data import figure1, figure2, figure3, figure4, figure5, figure6
+from .figures_temporal import figure7, figure8, figure9
+from .rendering import ExperimentResult
+from .swim_replay import swim_replay
+from .table1 import table1
+from .table2 import table2
+
+__all__ = ["run_suite", "render_suite", "EXPERIMENT_IDS"]
+
+#: Identifiers of every experiment the suite runs, in report order.
+EXPERIMENT_IDS = (
+    "table1", "figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
+    "figure7", "figure8", "figure9", "figure10", "table2", "swim_replay",
+    "ablation_cache", "ablation_burstiness", "ablation_kselect",
+    "ablation_tiered", "ablation_stragglers", "ablation_energy",
+    "ablation_consolidation", "evolution", "workload_suite",
+)
+
+
+def run_suite(seed: int = 0, scale: Optional[float] = None,
+              scale_overrides: Optional[Dict[str, float]] = None,
+              traces: Optional[Dict[str, Trace]] = None,
+              include_ablations: bool = True,
+              include_simulation: bool = True,
+              experiments: Optional[List[str]] = None) -> List[ExperimentResult]:
+    """Run the full benchmark suite.
+
+    Args:
+        seed: seed used for workload generation and clustering.
+        scale: optional uniform scale factor for every paper workload.
+        scale_overrides: per-workload scale factors layered on top of ``scale``.
+        traces: pre-generated traces keyed by workload name (skips generation).
+        include_ablations: include the three ablation experiments.
+        include_simulation: include the experiments that need the replay
+            simulator (Figure 7 utilization column, SWIM replay, cache ablation).
+        experiments: restrict to a subset of :data:`EXPERIMENT_IDS`.
+
+    Returns:
+        A list of experiment results in report order.
+    """
+    if traces is None:
+        traces = load_all_paper_workloads(seed=seed, scale=scale, scale_overrides=scale_overrides)
+    selected = set(experiments) if experiments is not None else set(EXPERIMENT_IDS)
+
+    results: List[ExperimentResult] = []
+
+    def wanted(experiment_id: str) -> bool:
+        return experiment_id in selected
+
+    if wanted("table1"):
+        results.append(table1(traces, scales=scale_overrides or DEFAULT_SCALES))
+    if wanted("figure1"):
+        results.append(figure1(traces))
+    if wanted("figure2"):
+        results.append(figure2(traces))
+    if wanted("figure3"):
+        results.append(figure3(traces))
+    if wanted("figure4"):
+        results.append(figure4(traces))
+    if wanted("figure5"):
+        results.append(figure5(traces))
+    if wanted("figure6"):
+        results.append(figure6(traces))
+    if wanted("figure7"):
+        results.append(figure7(traces, simulate_utilization=include_simulation))
+    if wanted("figure8"):
+        results.append(figure8(traces))
+    if wanted("figure9"):
+        results.append(figure9(traces))
+    if wanted("figure10"):
+        results.append(figure10(traces))
+    if wanted("table2"):
+        results.append(table2(traces, seed=seed))
+    if include_simulation and wanted("swim_replay"):
+        source_name = "FB-2009" if "FB-2009" in traces else next(iter(traces))
+        results.append(swim_replay(traces[source_name], seed=seed))
+    if include_ablations:
+        reference_name = "CC-c" if "CC-c" in traces else next(iter(traces))
+        reference = traces[reference_name]
+        if include_simulation and wanted("ablation_cache"):
+            results.append(cache_policy_ablation(reference))
+        if wanted("ablation_burstiness"):
+            results.append(burstiness_metric_ablation(reference))
+        if wanted("ablation_kselect"):
+            results.append(k_selection_ablation(reference, seed=seed))
+        if include_simulation and wanted("ablation_tiered"):
+            results.append(tiered_cluster_ablation(reference))
+        if include_simulation and wanted("ablation_stragglers"):
+            results.append(straggler_ablation(reference, seed=seed))
+        if include_simulation and wanted("ablation_energy"):
+            results.append(energy_ablation(reference))
+        if wanted("ablation_consolidation"):
+            results.append(consolidation_ablation(traces))
+        if wanted("evolution") and "FB-2009" in traces and "FB-2010" in traces:
+            results.append(evolution_experiment(traces["FB-2009"], traces["FB-2010"]))
+        if wanted("workload_suite"):
+            results.append(workload_suite_experiment(traces))
+    return results
+
+
+def render_suite(results: List[ExperimentResult]) -> str:
+    """Render every experiment result as one plain-text report."""
+    return "\n\n".join(result.render() for result in results)

@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+``python -m repro`` (or the ``repro-workloads`` console script) exposes the
+main workflows:
+
+* ``generate`` — synthesize a paper workload trace and write it to disk;
+* ``characterize`` — run the full characterization on a workload or trace file;
+* ``synthesize`` — build a SWIM-style scaled workload from a trace;
+* ``replay`` — replay a workload on the simulated cluster;
+* ``anonymize`` — hash paths/names in a trace and optionally export the
+  aggregated metrics JSON for offsite sharing;
+* ``compare`` — compare two traces (evolution report: median shifts,
+  burstiness change);
+* ``bench`` — run the benchmark suite and print the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import __version__
+from .bench.suite import EXPERIMENT_IDS, render_suite, run_suite
+from .core.characterization import characterize
+from .core.evolution import compare_evolution
+from .simulator.cluster import ClusterConfig
+from .simulator.replay import WorkloadReplayer
+from .synth.swim import SwimSynthesizer
+from .traces.anonymize import Anonymizer, anonymize_trace
+from .traces.export import aggregate_trace
+from .traces.io import read_trace, write_trace
+from .traces.registry import load_workload, registered_names
+from .units import HOUR
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-workloads",
+        description="MapReduce workload characterization, synthesis and replay "
+                    "(reproduction of Chen, Alspaugh & Katz, VLDB 2012).",
+    )
+    parser.add_argument("--version", action="version", version="repro %s" % __version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a workload trace")
+    generate.add_argument("workload", choices=registered_names(), help="workload name")
+    generate.add_argument("--scale", type=float, default=None, help="job-count scale factor")
+    generate.add_argument("--seed", type=int, default=0, help="generation seed")
+    generate.add_argument("--output", required=True, help="output trace path (.csv/.jsonl[.gz])")
+
+    character = subparsers.add_parser("characterize", help="characterize a workload")
+    source = character.add_mutually_exclusive_group(required=True)
+    source.add_argument("--workload", choices=registered_names(), help="generate and characterize")
+    source.add_argument("--trace", help="characterize an existing trace file")
+    character.add_argument("--scale", type=float, default=None, help="scale for generated workloads")
+    character.add_argument("--seed", type=int, default=0)
+    character.add_argument("--no-cluster", action="store_true", help="skip the Table-2 clustering step")
+
+    synthesize = subparsers.add_parser("synthesize", help="SWIM-style scaled synthesis")
+    synth_source = synthesize.add_mutually_exclusive_group(required=True)
+    synth_source.add_argument("--workload", choices=registered_names())
+    synth_source.add_argument("--trace", help="source trace file")
+    synthesize.add_argument("--jobs", type=int, default=2000, help="synthetic job count")
+    synthesize.add_argument("--hours", type=float, default=4.0, help="replay window in hours")
+    synthesize.add_argument("--machines", type=int, default=20, help="target cluster size")
+    synthesize.add_argument("--seed", type=int, default=0)
+    synthesize.add_argument("--scale", type=float, default=None)
+    synthesize.add_argument("--output", required=True, help="output synthetic trace path")
+
+    replay = subparsers.add_parser("replay", help="replay a workload on the simulator")
+    replay_source = replay.add_mutually_exclusive_group(required=True)
+    replay_source.add_argument("--workload", choices=registered_names())
+    replay_source.add_argument("--trace", help="trace file to replay")
+    replay.add_argument("--scale", type=float, default=None)
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--nodes", type=int, default=100, help="simulated cluster size")
+    replay.add_argument("--max-jobs", type=int, default=None, help="cap on replayed jobs")
+
+    anonymize = subparsers.add_parser("anonymize",
+                                      help="anonymize a trace and/or export aggregated metrics")
+    anon_source = anonymize.add_mutually_exclusive_group(required=True)
+    anon_source.add_argument("--workload", choices=registered_names())
+    anon_source.add_argument("--trace", help="trace file to anonymize")
+    anonymize.add_argument("--scale", type=float, default=None)
+    anonymize.add_argument("--seed", type=int, default=0)
+    anonymize.add_argument("--salt", default="repro", help="anonymization salt")
+    anonymize.add_argument("--output", help="write the anonymized trace here (.csv/.jsonl[.gz])")
+    anonymize.add_argument("--aggregate", help="also write the aggregated-metrics JSON here")
+
+    compare = subparsers.add_parser("compare",
+                                    help="evolution comparison of two traces (before vs after)")
+    compare.add_argument("--before-workload", choices=registered_names())
+    compare.add_argument("--before-trace")
+    compare.add_argument("--after-workload", choices=registered_names())
+    compare.add_argument("--after-trace")
+    compare.add_argument("--scale", type=float, default=None)
+    compare.add_argument("--seed", type=int, default=0)
+
+    bench = subparsers.add_parser("bench", help="run the benchmark suite")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--scale", type=float, default=None, help="uniform workload scale")
+    bench.add_argument("--experiments", nargs="*", choices=list(EXPERIMENT_IDS),
+                       help="subset of experiments to run")
+    bench.add_argument("--no-simulation", action="store_true",
+                       help="skip experiments that need the replay simulator")
+    bench.add_argument("--output", help="also write the report to this file")
+    return parser
+
+
+def _load_source(args) -> "object":
+    """Load a trace from --workload or --trace arguments."""
+    if getattr(args, "workload", None):
+        return load_workload(args.workload, seed=args.seed, scale=args.scale)
+    return read_trace(args.trace)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "generate":
+        trace = load_workload(args.workload, seed=args.seed, scale=args.scale)
+        write_trace(trace, args.output)
+        print("wrote %d jobs to %s" % (len(trace), args.output))
+        return 0
+
+    if args.command == "characterize":
+        trace = _load_source(args)
+        report = characterize(trace, cluster=not args.no_cluster)
+        print(report.render())
+        return 0
+
+    if args.command == "synthesize":
+        trace = _load_source(args)
+        synthesizer = SwimSynthesizer(trace, seed=args.seed,
+                                      source_machines=trace.machines or args.machines)
+        plan = synthesizer.synthesize(n_jobs=args.jobs, horizon_s=args.hours * HOUR,
+                                      target_machines=args.machines)
+        write_trace(plan.trace, args.output)
+        print(plan.describe())
+        print("wrote synthetic trace to %s" % args.output)
+        return 0
+
+    if args.command == "replay":
+        trace = _load_source(args)
+        replayer = WorkloadReplayer(cluster_config=ClusterConfig(n_nodes=args.nodes),
+                                    max_simulated_jobs=args.max_jobs)
+        metrics = replayer.replay(trace)
+        print("replayed %d jobs (%d finished) on %d nodes" % (
+            len(metrics.outcomes), metrics.finished_jobs, args.nodes))
+        print("mean wait %.1f s, median completion %.1f s, mean utilization %.1f%%" % (
+            metrics.mean_wait_time(), metrics.median_completion_time(),
+            100 * metrics.mean_utilization()))
+        return 0
+
+    if args.command == "anonymize":
+        trace = _load_source(args)
+        anonymized = anonymize_trace(trace, Anonymizer(salt=args.salt), hash_job_ids=True)
+        if args.output:
+            write_trace(anonymized, args.output)
+            print("wrote anonymized trace (%d jobs) to %s" % (len(anonymized), args.output))
+        if args.aggregate:
+            with open(args.aggregate, "w", encoding="utf-8") as handle:
+                handle.write(aggregate_trace(anonymized).to_json(indent=2) + "\n")
+            print("wrote aggregated metrics to %s" % args.aggregate)
+        if not args.output and not args.aggregate:
+            print(aggregate_trace(anonymized).to_json(indent=2))
+        return 0
+
+    if args.command == "compare":
+        def load(workload, trace_path):
+            if workload:
+                return load_workload(workload, seed=args.seed, scale=args.scale)
+            if trace_path:
+                return read_trace(trace_path)
+            parser.error("compare needs both a before and an after source")
+        before = load(args.before_workload, args.before_trace)
+        after = load(args.after_workload, args.after_trace)
+        report = compare_evolution(before, after)
+        print("\n".join(report.summary_lines()))
+        return 0
+
+    if args.command == "bench":
+        results = run_suite(seed=args.seed, scale=args.scale,
+                            experiments=args.experiments,
+                            include_simulation=not args.no_simulation)
+        report = render_suite(results)
+        print(report)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+        return 0
+
+    parser.error("unknown command %r" % (args.command,))
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

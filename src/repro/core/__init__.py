@@ -1,0 +1,151 @@
+"""Workload characterization core: the paper's methodology.
+
+Data access patterns (§4), temporal patterns (§5) and compute patterns (§6)
+are each covered by a dedicated module; :mod:`repro.core.characterization`
+ties them together into a single report per workload.
+"""
+
+from .stats import (
+    EmpiricalCDF,
+    coefficient_of_variation,
+    empirical_cdf,
+    geometric_mean,
+    hourly_series,
+    log_bins,
+    pearson_correlation,
+    percentile,
+    percentile_ratio_curve,
+)
+from .zipf import RankFrequency, fit_zipf_slope, rank_frequencies, zipf_goodness_of_fit
+from .burstiness import BurstinessResult, analyze_burstiness, burstiness_curve, hourly_task_seconds
+from .temporal import (
+    CorrelationResult,
+    DiurnalAnalysis,
+    HourlyDimensions,
+    WeeklyView,
+    dimension_correlations,
+    diurnal_strength,
+    hourly_dimensions,
+    weekly_view,
+)
+from .datasizes import DataSizeDistributions, analyze_data_sizes, median_spread_orders
+from .access import (
+    AccessPatternResult,
+    ReaccessFractions,
+    ReaccessIntervals,
+    SizeAccessProfile,
+    analyze_access_patterns,
+    eighty_x_rule,
+    input_rank_frequencies,
+    output_rank_frequencies,
+    reaccess_fractions,
+    reaccess_intervals,
+    size_access_profile,
+)
+from .kmeans import KMeansResult, KSelectionResult, kmeans, log_standardize, select_k
+from .clustering import ClusteringResult, JobCluster, cluster_jobs, label_centroid
+from .naming import (
+    FRAMEWORK_KEYWORDS,
+    FirstWordBreakdown,
+    NamingAnalysis,
+    analyze_naming,
+    classify_framework,
+    first_word_breakdown,
+)
+from .multiplexing import ConsolidationStudy, consolidate, consolidation_study
+from .comparison import (
+    WorkloadFeatures,
+    WorkloadSuite,
+    cdf_distance,
+    select_workload_suite,
+    workload_distance,
+    workload_features,
+)
+from .evolution import DimensionShift, EvolutionReport, compare_evolution
+from .report import WorkloadReport, render_table
+from .characterization import WorkloadCharacterizer, characterize
+
+__all__ = [
+    # stats
+    "EmpiricalCDF",
+    "empirical_cdf",
+    "log_bins",
+    "percentile",
+    "percentile_ratio_curve",
+    "hourly_series",
+    "pearson_correlation",
+    "coefficient_of_variation",
+    "geometric_mean",
+    # zipf
+    "RankFrequency",
+    "rank_frequencies",
+    "fit_zipf_slope",
+    "zipf_goodness_of_fit",
+    # burstiness
+    "BurstinessResult",
+    "burstiness_curve",
+    "hourly_task_seconds",
+    "analyze_burstiness",
+    # temporal
+    "HourlyDimensions",
+    "WeeklyView",
+    "DiurnalAnalysis",
+    "CorrelationResult",
+    "hourly_dimensions",
+    "weekly_view",
+    "diurnal_strength",
+    "dimension_correlations",
+    # data sizes
+    "DataSizeDistributions",
+    "analyze_data_sizes",
+    "median_spread_orders",
+    # access
+    "AccessPatternResult",
+    "SizeAccessProfile",
+    "ReaccessIntervals",
+    "ReaccessFractions",
+    "input_rank_frequencies",
+    "output_rank_frequencies",
+    "size_access_profile",
+    "reaccess_intervals",
+    "reaccess_fractions",
+    "eighty_x_rule",
+    "analyze_access_patterns",
+    # kmeans / clustering
+    "KMeansResult",
+    "KSelectionResult",
+    "kmeans",
+    "select_k",
+    "log_standardize",
+    "ClusteringResult",
+    "JobCluster",
+    "cluster_jobs",
+    "label_centroid",
+    # naming
+    "FRAMEWORK_KEYWORDS",
+    "classify_framework",
+    "FirstWordBreakdown",
+    "NamingAnalysis",
+    "first_word_breakdown",
+    "analyze_naming",
+    # multiplexing / consolidation
+    "consolidate",
+    "ConsolidationStudy",
+    "consolidation_study",
+    # cross-workload comparison / suites
+    "WorkloadFeatures",
+    "workload_features",
+    "cdf_distance",
+    "workload_distance",
+    "WorkloadSuite",
+    "select_workload_suite",
+    # evolution
+    "DimensionShift",
+    "EvolutionReport",
+    "compare_evolution",
+    # report / characterization
+    "WorkloadReport",
+    "render_table",
+    "WorkloadCharacterizer",
+    "characterize",
+]

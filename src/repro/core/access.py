@@ -1,0 +1,302 @@
+"""File access pattern analysis (§4.2-4.3, Figures 2-6 of the paper).
+
+Given a trace whose jobs carry hashed input/output path names, this module
+computes:
+
+* access frequency versus rank and the Zipf slope (Figure 2);
+* the fraction of jobs versus accessed file size, and the fraction of stored
+  bytes versus file size (Figures 3 and 4), from which the "80-x rule" of
+  §4.2 is derived;
+* re-access interval distributions: input→input (a file read again) and
+  output→input (a job reading what an earlier job wrote) (Figure 5);
+* the fraction of jobs whose input re-accesses pre-existing input or output
+  (Figure 6).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..traces.trace import Trace
+from ..units import GB
+from .stats import EmpiricalCDF, empirical_cdf
+from .zipf import RankFrequency, rank_frequencies
+
+__all__ = [
+    "SizeAccessProfile",
+    "ReaccessIntervals",
+    "ReaccessFractions",
+    "AccessPatternResult",
+    "input_rank_frequencies",
+    "output_rank_frequencies",
+    "size_access_profile",
+    "reaccess_intervals",
+    "reaccess_fractions",
+    "eighty_x_rule",
+    "analyze_access_patterns",
+]
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: rank-frequency
+# ---------------------------------------------------------------------------
+def input_rank_frequencies(trace: Trace) -> RankFrequency:
+    """Access frequency vs rank for input paths (Figure 2, top)."""
+    return rank_frequencies(job.input_path for job in trace)
+
+
+def output_rank_frequencies(trace: Trace) -> RankFrequency:
+    """Access frequency vs rank for output paths (Figure 2, bottom)."""
+    return rank_frequencies(job.output_path for job in trace)
+
+
+# ---------------------------------------------------------------------------
+# Figures 3 and 4: jobs and stored bytes versus file size
+# ---------------------------------------------------------------------------
+@dataclass
+class SizeAccessProfile:
+    """Access behaviour versus file size for one path kind (input or output).
+
+    Attributes:
+        jobs_cdf: CDF of per-job accessed-file size (fraction of jobs whose
+            file is at most a given size) — the top panel of Figures 3/4.
+        stored_bytes_cdf: CDF of stored bytes versus file size (fraction of
+            all stored bytes contributed by files at most a given size) —
+            the bottom panel of Figures 3/4.
+        file_sizes: size of each distinct file (bytes).
+        jobs_below_gb_fraction: fraction of jobs accessing files ≤ a few GB
+            (the paper's 90% observation); computed at 4 GB.
+        bytes_below_gb_fraction: fraction of stored bytes in those files
+            (the paper's ≤16% observation); computed at 4 GB.
+    """
+
+    jobs_cdf: EmpiricalCDF
+    stored_bytes_cdf: EmpiricalCDF
+    file_sizes: np.ndarray
+    jobs_below_gb_fraction: float
+    bytes_below_gb_fraction: float
+
+
+def _file_size_estimates(trace: Trace, kind: str) -> Tuple[Dict[str, float], List[Tuple[str, float]]]:
+    """Distinct file sizes and the per-access (path, size) pairs for a path kind.
+
+    The size of a file is estimated as the largest input (or output) bytes any
+    job reported against that path — traces only record per-job volumes, not
+    catalog sizes, and the maximum over accesses is the closest observable
+    proxy.
+    """
+    if kind not in ("input", "output"):
+        raise AnalysisError("kind must be 'input' or 'output'")
+    path_attr = "%s_path" % kind
+    bytes_attr = "%s_bytes" % kind
+    sizes: Dict[str, float] = {}
+    accesses: List[Tuple[str, float]] = []
+    for job in trace:
+        path = getattr(job, path_attr)
+        if path is None:
+            continue
+        size = float(getattr(job, bytes_attr) or 0.0)
+        sizes[path] = max(sizes.get(path, 0.0), size)
+        accesses.append((path, size))
+    if not accesses:
+        raise AnalysisError("trace has no recorded %s paths" % kind)
+    return sizes, accesses
+
+
+def size_access_profile(trace: Trace, kind: str = "input",
+                        small_file_threshold: float = 4 * GB) -> SizeAccessProfile:
+    """Compute the Figure-3 (input) or Figure-4 (output) profile for a trace."""
+    sizes, accesses = _file_size_estimates(trace, kind)
+    per_access_sizes = [sizes[path] for path, _ in accesses]
+    jobs_cdf = empirical_cdf(per_access_sizes)
+
+    file_size_array = np.array(sorted(sizes.values()), dtype=float)
+    total_stored = float(file_size_array.sum())
+    if total_stored <= 0:
+        stored_cdf = EmpiricalCDF(values=file_size_array,
+                                  fractions=np.linspace(1.0 / max(1, file_size_array.size), 1.0,
+                                                        file_size_array.size))
+    else:
+        stored_cdf = EmpiricalCDF(values=file_size_array,
+                                  fractions=np.cumsum(file_size_array) / total_stored)
+    return SizeAccessProfile(
+        jobs_cdf=jobs_cdf,
+        stored_bytes_cdf=stored_cdf,
+        file_sizes=file_size_array,
+        jobs_below_gb_fraction=jobs_cdf.fraction_at_or_below(small_file_threshold),
+        bytes_below_gb_fraction=stored_cdf.fraction_at_or_below(small_file_threshold),
+    )
+
+
+def eighty_x_rule(trace: Trace, kind: str = "input", job_fraction: float = 0.8) -> float:
+    """The "80-x" rule of §4.2: x such that 80% of accesses go to x% of bytes.
+
+    Following how the paper derives the rule from Figures 3 and 4, the
+    computation is size-threshold based: find the file size below which
+    ``job_fraction`` of all jobs' accesses fall (top panel), then return the
+    percentage of stored bytes held by files up to that size (bottom panel).
+    The paper reports values between 1 and 8 — an "80-1" to "80-8" rule.
+    """
+    if not 0.0 < job_fraction < 1.0:
+        raise AnalysisError("job_fraction must be in (0, 1)")
+    profile = size_access_profile(trace, kind)
+    size_threshold = profile.jobs_cdf.quantile(job_fraction)
+    return 100.0 * profile.stored_bytes_cdf.fraction_at_or_below(size_threshold)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: re-access intervals
+# ---------------------------------------------------------------------------
+@dataclass
+class ReaccessIntervals:
+    """Distributions of data re-access intervals (Figure 5).
+
+    Attributes:
+        input_input: CDF of intervals between successive reads of the same
+            input path (``None`` when no such re-reads exist).
+        output_input: CDF of intervals between a job writing a path and a
+            later job reading it (``None`` when absent).
+        fraction_within_6h: fraction of all re-accesses (both kinds pooled)
+            that happen within six hours — the paper reports 75%.
+    """
+
+    input_input: Optional[EmpiricalCDF]
+    output_input: Optional[EmpiricalCDF]
+    fraction_within_6h: float
+
+
+def reaccess_intervals(trace: Trace) -> ReaccessIntervals:
+    """Compute re-access interval distributions for a trace.
+
+    Jobs are processed in submission order.  For input→input intervals the
+    reference time is the previous *read* of the path; for output→input it is
+    the most recent earlier *write*.
+    """
+    last_read: Dict[str, float] = {}
+    last_write: Dict[str, float] = {}
+    input_input: List[float] = []
+    output_input: List[float] = []
+    for job in trace:
+        t = job.submit_time_s
+        if job.input_path is not None:
+            path = job.input_path
+            if path in last_write and (path not in last_read or last_write[path] >= last_read[path]):
+                output_input.append(max(0.0, t - last_write[path]))
+            elif path in last_read:
+                input_input.append(max(0.0, t - last_read[path]))
+            last_read[path] = t
+        if job.output_path is not None:
+            last_write[job.output_path] = t
+
+    pooled = input_input + output_input
+    fraction_6h = (
+        float(np.mean(np.asarray(pooled) <= 6 * 3600.0)) if pooled else 0.0
+    )
+    return ReaccessIntervals(
+        input_input=empirical_cdf(input_input) if input_input else None,
+        output_input=empirical_cdf(output_input) if output_input else None,
+        fraction_within_6h=fraction_6h,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: fraction of jobs re-accessing existing data
+# ---------------------------------------------------------------------------
+@dataclass
+class ReaccessFractions:
+    """Fractions of jobs whose input re-accesses pre-existing data (Figure 6).
+
+    Attributes:
+        input_reaccess: fraction of jobs reading a path some earlier job read.
+        output_reaccess: fraction of jobs reading a path some earlier job wrote.
+        any_reaccess: fraction of jobs doing either.
+        jobs_with_paths: number of jobs that recorded an input path at all.
+    """
+
+    input_reaccess: float
+    output_reaccess: float
+    any_reaccess: float
+    jobs_with_paths: int
+
+
+def reaccess_fractions(trace: Trace) -> ReaccessFractions:
+    """Compute the Figure-6 fractions for one trace."""
+    seen_inputs: set = set()
+    seen_outputs: set = set()
+    jobs_with_paths = 0
+    input_hits = 0
+    output_hits = 0
+    any_hits = 0
+    for job in trace:
+        path = job.input_path
+        if path is not None:
+            jobs_with_paths += 1
+            is_input_hit = path in seen_inputs
+            is_output_hit = path in seen_outputs
+            if is_output_hit:
+                output_hits += 1
+            elif is_input_hit:
+                input_hits += 1
+            if is_input_hit or is_output_hit:
+                any_hits += 1
+            seen_inputs.add(path)
+        if job.output_path is not None:
+            seen_outputs.add(job.output_path)
+    if jobs_with_paths == 0:
+        raise AnalysisError("trace has no recorded input paths")
+    return ReaccessFractions(
+        input_reaccess=input_hits / jobs_with_paths,
+        output_reaccess=output_hits / jobs_with_paths,
+        any_reaccess=any_hits / jobs_with_paths,
+        jobs_with_paths=jobs_with_paths,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Combined result
+# ---------------------------------------------------------------------------
+@dataclass
+class AccessPatternResult:
+    """All §4 access-pattern analyses for one trace.
+
+    Any component that cannot be computed because the trace lacks the required
+    path dimension is ``None`` — mirroring how the paper omits workloads from
+    figures when their traces miss the needed fields.
+    """
+
+    workload: str
+    input_ranks: Optional[RankFrequency]
+    output_ranks: Optional[RankFrequency]
+    input_profile: Optional[SizeAccessProfile]
+    output_profile: Optional[SizeAccessProfile]
+    intervals: Optional[ReaccessIntervals]
+    fractions: Optional[ReaccessFractions]
+    eighty_x_input: Optional[float]
+
+
+def analyze_access_patterns(trace: Trace) -> AccessPatternResult:
+    """Run every §4 analysis that the trace's recorded dimensions permit."""
+    if trace.is_empty():
+        raise AnalysisError("cannot analyze access patterns of an empty trace")
+
+    def attempt(function, *args, **kwargs):
+        try:
+            return function(*args, **kwargs)
+        except AnalysisError:
+            return None
+
+    return AccessPatternResult(
+        workload=trace.name,
+        input_ranks=attempt(input_rank_frequencies, trace),
+        output_ranks=attempt(output_rank_frequencies, trace),
+        input_profile=attempt(size_access_profile, trace, "input"),
+        output_profile=attempt(size_access_profile, trace, "output"),
+        intervals=attempt(reaccess_intervals, trace),
+        fractions=attempt(reaccess_fractions, trace),
+        eighty_x_input=attempt(eighty_x_rule, trace, "input"),
+    )

@@ -1,0 +1,92 @@
+"""Top-level workload characterization.
+
+:class:`WorkloadCharacterizer` orchestrates every analysis in the paper's
+methodology against a single trace and collects the results into a
+:class:`~repro.core.report.WorkloadReport`.  Analyses that a trace cannot
+support (no job names, no file paths, trace too short for a diurnal test) are
+skipped with a note instead of failing the whole run — exactly how the paper
+omits workloads from individual figures when a dimension is missing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import AnalysisError
+from ..traces.trace import Trace
+from .access import analyze_access_patterns
+from .burstiness import analyze_burstiness
+from .clustering import cluster_jobs
+from .datasizes import analyze_data_sizes
+from .naming import analyze_naming
+from .report import WorkloadReport
+from .temporal import dimension_correlations, diurnal_strength, hourly_dimensions
+
+__all__ = ["WorkloadCharacterizer", "characterize"]
+
+
+class WorkloadCharacterizer:
+    """Runs the full characterization pipeline on traces.
+
+    Args:
+        max_k: upper bound for the automatic cluster-count selection.
+        seed: RNG seed used by k-means.
+        cluster: set to False to skip the (comparatively expensive) Table-2
+            clustering step.
+    """
+
+    def __init__(self, max_k: int = 12, seed: int = 0, cluster: bool = True):
+        self.max_k = int(max_k)
+        self.seed = int(seed)
+        self.cluster = bool(cluster)
+
+    def characterize(self, trace: Trace) -> WorkloadReport:
+        """Characterize one trace and return its :class:`WorkloadReport`.
+
+        Raises:
+            AnalysisError: only when the trace is empty; everything else
+                degrades to a note in the report.
+        """
+        if trace.is_empty():
+            raise AnalysisError("cannot characterize an empty trace")
+
+        report = WorkloadReport(workload=trace.name, summary=trace.summary())
+
+        # §4.1 per-job data sizes (Figure 1).
+        report.data_sizes = analyze_data_sizes(trace)
+
+        # §4.2-4.3 access patterns (Figures 2-6).
+        report.access = analyze_access_patterns(trace)
+        if report.access.input_ranks is None:
+            report.notes.append("no input paths recorded; Figures 2-6 unavailable for inputs")
+        if report.access.output_ranks is None:
+            report.notes.append("no output paths recorded; Figure 2/4 unavailable for outputs")
+
+        # §5 temporal behaviour (Figures 7-9).
+        report.hourly = hourly_dimensions(trace)
+        try:
+            report.burstiness = analyze_burstiness(trace)
+        except AnalysisError as exc:
+            report.notes.append("burstiness unavailable: %s" % exc)
+        try:
+            report.correlations = dimension_correlations(report.hourly)
+        except AnalysisError as exc:
+            report.notes.append("correlations unavailable: %s" % exc)
+        report.diurnal = diurnal_strength(report.hourly.jobs_per_hour)
+
+        # §6.1 job names (Figure 10).
+        try:
+            report.naming = analyze_naming(trace)
+        except AnalysisError as exc:
+            report.notes.append(str(exc))
+
+        # §6.2 job clustering (Table 2).
+        if self.cluster:
+            report.clustering = cluster_jobs(trace, max_k=self.max_k, seed=self.seed)
+
+        return report
+
+
+def characterize(trace: Trace, max_k: int = 12, seed: int = 0, cluster: bool = True) -> WorkloadReport:
+    """Convenience wrapper: run :class:`WorkloadCharacterizer` on one trace."""
+    return WorkloadCharacterizer(max_k=max_k, seed=seed, cluster=cluster).characterize(trace)

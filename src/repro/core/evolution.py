@@ -1,0 +1,169 @@
+"""Workload evolution analysis: comparing two snapshots of one deployment.
+
+Section 4.1 of the paper compares the Facebook workload across 2009 and 2010:
+per-job input and shuffle size distributions shift right (grow) by several
+orders of magnitude while the output size distribution shifts left (shrinks);
+§5.2 adds that the peak-to-median load ratio dropped from 31:1 to 9:1 as more
+organizations shared the cluster; §6.2 finds that the Table-2 job types
+changed substantially over the same year, so "any policy parameters need to be
+periodically revisited."
+
+:func:`compare_evolution` packages those comparisons for any pair of traces
+from the same deployment, producing the quantities the paper quotes: median
+shifts per dimension in orders of magnitude, the burstiness change, and the
+change in small-job and map-only fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..traces.trace import Trace
+from ..units import GB
+from .burstiness import analyze_burstiness
+from .datasizes import SIZE_DIMENSIONS, analyze_data_sizes
+
+__all__ = ["DimensionShift", "EvolutionReport", "compare_evolution"]
+
+
+@dataclass
+class DimensionShift:
+    """Shift of one per-job size dimension between two snapshots.
+
+    Attributes:
+        dimension: ``"input_bytes"``, ``"shuffle_bytes"`` or ``"output_bytes"``.
+        median_before: median per-job size in the earlier snapshot (bytes).
+        median_after: median per-job size in the later snapshot (bytes).
+        orders_of_magnitude: ``log10(after) - log10(before)`` with zero medians
+            clamped to one byte — positive means the distribution shifted right
+            (grew), negative means it shifted left (shrank).
+    """
+
+    dimension: str
+    median_before: float
+    median_after: float
+    orders_of_magnitude: float
+
+    @property
+    def grew(self) -> bool:
+        return self.orders_of_magnitude > 0
+
+    @property
+    def shrank(self) -> bool:
+        return self.orders_of_magnitude < 0
+
+
+@dataclass
+class EvolutionReport:
+    """Comparison of two snapshots of one deployment's workload.
+
+    Attributes:
+        before_name / after_name: names of the two traces.
+        shifts: per-dimension :class:`DimensionShift` keyed by dimension.
+        peak_to_median_before / peak_to_median_after: Figure-8 burstiness
+            summaries of each snapshot.
+        burstiness_reduction: before divided by after (>1 means the later
+            snapshot is less bursty — the paper's 31:1 → 9:1 observation).
+        small_job_fraction_before / small_job_fraction_after: fraction of jobs
+            at or below the small-job byte threshold.
+        map_only_fraction_before / map_only_fraction_after: fraction of
+            map-only jobs.
+        job_count_growth: later job count divided by earlier job count.
+    """
+
+    before_name: str
+    after_name: str
+    shifts: Dict[str, DimensionShift]
+    peak_to_median_before: float
+    peak_to_median_after: float
+    burstiness_reduction: float
+    small_job_fraction_before: float
+    small_job_fraction_after: float
+    map_only_fraction_before: float
+    map_only_fraction_after: float
+    job_count_growth: float
+
+    def shift(self, dimension: str) -> DimensionShift:
+        """The shift record of one size dimension.
+
+        Raises:
+            AnalysisError: for an unknown dimension.
+        """
+        if dimension not in self.shifts:
+            raise AnalysisError("unknown size dimension %r" % (dimension,))
+        return self.shifts[dimension]
+
+    def summary_lines(self) -> list:
+        """Human-readable summary, one line per finding."""
+        lines = ["Evolution %s -> %s:" % (self.before_name, self.after_name)]
+        for dimension in SIZE_DIMENSIONS:
+            shift = self.shifts[dimension]
+            direction = "grew" if shift.grew else ("shrank" if shift.shrank else "held steady")
+            lines.append("  %s median %s by %.1f orders of magnitude"
+                         % (dimension, direction, abs(shift.orders_of_magnitude)))
+        lines.append("  peak-to-median %.0f:1 -> %.0f:1 (reduction %.1fx)"
+                     % (self.peak_to_median_before, self.peak_to_median_after,
+                        self.burstiness_reduction))
+        lines.append("  small-job fraction %.1f%% -> %.1f%%"
+                     % (100 * self.small_job_fraction_before, 100 * self.small_job_fraction_after))
+        lines.append("  map-only fraction %.1f%% -> %.1f%%"
+                     % (100 * self.map_only_fraction_before, 100 * self.map_only_fraction_after))
+        return lines
+
+
+def _small_job_fraction(trace: Trace, threshold_bytes: float) -> float:
+    return float(np.mean([1.0 if job.total_bytes <= threshold_bytes else 0.0 for job in trace]))
+
+
+def compare_evolution(before: Trace, after: Trace,
+                      small_job_threshold_bytes: float = 10 * GB) -> EvolutionReport:
+    """Compare an earlier and a later trace of the same deployment.
+
+    Args:
+        before: the earlier snapshot (e.g. FB-2009).
+        after: the later snapshot (e.g. FB-2010).
+        small_job_threshold_bytes: byte threshold used for the small-job
+            fraction comparison.
+
+    Raises:
+        AnalysisError: when either trace is empty.
+    """
+    if before.is_empty() or after.is_empty():
+        raise AnalysisError("evolution comparison needs two non-empty traces")
+
+    sizes_before = analyze_data_sizes(before)
+    sizes_after = analyze_data_sizes(after)
+    shifts: Dict[str, DimensionShift] = {}
+    for dimension in SIZE_DIMENSIONS:
+        median_before = sizes_before.median(dimension)
+        median_after = sizes_after.median(dimension)
+        orders = float(np.log10(max(1.0, median_after)) - np.log10(max(1.0, median_before)))
+        shifts[dimension] = DimensionShift(
+            dimension=dimension,
+            median_before=median_before,
+            median_after=median_after,
+            orders_of_magnitude=orders,
+        )
+
+    burst_before = analyze_burstiness(before, drop_zero_hours=True)
+    burst_after = analyze_burstiness(after, drop_zero_hours=True)
+    reduction = (burst_before.peak_to_median / burst_after.peak_to_median
+                 if burst_after.peak_to_median > 0 else float("inf"))
+
+    return EvolutionReport(
+        before_name=before.name,
+        after_name=after.name,
+        shifts=shifts,
+        peak_to_median_before=burst_before.peak_to_median,
+        peak_to_median_after=burst_after.peak_to_median,
+        burstiness_reduction=reduction,
+        small_job_fraction_before=_small_job_fraction(before, small_job_threshold_bytes),
+        small_job_fraction_after=_small_job_fraction(after, small_job_threshold_bytes),
+        map_only_fraction_before=sizes_before.map_only_fraction,
+        map_only_fraction_after=sizes_after.map_only_fraction,
+        job_count_growth=len(after) / len(before),
+    )

@@ -1,0 +1,191 @@
+"""Job-name and framework analysis (§6.1 and Figure 10 of the paper).
+
+Job names are user- or framework-supplied strings.  Frameworks layered on top
+of MapReduce (Hive, Pig, Oozie) generate names automatically, so the first
+word of a job name identifies both the framework and — for Hive — the query
+operator (insert, select, from).  Figure 10 ranks the most frequent first
+words per workload, weighted three ways: by job count, by total I/O bytes, and
+by task-time.
+
+This module classifies names into frameworks, computes the weighted first-word
+breakdowns, and summarizes framework shares of cluster load.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AnalysisError
+from ..traces.trace import Trace
+
+__all__ = [
+    "FRAMEWORK_KEYWORDS",
+    "classify_framework",
+    "FirstWordBreakdown",
+    "NamingAnalysis",
+    "first_word_breakdown",
+    "analyze_naming",
+]
+
+#: First words that identify a submitting framework.  Hive generates names
+#: from the query text ("insert", "select", "from"), Pig prefixes "PigLatin",
+#: Oozie prefixes "oozie", and distcp is the built-in copy tool.
+FRAMEWORK_KEYWORDS = {
+    "insert": "hive",
+    "select": "hive",
+    "from": "hive",
+    "create": "hive",
+    "piglatin": "pig",
+    "pig": "pig",
+    "oozie": "oozie",
+    "distcp": "native",
+}
+
+
+def classify_framework(first_word: Optional[str], declared: Optional[str] = None) -> str:
+    """Classify a job into a framework.
+
+    The declared framework (when the trace records one) wins; otherwise the
+    first word of the job name decides; jobs without either are "native"
+    (plain MapReduce API), and jobs with no name at all are "unknown".
+    """
+    if declared:
+        return declared
+    if first_word is None:
+        return "unknown"
+    return FRAMEWORK_KEYWORDS.get(first_word, "native")
+
+
+@dataclass
+class FirstWordBreakdown:
+    """Share of a workload attributed to each job-name first word.
+
+    Attributes:
+        weighting: ``"jobs"``, ``"bytes"`` or ``"task_seconds"``.
+        shares: (first word, share) pairs sorted by decreasing share; names
+            beyond ``top_n`` are folded into ``"[others]"``.
+    """
+
+    weighting: str
+    shares: List[Tuple[str, float]]
+
+    def share_of(self, word: str) -> float:
+        for name, share in self.shares:
+            if name == word:
+                return share
+        return 0.0
+
+    def top(self, n: int = 5) -> List[Tuple[str, float]]:
+        return self.shares[:n]
+
+
+@dataclass
+class NamingAnalysis:
+    """Complete §6.1 analysis for one workload.
+
+    Attributes:
+        workload: workload name.
+        by_jobs / by_bytes / by_task_seconds: Figure-10 panels.
+        framework_shares: framework -> share, for each weighting.
+        top_words_cover: fraction of jobs covered by the top five words.
+    """
+
+    workload: str
+    by_jobs: FirstWordBreakdown
+    by_bytes: FirstWordBreakdown
+    by_task_seconds: FirstWordBreakdown
+    framework_shares: Dict[str, Dict[str, float]]
+    top_words_cover: float
+
+    def dominant_frameworks(self, weighting: str = "jobs", count: int = 2) -> List[str]:
+        """The ``count`` frameworks with the largest share under a weighting."""
+        shares = self.framework_shares.get(weighting, {})
+        return sorted(shares, key=lambda name: shares[name], reverse=True)[:count]
+
+    def framework_share(self, weighting: str = "jobs", frameworks: Tuple[str, ...] = ("hive", "pig", "oozie")) -> float:
+        """Combined share of the query-like frameworks (paper: 20%-80%+)."""
+        shares = self.framework_shares.get(weighting, {})
+        return sum(shares.get(name, 0.0) for name in frameworks)
+
+
+def _weights_for(trace: Trace, weighting: str) -> List[float]:
+    if weighting == "jobs":
+        return [1.0] * len(trace)
+    if weighting == "bytes":
+        return [job.total_bytes for job in trace]
+    if weighting == "task_seconds":
+        return [job.total_task_seconds for job in trace]
+    raise AnalysisError("unknown weighting %r" % (weighting,))
+
+
+def first_word_breakdown(trace: Trace, weighting: str = "jobs", top_n: int = 10) -> FirstWordBreakdown:
+    """Share of the workload attributed to each job-name first word.
+
+    Jobs without names are grouped under ``"[unnamed]"``.  Words beyond the
+    ``top_n`` most significant are folded into ``"[others]"``.
+
+    Raises:
+        AnalysisError: for an empty trace or unknown weighting.
+    """
+    if trace.is_empty():
+        raise AnalysisError("cannot analyze names of an empty trace")
+    weights = _weights_for(trace, weighting)
+    totals: Dict[str, float] = defaultdict(float)
+    for job, weight in zip(trace, weights):
+        word = job.first_word or "[unnamed]"
+        totals[word] += weight
+    grand_total = sum(totals.values())
+    if grand_total <= 0:
+        # All-zero weights (e.g. a trace of zero-byte jobs weighted by bytes):
+        # fall back to uniform shares over the observed words.
+        shares = sorted(((word, 1.0 / len(totals)) for word in totals),
+                        key=lambda pair: pair[1], reverse=True)
+        return FirstWordBreakdown(weighting=weighting, shares=shares)
+    ranked = sorted(totals.items(), key=lambda pair: pair[1], reverse=True)
+    shares: List[Tuple[str, float]] = []
+    others = 0.0
+    for index, (word, total) in enumerate(ranked):
+        if index < top_n:
+            shares.append((word, total / grand_total))
+        else:
+            others += total / grand_total
+    if others > 0:
+        shares.append(("[others]", others))
+    return FirstWordBreakdown(weighting=weighting, shares=shares)
+
+
+def analyze_naming(trace: Trace, top_n: int = 10) -> NamingAnalysis:
+    """Run the full §6.1 analysis (all three weightings + framework shares)."""
+    named = trace.with_names()
+    if named.is_empty():
+        raise AnalysisError(
+            "trace %r records no job names; naming analysis unavailable" % (trace.name,)
+        )
+    breakdowns = {
+        weighting: first_word_breakdown(named, weighting, top_n)
+        for weighting in ("jobs", "bytes", "task_seconds")
+    }
+
+    framework_shares: Dict[str, Dict[str, float]] = {}
+    for weighting in ("jobs", "bytes", "task_seconds"):
+        weights = _weights_for(named, weighting)
+        totals: Dict[str, float] = defaultdict(float)
+        for job, weight in zip(named, weights):
+            totals[classify_framework(job.first_word, job.framework)] += weight
+        grand_total = sum(totals.values())
+        if grand_total > 0:
+            framework_shares[weighting] = {name: value / grand_total for name, value in totals.items()}
+        else:
+            framework_shares[weighting] = {name: 0.0 for name in totals}
+
+    top_cover = sum(share for _, share in breakdowns["jobs"].top(5))
+    return NamingAnalysis(
+        workload=trace.name,
+        by_jobs=breakdowns["jobs"],
+        by_bytes=breakdowns["bytes"],
+        by_task_seconds=breakdowns["task_seconds"],
+        framework_shares=framework_shares,
+        top_words_cover=top_cover,
+    )

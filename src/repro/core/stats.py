@@ -1,0 +1,225 @@
+"""Shared statistical primitives for the characterization pipeline.
+
+Everything in the paper's figures reduces to a handful of operations: empirical
+CDFs (Figures 1, 3, 4, 5, 8), log-spaced binning of byte sizes, percentiles and
+percentile ratios (Figure 8), hourly aggregation of time series (Figures 7-9)
+and Pearson correlation between those series (Figure 9).  This module provides
+those primitives with explicit handling of empty inputs and NaNs so the
+higher-level analyses stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "EmpiricalCDF",
+    "empirical_cdf",
+    "log_bins",
+    "percentile",
+    "percentile_ratio_curve",
+    "hourly_series",
+    "pearson_correlation",
+    "coefficient_of_variation",
+    "geometric_mean",
+]
+
+
+@dataclass
+class EmpiricalCDF:
+    """An empirical cumulative distribution function.
+
+    Attributes:
+        values: sorted sample values.
+        fractions: cumulative fraction of samples ≤ the corresponding value.
+    """
+
+    values: np.ndarray
+    fractions: np.ndarray
+
+    def __post_init__(self):
+        self.values = np.asarray(self.values, dtype=float)
+        self.fractions = np.asarray(self.fractions, dtype=float)
+        if self.values.shape != self.fractions.shape:
+            raise AnalysisError("CDF values and fractions must have the same shape")
+
+    @property
+    def n(self) -> int:
+        return int(self.values.size)
+
+    def quantile(self, q: float) -> float:
+        """Value below which a fraction ``q`` of the samples fall."""
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError("quantile fraction must be in [0, 1], got %r" % (q,))
+        if self.n == 0:
+            raise AnalysisError("cannot take a quantile of an empty CDF")
+        index = int(np.searchsorted(self.fractions, q, side="left"))
+        index = min(index, self.n - 1)
+        return float(self.values[index])
+
+    def fraction_at_or_below(self, value: float) -> float:
+        """Fraction of samples ≤ ``value`` (0 for an empty CDF)."""
+        if self.n == 0:
+            return 0.0
+        index = int(np.searchsorted(self.values, value, side="right"))
+        if index == 0:
+            return 0.0
+        return float(self.fractions[index - 1])
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def as_points(self) -> "list[tuple[float, float]]":
+        """(value, cumulative fraction) pairs, e.g. for plotting or reports."""
+        return list(zip(self.values.tolist(), self.fractions.tolist()))
+
+
+def empirical_cdf(samples: Sequence[float], drop_nan: bool = True) -> EmpiricalCDF:
+    """Build an :class:`EmpiricalCDF` from raw samples.
+
+    Args:
+        samples: the sample values.
+        drop_nan: silently drop NaNs (used for traces missing a dimension).
+
+    Raises:
+        AnalysisError: when no finite samples remain.
+    """
+    array = np.asarray(list(samples), dtype=float)
+    if drop_nan:
+        array = array[np.isfinite(array)]
+    if array.size == 0:
+        raise AnalysisError("cannot build a CDF from an empty sample")
+    array = np.sort(array)
+    fractions = np.arange(1, array.size + 1, dtype=float) / array.size
+    return EmpiricalCDF(values=array, fractions=fractions)
+
+
+def log_bins(low: float, high: float, bins_per_decade: int = 4) -> np.ndarray:
+    """Logarithmically spaced bin edges covering ``[low, high]``.
+
+    Used for the log-scale size axes of Figures 1, 3 and 4.
+
+    Raises:
+        AnalysisError: if the bounds are not positive or are inverted.
+    """
+    if low <= 0 or high <= 0:
+        raise AnalysisError("log bins need positive bounds")
+    if high < low:
+        raise AnalysisError("log bins: high < low")
+    decades = np.log10(high) - np.log10(low)
+    n_edges = max(2, int(np.ceil(decades * bins_per_decade)) + 1)
+    return np.logspace(np.log10(low), np.log10(high), n_edges)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of the finite samples."""
+    array = np.asarray(list(samples), dtype=float)
+    array = array[np.isfinite(array)]
+    if array.size == 0:
+        raise AnalysisError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise AnalysisError("percentile must be in [0, 100], got %r" % (q,))
+    return float(np.percentile(array, q))
+
+
+def percentile_ratio_curve(samples: Sequence[float],
+                           percentiles: Optional[Sequence[float]] = None) -> "list[tuple[float, float]]":
+    """The (nth-percentile / median, n) curve that defines Figure 8 burstiness.
+
+    Returns a list of ``(ratio, n)`` pairs where ``ratio`` is the nth
+    percentile of the samples divided by their median.  A vertical curve
+    (ratios all ≈ 1) is a constant signal; a long horizontal tail is a bursty
+    one.
+
+    Raises:
+        AnalysisError: when the sample is empty or its median is zero.
+    """
+    array = np.asarray(list(samples), dtype=float)
+    array = array[np.isfinite(array)]
+    if array.size == 0:
+        raise AnalysisError("cannot compute a percentile curve of an empty sample")
+    median = float(np.median(array))
+    if median == 0:
+        raise AnalysisError("percentile-ratio curve undefined: median is zero")
+    if percentiles is None:
+        percentiles = list(range(1, 100)) + [99.5, 100.0]
+    curve = []
+    for n in percentiles:
+        curve.append((float(np.percentile(array, n)) / median, float(n)))
+    return curve
+
+
+def hourly_series(times_s: Sequence[float], weights: Optional[Sequence[float]] = None,
+                  horizon_s: Optional[float] = None) -> np.ndarray:
+    """Aggregate events into per-hour totals.
+
+    Args:
+        times_s: event times in seconds from the trace origin.
+        weights: per-event weight (bytes, task-seconds, ...); defaults to 1
+            per event, which yields hourly counts.
+        horizon_s: total horizon; defaults to the last event time.  The result
+            always covers ``ceil(horizon / 3600)`` hours, including empty ones.
+
+    Returns:
+        A float array of hourly totals (possibly all zeros).
+    """
+    times = np.asarray(list(times_s), dtype=float)
+    if weights is None:
+        weight_array = np.ones_like(times)
+    else:
+        weight_array = np.asarray(list(weights), dtype=float)
+        if weight_array.shape != times.shape:
+            raise AnalysisError("weights must have the same length as times")
+    if times.size == 0:
+        return np.zeros(max(1, int(np.ceil((horizon_s or 3600.0) / 3600.0))), dtype=float)
+    if np.any(times < 0):
+        raise AnalysisError("event times must be non-negative")
+    horizon = float(horizon_s) if horizon_s is not None else float(times.max()) + 1.0
+    n_hours = max(1, int(np.ceil(horizon / 3600.0)))
+    buckets = np.minimum((times // 3600.0).astype(int), n_hours - 1)
+    series = np.zeros(n_hours, dtype=float)
+    np.add.at(series, buckets, weight_array)
+    return series
+
+
+def pearson_correlation(series_a: Sequence[float], series_b: Sequence[float]) -> float:
+    """Pearson correlation between two equal-length series.
+
+    Returns 0.0 when either series is constant (correlation undefined), which
+    matches how the paper treats uninformative dimensions.
+    """
+    a = np.asarray(list(series_a), dtype=float)
+    b = np.asarray(list(series_b), dtype=float)
+    if a.shape != b.shape:
+        raise AnalysisError("correlation needs equal-length series")
+    if a.size < 2:
+        raise AnalysisError("correlation needs at least two points")
+    if np.std(a) == 0 or np.std(b) == 0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def coefficient_of_variation(samples: Sequence[float]) -> float:
+    """Standard deviation divided by mean (0 for an all-zero sample)."""
+    array = np.asarray(list(samples), dtype=float)
+    array = array[np.isfinite(array)]
+    if array.size == 0:
+        raise AnalysisError("cannot compute CoV of an empty sample")
+    mean = array.mean()
+    if mean == 0:
+        return 0.0
+    return float(array.std() / mean)
+
+
+def geometric_mean(samples: Sequence[float], floor: float = 1e-12) -> float:
+    """Geometric mean of positive samples (values below ``floor`` are clamped)."""
+    array = np.asarray(list(samples), dtype=float)
+    array = array[np.isfinite(array)]
+    if array.size == 0:
+        raise AnalysisError("cannot compute a geometric mean of an empty sample")
+    return float(np.exp(np.mean(np.log(np.maximum(array, floor)))))

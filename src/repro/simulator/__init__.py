@@ -1,0 +1,110 @@
+"""Discrete-event MapReduce cluster simulator: the replay substrate.
+
+Provides the event engine, cluster/slot model, schedulers, an HDFS-like file
+model, storage-cache policies, and the workload replayer used to evaluate the
+paper's storage and scheduling recommendations.
+"""
+
+from .events import Event, EventQueue
+from .cluster import Cluster, ClusterConfig, Node
+from .tasks import SimJob, SimTask, split_job
+from .scheduler import CapacityScheduler, FairScheduler, FifoScheduler, Scheduler
+from .hdfs import Hdfs, HdfsConfig, HdfsFile
+from .cache import (
+    CachePolicy,
+    CacheStats,
+    LfuCache,
+    LruCache,
+    NoCache,
+    SizeThresholdCache,
+    UnlimitedCache,
+)
+from .metrics import JobOutcome, SimulationMetrics
+from .replay import WorkloadReplayer, replay
+from .stragglers import (
+    SpeculativeExecutionModel,
+    StragglerImpact,
+    StragglerInjectionStats,
+    StragglerModel,
+    straggler_impact,
+    straggler_task_transform,
+)
+from .energy import (
+    EnergyReport,
+    PowerDownEvaluation,
+    PowerDownPolicy,
+    PowerModel,
+    energy_from_metrics,
+    evaluate_power_down,
+)
+from .tiered import (
+    TieredClusterConfig,
+    TieredComparison,
+    TieredReplayResult,
+    TieredReplayer,
+    compare_tiered_vs_unified,
+)
+from .topology import (
+    LocalityFractions,
+    RackTopology,
+    ShuffleProfile,
+    locality_fractions,
+    shuffle_cross_rack_bytes,
+    workload_shuffle_profile,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Cluster",
+    "ClusterConfig",
+    "Node",
+    "SimJob",
+    "SimTask",
+    "split_job",
+    "Scheduler",
+    "FifoScheduler",
+    "FairScheduler",
+    "CapacityScheduler",
+    "Hdfs",
+    "HdfsConfig",
+    "HdfsFile",
+    "CachePolicy",
+    "CacheStats",
+    "NoCache",
+    "UnlimitedCache",
+    "LruCache",
+    "LfuCache",
+    "SizeThresholdCache",
+    "JobOutcome",
+    "SimulationMetrics",
+    "WorkloadReplayer",
+    "replay",
+    # stragglers
+    "StragglerModel",
+    "SpeculativeExecutionModel",
+    "StragglerInjectionStats",
+    "straggler_task_transform",
+    "StragglerImpact",
+    "straggler_impact",
+    # energy
+    "PowerModel",
+    "EnergyReport",
+    "energy_from_metrics",
+    "PowerDownPolicy",
+    "PowerDownEvaluation",
+    "evaluate_power_down",
+    # tiered cluster
+    "TieredClusterConfig",
+    "TieredReplayer",
+    "TieredReplayResult",
+    "TieredComparison",
+    "compare_tiered_vs_unified",
+    # topology / locality / shuffle
+    "RackTopology",
+    "LocalityFractions",
+    "locality_fractions",
+    "shuffle_cross_rack_bytes",
+    "ShuffleProfile",
+    "workload_shuffle_profile",
+]

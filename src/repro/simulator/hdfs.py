@@ -1,0 +1,193 @@
+"""Simplified HDFS model: file namespace, blocks, replication, and reads.
+
+The paper's §4 observations motivate storage-level policies (tiering, caching,
+eviction).  To evaluate those policies the replayer needs a filesystem model
+that tracks which files exist, how big they are, how many blocks and replicas
+they occupy, and how long a read or write takes given per-node disk bandwidth.
+The model is deliberately coarse — block placement is round-robin and reads
+are bandwidth-limited streams — because the quantities the benchmarks compare
+(cache hit rates, bytes served from cache versus disk) only need per-file
+access accounting, not packet-level fidelity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["HdfsFile", "HdfsConfig", "Hdfs"]
+
+
+@dataclass(frozen=True)
+class HdfsConfig:
+    """Static HDFS parameters.
+
+    Attributes:
+        block_size: block size in bytes (128 MB default).
+        replication: replicas per block.
+        n_datanodes: number of datanodes (used for placement spreading).
+        disk_bandwidth_bps: sequential read/write bandwidth per datanode.
+    """
+
+    block_size: float = 128 * 1024 * 1024
+    replication: int = 3
+    n_datanodes: int = 100
+    disk_bandwidth_bps: float = 100e6
+
+    def __post_init__(self):
+        if self.block_size <= 0:
+            raise SimulationError("block_size must be positive")
+        if self.replication <= 0:
+            raise SimulationError("replication must be positive")
+        if self.n_datanodes <= 0:
+            raise SimulationError("n_datanodes must be positive")
+        if self.disk_bandwidth_bps <= 0:
+            raise SimulationError("disk_bandwidth_bps must be positive")
+
+
+@dataclass
+class HdfsFile:
+    """One file in the namespace.
+
+    Attributes:
+        path: file path.
+        size_bytes: logical size.
+        created_at_s: simulation time of creation.
+        last_access_s: simulation time of the most recent read or write.
+        access_count: number of reads since creation.
+    """
+
+    path: str
+    size_bytes: float
+    created_at_s: float = 0.0
+    last_access_s: float = 0.0
+    access_count: int = 0
+
+    def n_blocks(self, block_size: float) -> int:
+        return max(1, int(math.ceil(self.size_bytes / block_size)))
+
+
+class Hdfs:
+    """File namespace with creation, read/write accounting, and timing.
+
+    The filesystem does not enforce capacity limits (production HDFS clusters
+    are provisioned for their data); what matters for the paper's analyses is
+    the access stream it observes, which it exposes to the attached cache via
+    the ``on_read`` callback of :meth:`read`.
+    """
+
+    def __init__(self, config: Optional[HdfsConfig] = None):
+        self.config = config or HdfsConfig()
+        self._files: Dict[str, HdfsFile] = {}
+        self.bytes_written = 0.0
+        self.bytes_read = 0.0
+        self._placement_cursor = 0
+
+    # ------------------------------------------------------------------
+    def __contains__(self, path: str) -> bool:
+        return path in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def get(self, path: str) -> Optional[HdfsFile]:
+        return self._files.get(path)
+
+    def files(self) -> Iterable[HdfsFile]:
+        return self._files.values()
+
+    def total_bytes(self) -> float:
+        """Logical bytes stored (not counting replication)."""
+        return float(sum(entry.size_bytes for entry in self._files.values()))
+
+    def raw_bytes(self) -> float:
+        """Physical bytes stored including replication."""
+        return self.total_bytes() * self.config.replication
+
+    # ------------------------------------------------------------------
+    def create(self, path: str, size_bytes: float, now_s: float = 0.0,
+               overwrite: bool = True) -> HdfsFile:
+        """Create (or overwrite) a file of the given size.
+
+        Raises:
+            SimulationError: when the file exists and ``overwrite`` is false,
+                or the size is negative.
+        """
+        if size_bytes < 0:
+            raise SimulationError("file size must be non-negative")
+        if path in self._files and not overwrite:
+            raise SimulationError("file %r already exists" % (path,))
+        entry = HdfsFile(path=path, size_bytes=float(size_bytes), created_at_s=now_s,
+                         last_access_s=now_s)
+        self._files[path] = entry
+        self.bytes_written += float(size_bytes)
+        return entry
+
+    def ensure(self, path: str, size_bytes: float, now_s: float = 0.0) -> HdfsFile:
+        """Create the file if missing; otherwise grow it to at least ``size_bytes``."""
+        existing = self._files.get(path)
+        if existing is None:
+            return self.create(path, size_bytes, now_s)
+        if size_bytes > existing.size_bytes:
+            self.bytes_written += size_bytes - existing.size_bytes
+            existing.size_bytes = float(size_bytes)
+        return existing
+
+    def read(self, path: str, now_s: float, size_bytes: Optional[float] = None) -> HdfsFile:
+        """Record a read of ``path`` and return its entry.
+
+        Unknown paths are auto-created with the requested size: traces begin
+        mid-life of a cluster, so the first read of a path implies the data
+        already existed before the trace started.
+        """
+        entry = self._files.get(path)
+        if entry is None:
+            entry = self.create(path, size_bytes or 0.0, now_s)
+            # The pre-existing data was not written during the simulation.
+            self.bytes_written -= entry.size_bytes
+        entry.access_count += 1
+        entry.last_access_s = now_s
+        read_bytes = size_bytes if size_bytes is not None else entry.size_bytes
+        self.bytes_read += float(read_bytes)
+        return entry
+
+    def delete(self, path: str) -> bool:
+        """Remove a file; returns whether it existed."""
+        return self._files.pop(path, None) is not None
+
+    # ------------------------------------------------------------------
+    def read_time_s(self, size_bytes: float, parallelism: int = 1) -> float:
+        """Time to stream ``size_bytes`` with ``parallelism`` concurrent readers."""
+        if size_bytes < 0:
+            raise SimulationError("size must be non-negative")
+        effective = self.config.disk_bandwidth_bps * max(1, min(parallelism, self.config.n_datanodes))
+        return size_bytes / effective
+
+    def write_time_s(self, size_bytes: float, parallelism: int = 1) -> float:
+        """Time to write ``size_bytes`` including the replication pipeline."""
+        if size_bytes < 0:
+            raise SimulationError("size must be non-negative")
+        effective = self.config.disk_bandwidth_bps * max(1, min(parallelism, self.config.n_datanodes))
+        return size_bytes * self.config.replication / effective
+
+    def block_placement(self, path: str) -> List[List[int]]:
+        """Round-robin datanode placement for each block of ``path``.
+
+        Returns one list of ``replication`` datanode ids per block.  Placement
+        is deterministic given creation order, which keeps replays reproducible.
+        """
+        entry = self._files.get(path)
+        if entry is None:
+            raise SimulationError("unknown file %r" % (path,))
+        placements = []
+        for _ in range(entry.n_blocks(self.config.block_size)):
+            nodes = [
+                (self._placement_cursor + replica) % self.config.n_datanodes
+                for replica in range(min(self.config.replication, self.config.n_datanodes))
+            ]
+            placements.append(nodes)
+            self._placement_cursor = (self._placement_cursor + 1) % self.config.n_datanodes
+        return placements

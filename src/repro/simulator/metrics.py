@@ -1,0 +1,155 @@
+"""Simulation metrics collection.
+
+The replayer records what the paper's Figure 7 rightmost column shows —
+cluster occupancy over time in active slots — plus the per-job outcomes
+(wait time, completion time) and the storage-cache statistics needed by the
+policy-comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from .cache import CacheStats
+
+__all__ = ["JobOutcome", "SimulationMetrics"]
+
+
+@dataclass
+class JobOutcome:
+    """Per-job result of a replay.
+
+    Attributes:
+        job_id: the job.
+        submit_time_s: submission time.
+        start_time_s: time the first task started (None if never ran).
+        finish_time_s: time the last task finished (None if unfinished).
+        wait_time_s: start minus submit (0 if never started).
+        completion_time_s: finish minus submit (None if unfinished).
+        total_bytes: the job's input + shuffle + output volume.
+        n_tasks: number of simulated tasks.
+    """
+
+    job_id: str
+    submit_time_s: float
+    start_time_s: Optional[float]
+    finish_time_s: Optional[float]
+    wait_time_s: float
+    completion_time_s: Optional[float]
+    total_bytes: float
+    n_tasks: int
+
+
+@dataclass
+class SimulationMetrics:
+    """Aggregated output of one replay run.
+
+    Attributes:
+        outcomes: per-job outcomes in submission order.
+        utilization_samples: (time, active slots) samples.
+        total_slots: slot capacity of the simulated cluster.
+        cache_stats: statistics of the attached cache policy (if any).
+        horizon_s: simulated time span.
+        finished_jobs: number of jobs that completed.
+    """
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    utilization_samples: List[tuple] = field(default_factory=list)
+    total_slots: int = 0
+    cache_stats: Optional[CacheStats] = None
+    horizon_s: float = 0.0
+    finished_jobs: int = 0
+
+    # ------------------------------------------------------------------
+    def record_job(self, outcome: JobOutcome) -> None:
+        self.outcomes.append(outcome)
+        if outcome.finish_time_s is not None:
+            self.finished_jobs += 1
+
+    def record_utilization(self, now_s: float, active_slots: int) -> None:
+        self.utilization_samples.append((now_s, active_slots))
+
+    # -- summaries ---------------------------------------------------------
+    def completion_times(self) -> np.ndarray:
+        """Completion times of finished jobs (seconds)."""
+        return np.array([
+            outcome.completion_time_s for outcome in self.outcomes
+            if outcome.completion_time_s is not None
+        ], dtype=float)
+
+    def wait_times(self) -> np.ndarray:
+        """Wait times (submission to first task start) of all started jobs."""
+        return np.array([
+            outcome.wait_time_s for outcome in self.outcomes
+            if outcome.start_time_s is not None
+        ], dtype=float)
+
+    def mean_completion_time(self) -> float:
+        times = self.completion_times()
+        if times.size == 0:
+            raise SimulationError("no finished jobs to summarize")
+        return float(times.mean())
+
+    def median_completion_time(self) -> float:
+        times = self.completion_times()
+        if times.size == 0:
+            raise SimulationError("no finished jobs to summarize")
+        return float(np.median(times))
+
+    def percentile_completion_time(self, q: float) -> float:
+        times = self.completion_times()
+        if times.size == 0:
+            raise SimulationError("no finished jobs to summarize")
+        return float(np.percentile(times, q))
+
+    def mean_wait_time(self) -> float:
+        waits = self.wait_times()
+        if waits.size == 0:
+            return 0.0
+        return float(waits.mean())
+
+    def mean_utilization(self) -> float:
+        """Mean fraction of slots busy, time-weighted over the samples."""
+        if self.total_slots <= 0 or len(self.utilization_samples) < 2:
+            return 0.0
+        times = np.array([sample[0] for sample in self.utilization_samples], dtype=float)
+        slots = np.array([sample[1] for sample in self.utilization_samples], dtype=float)
+        spans = np.diff(times)
+        if spans.sum() <= 0:
+            return 0.0
+        return float(np.dot(slots[:-1], spans) / (spans.sum() * self.total_slots))
+
+    def hourly_active_slots(self) -> np.ndarray:
+        """Average active slots per hour — the Figure-7 utilization column."""
+        if len(self.utilization_samples) < 2:
+            return np.zeros(1, dtype=float)
+        times = np.array([sample[0] for sample in self.utilization_samples], dtype=float)
+        slots = np.array([sample[1] for sample in self.utilization_samples], dtype=float)
+        horizon = max(self.horizon_s, float(times.max()))
+        n_hours = max(1, int(np.ceil(horizon / 3600.0)))
+        totals = np.zeros(n_hours, dtype=float)
+        # Accumulate slot-seconds per hour from the step function of samples.
+        for index in range(len(times) - 1):
+            start, end = times[index], times[index + 1]
+            value = slots[index]
+            hour = int(start // 3600)
+            while start < end and hour < n_hours:
+                hour_end = min(end, (hour + 1) * 3600.0)
+                totals[hour] += value * (hour_end - start)
+                start = hour_end
+                hour += 1
+        return totals / 3600.0
+
+    def slowdown_of_small_jobs(self, small_bytes_threshold: float) -> float:
+        """Mean completion time of jobs at or below the byte threshold."""
+        small = [
+            outcome.completion_time_s for outcome in self.outcomes
+            if outcome.completion_time_s is not None and outcome.total_bytes <= small_bytes_threshold
+        ]
+        if not small:
+            raise SimulationError("no finished small jobs below the threshold")
+        return float(np.mean(small))

@@ -1,0 +1,186 @@
+"""Workload replay on the simulated cluster.
+
+:class:`WorkloadReplayer` takes a trace (observed, spec-generated, or produced
+by the SWIM synthesizer), splits each job into tasks, and runs them through
+the discrete-event cluster model under a chosen scheduler and storage-cache
+policy.  The output is a :class:`~repro.simulator.metrics.SimulationMetrics`
+with per-job wait and completion times, slot-occupancy over time (the
+Figure-7 utilization column), and cache hit statistics (the §4.2/§4.3 policy
+comparisons).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import SimulationError
+from ..traces.trace import Trace
+from .cache import CachePolicy, NoCache
+from .cluster import Cluster, ClusterConfig
+from .events import EventQueue
+from .hdfs import Hdfs, HdfsConfig
+from .metrics import JobOutcome, SimulationMetrics
+from .scheduler import CapacityScheduler, FifoScheduler, Scheduler
+from .tasks import SimJob, SimTask, split_job
+
+__all__ = ["WorkloadReplayer", "replay"]
+
+
+class WorkloadReplayer:
+    """Replays a trace on a simulated cluster.
+
+    Args:
+        cluster_config: cluster size and per-node slot counts; defaults to a
+            100-node cluster with 4 map + 2 reduce slots per node.
+        scheduler: scheduling policy; FIFO when omitted.
+        cache: storage-cache policy applied to job input reads; no cache when
+            omitted.
+        hdfs_config: HDFS model parameters.
+        max_simulated_jobs: optional cap on the number of jobs replayed (the
+            first N by submission order), useful for quick benchmarks.
+        task_transform: optional callable applied to each :class:`SimJob`
+            right after it is split into tasks and before it is submitted.
+            Used to perturb task durations, e.g. by the straggler-injection
+            model in :mod:`repro.simulator.stragglers`.
+    """
+
+    def __init__(self, cluster_config: Optional[ClusterConfig] = None,
+                 scheduler: Optional[Scheduler] = None,
+                 cache: Optional[CachePolicy] = None,
+                 hdfs_config: Optional[HdfsConfig] = None,
+                 max_simulated_jobs: Optional[int] = None,
+                 task_transform: Optional[Callable[[SimJob], None]] = None):
+        self.cluster_config = cluster_config or ClusterConfig()
+        self.scheduler = scheduler or FifoScheduler()
+        self.cache = cache or NoCache()
+        self.hdfs = Hdfs(hdfs_config or HdfsConfig(n_datanodes=self.cluster_config.n_nodes))
+        self.max_simulated_jobs = max_simulated_jobs
+        self.task_transform = task_transform
+
+    # ------------------------------------------------------------------
+    def replay(self, trace: Trace) -> SimulationMetrics:
+        """Run the replay and return its metrics.
+
+        Raises:
+            SimulationError: when the trace is empty.
+        """
+        if trace.is_empty():
+            raise SimulationError("cannot replay an empty trace")
+
+        jobs = list(trace.jobs)
+        if self.max_simulated_jobs is not None:
+            jobs = jobs[: self.max_simulated_jobs]
+
+        queue = EventQueue()
+        cluster = Cluster(self.cluster_config)
+        metrics = SimulationMetrics(total_slots=self.cluster_config.total_slots)
+        sim_jobs: Dict[str, SimJob] = {}
+        active_jobs: Dict[str, SimJob] = {}
+
+        def record_utilization():
+            metrics.record_utilization(queue.now, cluster.total_busy_slots())
+
+        def on_submit(sim_job: SimJob):
+            def handler():
+                active_jobs[sim_job.job_id] = sim_job
+                self.scheduler.add_job(sim_job)
+                self._serve_input(sim_job, queue.now)
+                dispatch("map")
+                dispatch("reduce")
+            return handler
+
+        def dispatch(kind: str):
+            """Hand free slots of ``kind`` to the scheduler until it runs dry."""
+            while cluster.free_slots(kind) > 0:
+                picked = self.scheduler.next_task(kind, queue.now)
+                if picked is None:
+                    return
+                sim_job, task = picked
+                node = cluster.acquire_slot(kind)
+                if node is None:  # pragma: no cover - free_slots() guarded above
+                    return
+                if sim_job.start_time_s is None:
+                    sim_job.start_time_s = queue.now
+                task.start_time_s = queue.now
+                record_utilization()
+                queue.schedule_after(task.duration_s, on_task_done(sim_job, task, node, kind))
+
+        def on_task_done(sim_job: SimJob, task: SimTask, node, kind: str):
+            def handler():
+                task.finish_time_s = queue.now
+                cluster.release_slot(node, kind)
+                if hasattr(self.scheduler, "task_finished"):
+                    self.scheduler.task_finished(sim_job)
+                if hasattr(self.scheduler, "task_released"):
+                    self.scheduler.task_released(sim_job, kind)
+                if kind == "map":
+                    sim_job.maps_remaining -= 1
+                else:
+                    sim_job.reduces_remaining -= 1
+                record_utilization()
+                if sim_job.done:
+                    finish_job(sim_job)
+                dispatch("map")
+                dispatch("reduce")
+            return handler
+
+        def finish_job(sim_job: SimJob):
+            sim_job.finish_time_s = queue.now
+            self.scheduler.job_finished(sim_job)
+            active_jobs.pop(sim_job.job_id, None)
+            self._write_output(sim_job, queue.now)
+            metrics.record_job(
+                JobOutcome(
+                    job_id=sim_job.job_id,
+                    submit_time_s=sim_job.submit_time_s,
+                    start_time_s=sim_job.start_time_s,
+                    finish_time_s=sim_job.finish_time_s,
+                    wait_time_s=sim_job.wait_time_s,
+                    completion_time_s=sim_job.completion_time_s,
+                    total_bytes=sim_job.job.total_bytes,
+                    n_tasks=len(sim_job.map_tasks) + len(sim_job.reduce_tasks),
+                )
+            )
+
+        # Schedule all submissions.
+        for job in jobs:
+            sim_job = split_job(job)
+            if self.task_transform is not None:
+                self.task_transform(sim_job)
+            sim_jobs[sim_job.job_id] = sim_job
+            queue.schedule(max(0.0, job.submit_time_s), on_submit(sim_job), priority=1)
+
+        record_utilization()
+        queue.run()
+        metrics.horizon_s = queue.now
+        metrics.cache_stats = self.cache.stats
+        record_utilization()
+        return metrics
+
+    # ------------------------------------------------------------------
+    def _serve_input(self, sim_job: SimJob, now_s: float) -> None:
+        """Route the job's input read through HDFS and the cache policy."""
+        job = sim_job.job
+        path = job.input_path or ("/implicit/%s" % job.job_id)
+        size = float(job.input_bytes or 0.0)
+        self.hdfs.read(path, now_s, size)
+        self.cache.access(path, size, now_s)
+
+    def _write_output(self, sim_job: SimJob, now_s: float) -> None:
+        """Record the job's output write in HDFS (invalidating stale cache entries)."""
+        job = sim_job.job
+        if job.output_path is None or not (job.output_bytes or 0.0):
+            return
+        self.hdfs.create(job.output_path, float(job.output_bytes), now_s, overwrite=True)
+        self.cache.invalidate(job.output_path)
+
+
+def replay(trace: Trace, cluster_config: Optional[ClusterConfig] = None,
+           scheduler: Optional[Scheduler] = None, cache: Optional[CachePolicy] = None,
+           max_simulated_jobs: Optional[int] = None) -> SimulationMetrics:
+    """Convenience wrapper: build a :class:`WorkloadReplayer` and run it."""
+    replayer = WorkloadReplayer(
+        cluster_config=cluster_config, scheduler=scheduler, cache=cache,
+        max_simulated_jobs=max_simulated_jobs,
+    )
+    return replayer.replay(trace)

@@ -1,0 +1,235 @@
+"""Rack topology, task locality and shuffle traffic estimation.
+
+Section 6.2 of the paper notes that map-only jobs (7%-77% of bytes in the
+workloads that have them) "benefit less from datacenter networks optimized for
+shuffle patterns" — whether a network fabric investment pays off depends on
+how much of the workload's traffic actually crosses racks during the shuffle.
+This module provides the pieces needed to quantify that:
+
+* :class:`RackTopology` — nodes grouped into racks with intra-rack and
+  cross-rack (oversubscribed) bandwidth.
+* :func:`locality_fractions` — expected node-local / rack-local / remote
+  fractions of a job's map tasks given how many nodes hold its input blocks,
+  with an optional delay-scheduling wait that trades a small scheduling delay
+  for a higher local fraction.
+* :func:`shuffle_cross_rack_bytes` — expected cross-rack traffic of a job's
+  shuffle stage (all-to-all between map and reduce tasks spread over racks).
+* :func:`workload_shuffle_profile` — aggregate a trace into total shuffle
+  traffic, cross-rack traffic, and the map-only share of bytes, the numbers
+  behind the "does a shuffle-optimized network help this workload" question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..traces.trace import Trace
+
+__all__ = [
+    "RackTopology",
+    "LocalityFractions",
+    "locality_fractions",
+    "shuffle_cross_rack_bytes",
+    "ShuffleProfile",
+    "workload_shuffle_profile",
+]
+
+
+@dataclass(frozen=True)
+class RackTopology:
+    """A cluster arranged into racks.
+
+    Attributes:
+        n_nodes: total worker nodes.
+        nodes_per_rack: nodes in each rack (the last rack may be partial).
+        intra_rack_bandwidth_bps: per-node bandwidth to peers in the same rack.
+        cross_rack_bandwidth_bps: per-node bandwidth to peers in other racks
+            (smaller than intra-rack on an oversubscribed fabric).
+    """
+
+    n_nodes: int = 100
+    nodes_per_rack: int = 20
+    intra_rack_bandwidth_bps: float = 125e6
+    cross_rack_bandwidth_bps: float = 25e6
+
+    def __post_init__(self):
+        if self.n_nodes <= 0:
+            raise SimulationError("topology needs at least one node")
+        if self.nodes_per_rack <= 0:
+            raise SimulationError("nodes_per_rack must be positive")
+        if self.intra_rack_bandwidth_bps <= 0 or self.cross_rack_bandwidth_bps <= 0:
+            raise SimulationError("bandwidths must be positive")
+
+    @property
+    def n_racks(self) -> int:
+        return int(np.ceil(self.n_nodes / self.nodes_per_rack))
+
+    @property
+    def oversubscription(self) -> float:
+        """Ratio of intra-rack to cross-rack bandwidth (1.0 = non-blocking)."""
+        return self.intra_rack_bandwidth_bps / self.cross_rack_bandwidth_bps
+
+    def rack_of(self, node_id: int) -> int:
+        """Rack index of a node id.
+
+        Raises:
+            SimulationError: for a node id outside the topology.
+        """
+        if not 0 <= node_id < self.n_nodes:
+            raise SimulationError("node id %d outside topology of %d nodes" % (node_id, self.n_nodes))
+        return node_id // self.nodes_per_rack
+
+
+@dataclass
+class LocalityFractions:
+    """Expected placement-locality split of a job's map tasks.
+
+    Attributes:
+        node_local: fraction of map tasks reading their block from local disk.
+        rack_local: fraction reading from another node in the same rack.
+        remote: fraction reading across racks.
+    """
+
+    node_local: float
+    rack_local: float
+    remote: float
+
+    def __post_init__(self):
+        total = self.node_local + self.rack_local + self.remote
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise SimulationError("locality fractions must sum to 1, got %.6f" % total)
+
+
+def locality_fractions(topology: RackTopology, n_map_tasks: int, replication: int = 3,
+                       delay_scheduling_attempts: int = 0) -> LocalityFractions:
+    """Expected locality of a job's map tasks under random slot assignment.
+
+    With blocks replicated on ``replication`` nodes out of ``n_nodes``, the
+    chance that a randomly chosen free slot is on a node holding the block is
+    ``replication / n_nodes``; delay scheduling retries the assignment up to
+    ``delay_scheduling_attempts`` extra times before giving up, which raises
+    the node-local probability to ``1 - (1 - r/n)^(1+D)``.  Replicas are placed
+    per the standard HDFS policy (one off-rack copy), so a non-local
+    assignment still lands rack-local with probability proportional to the
+    remaining same-rack replica spread.
+
+    Small jobs — a single map task — see the worst locality, which compounds
+    the scheduling problems §6.2 describes for them.
+
+    Raises:
+        SimulationError: for non-positive task counts or replication.
+    """
+    if n_map_tasks <= 0:
+        raise SimulationError("n_map_tasks must be positive")
+    if replication <= 0:
+        raise SimulationError("replication must be positive")
+    if delay_scheduling_attempts < 0:
+        raise SimulationError("delay_scheduling_attempts must be non-negative")
+
+    replication = min(replication, topology.n_nodes)
+    p_node = replication / topology.n_nodes
+    p_node_with_delay = 1.0 - (1.0 - p_node) ** (1 + delay_scheduling_attempts)
+
+    # Given a miss on node locality, the block still has replicas somewhere;
+    # HDFS default placement puts ~2 of 3 replicas in one rack, so the chance
+    # a random node shares a rack with some replica is roughly the fraction of
+    # nodes in racks that hold replicas, excluding the replica nodes.
+    racks_with_replicas = min(topology.n_racks, max(1, replication - 1))
+    nodes_in_replica_racks = min(topology.n_nodes,
+                                 racks_with_replicas * topology.nodes_per_rack)
+    p_rack_given_miss = max(0.0, (nodes_in_replica_racks - replication) /
+                            max(1, topology.n_nodes - replication))
+
+    node_local = p_node_with_delay
+    rack_local = (1.0 - node_local) * p_rack_given_miss
+    remote = max(0.0, 1.0 - node_local - rack_local)
+    return LocalityFractions(node_local=node_local, rack_local=rack_local, remote=remote)
+
+
+def shuffle_cross_rack_bytes(topology: RackTopology, shuffle_bytes: float,
+                             n_map_tasks: int, n_reduce_tasks: int) -> float:
+    """Expected cross-rack bytes of an all-to-all shuffle.
+
+    Map outputs are spread over the racks that ran the map tasks; each reduce
+    task pulls from every map task, so a fraction ``1 - 1/n_racks_used`` of
+    the shuffle volume crosses racks, where the number of racks actually used
+    is bounded by both the task parallelism and the topology.
+
+    Raises:
+        SimulationError: for negative shuffle volume.
+    """
+    if shuffle_bytes < 0:
+        raise SimulationError("shuffle volume must be non-negative")
+    if shuffle_bytes == 0 or n_map_tasks <= 0 or n_reduce_tasks <= 0:
+        return 0.0
+    racks_used = min(topology.n_racks, max(1, min(n_map_tasks, topology.n_nodes) // topology.nodes_per_rack + 1))
+    if racks_used <= 1:
+        return 0.0
+    return shuffle_bytes * (1.0 - 1.0 / racks_used)
+
+
+@dataclass
+class ShuffleProfile:
+    """Aggregate shuffle-traffic profile of a workload on a topology.
+
+    Attributes:
+        total_bytes: input + shuffle + output bytes of the whole trace.
+        shuffle_bytes: total shuffle volume.
+        cross_rack_bytes: expected cross-rack part of the shuffle volume.
+        map_only_bytes_fraction: fraction of all bytes moved by map-only jobs
+            (the paper reports 7%-77% across the workloads that have them).
+        map_only_job_fraction: fraction of jobs that are map-only.
+        mean_cross_rack_fraction: cross-rack bytes over shuffle bytes.
+    """
+
+    total_bytes: float
+    shuffle_bytes: float
+    cross_rack_bytes: float
+    map_only_bytes_fraction: float
+    map_only_job_fraction: float
+
+    @property
+    def mean_cross_rack_fraction(self) -> float:
+        if self.shuffle_bytes <= 0:
+            return 0.0
+        return self.cross_rack_bytes / self.shuffle_bytes
+
+
+def workload_shuffle_profile(trace: Trace, topology: Optional[RackTopology] = None) -> ShuffleProfile:
+    """Profile a trace's shuffle traffic and map-only share on a topology.
+
+    Raises:
+        SimulationError: when the trace is empty.
+    """
+    topology = topology or RackTopology()
+    if trace.is_empty():
+        raise SimulationError("cannot profile an empty trace")
+
+    total = 0.0
+    shuffle_total = 0.0
+    cross_rack = 0.0
+    map_only_bytes = 0.0
+    map_only_jobs = 0
+    for job in trace:
+        total += job.total_bytes
+        shuffle = float(job.shuffle_bytes or 0.0)
+        shuffle_total += shuffle
+        if job.is_map_only:
+            map_only_jobs += 1
+            map_only_bytes += job.total_bytes
+            continue
+        n_maps = int(job.map_tasks or max(1, round((job.map_task_seconds or 30.0) / 30.0)))
+        n_reduces = int(job.reduce_tasks or 1)
+        cross_rack += shuffle_cross_rack_bytes(topology, shuffle, n_maps, n_reduces)
+
+    return ShuffleProfile(
+        total_bytes=total,
+        shuffle_bytes=shuffle_total,
+        cross_rack_bytes=cross_rack,
+        map_only_bytes_fraction=map_only_bytes / total if total > 0 else 0.0,
+        map_only_job_fraction=map_only_jobs / len(trace),
+    )

@@ -1,0 +1,65 @@
+"""Workload synthesis: distributions, arrival processes, file popularity,
+scaling and the SWIM-style synthesizer.
+"""
+
+from .distributions import (
+    Constant,
+    Distribution,
+    Empirical,
+    Exponential,
+    LogNormal,
+    LogUniform,
+    Mixture,
+    Pareto,
+    ZipfRank,
+)
+from .arrival import (
+    ArrivalProcess,
+    DiurnalBurstyArrivals,
+    PoissonArrivals,
+    diurnal_rate_profile,
+    sine_reference_series,
+)
+from .filepop import FileCatalog, FilePopularityModel, PathAssignment
+from .mixing import PAPER_MIXES, FrameworkMix, FrameworkMixModel, mix_from_trace
+from .replay_plan import ReplayCommand, ReplayPlan, build_replay_plan, parse_replay_plan
+from .sampler import TraceSampler, stratified_sample
+from .scaling import ScalePlan, scale_cluster, scale_load, scale_time_window
+from .swim import SwimSynthesizer, SyntheticWorkloadPlan, DataLayoutPlan
+
+__all__ = [
+    "Distribution",
+    "Constant",
+    "LogNormal",
+    "LogUniform",
+    "Exponential",
+    "Pareto",
+    "ZipfRank",
+    "Empirical",
+    "Mixture",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DiurnalBurstyArrivals",
+    "diurnal_rate_profile",
+    "sine_reference_series",
+    "FileCatalog",
+    "FilePopularityModel",
+    "PathAssignment",
+    "TraceSampler",
+    "stratified_sample",
+    "ScalePlan",
+    "scale_time_window",
+    "scale_load",
+    "scale_cluster",
+    "SwimSynthesizer",
+    "SyntheticWorkloadPlan",
+    "DataLayoutPlan",
+    "FrameworkMix",
+    "FrameworkMixModel",
+    "PAPER_MIXES",
+    "mix_from_trace",
+    "ReplayCommand",
+    "ReplayPlan",
+    "build_replay_plan",
+    "parse_replay_plan",
+]

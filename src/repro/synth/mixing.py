@@ -1,0 +1,207 @@
+"""Framework-mix modelling and synthesis (§6.1, §7 of the paper).
+
+Figure 10 shows each workload is dominated by jobs submitted through a small
+number of frameworks layered on top of MapReduce (Hive, Pig, Oozie) plus
+native MapReduce jobs, and §7 argues a representative benchmark "needs to
+include both types of processing, and multiplex them in realistic mixes".
+
+This module provides:
+
+* :class:`FrameworkMix` — a distribution over (framework, first word) pairs;
+* :func:`mix_from_trace` — estimate the mix of an existing named trace;
+* :class:`FrameworkMixModel` — assign realistic job names and framework tags
+  to a synthetic (unnamed) trace so naming analyses and framework-aware
+  schedulers can be exercised on synthesized workloads;
+* :data:`PAPER_MIXES` — the Figure-10 job-count mixes for the workloads the
+  paper reports them for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SynthesisError
+from ..traces.schema import Job
+from ..traces.trace import Trace
+from ..core.naming import classify_framework
+
+__all__ = [
+    "FrameworkMix",
+    "mix_from_trace",
+    "FrameworkMixModel",
+    "PAPER_MIXES",
+]
+
+
+@dataclass
+class FrameworkMix:
+    """A distribution over job-name first words (and hence frameworks).
+
+    Attributes:
+        shares: mapping of first word -> fraction of jobs; fractions are
+            normalized on construction.
+    """
+
+    shares: Dict[str, float]
+
+    def __post_init__(self):
+        if not self.shares:
+            raise SynthesisError("a framework mix needs at least one word share")
+        total = float(sum(self.shares.values()))
+        if total <= 0:
+            raise SynthesisError("framework mix shares must sum to a positive value")
+        if any(value < 0 for value in self.shares.values()):
+            raise SynthesisError("framework mix shares must be non-negative")
+        self.shares = {word: value / total for word, value in self.shares.items()}
+
+    def words(self) -> List[str]:
+        return list(self.shares.keys())
+
+    def probabilities(self) -> np.ndarray:
+        return np.array(list(self.shares.values()), dtype=float)
+
+    def framework_shares(self) -> Dict[str, float]:
+        """Aggregate the first-word shares into per-framework shares."""
+        totals: Dict[str, float] = {}
+        for word, share in self.shares.items():
+            framework = classify_framework(word)
+            totals[framework] = totals.get(framework, 0.0) + share
+        return totals
+
+    def dominant_frameworks(self, count: int = 2) -> List[str]:
+        """The ``count`` frameworks with the largest job share."""
+        shares = self.framework_shares()
+        return sorted(shares, key=lambda name: shares[name], reverse=True)[:count]
+
+
+#: Job-count first-word mixes read off Figure 10 for the workloads that record
+#: names.  Shares are approximate (the figure is a stacked bar chart) but they
+#: preserve what matters: which two frameworks dominate each workload and the
+#: roughly how much of the job stream each top word contributes.
+PAPER_MIXES: Dict[str, FrameworkMix] = {
+    "FB-2009": FrameworkMix({
+        "ad": 0.44, "insert": 0.12, "from": 0.08, "select": 0.06,
+        "edw": 0.04, "etl": 0.03, "queryresult": 0.03, "ajax": 0.02, "[others]": 0.18,
+    }),
+    "CC-a": FrameworkMix({
+        "piglatin": 0.40, "oozie": 0.25, "insert": 0.10, "select": 0.07,
+        "flow": 0.05, "snapshot": 0.04, "[others]": 0.09,
+    }),
+    "CC-b": FrameworkMix({
+        "oozie": 0.30, "piglatin": 0.25, "insert": 0.15, "select": 0.10,
+        "flow": 0.06, "twitch": 0.04, "[others]": 0.10,
+    }),
+    "CC-c": FrameworkMix({
+        "piglatin": 0.35, "insert": 0.20, "select": 0.12, "sywr": 0.08,
+        "edwsequence": 0.06, "importjob": 0.04, "[others]": 0.15,
+    }),
+    "CC-d": FrameworkMix({
+        "insert": 0.30, "select": 0.20, "edwsequence": 0.10, "snapshot": 0.08,
+        "si": 0.06, "tr": 0.05, "iteminquiry": 0.04, "[others]": 0.17,
+    }),
+    "CC-e": FrameworkMix({
+        "insert": 0.35, "select": 0.20, "edw": 0.10, "search": 0.08,
+        "item": 0.06, "esb": 0.04, "[others]": 0.17,
+    }),
+}
+
+
+def mix_from_trace(trace: Trace, top_n: int = 12) -> FrameworkMix:
+    """Estimate the first-word mix of a trace that records job names.
+
+    Words beyond the ``top_n`` most frequent are folded into ``"[others]"``.
+
+    Raises:
+        SynthesisError: when the trace records no job names.
+    """
+    named = trace.with_names()
+    if named.is_empty():
+        raise SynthesisError("trace %r records no job names" % (trace.name,))
+    counts: Dict[str, int] = {}
+    for job in named:
+        word = job.first_word or "[unnamed]"
+        counts[word] = counts.get(word, 0) + 1
+    ranked = sorted(counts.items(), key=lambda pair: pair[1], reverse=True)
+    shares: Dict[str, float] = {}
+    others = 0
+    for index, (word, count) in enumerate(ranked):
+        if index < top_n:
+            shares[word] = float(count)
+        else:
+            others += count
+    if others:
+        shares["[others]"] = shares.get("[others]", 0.0) + float(others)
+    return FrameworkMix(shares)
+
+
+#: How job names are spelled for each first word.  Hive operators become query
+#: fragments, Pig scripts get the "PigLatin" prefix the framework generates,
+#: Oozie launchers get workflow ids, everything else looks like a hand-named
+#: native MapReduce job.  The first whitespace-separated token of each template
+#: reduces to the intended first word under :attr:`Job.first_word` (which keeps
+#: only the alphabetic characters), so naming analyses see the right mix.
+_NAME_TEMPLATES: Dict[str, str] = {
+    "insert": "INSERT OVERWRITE TABLE tbl_{index:05d}",
+    "select": "SELECT col FROM tbl_{index:05d}",
+    "from": "FROM tbl_{index:05d} INSERT OVERWRITE",
+    "create": "CREATE TABLE tbl_{index:05d} AS SELECT",
+    "piglatin": "PigLatin pigscript_{index:05d}.pig",
+    "oozie": "oozie launcher T=map-reduce W=workflow-{index:05d}",
+    "distcp": "distcp src=/raw/{index:05d} dst=/warehouse/{index:05d}",
+}
+
+
+class FrameworkMixModel:
+    """Assign framework-realistic job names to a synthetic trace.
+
+    Args:
+        mix: the first-word mix to draw from.
+        seed: RNG seed; assignment is deterministic given the seed and the
+            trace's job order.
+    """
+
+    def __init__(self, mix: FrameworkMix, seed: int = 0):
+        self.mix = mix
+        self.seed = int(seed)
+
+    def _render_name(self, word: str, index: int) -> str:
+        if word in ("[others]", "[unnamed]"):
+            return "job_%05d" % index
+        template = _NAME_TEMPLATES.get(word)
+        if template is not None:
+            return template.format(index=index)
+        return "%s_%05d" % (word, index)
+
+    def assign_names(self, trace: Trace, name: Optional[str] = None) -> Trace:
+        """Return a copy of the trace with names and framework tags assigned.
+
+        Jobs that already carry a name keep it; only unnamed jobs are filled
+        in, so the model can be used both to decorate fully synthetic traces
+        and to complete partially named ones.
+
+        Raises:
+            SynthesisError: when the trace is empty.
+        """
+        if trace.is_empty():
+            raise SynthesisError("cannot assign names to an empty trace")
+        rng = np.random.default_rng(self.seed)
+        words = self.mix.words()
+        probabilities = self.mix.probabilities()
+        jobs: List[Job] = []
+        for index, job in enumerate(trace):
+            if job.name is not None:
+                jobs.append(job)
+                continue
+            word = words[int(rng.choice(len(words), p=probabilities))]
+            data = job.to_dict()
+            data["name"] = self._render_name(word, index)
+            data["framework"] = classify_framework(word)
+            jobs.append(Job.from_dict(data))
+        return Trace(jobs, name=name or trace.name, machines=trace.machines)
+
+    def expected_framework_shares(self) -> Dict[str, float]:
+        """The framework shares the assignment converges to for large traces."""
+        return self.mix.framework_shares()

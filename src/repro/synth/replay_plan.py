@@ -1,0 +1,238 @@
+"""Replay-plan rendering: SWIM-style executable workload scripts.
+
+The SWIM tools the paper releases (§7, "A stopgap tool") turn a synthesized
+workload into two artifacts an operator can run against a real cluster: a
+data pre-population step that writes synthetic input files into HDFS, and a
+replay script that sleeps between submissions and launches one synthetic
+MapReduce job per trace entry with the right input/shuffle/output volumes.
+
+:class:`ReplayPlan` is the in-library equivalent.  It is produced from a
+:class:`~repro.synth.swim.SyntheticWorkloadPlan` (or any trace) and can be
+
+* rendered to a human-readable, shell-like script (:meth:`ReplayPlan.render`),
+* serialized to and parsed back from that text form (round-trip tested), and
+* fed straight back into the simulator through the plan's trace.
+
+The text format is deliberately simple — one directive per line — so the plan
+doubles as documentation of exactly what a replay would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SynthesisError
+from ..traces.schema import Job
+from ..traces.trace import Trace
+from ..units import format_bytes
+from .swim import DataLayoutPlan, SyntheticWorkloadPlan
+
+__all__ = ["ReplayCommand", "ReplayPlan", "build_replay_plan", "parse_replay_plan"]
+
+
+@dataclass
+class ReplayCommand:
+    """One job submission in the replay script.
+
+    Attributes:
+        at_s: submission time relative to the start of the replay.
+        job_id: identifier of the synthetic job.
+        input_path: file the synthetic job reads.
+        input_bytes / shuffle_bytes / output_bytes: data volumes the synthetic
+            job must move (SWIM jobs reproduce volumes, not user code).
+    """
+
+    at_s: float
+    job_id: str
+    input_path: str
+    input_bytes: float
+    shuffle_bytes: float
+    output_bytes: float
+
+    def render(self) -> str:
+        return ("submit at=%.3f id=%s input=%s input_bytes=%.0f "
+                "shuffle_bytes=%.0f output_bytes=%.0f"
+                % (self.at_s, self.job_id, self.input_path,
+                   self.input_bytes, self.shuffle_bytes, self.output_bytes))
+
+
+@dataclass
+class ReplayPlan:
+    """A complete, renderable replay plan.
+
+    Attributes:
+        name: workload name the plan was built from.
+        layout: files to pre-populate before the first submission.
+        commands: job submissions sorted by time.
+        target_machines: cluster size the plan targets (informational).
+    """
+
+    name: str
+    layout: DataLayoutPlan
+    commands: List[ReplayCommand]
+    target_machines: Optional[int] = None
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.commands)
+
+    @property
+    def horizon_s(self) -> float:
+        """Time of the last submission (0 for an empty plan)."""
+        return self.commands[-1].at_s if self.commands else 0.0
+
+    def render(self) -> str:
+        """Render the plan as a shell-like script, one directive per line."""
+        lines = [
+            "# SWIM-style replay plan for %s" % self.name,
+            "# %d jobs over %.0f s, %d files / %s to pre-populate"
+            % (self.n_jobs, self.horizon_s, self.layout.n_files,
+               format_bytes(self.layout.total_bytes)),
+            "plan name=%s machines=%s jobs=%d"
+            % (self.name, self.target_machines if self.target_machines else "-", self.n_jobs),
+        ]
+        for path in sorted(self.layout.files):
+            lines.append("populate path=%s bytes=%.0f" % (path, self.layout.files[path]))
+        previous = 0.0
+        for command in self.commands:
+            gap = command.at_s - previous
+            if gap > 0:
+                lines.append("sleep %.3f" % gap)
+            lines.append(command.render())
+            previous = command.at_s
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str) -> None:
+        """Write the rendered plan to a file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+
+    def to_trace(self) -> Trace:
+        """Rebuild a replayable :class:`Trace` from the plan's commands.
+
+        Durations and task times are not part of the plan (a real replay
+        measures them); the rebuilt jobs carry the data volumes and submit
+        times, with nominal one-task timing derived from the data volume so
+        the simulator can still run the stream.
+        """
+        jobs = []
+        for command in self.commands:
+            approx_seconds = max(1.0, command.input_bytes / 64e6)
+            jobs.append(Job(
+                job_id=command.job_id,
+                submit_time_s=command.at_s,
+                duration_s=approx_seconds,
+                input_bytes=command.input_bytes,
+                shuffle_bytes=command.shuffle_bytes,
+                output_bytes=command.output_bytes,
+                map_task_seconds=approx_seconds,
+                reduce_task_seconds=0.0 if command.shuffle_bytes == 0 else approx_seconds / 2,
+                input_path=command.input_path,
+                workload=self.name,
+            ))
+        return Trace(jobs, name=self.name)
+
+
+def build_replay_plan(source, name: Optional[str] = None) -> ReplayPlan:
+    """Build a :class:`ReplayPlan` from a synthesizer plan or a plain trace.
+
+    Args:
+        source: either a :class:`~repro.synth.swim.SyntheticWorkloadPlan` or a
+            :class:`~repro.traces.trace.Trace`.
+        name: plan name override.
+
+    Raises:
+        SynthesisError: when the source trace is empty.
+    """
+    if isinstance(source, SyntheticWorkloadPlan):
+        trace = source.trace
+        layout = source.layout
+        machines = source.target_machines
+    elif isinstance(source, Trace):
+        trace = source
+        files: Dict[str, float] = {}
+        for index, job in enumerate(trace):
+            path = job.input_path or ("/swim/input/%06d" % index)
+            files[path] = max(files.get(path, 0.0), float(job.input_bytes or 0.0))
+        layout = DataLayoutPlan(files=files)
+        machines = trace.machines
+    else:
+        raise SynthesisError("cannot build a replay plan from %r" % type(source).__name__)
+
+    if trace.is_empty():
+        raise SynthesisError("cannot build a replay plan from an empty trace")
+
+    origin = trace.jobs[0].submit_time_s
+    commands = []
+    for index, job in enumerate(trace):
+        commands.append(ReplayCommand(
+            at_s=job.submit_time_s - origin,
+            job_id=job.job_id,
+            input_path=job.input_path or ("/swim/input/%06d" % index),
+            input_bytes=float(job.input_bytes or 0.0),
+            shuffle_bytes=float(job.shuffle_bytes or 0.0),
+            output_bytes=float(job.output_bytes or 0.0),
+        ))
+    return ReplayPlan(name=name or trace.name, layout=layout, commands=commands,
+                      target_machines=machines)
+
+
+def _parse_fields(parts: Sequence[str]) -> Dict[str, str]:
+    fields = {}
+    for part in parts:
+        if "=" not in part:
+            raise SynthesisError("malformed replay plan field %r" % (part,))
+        key, value = part.split("=", 1)
+        fields[key] = value
+    return fields
+
+
+def parse_replay_plan(text: str) -> ReplayPlan:
+    """Parse a rendered replay plan back into a :class:`ReplayPlan`.
+
+    Raises:
+        SynthesisError: for malformed directives or a missing ``plan`` header.
+    """
+    name: Optional[str] = None
+    machines: Optional[int] = None
+    files: Dict[str, float] = {}
+    commands: List[ReplayCommand] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        directive = parts[0]
+        if directive == "plan":
+            fields = _parse_fields(parts[1:])
+            name = fields.get("name")
+            machines_text = fields.get("machines", "-")
+            machines = int(machines_text) if machines_text not in ("-", "", None) else None
+        elif directive == "populate":
+            fields = _parse_fields(parts[1:])
+            files[fields["path"]] = float(fields["bytes"])
+        elif directive == "sleep":
+            continue  # gaps are implied by the absolute submit times
+        elif directive == "submit":
+            fields = _parse_fields(parts[1:])
+            missing = {"at", "id", "input", "input_bytes", "shuffle_bytes",
+                       "output_bytes"} - set(fields)
+            if missing:
+                raise SynthesisError(
+                    "submit directive missing fields %s in %r" % (sorted(missing), line))
+            commands.append(ReplayCommand(
+                at_s=float(fields["at"]),
+                job_id=fields["id"],
+                input_path=fields["input"],
+                input_bytes=float(fields["input_bytes"]),
+                shuffle_bytes=float(fields["shuffle_bytes"]),
+                output_bytes=float(fields["output_bytes"]),
+            ))
+        else:
+            raise SynthesisError("unknown replay plan directive %r" % (directive,))
+    if name is None:
+        raise SynthesisError("replay plan text lacks a 'plan' header line")
+    commands.sort(key=lambda command: command.at_s)
+    return ReplayPlan(name=name, layout=DataLayoutPlan(files=files), commands=commands,
+                      target_machines=machines)

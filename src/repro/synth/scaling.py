@@ -1,0 +1,170 @@
+"""Workload scale-down.
+
+Section 7 of the paper ("Scaled-down workloads") observes that reproducing
+production behaviour at full scale is economically unrealistic, and that there
+are several legitimate ways to shrink a workload: against wall-clock time,
+against the number of jobs / load, or against cluster size.  This module
+implements the three and records what was done in a :class:`ScalePlan` so the
+benchmark harness can report the applied scaling next to every result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ScalingError
+from ..traces.schema import Job
+from ..traces.trace import Trace
+
+__all__ = ["ScalePlan", "scale_time_window", "scale_load", "scale_cluster"]
+
+
+@dataclass
+class ScalePlan:
+    """Record of how a trace was scaled down.
+
+    Attributes:
+        source_name: name of the source trace.
+        method: one of ``"time_window"``, ``"load"`` or ``"cluster"``.
+        factor: the scale factor applied (semantics depend on the method).
+        source_jobs: job count before scaling.
+        result_jobs: job count after scaling.
+        notes: human-readable description for reports.
+    """
+
+    source_name: str
+    method: str
+    factor: float
+    source_jobs: int
+    result_jobs: int
+    notes: str = ""
+
+    def describe(self) -> str:
+        return "%s scaled by %s (factor %.4g): %d -> %d jobs. %s" % (
+            self.source_name, self.method, self.factor, self.source_jobs,
+            self.result_jobs, self.notes,
+        )
+
+
+def scale_time_window(trace: Trace, window_s: float, start_s: Optional[float] = None,
+                      seed: int = 0) -> "tuple[Trace, ScalePlan]":
+    """Scale down by keeping only one contiguous time window of the trace.
+
+    Args:
+        trace: source trace.
+        window_s: window length in seconds.
+        start_s: window start; when ``None`` a start is drawn uniformly at
+            random from the feasible range (seeded by ``seed``).
+
+    Returns:
+        The windowed trace (submit times re-based to zero) and the plan.
+
+    Raises:
+        ScalingError: if the window is not positive or exceeds the trace span.
+    """
+    if window_s <= 0:
+        raise ScalingError("window_s must be positive, got %r" % (window_s,))
+    if trace.is_empty():
+        raise ScalingError("cannot window an empty trace")
+    span = trace.duration_s()
+    if window_s > span:
+        raise ScalingError("window %.0fs exceeds trace span %.0fs" % (window_s, span))
+    origin = trace.jobs[0].submit_time_s
+    if start_s is None:
+        rng = np.random.default_rng(seed)
+        start_s = origin + rng.uniform(0.0, span - window_s)
+    windowed = trace.time_window(start_s, start_s + window_s).shifted(-start_s,
+                                                                      name="%s-window" % trace.name)
+    plan = ScalePlan(
+        source_name=trace.name,
+        method="time_window",
+        factor=window_s / span,
+        source_jobs=len(trace),
+        result_jobs=len(windowed),
+        notes="window of %.0f s starting at %.0f s" % (window_s, start_s),
+    )
+    return windowed, plan
+
+
+def scale_load(trace: Trace, fraction: float, seed: int = 0,
+               preserve_classes: bool = True) -> "tuple[Trace, ScalePlan]":
+    """Scale down by keeping a random ``fraction`` of jobs (thinning).
+
+    Thinning preserves the arrival process shape (a thinned Poisson-like
+    process keeps its modulation) and, when ``preserve_classes`` is true,
+    keeps at least one job per ``cluster_label`` so byte-dominant rare classes
+    survive.
+
+    Raises:
+        ScalingError: if ``fraction`` is outside ``(0, 1]``.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ScalingError("fraction must be in (0, 1], got %r" % (fraction,))
+    if trace.is_empty():
+        raise ScalingError("cannot scale an empty trace")
+    rng = np.random.default_rng(seed)
+    keep_mask = rng.uniform(0.0, 1.0, len(trace)) < fraction
+    if preserve_classes:
+        seen = set()
+        for index, job in enumerate(trace):
+            label = job.cluster_label
+            if label is not None and label not in seen:
+                seen.add(label)
+                keep_mask[index] = True
+    kept = [job for job, keep in zip(trace.jobs, keep_mask) if keep]
+    if not kept:
+        kept = [trace.jobs[0]]
+    scaled = Trace(kept, name="%s-load%.3g" % (trace.name, fraction), machines=trace.machines)
+    plan = ScalePlan(
+        source_name=trace.name,
+        method="load",
+        factor=fraction,
+        source_jobs=len(trace),
+        result_jobs=len(scaled),
+        notes="random thinning, classes preserved=%s" % preserve_classes,
+    )
+    return scaled, plan
+
+
+def scale_cluster(trace: Trace, source_machines: int, target_machines: int) -> "tuple[Trace, ScalePlan]":
+    """Scale a workload to a smaller (or larger) cluster.
+
+    Following the SWIM approach, per-job data sizes and task times are scaled
+    by ``target_machines / source_machines`` so per-node load is preserved:
+    replaying the scaled workload on the target cluster exercises each node as
+    the original did.  Durations and submit times are left unchanged — the
+    arrival pattern is a property of the users, not the cluster.
+
+    Raises:
+        ScalingError: if either machine count is not positive.
+    """
+    if source_machines <= 0 or target_machines <= 0:
+        raise ScalingError("machine counts must be positive")
+    ratio = target_machines / float(source_machines)
+    scaled_jobs = []
+    for job in trace:
+        data = job.to_dict()
+        for dimension in ("input_bytes", "shuffle_bytes", "output_bytes",
+                          "map_task_seconds", "reduce_task_seconds"):
+            if data.get(dimension) is not None:
+                data[dimension] = data[dimension] * ratio
+        if data.get("map_tasks") is not None:
+            data["map_tasks"] = max(1, int(round(data["map_tasks"] * ratio)))
+        if data.get("reduce_tasks") is not None:
+            data["reduce_tasks"] = int(round(data["reduce_tasks"] * ratio))
+        scaled_jobs.append(Job.from_dict(data))
+    scaled = Trace(scaled_jobs, name="%s-x%dnodes" % (trace.name, target_machines),
+                   machines=target_machines)
+    plan = ScalePlan(
+        source_name=trace.name,
+        method="cluster",
+        factor=ratio,
+        source_jobs=len(trace),
+        result_jobs=len(scaled),
+        notes="per-job data and task time scaled from %d to %d machines" % (
+            source_machines, target_machines),
+    )
+    return scaled, plan

@@ -1,0 +1,132 @@
+"""Trace anonymization utilities.
+
+The paper's traces arrive with "hashed file path names" (§4.2), and its future
+-work section argues that enterprise monitoring tools should "ship only the
+anonymized and aggregated metrics for workload comparisons offsite" (§8).
+This module provides the anonymization half of that pipeline; the aggregation
+half lives in :mod:`repro.traces.export`.
+
+* :class:`Anonymizer` — salted, deterministic hashing of string fields.  The
+  same input string always maps to the same token within one anonymizer, so
+  re-access structure (the Figure 5/6 analyses) survives anonymization, while
+  the original path or name cannot be recovered without the salt.
+* :func:`anonymize_trace` — produce an anonymized copy of a trace, hashing
+  paths, job names (optionally preserving the analysis-relevant first word)
+  and job ids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import SchemaError
+from .schema import Job
+from .trace import Trace
+
+__all__ = ["Anonymizer", "anonymize_trace"]
+
+
+@dataclass
+class Anonymizer:
+    """Deterministic, salted string anonymization.
+
+    Attributes:
+        salt: secret mixed into every hash.  Two anonymizers with the same
+            salt produce identical tokens; without the salt the mapping cannot
+            be brute-forced from short path vocabularies.
+        token_length: number of hex characters kept from the digest.
+        preserve_directories: when hashing paths, hash each path component
+            separately so the directory hierarchy depth survives (useful for
+            per-directory analyses) while every component is still opaque.
+    """
+
+    salt: str = "repro"
+    token_length: int = 16
+    preserve_directories: bool = True
+    _cache: Dict[str, str] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if not self.salt:
+            raise SchemaError("anonymizer salt must be a non-empty string")
+        if not 4 <= self.token_length <= 64:
+            raise SchemaError("token_length must be between 4 and 64")
+
+    # ------------------------------------------------------------------
+    def token(self, value: str) -> str:
+        """Deterministic opaque token for one string."""
+        cached = self._cache.get(value)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256((self.salt + "\x00" + value).encode("utf-8")).hexdigest()
+        token = digest[: self.token_length]
+        self._cache[value] = token
+        return token
+
+    def path(self, path: Optional[str]) -> Optional[str]:
+        """Anonymize a file path (None passes through)."""
+        if path is None:
+            return None
+        if not self.preserve_directories:
+            return "/" + self.token(path)
+        components = [part for part in path.split("/") if part]
+        if not components:
+            return "/" + self.token(path)
+        return "/" + "/".join(self.token(part) for part in components)
+
+    def name(self, name: Optional[str], keep_first_word: bool = True) -> Optional[str]:
+        """Anonymize a job name.
+
+        With ``keep_first_word`` the first word survives in clear text — it is
+        what the §6.1 framework analysis needs and is framework-generated
+        rather than user data — while the remainder of the name is hashed.
+        """
+        if name is None:
+            return None
+        stripped = name.strip()
+        if not stripped:
+            return self.token(name)
+        if not keep_first_word:
+            return self.token(stripped)
+        parts = stripped.split(None, 1)
+        first = parts[0]
+        if len(parts) == 1:
+            return first
+        return "%s %s" % (first, self.token(parts[1]))
+
+    def job_id(self, job_id: str) -> str:
+        """Anonymize a job id (always hashed; ids can embed user names)."""
+        return "job_" + self.token(job_id)
+
+
+def anonymize_trace(trace: Trace, anonymizer: Optional[Anonymizer] = None,
+                    keep_first_word: bool = True, hash_job_ids: bool = False,
+                    name: Optional[str] = None) -> Trace:
+    """Return an anonymized copy of a trace.
+
+    All numeric dimensions are left untouched (they are what the offsite
+    analyses consume); paths, names, and optionally job ids are replaced by
+    salted tokens.  Identical strings map to identical tokens, so access
+    frequencies, re-access intervals and name-based grouping are preserved.
+
+    Args:
+        trace: the trace to anonymize.
+        anonymizer: the :class:`Anonymizer` to use (a default-salted one when
+            omitted — pass your own to control the salt).
+        keep_first_word: keep job-name first words in clear text (needed for
+            the Figure-10 analysis).
+        hash_job_ids: also replace job ids with tokens.
+        name: name of the anonymized trace (source name by default).
+    """
+    anonymizer = anonymizer or Anonymizer()
+    jobs = []
+    for job in trace:
+        data = job.to_dict()
+        data["input_path"] = anonymizer.path(job.input_path)
+        data["output_path"] = anonymizer.path(job.output_path)
+        data["name"] = anonymizer.name(job.name, keep_first_word=keep_first_word)
+        if hash_job_ids:
+            data["job_id"] = anonymizer.job_id(job.job_id)
+        jobs.append(Job.from_dict(data))
+    return Trace(jobs, name=name or trace.name, machines=trace.machines)

@@ -1,0 +1,219 @@
+"""Cloudera customer workload specifications (CC-a .. CC-e).
+
+The five Cloudera customer workloads (Table 1 of the paper) come from
+business-critical Hadoop clusters in e-commerce, telecommunications, media and
+retail.  The job-class populations and centroids below are the Table 2 rows;
+the arrival and access parameters encode the per-workload observations in
+§4–§5 (Zipf slope ≈ 5/6 everywhere, re-access fractions of up to 78% for
+CC-c/CC-d/CC-e, peak-to-median ratios ranging up to 260:1, diurnal signal
+visible in CC-e utilization).
+
+CC-a does not record file paths; all five record job names.
+"""
+
+from __future__ import annotations
+
+from ..units import DAY
+from .spec import AccessSpec, ArrivalSpec, JobClassSpec, NameMixEntry, WorkloadSpec
+
+__all__ = ["CC_A", "CC_B", "CC_C", "CC_D", "CC_E", "CLOUDERA_WORKLOADS"]
+
+_ROW = JobClassSpec.from_table_row
+
+
+# ---------------------------------------------------------------------------
+# CC-a: <100 machines, 1 month, 5,759 jobs, 80 TB moved.
+# ---------------------------------------------------------------------------
+_CC_A_CLASSES = (
+    _ROW("Small jobs", 5525, "51 MB", "0", "3.9 MB", "39 sec", 33, 0, dispersion=2.0),
+    _ROW("Transform", 194, "14 GB", "12 GB", "10 GB", "35 min", 65100, 15410),
+    _ROW("Map only, huge", 31, "1.2 TB", "0", "27 GB", "2 hrs 30 min", 437615, 0),
+    _ROW("Transform and aggregate", 9, "273 GB", "185 GB", "21 MB", "4 hrs 30 min", 191351, 831181),
+)
+
+_CC_A_NAME_MIX = (
+    NameMixEntry("piglatin", "pig", 0.30),
+    NameMixEntry("insert", "hive", 0.25),
+    NameMixEntry("oozie", "oozie", 0.18),
+    NameMixEntry("select", "hive", 0.12),
+    NameMixEntry("bmdailyjob", "native", 0.08),
+    NameMixEntry("distcp", "native", 0.07),
+)
+
+CC_A = WorkloadSpec(
+    name="CC-a",
+    machines=90,
+    trace_length_s=30 * DAY,
+    job_classes=_CC_A_CLASSES,
+    name_mix=_CC_A_NAME_MIX,
+    arrival=ArrivalSpec(diurnal_amplitude=0.2, weekend_factor=0.9, burstiness=0.6,
+                        peak_to_median=260.0),
+    access=AccessSpec(zipf_slope=5.0 / 6.0, distinct_input_files=4000,
+                      distinct_output_files=4000, input_reaccess_fraction=0.2,
+                      output_reaccess_fraction=0.1, reaccess_halflife_s=3 * 3600.0),
+    has_names=True,
+    has_input_paths=False,
+    has_output_paths=False,
+    description="Cloudera customer a: small cluster, mixed Pig/Hive/Oozie analytics.",
+)
+
+
+# ---------------------------------------------------------------------------
+# CC-b: 300 machines, 9 days, 22,974 jobs, 600 TB moved.
+# ---------------------------------------------------------------------------
+_CC_B_CLASSES = (
+    _ROW("Small jobs", 21210, "4.6 KB", "0", "4.7 KB", "23 sec", 11, 0, dispersion=1.3),
+    _ROW("Transform, small", 1565, "41 GB", "10 GB", "2.1 GB", "4 min", 15837, 12392),
+    _ROW("Transform, medium", 165, "123 GB", "43 GB", "13 GB", "6 min", 36265, 31389),
+    _ROW("Aggregate and transform", 31, "4.7 TB", "374 MB", "24 MB", "9 min", 876786, 705),
+    _ROW("Aggregate", 3, "600 GB", "1.6 GB", "550 MB", "6 hrs 45 min", 3092977, 230976),
+)
+
+_CC_B_NAME_MIX = (
+    NameMixEntry("oozie", "oozie", 0.32),
+    NameMixEntry("piglatin", "pig", 0.26),
+    NameMixEntry("select", "hive", 0.16),
+    NameMixEntry("insert", "hive", 0.10),
+    NameMixEntry("flow", "native", 0.08),
+    NameMixEntry("metrodataextractor", "native", 0.08),
+)
+
+CC_B = WorkloadSpec(
+    name="CC-b",
+    machines=300,
+    trace_length_s=9 * DAY,
+    job_classes=_CC_B_CLASSES,
+    name_mix=_CC_B_NAME_MIX,
+    arrival=ArrivalSpec(diurnal_amplitude=0.3, weekend_factor=0.85, burstiness=0.8,
+                        peak_to_median=100.0),
+    access=AccessSpec(zipf_slope=5.0 / 6.0, distinct_input_files=15000,
+                      distinct_output_files=15000, input_reaccess_fraction=0.25,
+                      output_reaccess_fraction=0.10, reaccess_halflife_s=3 * 3600.0),
+    has_names=True,
+    has_input_paths=True,
+    has_output_paths=True,
+    description="Cloudera customer b: Oozie/Pig dominated ETL over a 300-node cluster.",
+)
+
+
+# ---------------------------------------------------------------------------
+# CC-c: 700 machines, 1 month, 21,030 jobs, 18 PB moved.
+# ---------------------------------------------------------------------------
+_CC_C_CLASSES = (
+    _ROW("Small jobs", 19975, "5.7 GB", "3.0 GB", "200 MB", "4 min", 10933, 6586, dispersion=1.3),
+    _ROW("Transform, light reduce", 477, "1.0 TB", "4.2 TB", "920 GB", "47 min", 1927432, 462070),
+    _ROW("Aggregate", 246, "887 GB", "57 GB", "22 MB", "4 hrs 14 min", 569391, 158930),
+    _ROW("Transform, heavy reduce", 197, "1.1 TB", "3.7 TB", "3.7 TB", "53 min", 1895403, 886347),
+    _ROW("Aggregate, large", 105, "32 GB", "37 GB", "2.4 GB", "2 hrs 11 min", 14865972, 369846),
+    _ROW("Long jobs", 23, "3.7 TB", "562 GB", "37 GB", "17 hrs", 9779062, 14989871),
+    _ROW("Aggregate, huge", 7, "220 TB", "18 GB", "2.8 GB", "5 hrs 15 min", 66839710, 758957),
+)
+
+_CC_C_NAME_MIX = (
+    NameMixEntry("piglatin", "pig", 0.35),
+    NameMixEntry("select", "hive", 0.22),
+    NameMixEntry("flow", "native", 0.14),
+    NameMixEntry("sywr", "native", 0.10),
+    NameMixEntry("twitch", "native", 0.08),
+    NameMixEntry("snapshot", "native", 0.06),
+    NameMixEntry("insert", "hive", 0.05),
+)
+
+CC_C = WorkloadSpec(
+    name="CC-c",
+    machines=700,
+    trace_length_s=30 * DAY,
+    job_classes=_CC_C_CLASSES,
+    name_mix=_CC_C_NAME_MIX,
+    arrival=ArrivalSpec(diurnal_amplitude=0.25, weekend_factor=0.9, burstiness=0.85,
+                        peak_to_median=150.0),
+    access=AccessSpec(zipf_slope=5.0 / 6.0, distinct_input_files=60000,
+                      distinct_output_files=60000, input_reaccess_fraction=0.55,
+                      output_reaccess_fraction=0.23, reaccess_halflife_s=2.5 * 3600.0),
+    has_names=True,
+    has_input_paths=True,
+    has_output_paths=True,
+    description="Cloudera customer c: largest Cloudera cluster, heavy Pig/Hive transforms.",
+)
+
+
+# ---------------------------------------------------------------------------
+# CC-d: 400-500 machines, 2+ months, 13,283 jobs, 8 PB moved.
+# ---------------------------------------------------------------------------
+_CC_D_CLASSES = (
+    _ROW("Small jobs", 12736, "3.1 GB", "753 MB", "231 MB", "67 sec", 7376, 5085, dispersion=1.3),
+    _ROW("Expand and aggregate", 214, "633 GB", "2.9 TB", "332 GB", "11 min", 544433, 352692),
+    _ROW("Transform and aggregate", 162, "5.3 GB", "6.1 TB", "33 GB", "23 min", 2011911, 910673),
+    _ROW("Expand and transform", 128, "1.0 TB", "6.2 TB", "6.7 TB", "20 min", 847286, 900395),
+    _ROW("Aggregate", 43, "17 GB", "4.0 GB", "1.7 GB", "36 min", 6259747, 7067),
+)
+
+_CC_D_NAME_MIX = (
+    NameMixEntry("piglatin", "pig", 0.30),
+    NameMixEntry("insert", "hive", 0.24),
+    NameMixEntry("flow", "native", 0.14),
+    NameMixEntry("edwsequence", "native", 0.12),
+    NameMixEntry("importjob", "native", 0.08),
+    NameMixEntry("snapshot", "native", 0.07),
+    NameMixEntry("edw", "native", 0.05),
+)
+
+CC_D = WorkloadSpec(
+    name="CC-d",
+    machines=450,
+    trace_length_s=int(2.3 * 30) * DAY,
+    job_classes=_CC_D_CLASSES,
+    name_mix=_CC_D_NAME_MIX,
+    arrival=ArrivalSpec(diurnal_amplitude=0.2, weekend_factor=0.9, burstiness=0.9,
+                        peak_to_median=200.0),
+    access=AccessSpec(zipf_slope=5.0 / 6.0, distinct_input_files=30000,
+                      distinct_output_files=30000, input_reaccess_fraction=0.55,
+                      output_reaccess_fraction=0.22, reaccess_halflife_s=3 * 3600.0),
+    has_names=True,
+    has_input_paths=True,
+    has_output_paths=True,
+    description="Cloudera customer d: enterprise-data-warehouse style processing.",
+)
+
+
+# ---------------------------------------------------------------------------
+# CC-e: 100 machines, 9 days, 10,790 jobs, 590 TB moved.
+# ---------------------------------------------------------------------------
+_CC_E_CLASSES = (
+    _ROW("Small jobs", 10243, "8.1 MB", "0", "970 KB", "18 sec", 15, 0, dispersion=1.3),
+    _ROW("Transform, large", 452, "166 GB", "180 GB", "118 GB", "31 min", 35606, 38194),
+    _ROW("Transform, very large", 68, "543 GB", "502 GB", "166 GB", "2 hrs", 115077, 108745),
+    _ROW("Map only summary", 20, "3.0 TB", "0", "200", "5 min", 137077, 0),
+    _ROW("Map only transform", 7, "6.7 TB", "2.3 GB", "6.7 TB", "3 hrs 47 min", 335807, 0),
+)
+
+_CC_E_NAME_MIX = (
+    NameMixEntry("insert", "hive", 0.38),
+    NameMixEntry("select", "hive", 0.27),
+    NameMixEntry("edwsequence", "native", 0.08),
+    NameMixEntry("queryresult", "native", 0.07),
+    NameMixEntry("ajax", "native", 0.06),
+    NameMixEntry("si", "native", 0.05),
+    NameMixEntry("iteminquiry", "native", 0.05),
+    NameMixEntry("search", "native", 0.04),
+)
+
+CC_E = WorkloadSpec(
+    name="CC-e",
+    machines=100,
+    trace_length_s=9 * DAY,
+    job_classes=_CC_E_CLASSES,
+    name_mix=_CC_E_NAME_MIX,
+    arrival=ArrivalSpec(diurnal_amplitude=0.45, weekend_factor=0.75, burstiness=0.7,
+                        peak_to_median=60.0),
+    access=AccessSpec(zipf_slope=5.0 / 6.0, distinct_input_files=8000,
+                      distinct_output_files=8000, input_reaccess_fraction=0.58,
+                      output_reaccess_fraction=0.20, reaccess_halflife_s=2 * 3600.0),
+    has_names=True,
+    has_input_paths=True,
+    has_output_paths=True,
+    description="Cloudera customer e: Hive-dominated interactive retail analytics.",
+)
+
+#: All five Cloudera customer workloads, keyed by name.
+CLOUDERA_WORKLOADS = {spec.name: spec for spec in (CC_A, CC_B, CC_C, CC_D, CC_E)}

@@ -1,0 +1,125 @@
+"""Facebook workload specifications (FB-2009 and FB-2010).
+
+The two Facebook workloads come from the same cluster at two points in time
+(Table 1 of the paper): FB-2009 covers 6 months on a 600-machine cluster
+(~1.13M jobs, 9.4 PB moved); FB-2010 covers 1.5 months on a 3000-machine
+cluster (~1.17M jobs, 1.5 EB moved).
+
+The job-class populations and centroids below are the Table 2 rows.  The
+arrival parameters encode the §5.2 observation that the peak-to-median ratio
+of hourly task-time dropped from 31:1 (2009) to 9:1 (2010), and that FB-2010
+shows a visually identifiable diurnal pattern in job submissions.  The name
+mix for FB-2009 follows Figure 10 (44% "ad", 12% "insert", with "from" jobs
+carrying an outsized share of I/O); FB-2010 does not record job names, and
+neither records output paths (FB-2009 records no paths at all).
+"""
+
+from __future__ import annotations
+
+from ..units import DAY
+from .spec import AccessSpec, ArrivalSpec, JobClassSpec, NameMixEntry, WorkloadSpec
+
+__all__ = ["FB_2009", "FB_2010", "FACEBOOK_WORKLOADS"]
+
+_ROW = JobClassSpec.from_table_row
+
+
+# ---------------------------------------------------------------------------
+# FB-2009: 600 machines, 6 months, 1,129,193 jobs, 9.4 PB moved.
+# ---------------------------------------------------------------------------
+_FB_2009_CLASSES = (
+    _ROW("Small jobs", 1081918, "21 KB", "0", "871 KB", "32 s", 20, 0, dispersion=1.3),
+    _ROW("Load data, fast", 37038, "381 KB", "0", "1.9 GB", "21 min", 6079, 0),
+    _ROW("Load data, slow", 2070, "10 KB", "0", "4.2 GB", "1 hr 50 min", 26321, 0),
+    _ROW("Load data, large", 602, "405 KB", "0", "447 GB", "1 hr 10 min", 66657, 0),
+    _ROW("Load data, huge", 180, "446 KB", "0", "1.1 TB", "5 hrs 5 min", 125662, 0),
+    _ROW("Aggregate, fast", 6035, "230 GB", "8.8 GB", "491 MB", "15 min", 104338, 66760),
+    _ROW("Aggregate and expand", 379, "1.9 TB", "502 MB", "2.6 GB", "30 min", 348942, 76736),
+    _ROW("Expand and aggregate", 159, "418 GB", "2.5 TB", "45 GB", "1 hr 25 min", 1076089, 974395),
+    _ROW("Data transform", 793, "255 GB", "788 GB", "1.6 GB", "35 min", 384562, 338050),
+    _ROW("Data summary", 19, "7.6 TB", "51 GB", "104 KB", "55 min", 4843452, 853911),
+)
+
+# Figure 10 name mix for FB-2009 (fractions of jobs).  "ad" and "[other
+# native]" stand for native MapReduce jobs; "from"/"insert"/"select" are Hive.
+_FB_2009_NAME_MIX = (
+    NameMixEntry("ad", "native", 0.44),
+    NameMixEntry("insert", "hive", 0.12),
+    NameMixEntry("from", "hive", 0.08),
+    NameMixEntry("select", "hive", 0.05),
+    NameMixEntry("etl", "native", 0.03),
+    NameMixEntry("pipeline", "native", 0.28),
+)
+
+FB_2009 = WorkloadSpec(
+    name="FB-2009",
+    machines=600,
+    trace_length_s=6 * 30 * DAY,
+    job_classes=_FB_2009_CLASSES,
+    name_mix=_FB_2009_NAME_MIX,
+    arrival=ArrivalSpec(
+        diurnal_amplitude=0.25,
+        weekend_factor=0.85,
+        burstiness=0.7,
+        peak_to_median=31.0,
+    ),
+    access=AccessSpec(
+        zipf_slope=5.0 / 6.0,
+        distinct_input_files=400000,
+        distinct_output_files=400000,
+        input_reaccess_fraction=0.30,
+        output_reaccess_fraction=0.12,
+        reaccess_halflife_s=3 * 3600.0,
+    ),
+    has_names=True,
+    has_input_paths=False,
+    has_output_paths=False,
+    description="Facebook production Hadoop cluster, 2009 snapshot (6 months).",
+)
+
+
+# ---------------------------------------------------------------------------
+# FB-2010: 3000 machines, 1.5 months, 1,169,184 jobs, 1.5 EB moved.
+# ---------------------------------------------------------------------------
+_FB_2010_CLASSES = (
+    _ROW("Small jobs", 1145663, "6.9 MB", "600", "60 KB", "1 min", 48, 34, dispersion=1.3),
+    _ROW("Map only transform, 8 hrs", 7911, "50 GB", "0", "61 GB", "8 hrs", 60664, 0),
+    _ROW("Map only transform, 45 min", 779, "3.6 TB", "0", "4.4 TB", "45 min", 3081710, 0),
+    _ROW("Map only aggregate", 670, "2.1 TB", "0", "2.7 GB", "1 hr 20 min", 9457592, 0),
+    _ROW("Map only transform, 3 days", 104, "35 GB", "0", "3.5 GB", "3 days", 198436, 0),
+    _ROW("Aggregate", 11491, "1.5 TB", "30 GB", "2.2 GB", "30 min", 1112765, 387191),
+    _ROW("Transform, 2 hrs", 1876, "711 GB", "2.6 TB", "860 GB", "2 hrs", 1618792, 2056439),
+    _ROW("Aggregate and transform", 454, "9.0 TB", "1.5 TB", "1.2 TB", "1 hr", 1795682, 818344),
+    _ROW("Expand and aggregate", 169, "2.7 TB", "12 TB", "260 GB", "2 hrs 7 min", 2862726, 3091678),
+    _ROW("Transform, 18 hrs", 67, "630 GB", "1.2 TB", "140 GB", "18 hrs", 1545220, 18144174),
+)
+
+FB_2010 = WorkloadSpec(
+    name="FB-2010",
+    machines=3000,
+    trace_length_s=45 * DAY,
+    job_classes=_FB_2010_CLASSES,
+    # The FB-2010 trace does not record job names (Figure 10 caption).
+    name_mix=(),
+    arrival=ArrivalSpec(
+        diurnal_amplitude=0.45,
+        weekend_factor=0.8,
+        burstiness=0.5,
+        peak_to_median=9.0,
+    ),
+    access=AccessSpec(
+        zipf_slope=5.0 / 6.0,
+        distinct_input_files=1000000,
+        distinct_output_files=1000000,
+        input_reaccess_fraction=0.35,
+        output_reaccess_fraction=0.0,
+        reaccess_halflife_s=3 * 3600.0,
+    ),
+    has_names=False,
+    has_input_paths=True,
+    has_output_paths=False,
+    description="Facebook production Hadoop cluster, 2010 snapshot (1.5 months).",
+)
+
+#: Both Facebook workloads, keyed by name.
+FACEBOOK_WORKLOADS = {spec.name: spec for spec in (FB_2009, FB_2010)}

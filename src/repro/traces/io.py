@@ -1,0 +1,198 @@
+"""Trace serialization: CSV and JSON-lines round-trips, with optional gzip.
+
+The on-disk formats mirror the per-job summaries Hadoop's history logs provide
+(see §3 of the paper): one row per job, with the numeric dimensions plus the
+optional name/path strings.  Both formats round-trip through
+:meth:`Job.to_dict` / :meth:`Job.from_dict` so they stay in sync with the
+schema automatically.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io
+import json
+import os
+from typing import Iterable, Optional
+
+from ..errors import TraceFormatError
+from .schema import Job
+from .trace import Trace
+
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "write_jsonl",
+    "read_jsonl",
+    "write_trace",
+    "read_trace",
+]
+
+#: Column order for CSV output.  Optional columns are written as empty strings.
+CSV_COLUMNS = [
+    "job_id",
+    "submit_time_s",
+    "duration_s",
+    "input_bytes",
+    "shuffle_bytes",
+    "output_bytes",
+    "map_task_seconds",
+    "reduce_task_seconds",
+    "map_tasks",
+    "reduce_tasks",
+    "name",
+    "framework",
+    "input_path",
+    "output_path",
+    "workload",
+    "cluster_label",
+]
+
+_NUMERIC_COLUMNS = {
+    "submit_time_s",
+    "duration_s",
+    "input_bytes",
+    "shuffle_bytes",
+    "output_bytes",
+    "map_task_seconds",
+    "reduce_task_seconds",
+}
+_INT_COLUMNS = {"map_tasks", "reduce_tasks"}
+
+
+def _open_text(path, mode):
+    """Open ``path`` as text, transparently handling a ``.gz`` suffix."""
+    if str(path).endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
+    return open(path, mode, encoding="utf-8", newline="")
+
+
+# ---------------------------------------------------------------------------
+# CSV
+# ---------------------------------------------------------------------------
+def write_csv(trace: Trace, path) -> None:
+    """Write a trace to ``path`` as CSV (gzip if the path ends with ``.gz``)."""
+    with _open_text(path, "w") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_COLUMNS, extrasaction="ignore")
+        writer.writeheader()
+        for job in trace:
+            row = job.to_dict()
+            writer.writerow({key: ("" if row.get(key) is None else row.get(key)) for key in CSV_COLUMNS})
+
+
+def read_csv(path, name: Optional[str] = None, machines: Optional[int] = None) -> Trace:
+    """Read a trace previously written by :func:`write_csv`.
+
+    Raises:
+        TraceFormatError: on a missing header or a malformed row.
+    """
+    jobs = []
+    with _open_text(path, "r") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or "job_id" not in reader.fieldnames:
+            raise TraceFormatError("%s: missing CSV header with a job_id column" % (path,))
+        for line_number, row in enumerate(reader, start=2):
+            jobs.append(_job_from_csv_row(row, path, line_number))
+    return Trace(jobs, name=name or _default_name(path), machines=machines)
+
+
+def _job_from_csv_row(row, path, line_number):
+    data = {}
+    for key, value in row.items():
+        if value is None or value == "":
+            data[key] = None
+            continue
+        if key in _NUMERIC_COLUMNS:
+            try:
+                data[key] = float(value)
+            except ValueError:
+                raise TraceFormatError(
+                    "%s line %d: column %s is not numeric: %r" % (path, line_number, key, value)
+                )
+        elif key in _INT_COLUMNS:
+            try:
+                data[key] = int(float(value))
+            except ValueError:
+                raise TraceFormatError(
+                    "%s line %d: column %s is not an integer: %r" % (path, line_number, key, value)
+                )
+        else:
+            data[key] = value
+    try:
+        return Job.from_dict(data)
+    except Exception as exc:
+        raise TraceFormatError("%s line %d: %s" % (path, line_number, exc))
+
+
+# ---------------------------------------------------------------------------
+# JSON lines
+# ---------------------------------------------------------------------------
+def write_jsonl(trace: Trace, path) -> None:
+    """Write a trace to ``path`` as JSON-lines (gzip if the path ends with ``.gz``)."""
+    with _open_text(path, "w") as handle:
+        for job in trace:
+            record = {key: value for key, value in job.to_dict().items() if value is not None}
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+
+
+def read_jsonl(path, name: Optional[str] = None, machines: Optional[int] = None) -> Trace:
+    """Read a trace previously written by :func:`write_jsonl`.
+
+    Raises:
+        TraceFormatError: on malformed JSON or a record violating the schema.
+    """
+    jobs = []
+    with _open_text(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError("%s line %d: invalid JSON: %s" % (path, line_number, exc))
+            try:
+                jobs.append(Job.from_dict(record))
+            except Exception as exc:
+                raise TraceFormatError("%s line %d: %s" % (path, line_number, exc))
+    return Trace(jobs, name=name or _default_name(path), machines=machines)
+
+
+# ---------------------------------------------------------------------------
+# Format dispatch
+# ---------------------------------------------------------------------------
+def write_trace(trace: Trace, path) -> None:
+    """Write a trace, choosing the format from the file extension.
+
+    ``.csv`` / ``.csv.gz`` use CSV; ``.jsonl`` / ``.jsonl.gz`` use JSON lines.
+    """
+    if _strip_gz(path).endswith(".csv"):
+        write_csv(trace, path)
+    elif _strip_gz(path).endswith(".jsonl"):
+        write_jsonl(trace, path)
+    else:
+        raise TraceFormatError("unknown trace format for %r (use .csv or .jsonl)" % (path,))
+
+
+def read_trace(path, name: Optional[str] = None, machines: Optional[int] = None) -> Trace:
+    """Read a trace, choosing the format from the file extension."""
+    if _strip_gz(path).endswith(".csv"):
+        return read_csv(path, name=name, machines=machines)
+    if _strip_gz(path).endswith(".jsonl"):
+        return read_jsonl(path, name=name, machines=machines)
+    raise TraceFormatError("unknown trace format for %r (use .csv or .jsonl)" % (path,))
+
+
+def _strip_gz(path):
+    text = str(path)
+    return text[:-3] if text.endswith(".gz") else text
+
+
+def _default_name(path):
+    base = os.path.basename(str(path))
+    for suffix in (".gz", ".csv", ".jsonl"):
+        if base.endswith(suffix):
+            base = base[: -len(suffix)]
+    return base or "trace"

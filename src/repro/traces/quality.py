@@ -1,0 +1,224 @@
+"""Trace quality checks: the §3 caveats made explicit.
+
+Section 3 of the paper lists the data-quality issues that come with production
+trace collection: partial information for jobs straddling the trace boundaries,
+clusters taken offline mid-trace (CC-d "was taken offline several times due to
+operational reasons", visible as gaps in Figure 7), and dimensions that some
+traces simply do not record (FB-2009 and CC-a lack path names, FB-2010 lacks
+output paths and job names).
+
+Any analysis pipeline that accepts operator-supplied traces needs to detect
+these issues before the characterization runs, both to warn the analyst and to
+decide whether boundary trimming is needed.  This module provides:
+
+* :func:`assess_quality` — a :class:`TraceQualityReport` covering dimension
+  coverage, logging gaps, boundary-straddling jobs, duplicate ids, and the
+  resulting per-analysis availability (which figures of the paper can be
+  produced from this trace).
+* :func:`trim_boundaries` — drop the first and last partially-observed windows
+  of a trace, the mitigation the paper applies by intentionally querying nine
+  days of data to capture a clean week for CC-b and CC-e.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..units import HOUR
+from .schema import NUMERIC_DIMENSIONS
+from .trace import Trace
+
+__all__ = ["LoggingGap", "TraceQualityReport", "assess_quality", "trim_boundaries"]
+
+#: Optional string dimensions whose presence gates specific analyses.
+STRING_DIMENSIONS = ("name", "input_path", "output_path")
+
+
+@dataclass
+class LoggingGap:
+    """A stretch of trace time with no job submissions at all.
+
+    Attributes:
+        start_s: first second of the gap (relative to the trace origin).
+        end_s: last second of the gap.
+    """
+
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def duration_hours(self) -> float:
+        return self.duration_s / HOUR
+
+
+@dataclass
+class TraceQualityReport:
+    """Quality assessment of one trace.
+
+    Attributes:
+        workload: trace name.
+        n_jobs: number of jobs examined.
+        dimension_coverage: per-dimension fraction of jobs that record a value
+            (numeric dimensions count non-``None``; string dimensions count
+            non-empty strings).
+        gaps: logging gaps longer than the detection threshold.
+        gap_fraction: total gap time divided by trace length.
+        straddling_jobs: jobs whose execution extends past the last submission
+            seen in the trace (their recorded duration is suspect — the paper's
+            "inaccuracies at trace start and termination").
+        duplicate_job_ids: job ids that appear more than once.
+        analyses_available: mapping of analysis name -> whether this trace can
+            support it (e.g. access analyses need paths, naming needs names).
+    """
+
+    workload: str
+    n_jobs: int
+    dimension_coverage: Dict[str, float]
+    gaps: List[LoggingGap]
+    gap_fraction: float
+    straddling_jobs: int
+    duplicate_job_ids: List[str]
+    analyses_available: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def has_gaps(self) -> bool:
+        return bool(self.gaps)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no issue was detected that would bias the analyses."""
+        return (not self.gaps and not self.duplicate_job_ids
+                and self.straddling_jobs == 0)
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable findings, one per line."""
+        lines = ["Trace quality for %s (%d jobs):" % (self.workload, self.n_jobs)]
+        for dimension, coverage in sorted(self.dimension_coverage.items()):
+            if coverage < 1.0:
+                lines.append("  %s recorded for %.0f%% of jobs" % (dimension, 100 * coverage))
+        if self.gaps:
+            lines.append("  %d logging gap(s) totalling %.1f hours (%.1f%% of the trace)"
+                         % (len(self.gaps), sum(gap.duration_hours for gap in self.gaps),
+                            100 * self.gap_fraction))
+        if self.straddling_jobs:
+            lines.append("  %d job(s) straddle the trace end" % self.straddling_jobs)
+        if self.duplicate_job_ids:
+            lines.append("  %d duplicate job id(s)" % len(self.duplicate_job_ids))
+        unavailable = [name for name, ok in self.analyses_available.items() if not ok]
+        if unavailable:
+            lines.append("  analyses unavailable: %s" % ", ".join(sorted(unavailable)))
+        if len(lines) == 1:
+            lines.append("  no issues detected")
+        return lines
+
+
+def _coverage(trace: Trace) -> Dict[str, float]:
+    coverage: Dict[str, float] = {}
+    n_jobs = len(trace)
+    for dimension in NUMERIC_DIMENSIONS:
+        recorded = sum(1 for job in trace if getattr(job, dimension) is not None)
+        coverage[dimension] = recorded / n_jobs
+    for dimension in STRING_DIMENSIONS:
+        recorded = sum(1 for job in trace if getattr(job, dimension))
+        coverage[dimension] = recorded / n_jobs
+    return coverage
+
+
+def _find_gaps(trace: Trace, min_gap_hours: float) -> List[LoggingGap]:
+    times = np.sort(trace.submit_times())
+    origin = times[0]
+    gaps: List[LoggingGap] = []
+    threshold = min_gap_hours * HOUR
+    deltas = np.diff(times)
+    for index in np.nonzero(deltas > threshold)[0]:
+        gaps.append(LoggingGap(start_s=float(times[index] - origin),
+                               end_s=float(times[index + 1] - origin)))
+    return gaps
+
+
+def assess_quality(trace: Trace, min_gap_hours: float = 6.0,
+                   min_coverage_for_analysis: float = 0.5) -> TraceQualityReport:
+    """Assess a trace's data quality and analysis availability.
+
+    Args:
+        trace: the trace to assess.
+        min_gap_hours: submission silences at least this long are reported as
+            logging gaps (the CC-d situation).
+        min_coverage_for_analysis: fraction of jobs that must record a
+            dimension before the analyses depending on it are declared available.
+
+    Raises:
+        AnalysisError: for an empty trace.
+    """
+    if trace.is_empty():
+        raise AnalysisError("cannot assess the quality of an empty trace")
+    if min_gap_hours <= 0:
+        raise AnalysisError("min_gap_hours must be positive")
+
+    coverage = _coverage(trace)
+    gaps = _find_gaps(trace, min_gap_hours)
+    length = trace.duration_s()
+    gap_fraction = (sum(gap.duration_s for gap in gaps) / length) if length > 0 else 0.0
+
+    # A job "straddles" the collection boundary when it was submitted before
+    # the last observed submission but is still running past it — its recorded
+    # duration and task times describe work the trace only partially covers.
+    last_submit = max(job.submit_time_s for job in trace)
+    straddling = sum(1 for job in trace
+                     if job.submit_time_s < last_submit and job.finish_time_s > last_submit)
+
+    seen: Dict[str, int] = {}
+    for job in trace:
+        seen[job.job_id] = seen.get(job.job_id, 0) + 1
+    duplicates = sorted(job_id for job_id, count in seen.items() if count > 1)
+
+    threshold = min_coverage_for_analysis
+    analyses = {
+        "data_sizes (Fig 1)": coverage["input_bytes"] >= threshold,
+        "access_patterns (Figs 2-6)": coverage["input_path"] >= threshold,
+        "temporal (Figs 7-9)": coverage["map_task_seconds"] >= threshold,
+        "naming (Fig 10)": coverage["name"] >= threshold,
+        "clustering (Table 2)": all(coverage[dim] >= threshold for dim in NUMERIC_DIMENSIONS),
+    }
+    return TraceQualityReport(
+        workload=trace.name,
+        n_jobs=len(trace),
+        dimension_coverage=coverage,
+        gaps=gaps,
+        gap_fraction=gap_fraction,
+        straddling_jobs=straddling,
+        duplicate_job_ids=duplicates,
+        analyses_available=analyses,
+    )
+
+
+def trim_boundaries(trace: Trace, window_hours: float = 1.0,
+                    name: Optional[str] = None) -> Trace:
+    """Drop the first and last ``window_hours`` of a trace.
+
+    The paper notes that jobs straddling the collection boundaries carry
+    partial information and that it deliberately over-collected (nine days for
+    the week-long CC-b and CC-e analyses) so the boundary windows could be
+    discarded.  This helper performs that trim on any trace.
+
+    Raises:
+        AnalysisError: when the window is not positive or the trace is empty.
+    """
+    if trace.is_empty():
+        raise AnalysisError("cannot trim an empty trace")
+    if window_hours <= 0:
+        raise AnalysisError("window_hours must be positive")
+    start = trace.jobs[0].submit_time_s + window_hours * HOUR
+    end = max(job.submit_time_s for job in trace) - window_hours * HOUR
+    if end <= start:
+        raise AnalysisError(
+            "trace %r is too short to trim %.1f-hour boundaries" % (trace.name, window_hours))
+    return trace.time_window(start, end, name=name or trace.name)

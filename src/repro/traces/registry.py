@@ -1,0 +1,135 @@
+"""Registry of the seven paper workloads plus user-registered specs.
+
+The registry maps workload names ("FB-2009", "CC-c", ...) to their
+:class:`~repro.traces.spec.WorkloadSpec` and offers one-call trace generation.
+Downstream users can register their own specs alongside the paper ones, which
+is how the benchmark harness supports "workload suites" (§7 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import SpecError
+from .cloudera import CLOUDERA_WORKLOADS
+from .facebook import FACEBOOK_WORKLOADS
+from .generator import generate_trace
+from .spec import WorkloadSpec
+from .trace import Trace
+
+__all__ = [
+    "PAPER_WORKLOAD_NAMES",
+    "all_paper_specs",
+    "get_spec",
+    "register_spec",
+    "unregister_spec",
+    "registered_names",
+    "load_workload",
+    "load_all_paper_workloads",
+    "DEFAULT_SCALES",
+]
+
+#: Names of the seven paper workloads, in Table 1 order.
+PAPER_WORKLOAD_NAMES = ("CC-a", "CC-b", "CC-c", "CC-d", "CC-e", "FB-2009", "FB-2010")
+
+#: Default down-scale factor applied when generating each paper workload for
+#: tests and benchmarks.  The Cloudera workloads are small enough to generate
+#: at full scale; the two Facebook workloads (>1.1M jobs each) are scaled to a
+#: few tens of thousands of jobs, which preserves their class mixture.
+DEFAULT_SCALES = {
+    "CC-a": 1.0,
+    "CC-b": 1.0,
+    "CC-c": 1.0,
+    "CC-d": 1.0,
+    "CC-e": 1.0,
+    "FB-2009": 0.02,
+    "FB-2010": 0.02,
+}
+
+_REGISTRY: Dict[str, WorkloadSpec] = {}
+_REGISTRY.update(CLOUDERA_WORKLOADS)
+_REGISTRY.update(FACEBOOK_WORKLOADS)
+
+
+def all_paper_specs() -> List[WorkloadSpec]:
+    """Return the seven paper workload specs in Table 1 order."""
+    return [_REGISTRY[name] for name in PAPER_WORKLOAD_NAMES]
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Look up a registered workload spec by name.
+
+    Raises:
+        SpecError: if the name is unknown.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SpecError(
+            "unknown workload %r; registered workloads: %s" % (name, ", ".join(sorted(_REGISTRY)))
+        )
+
+
+def register_spec(spec: WorkloadSpec, overwrite: bool = False) -> None:
+    """Register a user-defined workload spec under its own name.
+
+    Raises:
+        SpecError: if the name is taken and ``overwrite`` is false.
+    """
+    if spec.name in _REGISTRY and not overwrite:
+        raise SpecError("workload %r is already registered" % (spec.name,))
+    _REGISTRY[spec.name] = spec
+
+
+def unregister_spec(name: str) -> None:
+    """Remove a user-registered workload; paper workloads cannot be removed."""
+    if name in PAPER_WORKLOAD_NAMES:
+        raise SpecError("cannot unregister the paper workload %r" % (name,))
+    _REGISTRY.pop(name, None)
+
+
+def registered_names() -> List[str]:
+    """All registered workload names, paper workloads first."""
+    extra = sorted(name for name in _REGISTRY if name not in PAPER_WORKLOAD_NAMES)
+    return list(PAPER_WORKLOAD_NAMES) + extra
+
+
+def load_workload(name: str, seed: int = 0, scale: Optional[float] = None,
+                  time_scale: Optional[float] = None) -> Trace:
+    """Generate the named workload's trace.
+
+    Args:
+        name: a registered workload name.
+        seed: RNG seed for deterministic generation.
+        scale: job-count scale factor; defaults to :data:`DEFAULT_SCALES` for
+            paper workloads and 1.0 otherwise.
+        time_scale: trace-length scale factor.  When omitted, scaled-down
+            workloads are also compressed in time by the same factor (bounded
+            below by one week where possible) so jobs-per-hour density — and
+            with it the hourly burstiness and correlation statistics — stays
+            comparable to the full-scale workload (the SWIM scale-down of §7).
+    """
+    spec = get_spec(name)
+    if scale is None:
+        scale = DEFAULT_SCALES.get(name, 1.0)
+    if time_scale is None and scale < 1.0:
+        # Keep at least a week of trace when the full workload allows it, so
+        # the Figure-7 weekly views stay meaningful.
+        week_fraction = min(1.0, (7 * 24 * 3600.0) / spec.trace_length_s)
+        time_scale = max(scale, week_fraction)
+    return generate_trace(spec, seed=seed, scale=scale, time_scale=time_scale)
+
+
+def load_all_paper_workloads(seed: int = 0, scale: Optional[float] = None,
+                             scale_overrides: Optional[Dict[str, float]] = None) -> Dict[str, Trace]:
+    """Generate every paper workload; returns ``{name: trace}`` in Table 1 order.
+
+    ``scale`` (if given) applies to every workload; ``scale_overrides`` lets
+    callers adjust individual workloads on top of that.
+    """
+    overrides = scale_overrides or {}
+    traces = {}
+    for name in PAPER_WORKLOAD_NAMES:
+        effective = overrides.get(name, scale if scale is not None else DEFAULT_SCALES.get(name, 1.0))
+        traces[name] = load_workload(name, seed=seed, scale=effective)
+    return traces

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Traces used across many tests are generated once per session at small scales
+so the full suite stays fast while still exercising realistic job mixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces import Job, Trace, load_workload
+
+
+@pytest.fixture(scope="session")
+def cc_e_trace() -> Trace:
+    """A full-scale CC-e trace (the smallest Cloudera workload, ~10.8k jobs)."""
+    return load_workload("CC-e", seed=7)
+
+
+@pytest.fixture(scope="session")
+def cc_b_small_trace() -> Trace:
+    """A down-scaled CC-b trace (~2.3k jobs) for faster analyses."""
+    return load_workload("CC-b", seed=7, scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def fb_2009_small_trace() -> Trace:
+    """A heavily down-scaled FB-2009 trace (~2.3k jobs)."""
+    return load_workload("FB-2009", seed=7, scale=0.002)
+
+
+@pytest.fixture()
+def tiny_trace() -> Trace:
+    """A hand-built six-job trace with known values, for exact assertions."""
+    jobs = [
+        Job(job_id="j1", submit_time_s=0.0, duration_s=30.0, input_bytes=1e6,
+            shuffle_bytes=0.0, output_bytes=2e5, map_task_seconds=40.0,
+            reduce_task_seconds=0.0, map_tasks=2, reduce_tasks=0,
+            name="select user counts", framework="hive",
+            input_path="/data/a", output_path="/out/a", workload="tiny"),
+        Job(job_id="j2", submit_time_s=600.0, duration_s=120.0, input_bytes=5e9,
+            shuffle_bytes=1e9, output_bytes=1e8, map_task_seconds=900.0,
+            reduce_task_seconds=300.0, map_tasks=10, reduce_tasks=4,
+            name="insert into table daily", framework="hive",
+            input_path="/data/b", output_path="/out/b", workload="tiny"),
+        Job(job_id="j3", submit_time_s=3600.0, duration_s=60.0, input_bytes=1e6,
+            shuffle_bytes=0.0, output_bytes=1e6, map_task_seconds=50.0,
+            reduce_task_seconds=0.0, map_tasks=2, reduce_tasks=0,
+            name="piglatin etl step", framework="pig",
+            input_path="/data/a", output_path="/out/c", workload="tiny"),
+        Job(job_id="j4", submit_time_s=7200.0, duration_s=2400.0, input_bytes=2e12,
+            shuffle_bytes=5e11, output_bytes=1e11, map_task_seconds=80000.0,
+            reduce_task_seconds=30000.0, map_tasks=200, reduce_tasks=50,
+            name="oozie launcher workflow", framework="oozie",
+            input_path="/data/huge", output_path="/out/huge", workload="tiny"),
+        Job(job_id="j5", submit_time_s=10800.0, duration_s=45.0, input_bytes=2e6,
+            shuffle_bytes=0.0, output_bytes=5e5, map_task_seconds=30.0,
+            reduce_task_seconds=0.0, map_tasks=1, reduce_tasks=0,
+            name="select quick look", framework="hive",
+            input_path="/out/b", output_path="/out/d", workload="tiny"),
+        Job(job_id="j6", submit_time_s=14400.0, duration_s=50.0, input_bytes=3e6,
+            shuffle_bytes=1e5, output_bytes=1e6, map_task_seconds=35.0,
+            reduce_task_seconds=10.0, map_tasks=1, reduce_tasks=1,
+            name="ad hoc report", framework=None,
+            input_path="/data/a", output_path="/out/e", workload="tiny"),
+    ]
+    return Trace(jobs, name="tiny", machines=10)

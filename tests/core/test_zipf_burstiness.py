@@ -1,0 +1,126 @@
+"""Tests for Zipf fitting and the burstiness metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    analyze_burstiness,
+    burstiness_curve,
+    fit_zipf_slope,
+    hourly_task_seconds,
+    rank_frequencies,
+    zipf_goodness_of_fit,
+)
+from repro.errors import AnalysisError
+from repro.synth import ZipfRank, sine_reference_series
+
+
+class TestZipfFit:
+    def test_exact_power_law_recovered(self):
+        ranks = np.arange(1, 101, dtype=float)
+        frequencies = 1000.0 * ranks ** (-5.0 / 6.0)
+        slope, intercept, r_squared = fit_zipf_slope(ranks, frequencies)
+        assert slope == pytest.approx(5.0 / 6.0, rel=1e-6)
+        assert r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_fit_requires_positive_values(self):
+        with pytest.raises(AnalysisError):
+            fit_zipf_slope([1.0, 2.0], [0.0, 1.0])
+        with pytest.raises(AnalysisError):
+            fit_zipf_slope([1.0], [1.0])
+
+    def test_rank_frequencies_counts_accesses(self):
+        paths = ["/a"] * 5 + ["/b"] * 3 + ["/c"] + [None] * 4
+        ranks = rank_frequencies(paths)
+        assert ranks.frequencies.tolist() == [5.0, 3.0, 1.0]
+        assert ranks.total_accesses == 9
+        assert ranks.n_items == 3
+
+    def test_rank_frequencies_all_none_rejected(self):
+        with pytest.raises(AnalysisError):
+            rank_frequencies([None, None])
+
+    def test_uniform_accesses_have_no_slope(self):
+        ranks = rank_frequencies(["/a", "/b", "/c"])
+        assert ranks.slope is None
+
+    def test_zipf_samples_recover_slope_roughly(self):
+        # Draw many accesses from a true Zipf rank distribution and check the
+        # fitted slope lands near the generating exponent.
+        rng = np.random.default_rng(0)
+        dist = ZipfRank(2000, 5.0 / 6.0)
+        samples = dist.sample(rng, 60000).astype(int)
+        paths = ["/f/%d" % rank for rank in samples]
+        ranks = rank_frequencies(paths)
+        assert ranks.slope is not None
+        assert 0.55 < ranks.slope < 1.15
+
+    def test_top_share_and_goodness(self):
+        paths = ["/hot"] * 80 + ["/f%d" % index for index in range(20)]
+        ranks = rank_frequencies(paths)
+        assert ranks.top_share(0.05) == pytest.approx(0.8)
+        goodness = zipf_goodness_of_fit(ranks)
+        assert set(goodness) >= {"slope", "r_squared", "top10_share_observed"}
+
+    def test_top_share_invalid_fraction(self):
+        ranks = rank_frequencies(["/a", "/a", "/b"])
+        with pytest.raises(AnalysisError):
+            ranks.top_share(0.0)
+
+
+class TestBurstiness:
+    def test_constant_series_not_bursty(self):
+        result = burstiness_curve([10.0] * 200)
+        assert result.peak_to_median == pytest.approx(1.0)
+        assert result.p90_to_median == pytest.approx(1.0)
+
+    def test_single_spike_is_bursty(self):
+        values = [1.0] * 199 + [500.0]
+        result = burstiness_curve(values)
+        assert result.peak_to_median == pytest.approx(500.0)
+        assert result.p90_to_median == pytest.approx(1.0)
+
+    def test_sine_reference_mild_burstiness(self):
+        series = sine_reference_series(14 * 24, offset=2.0)
+        result = burstiness_curve(series)
+        assert 1.0 < result.peak_to_median < 2.0
+
+    def test_drop_zero_hours(self):
+        values = [0.0] * 90 + [10.0] * 10
+        with pytest.raises(AnalysisError):
+            burstiness_curve(values, drop_zero_hours=False)
+        result = burstiness_curve(values, drop_zero_hours=True)
+        assert result.hours == 10
+
+    def test_ratio_at_interpolates(self):
+        result = burstiness_curve([1.0] * 99 + [10.0])
+        assert result.ratio_at(50.0) == pytest.approx(1.0, abs=0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            burstiness_curve([])
+
+    def test_analyze_burstiness_on_trace(self, tiny_trace):
+        result = analyze_burstiness(tiny_trace)
+        assert result.peak_to_median >= 1.0
+        series = hourly_task_seconds(tiny_trace)
+        assert series.sum() == pytest.approx(
+            sum(job.total_task_seconds for job in tiny_trace))
+
+    def test_workload_burstier_than_sine(self, cc_e_trace):
+        """Figure 8 shape: real workloads are far burstier than sine patterns."""
+        workload = analyze_burstiness(cc_e_trace)
+        sine = burstiness_curve(sine_reference_series(14 * 24, offset=2.0))
+        assert workload.peak_to_median > 3 * sine.peak_to_median
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+                       min_size=3, max_size=300))
+def test_property_burstiness_curve_monotone(values):
+    """Normalized rate is non-decreasing in the percentile, and peak >= median."""
+    result = burstiness_curve(values)
+    ratios = [ratio for ratio, _ in result.curve]
+    assert all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:]))
+    assert result.peak_to_median >= 1.0 - 1e-9

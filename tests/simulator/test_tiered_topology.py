@@ -1,0 +1,193 @@
+"""Tests for the tiered-cluster replay and the rack topology / shuffle profile."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.simulator import (
+    ClusterConfig,
+    RackTopology,
+    TieredClusterConfig,
+    TieredReplayer,
+    compare_tiered_vs_unified,
+    locality_fractions,
+    shuffle_cross_rack_bytes,
+    workload_shuffle_profile,
+)
+from repro.traces import Job, Trace
+from repro.units import GB, MB, TB
+
+
+def small_job(index, submit):
+    return Job(job_id="small%d" % index, submit_time_s=submit, duration_s=30.0,
+               input_bytes=100 * MB, shuffle_bytes=10 * MB, output_bytes=10 * MB,
+               map_task_seconds=60.0, reduce_task_seconds=20.0, map_tasks=2, reduce_tasks=1)
+
+
+def huge_job(index, submit):
+    return Job(job_id="huge%d" % index, submit_time_s=submit, duration_s=7200.0,
+               input_bytes=5 * TB, shuffle_bytes=1 * TB, output_bytes=100 * GB,
+               map_task_seconds=400000.0, reduce_task_seconds=150000.0,
+               map_tasks=400, reduce_tasks=100)
+
+
+@pytest.fixture()
+def dichotomy_trace():
+    """A head-of-line-blocking scenario: one huge job, then many small ones."""
+    jobs = [huge_job(0, 0.0)]
+    jobs += [small_job(index, 5.0 + index * 2.0) for index in range(60)]
+    return Trace(jobs, name="dichotomy", machines=20)
+
+
+class TestTieredClusterConfig:
+    def test_threshold_validation(self):
+        with pytest.raises(SimulationError):
+            TieredClusterConfig(small_job_threshold_bytes=0.0)
+
+    def test_unified_equivalent_preserves_node_count(self):
+        config = TieredClusterConfig(performance=ClusterConfig(n_nodes=30),
+                                     capacity=ClusterConfig(n_nodes=70))
+        unified = config.unified_equivalent()
+        assert unified.n_nodes == 100
+        assert config.total_slots == unified.total_slots
+
+
+class TestTieredReplayer:
+    def test_split_routes_by_size(self, dichotomy_trace):
+        replayer = TieredReplayer(TieredClusterConfig(small_job_threshold_bytes=10 * GB))
+        parts = replayer.split_trace(dichotomy_trace)
+        assert len(parts["performance"]) == 60
+        assert len(parts["capacity"]) == 1
+
+    def test_replay_produces_both_tier_metrics(self, dichotomy_trace):
+        config = TieredClusterConfig(performance=ClusterConfig(n_nodes=5),
+                                     capacity=ClusterConfig(n_nodes=15))
+        result = TieredReplayer(config).replay(dichotomy_trace)
+        assert result.n_small_jobs == 60 and result.n_large_jobs == 1
+        assert result.performance is not None and result.capacity is not None
+        assert result.performance.finished_jobs == 60
+        assert result.small_job_median_completion() > 0
+
+    def test_all_small_trace_has_empty_capacity_tier(self):
+        trace = Trace([small_job(index, index * 5.0) for index in range(20)], name="small-only")
+        result = TieredReplayer(TieredClusterConfig(
+            performance=ClusterConfig(n_nodes=4), capacity=ClusterConfig(n_nodes=4))).replay(trace)
+        assert result.capacity is None
+        assert result.n_large_jobs == 0
+        assert result.small_job_mean_wait() >= 0.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            TieredReplayer().replay(Trace([], name="empty"))
+
+
+class TestTieredVsUnified:
+    def test_split_protects_small_jobs_from_head_of_line_blocking(self, dichotomy_trace):
+        # §6.2: under FIFO a single large job blocks hundreds of interactive
+        # jobs; the physical split removes that interference.
+        config = TieredClusterConfig(performance=ClusterConfig(n_nodes=5),
+                                     capacity=ClusterConfig(n_nodes=15))
+        comparison = compare_tiered_vs_unified(dichotomy_trace, config)
+        assert comparison.small_job_wait_tiered <= comparison.small_job_wait_unified
+        assert comparison.small_job_wait_improvement >= 1.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            compare_tiered_vs_unified(Trace([], name="empty"))
+
+
+class TestRackTopology:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RackTopology(n_nodes=0)
+        with pytest.raises(SimulationError):
+            RackTopology(nodes_per_rack=0)
+        with pytest.raises(SimulationError):
+            RackTopology(cross_rack_bandwidth_bps=0.0)
+
+    def test_rack_count_and_membership(self):
+        topology = RackTopology(n_nodes=45, nodes_per_rack=20)
+        assert topology.n_racks == 3
+        assert topology.rack_of(0) == 0
+        assert topology.rack_of(19) == 0
+        assert topology.rack_of(20) == 1
+        assert topology.rack_of(44) == 2
+        with pytest.raises(SimulationError):
+            topology.rack_of(45)
+
+    def test_oversubscription_ratio(self):
+        topology = RackTopology(intra_rack_bandwidth_bps=125e6, cross_rack_bandwidth_bps=25e6)
+        assert topology.oversubscription == pytest.approx(5.0)
+
+
+class TestLocalityFractions:
+    def test_fractions_sum_to_one(self):
+        fractions = locality_fractions(RackTopology(), n_map_tasks=10, replication=3)
+        assert fractions.node_local + fractions.rack_local + fractions.remote == pytest.approx(1.0)
+
+    def test_delay_scheduling_improves_node_locality(self):
+        topology = RackTopology(n_nodes=100)
+        without = locality_fractions(topology, 10, replication=3, delay_scheduling_attempts=0)
+        with_delay = locality_fractions(topology, 10, replication=3, delay_scheduling_attempts=10)
+        assert with_delay.node_local > without.node_local
+
+    def test_full_replication_is_always_node_local(self):
+        topology = RackTopology(n_nodes=10, nodes_per_rack=5)
+        fractions = locality_fractions(topology, 4, replication=10)
+        assert fractions.node_local == pytest.approx(1.0)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(SimulationError):
+            locality_fractions(RackTopology(), 0)
+        with pytest.raises(SimulationError):
+            locality_fractions(RackTopology(), 5, replication=0)
+        with pytest.raises(SimulationError):
+            locality_fractions(RackTopology(), 5, delay_scheduling_attempts=-1)
+
+    @given(replication=st.integers(min_value=1, max_value=10),
+           attempts=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_fractions_always_valid(self, replication, attempts):
+        fractions = locality_fractions(RackTopology(n_nodes=60, nodes_per_rack=20), 8,
+                                       replication=replication,
+                                       delay_scheduling_attempts=attempts)
+        for value in (fractions.node_local, fractions.rack_local, fractions.remote):
+            assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestShuffleTraffic:
+    def test_map_only_jobs_produce_no_cross_rack_shuffle(self):
+        assert shuffle_cross_rack_bytes(RackTopology(), 0.0, 10, 5) == 0.0
+        assert shuffle_cross_rack_bytes(RackTopology(), 1 * GB, 10, 0) == 0.0
+
+    def test_single_rack_cluster_has_no_cross_rack_traffic(self):
+        topology = RackTopology(n_nodes=10, nodes_per_rack=10)
+        assert shuffle_cross_rack_bytes(topology, 1 * GB, 100, 10) == 0.0
+
+    def test_cross_rack_fraction_bounded_by_total(self):
+        topology = RackTopology(n_nodes=100, nodes_per_rack=20)
+        cross = shuffle_cross_rack_bytes(topology, 10 * GB, 200, 50)
+        assert 0.0 < cross < 10 * GB
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(SimulationError):
+            shuffle_cross_rack_bytes(RackTopology(), -1.0, 5, 5)
+
+    def test_workload_profile_separates_map_only_share(self):
+        jobs = [
+            Job(job_id="shuffle", submit_time_s=0.0, duration_s=600.0, input_bytes=1 * GB,
+                shuffle_bytes=2 * GB, output_bytes=1 * GB, map_task_seconds=600.0,
+                reduce_task_seconds=300.0, map_tasks=40, reduce_tasks=10),
+            Job(job_id="maponly", submit_time_s=10.0, duration_s=300.0, input_bytes=4 * GB,
+                shuffle_bytes=0.0, output_bytes=4 * GB, map_task_seconds=400.0,
+                reduce_task_seconds=0.0, map_tasks=30, reduce_tasks=0),
+        ]
+        profile = workload_shuffle_profile(Trace(jobs, name="profile"))
+        assert profile.map_only_job_fraction == pytest.approx(0.5)
+        assert profile.map_only_bytes_fraction == pytest.approx(8 / 12, rel=1e-3)
+        assert profile.shuffle_bytes == pytest.approx(2 * GB)
+        assert 0.0 < profile.mean_cross_rack_fraction <= 1.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            workload_shuffle_profile(Trace([], name="empty"))

@@ -1,0 +1,178 @@
+"""Tests for framework-mix synthesis and SWIM-style replay-plan rendering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SynthesisError
+from repro.synth import (
+    PAPER_MIXES,
+    FrameworkMix,
+    FrameworkMixModel,
+    ReplayPlan,
+    SwimSynthesizer,
+    build_replay_plan,
+    mix_from_trace,
+    parse_replay_plan,
+)
+from repro.traces import Job, Trace
+from repro.units import GB, MB
+
+
+def unnamed_trace(n_jobs=400, seed_offset=0):
+    jobs = [
+        Job(job_id="j%d" % (index + seed_offset), submit_time_s=index * 10.0, duration_s=30.0,
+            input_bytes=200 * MB, shuffle_bytes=20 * MB, output_bytes=20 * MB,
+            map_task_seconds=60.0, reduce_task_seconds=20.0, map_tasks=2, reduce_tasks=1,
+            input_path="/data/%03d" % (index % 37))
+        for index in range(n_jobs)
+    ]
+    return Trace(jobs, name="unnamed", machines=25)
+
+
+class TestFrameworkMix:
+    def test_shares_normalized(self):
+        mix = FrameworkMix({"insert": 2.0, "piglatin": 1.0, "oozie": 1.0})
+        assert sum(mix.shares.values()) == pytest.approx(1.0)
+        assert mix.shares["insert"] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(SynthesisError):
+            FrameworkMix({})
+        with pytest.raises(SynthesisError):
+            FrameworkMix({"insert": 0.0})
+        with pytest.raises(SynthesisError):
+            FrameworkMix({"insert": -1.0, "select": 2.0})
+
+    def test_framework_shares_aggregate_words(self):
+        mix = FrameworkMix({"insert": 0.3, "select": 0.2, "piglatin": 0.4, "adhoc": 0.1})
+        shares = mix.framework_shares()
+        assert shares["hive"] == pytest.approx(0.5)
+        assert shares["pig"] == pytest.approx(0.4)
+        assert shares["native"] == pytest.approx(0.1)
+
+    def test_paper_mixes_cover_named_workloads(self):
+        assert set(PAPER_MIXES) == {"FB-2009", "CC-a", "CC-b", "CC-c", "CC-d", "CC-e"}
+        for name, mix in PAPER_MIXES.items():
+            assert sum(mix.shares.values()) == pytest.approx(1.0)
+            # Figure 10: two frameworks dominate every workload.
+            top_two = mix.dominant_frameworks(2)
+            assert len(top_two) == 2
+            shares = mix.framework_shares()
+            assert shares[top_two[0]] + shares[top_two[1]] > 0.4
+
+
+class TestFrameworkMixModel:
+    def test_assignment_matches_mix_for_large_traces(self):
+        mix = FrameworkMix({"insert": 0.6, "piglatin": 0.3, "oozie": 0.1})
+        named = FrameworkMixModel(mix, seed=11).assign_names(unnamed_trace(3000))
+        estimated = mix_from_trace(named)
+        assert estimated.framework_shares()["hive"] == pytest.approx(0.6, abs=0.05)
+        assert estimated.framework_shares()["pig"] == pytest.approx(0.3, abs=0.05)
+
+    def test_assignment_is_deterministic(self):
+        mix = PAPER_MIXES["CC-d"]
+        first = FrameworkMixModel(mix, seed=3).assign_names(unnamed_trace())
+        second = FrameworkMixModel(mix, seed=3).assign_names(unnamed_trace())
+        assert [job.name for job in first] == [job.name for job in second]
+
+    def test_existing_names_are_preserved(self, tiny_trace):
+        named = FrameworkMixModel(PAPER_MIXES["CC-a"], seed=1).assign_names(tiny_trace)
+        assert [job.name for job in named] == [job.name for job in tiny_trace]
+
+    def test_numeric_dimensions_untouched(self):
+        source = unnamed_trace(100)
+        named = FrameworkMixModel(PAPER_MIXES["CC-e"], seed=2).assign_names(source)
+        assert [job.input_bytes for job in named] == [job.input_bytes for job in source]
+        assert [job.submit_time_s for job in named] == [job.submit_time_s for job in source]
+
+    def test_first_words_match_intended_word(self):
+        # Every template's first word must reduce to the mix word it encodes,
+        # otherwise naming analyses would misclassify the synthetic jobs.
+        mix = FrameworkMix({"insert": 0.2, "select": 0.2, "piglatin": 0.2,
+                            "oozie": 0.2, "distcp": 0.2})
+        named = FrameworkMixModel(mix, seed=5).assign_names(unnamed_trace(500))
+        observed_words = {job.first_word for job in named}
+        assert observed_words <= {"insert", "select", "piglatin", "oozie", "distcp"}
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SynthesisError):
+            FrameworkMixModel(PAPER_MIXES["CC-a"]).assign_names(Trace([], name="empty"))
+
+
+class TestMixFromTrace:
+    def test_top_n_folding(self, tiny_trace):
+        mix = mix_from_trace(tiny_trace, top_n=2)
+        assert "[others]" in mix.shares
+        assert sum(mix.shares.values()) == pytest.approx(1.0)
+
+    def test_unnamed_trace_rejected(self):
+        with pytest.raises(SynthesisError):
+            mix_from_trace(unnamed_trace(10))
+
+
+class TestReplayPlan:
+    def _plan(self, n_jobs=150):
+        source = unnamed_trace(600)
+        synthesizer = SwimSynthesizer(source, seed=9)
+        plan = synthesizer.synthesize(n_jobs=n_jobs, horizon_s=1800.0, target_machines=10)
+        return build_replay_plan(plan)
+
+    def test_build_from_synthesizer_plan(self):
+        plan = self._plan()
+        assert plan.n_jobs == 150
+        assert plan.layout.n_files > 0
+        assert plan.horizon_s <= 1800.0
+        assert plan.commands == sorted(plan.commands, key=lambda command: command.at_s)
+
+    def test_build_from_plain_trace(self, tiny_trace):
+        plan = build_replay_plan(tiny_trace)
+        assert plan.n_jobs == len(tiny_trace)
+        assert plan.commands[0].at_s == 0.0
+
+    def test_render_parse_round_trip(self):
+        plan = self._plan(80)
+        parsed = parse_replay_plan(plan.render())
+        assert parsed.name == plan.name
+        assert parsed.n_jobs == plan.n_jobs
+        assert parsed.layout.n_files == plan.layout.n_files
+        assert parsed.layout.total_bytes == pytest.approx(plan.layout.total_bytes)
+        for original, round_tripped in zip(plan.commands, parsed.commands):
+            assert round_tripped.job_id == original.job_id
+            assert round_tripped.at_s == pytest.approx(original.at_s, abs=1e-3)
+            assert round_tripped.input_bytes == pytest.approx(original.input_bytes, abs=1.0)
+
+    def test_write_and_read_file(self, tmp_path):
+        plan = self._plan(40)
+        path = tmp_path / "replay_plan.txt"
+        plan.write(str(path))
+        parsed = parse_replay_plan(path.read_text(encoding="utf-8"))
+        assert parsed.n_jobs == 40
+
+    def test_to_trace_is_replayable(self):
+        from repro.simulator import ClusterConfig, WorkloadReplayer
+        plan = self._plan(60)
+        trace = plan.to_trace()
+        assert len(trace) == 60
+        metrics = WorkloadReplayer(cluster_config=ClusterConfig(n_nodes=5)).replay(trace)
+        assert metrics.finished_jobs == 60
+
+    def test_volumes_preserved_into_trace(self, tiny_trace):
+        trace = build_replay_plan(tiny_trace).to_trace()
+        assert sorted(job.input_bytes for job in trace) == sorted(
+            job.input_bytes for job in tiny_trace)
+
+    def test_parse_rejects_malformed_input(self):
+        with pytest.raises(SynthesisError):
+            parse_replay_plan("submit at=0 id=x\n")  # missing plan header + fields
+        with pytest.raises(SynthesisError):
+            parse_replay_plan("plan name=x machines=- jobs=0\nfrobnicate foo=1\n")
+        with pytest.raises(SynthesisError):
+            parse_replay_plan("")
+
+    def test_build_from_unsupported_source_rejected(self):
+        with pytest.raises(SynthesisError):
+            build_replay_plan(42)
+
+    def test_build_from_empty_trace_rejected(self):
+        with pytest.raises(SynthesisError):
+            build_replay_plan(Trace([], name="empty"))

@@ -1,0 +1,148 @@
+"""Unit tests for trace serialization (CSV, JSONL, gzip) and the log parser."""
+
+import gzip
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces import (
+    Job,
+    Trace,
+    format_job_line,
+    parse_history_lines,
+    parse_job_line,
+    read_csv,
+    read_history_log,
+    read_jsonl,
+    read_trace,
+    write_csv,
+    write_jsonl,
+    write_trace,
+)
+
+
+def sample_trace():
+    jobs = [
+        Job(job_id="a", submit_time_s=0.0, duration_s=10.0, input_bytes=100.0,
+            shuffle_bytes=0.0, output_bytes=5.0, map_task_seconds=20.0,
+            reduce_task_seconds=0.0, map_tasks=2, reduce_tasks=0,
+            name="select things", input_path="/in/a", output_path="/out/a"),
+        Job(job_id="b", submit_time_s=5.0, duration_s=20.0, input_bytes=1e9,
+            shuffle_bytes=2e8, output_bytes=1e7, map_task_seconds=300.0,
+            reduce_task_seconds=100.0),
+    ]
+    return Trace(jobs, name="sample", machines=3)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace = sample_trace()
+        write_csv(trace, path)
+        loaded = read_csv(path, name="sample", machines=3)
+        assert len(loaded) == 2
+        assert loaded.jobs[0].to_dict() == trace.jobs[0].to_dict()
+        assert loaded.jobs[1].name is None
+
+    def test_gzip_round_trip(self, tmp_path):
+        path = tmp_path / "trace.csv.gz"
+        write_csv(sample_trace(), path)
+        with gzip.open(path, "rt") as handle:
+            assert "job_id" in handle.readline()
+        assert len(read_csv(path)) == 2
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,trace\n1,2,3\n")
+        with pytest.raises(TraceFormatError):
+            read_csv(path)
+
+    def test_non_numeric_column_raises(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        write_csv(sample_trace(), path)
+        text = path.read_text().replace("1000000000.0", "a-lot", 1)
+        path.write_text(text)
+        with pytest.raises(TraceFormatError):
+            read_csv(path)
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace = sample_trace()
+        write_jsonl(trace, path)
+        loaded = read_jsonl(path)
+        assert [job.job_id for job in loaded] == ["a", "b"]
+        assert loaded.jobs[0].input_path == "/in/a"
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"job_id": "x"\n')
+        with pytest.raises(TraceFormatError):
+            read_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(sample_trace(), path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_jsonl(path)) == 2
+
+
+class TestFormatDispatch:
+    @pytest.mark.parametrize("filename", ["t.csv", "t.jsonl", "t.csv.gz", "t.jsonl.gz"])
+    def test_write_read_by_extension(self, tmp_path, filename):
+        path = tmp_path / filename
+        write_trace(sample_trace(), path)
+        assert len(read_trace(path)) == 2
+
+    def test_unknown_extension_raises(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            write_trace(sample_trace(), tmp_path / "trace.parquet")
+        with pytest.raises(TraceFormatError):
+            read_trace(tmp_path / "trace.parquet")
+
+
+class TestHadoopLogParser:
+    def test_parse_single_line(self):
+        line = ('Job JOBID="job_1" SUBMIT_TIME="1000" FINISH_TIME="61000" '
+                'HDFS_BYTES_READ="1024" MAP_OUTPUT_BYTES="10" HDFS_BYTES_WRITTEN="5" '
+                'MAP_SLOT_SECONDS="30" REDUCE_SLOT_SECONDS="4" TOTAL_MAPS="2" '
+                'TOTAL_REDUCES="1" JOBNAME="insert into x" INPUT_DIR="/a" OUTPUT_DIR="/b"')
+        fields = parse_job_line(line)
+        assert fields["JOBID"] == "job_1"
+        assert fields["JOBNAME"] == "insert into x"
+
+    def test_non_job_line_raises(self):
+        with pytest.raises(TraceFormatError):
+            parse_job_line('Task TASKID="t1"')
+
+    def test_missing_required_key_raises(self):
+        with pytest.raises(TraceFormatError):
+            parse_job_line('Job JOBID="x" SUBMIT_TIME="1"')
+
+    def test_parse_history_lines_builds_trace(self):
+        lines = [
+            "# comment",
+            'Task TASKID="ignored"',
+            'Job JOBID="j1" SUBMIT_TIME="5000" FINISH_TIME="15000" HDFS_BYTES_READ="100"',
+            'Job JOBID="j2" SUBMIT_TIME="10000" FINISH_TIME="20000" HDFS_BYTES_READ="200" '
+            'MAP_SLOT_SECONDS="9"',
+        ]
+        trace = parse_history_lines(lines, name="h")
+        assert len(trace) == 2
+        # Times are re-based to the earliest submission, in seconds.
+        assert trace.jobs[0].submit_time_s == 0.0
+        assert trace.jobs[1].submit_time_s == 5.0
+        assert trace.jobs[0].duration_s == 10.0
+
+    def test_format_then_parse_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "history.log"
+        path.write_text("\n".join(format_job_line(job) for job in trace) + "\n")
+        loaded = read_history_log(path, name="sample")
+        assert len(loaded) == 2
+        assert loaded.jobs[1].input_bytes == pytest.approx(1e9)
+        assert loaded.jobs[0].name == "select things"
+
+    def test_empty_log_gives_empty_trace(self):
+        assert parse_history_lines([]).is_empty()

@@ -1,0 +1,123 @@
+"""Tests for trace quality assessment and boundary trimming."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.traces import Job, Trace
+from repro.traces.quality import LoggingGap, assess_quality, trim_boundaries
+from repro.units import HOUR, MB
+
+
+def make_job(job_id, submit, name="select q", input_path="/data/x", output_path="/out/x",
+             duration=30.0):
+    return Job(job_id=job_id, submit_time_s=submit, duration_s=duration,
+               input_bytes=10 * MB, shuffle_bytes=1 * MB, output_bytes=1 * MB,
+               map_task_seconds=20.0, reduce_task_seconds=5.0,
+               name=name, input_path=input_path, output_path=output_path)
+
+
+def steady_trace(n_hours=48, per_hour=4, **job_kwargs):
+    jobs = []
+    for hour in range(n_hours):
+        for index in range(per_hour):
+            jobs.append(make_job("j-%d-%d" % (hour, index),
+                                 hour * HOUR + index * 600.0, **job_kwargs))
+    return Trace(jobs, name="steady", machines=10)
+
+
+class TestAssessQuality:
+    def test_clean_trace_reports_no_issues(self):
+        report = assess_quality(steady_trace())
+        assert report.is_clean
+        assert not report.has_gaps
+        assert report.duplicate_job_ids == []
+        assert all(report.analyses_available.values())
+        assert any("no issues" in line for line in report.summary_lines())
+
+    def test_logging_gap_detected(self):
+        # A CC-d style outage: 12 silent hours in the middle of the trace.
+        jobs = [make_job("a-%d" % index, index * HOUR) for index in range(24)]
+        jobs += [make_job("b-%d" % index, (36 + index) * HOUR) for index in range(24)]
+        report = assess_quality(Trace(jobs, name="gappy"), min_gap_hours=6.0)
+        assert report.has_gaps
+        assert len(report.gaps) == 1
+        assert report.gaps[0].duration_hours == pytest.approx(13.0, abs=0.5)
+        assert 0.0 < report.gap_fraction < 1.0
+        assert not report.is_clean
+
+    def test_short_silences_are_not_gaps(self):
+        report = assess_quality(steady_trace(per_hour=1), min_gap_hours=6.0)
+        assert not report.has_gaps
+
+    def test_missing_dimensions_lower_coverage_and_disable_analyses(self):
+        # FB-2010 style: no names, no output paths.
+        trace = steady_trace(name=None, output_path=None, input_path=None)
+        report = assess_quality(trace)
+        assert report.dimension_coverage["name"] == 0.0
+        assert report.dimension_coverage["input_path"] == 0.0
+        assert report.analyses_available["naming (Fig 10)"] is False
+        assert report.analyses_available["access_patterns (Figs 2-6)"] is False
+        assert report.analyses_available["data_sizes (Fig 1)"] is True
+        assert any("analyses unavailable" in line for line in report.summary_lines())
+
+    def test_straddling_jobs_counted(self):
+        jobs = [make_job("j%d" % index, index * HOUR) for index in range(10)]
+        # Submitted mid-trace but still running past the last observed
+        # submission (at 9 h): its recorded duration is only partially covered.
+        jobs.append(make_job("long", 5 * HOUR, duration=10 * HOUR))
+        report = assess_quality(Trace(jobs, name="straddle"))
+        assert report.straddling_jobs == 1
+        assert not report.is_clean
+
+    def test_duplicate_ids_reported(self):
+        jobs = [make_job("same", 0.0), make_job("same", HOUR), make_job("other", 2 * HOUR)]
+        report = assess_quality(Trace(jobs, name="dups"))
+        assert report.duplicate_job_ids == ["same"]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(AnalysisError):
+            assess_quality(Trace([], name="empty"))
+        with pytest.raises(AnalysisError):
+            assess_quality(steady_trace(), min_gap_hours=0.0)
+
+    def test_paper_workload_quality(self, cc_b_small_trace):
+        report = assess_quality(cc_b_small_trace)
+        assert report.n_jobs == len(cc_b_small_trace)
+        assert report.analyses_available["clustering (Table 2)"] is True
+
+
+class TestLoggingGap:
+    def test_duration_properties(self):
+        gap = LoggingGap(start_s=HOUR, end_s=4 * HOUR)
+        assert gap.duration_s == pytest.approx(3 * HOUR)
+        assert gap.duration_hours == pytest.approx(3.0)
+
+
+class TestTrimBoundaries:
+    def test_trim_removes_edge_jobs_only(self):
+        trace = steady_trace(n_hours=48)
+        trimmed = trim_boundaries(trace, window_hours=2.0)
+        assert len(trimmed) < len(trace)
+        first = trimmed.jobs[0].submit_time_s
+        last = max(job.submit_time_s for job in trimmed)
+        assert first >= trace.jobs[0].submit_time_s + 2 * HOUR
+        assert last <= max(job.submit_time_s for job in trace) - 2 * HOUR
+
+    def test_trim_preserves_interior_jobs(self):
+        trace = steady_trace(n_hours=24)
+        trimmed = trim_boundaries(trace, window_hours=1.0)
+        interior_ids = {job.job_id for job in trace
+                        if HOUR + trace.jobs[0].submit_time_s <= job.submit_time_s
+                        < max(j.submit_time_s for j in trace) - HOUR}
+        assert {job.job_id for job in trimmed} == interior_ids
+
+    def test_too_short_trace_rejected(self):
+        trace = steady_trace(n_hours=2)
+        with pytest.raises(AnalysisError):
+            trim_boundaries(trace, window_hours=2.0)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(AnalysisError):
+            trim_boundaries(Trace([], name="empty"))
+        with pytest.raises(AnalysisError):
+            trim_boundaries(steady_trace(), window_hours=0.0)

@@ -11,7 +11,10 @@ main workflows:
   aggregated metrics JSON for offsite sharing;
 * ``compare`` — compare two traces (evolution report: median shifts,
   burstiness change);
-* ``bench`` — run the benchmark suite and print the report.
+* ``bench`` — run the benchmark suite and print the report;
+* ``engine`` — columnar trace engine: convert a trace to the chunked on-disk
+  columnar store, inspect a store, and run filtered/grouped aggregate and
+  top-k queries over it (optionally in parallel).
 """
 
 from __future__ import annotations
@@ -22,6 +25,8 @@ from typing import Optional, Sequence
 
 from . import __version__
 from .bench.suite import EXPERIMENT_IDS, render_suite, run_suite
+from .engine import ChunkedTraceStore, ParallelExecutor, Query, execute, parse_aggregate_spec
+from .errors import ReproError
 from .core.characterization import characterize
 from .core.evolution import compare_evolution
 from .simulator.cluster import ClusterConfig
@@ -29,7 +34,7 @@ from .simulator.replay import WorkloadReplayer
 from .synth.swim import SwimSynthesizer
 from .traces.anonymize import Anonymizer, anonymize_trace
 from .traces.export import aggregate_trace
-from .traces.io import read_trace, write_trace
+from .traces.io import iter_trace, read_trace, write_trace
 from .traces.registry import load_workload, registered_names
 from .units import HOUR
 
@@ -108,6 +113,41 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-simulation", action="store_true",
                        help="skip experiments that need the replay simulator")
     bench.add_argument("--output", help="also write the report to this file")
+
+    engine = subparsers.add_parser("engine",
+                                   help="columnar trace engine (convert / info / query)")
+    engine_actions = engine.add_subparsers(dest="engine_command", required=True)
+
+    convert = engine_actions.add_parser("convert",
+                                        help="convert a trace to a chunked columnar store")
+    convert_source = convert.add_mutually_exclusive_group(required=True)
+    convert_source.add_argument("--workload", choices=registered_names(),
+                                help="generate and convert a paper workload")
+    convert_source.add_argument("--trace", help="trace file (.csv/.jsonl[.gz]); streamed lazily")
+    convert.add_argument("--scale", type=float, default=None)
+    convert.add_argument("--seed", type=int, default=0)
+    convert.add_argument("--output", required=True, help="store directory to create")
+    convert.add_argument("--chunk-rows", type=int, default=65536,
+                         help="rows per on-disk chunk (bounds conversion memory)")
+
+    info = engine_actions.add_parser("info", help="summarize a chunked columnar store")
+    info.add_argument("--store", required=True, help="store directory")
+
+    query = engine_actions.add_parser("query",
+                                      help="filtered aggregate / group-by / top-k over a store")
+    query.add_argument("--store", required=True, help="store directory")
+    query.add_argument("--where", action="append", default=[], metavar="COL OP VALUE",
+                       help="filter, e.g. 'input_bytes > 1e9' (repeatable, ANDed)")
+    query.add_argument("--agg", nargs="*", default=[], metavar="OP:COLUMN",
+                       help="aggregates, e.g. count sum:input_bytes p99:duration_s")
+    query.add_argument("--group-by", help="group aggregates by a column")
+    query.add_argument("--top-k", metavar="COLUMN:K",
+                       help="return the K rows with the largest COLUMN instead of aggregating")
+    query.add_argument("--limit", type=int, default=None,
+                       help="collect at most N matching rows (short-circuits the scan)")
+    query.add_argument("--columns", nargs="*", help="projection for top-k/limit output")
+    query.add_argument("--parallel", type=int, default=None, metavar="N",
+                       help="fan the scan out over N worker processes")
     return parser
 
 
@@ -185,6 +225,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("\n".join(report.summary_lines()))
         return 0
 
+    if args.command == "engine":
+        return _run_engine(parser, args)
+
     if args.command == "bench":
         results = run_suite(seed=args.seed, scale=args.scale,
                             experiments=args.experiments,
@@ -198,6 +241,120 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser.error("unknown command %r" % (args.command,))
     return 2
+
+
+# ---------------------------------------------------------------------------
+# engine subcommand
+# ---------------------------------------------------------------------------
+def _parse_where(text: str):
+    """Parse a ``--where`` clause: ``column OP value`` (whitespace optional)."""
+    from .engine.operators import PREDICATE_OPS
+
+    stripped = text.strip()
+    for op in ("<=", ">=", "==", "!=", "<", ">"):
+        if op in stripped:
+            column, value = stripped.split(op, 1)
+            return column.strip(), op, value.strip()
+    if stripped.endswith("finite"):
+        return stripped[: -len("finite")].strip(), "finite", None
+    raise ReproError("cannot parse --where %r (use 'column OP value', OP in %s)"
+                     % (text, ", ".join(PREDICATE_OPS)))
+
+
+def _build_engine_query(args) -> Query:
+    query = Query()
+    for clause in args.where:
+        column, op, value = _parse_where(clause)
+        if op != "finite":
+            try:
+                value = float(value)
+            except ValueError:
+                pass  # string comparison (e.g. framework == hive)
+        query = query.filter(column, op, value)
+    if (args.top_k or args.limit is not None) and (args.agg or args.group_by):
+        raise ReproError("--top-k/--limit return rows and cannot be combined "
+                         "with --agg or --group-by")
+    if args.top_k:
+        column, _, k = args.top_k.rpartition(":")
+        try:
+            top_k = int(k)
+        except ValueError:
+            column = ""
+        if not column:
+            raise ReproError("--top-k must look like column:K, got %r" % (args.top_k,))
+        query = query.top(column, top_k)
+        if args.columns:
+            query = query.project(args.columns)
+        return query
+    if args.limit is not None:
+        query = query.limit(args.limit)
+        if args.columns:
+            query = query.project(args.columns)
+        return query
+    specs = args.agg or ["count"]
+    for spec in specs:
+        label, op, column = parse_aggregate_spec(spec)
+        if op == "count" and column == "submit_time_s":
+            query = query.count(label)
+        else:
+            query = query.aggregate(**{label: (op, column)})
+    if args.group_by:
+        query = query.group_by(args.group_by)
+    return query
+
+
+def _run_engine(parser, args) -> int:
+    if args.engine_command == "convert":
+        if args.workload:
+            source = load_workload(args.workload, seed=args.seed, scale=args.scale)
+        else:
+            source = iter_trace(args.trace)  # lazy: bounded by --chunk-rows
+        store = ChunkedTraceStore.write(args.output, source, chunk_rows=args.chunk_rows,
+                                        name=args.workload or None)
+        print("wrote %d jobs in %d chunks to %s" % (store.n_jobs, store.n_chunks, args.output))
+        return 0
+
+    if args.engine_command == "info":
+        info = ChunkedTraceStore(args.store).info()
+        for key in ("directory", "name", "machines", "n_jobs", "n_chunks",
+                    "on_disk_bytes", "submit_time_range"):
+            print("%-18s %s" % (key, info[key]))
+        print("%-18s %s" % ("columns", ", ".join(info["columns"])))
+        return 0
+
+    if args.engine_command == "query":
+        store = ChunkedTraceStore(args.store)
+        query = _build_engine_query(args)
+        if args.parallel and query.is_aggregate_only():
+            result = ParallelExecutor(processes=args.parallel).run(store, query)
+        else:
+            result = execute(store, query)
+        if result.aggregates is not None:
+            for label, value in result.aggregates.items():
+                print("%-24s %s" % (label, _render_value(value)))
+        elif result.groups is not None:
+            for key, aggregates in result.groups.items():
+                rendered = ", ".join("%s=%s" % (label, _render_value(value))
+                                     for label, value in aggregates.items())
+                print("%-24s %s" % (key if key != "" else "(missing)", rendered))
+        else:
+            for row in result.row_dicts():
+                print(row)
+        print("-- scanned %d rows in %d chunks (%d skipped via zone maps), %d matched"
+              % (result.rows_scanned, result.chunks_scanned,
+                 result.chunks_skipped, result.rows_matched))
+        return 0
+
+    parser.error("unknown engine command %r" % (args.engine_command,))
+    return 2
+
+
+def _render_value(value):
+    if isinstance(value, float):
+        return "%.6g" % value
+    if isinstance(value, list):  # CDF points
+        return "[%d cdf points]" % len(value)
+    return str(value)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,7 +15,6 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from ..errors import AnalysisError
-from ..traces.trace import Trace
 from ..units import GB, MB
 from .stats import EmpiricalCDF, empirical_cdf
 
@@ -50,8 +49,15 @@ class DataSizeDistributions:
         return self.medians[dimension]
 
 
-def analyze_data_sizes(trace: Trace) -> DataSizeDistributions:
-    """Compute Figure-1 style per-job size distributions for one trace."""
+def analyze_data_sizes(trace) -> DataSizeDistributions:
+    """Compute Figure-1 style per-job size distributions for one trace.
+
+    Accepts either representation — a job-list :class:`Trace` or a
+    :class:`repro.engine.ColumnarTrace` — since both expose the same
+    ``dimension`` accessor.  The map-only fraction is computed from the
+    dimension arrays directly (NaN counts as zero, matching
+    :attr:`Job.is_map_only`), so no per-job Python loop runs either way.
+    """
     if trace.is_empty():
         raise AnalysisError("cannot analyze data sizes of an empty trace")
     cdfs: Dict[str, EmpiricalCDF] = {}
@@ -63,7 +69,9 @@ def analyze_data_sizes(trace: Trace) -> DataSizeDistributions:
         cdfs[dimension] = cdf
         medians[dimension] = cdf.median()
         below_gb[dimension] = cdf.fraction_at_or_below(float(GB))
-    map_only = sum(1 for job in trace if job.is_map_only) / len(trace)
+    shuffle = np.nan_to_num(trace.dimension("shuffle_bytes"), nan=0.0)
+    reduce_s = np.nan_to_num(trace.dimension("reduce_task_seconds"), nan=0.0)
+    map_only = float(np.mean((shuffle == 0.0) & (reduce_s == 0.0)))
     return DataSizeDistributions(
         workload=trace.name,
         cdfs=cdfs,

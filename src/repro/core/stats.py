@@ -30,6 +30,19 @@ __all__ = [
 ]
 
 
+def _as_float_array(samples: Sequence[float]) -> np.ndarray:
+    """Coerce samples to a float array without copying NumPy inputs.
+
+    The columnar engine hands these functions million-element arrays; the old
+    ``np.asarray(list(samples))`` round-trip through a Python list dominated
+    the runtime.  Arrays pass through as (possibly casted) views; other
+    iterables take the list path as before.
+    """
+    if isinstance(samples, np.ndarray):
+        return samples.astype(float, copy=False)
+    return np.asarray(list(samples), dtype=float)
+
+
 @dataclass
 class EmpiricalCDF:
     """An empirical cumulative distribution function.
@@ -89,7 +102,7 @@ def empirical_cdf(samples: Sequence[float], drop_nan: bool = True) -> EmpiricalC
     Raises:
         AnalysisError: when no finite samples remain.
     """
-    array = np.asarray(list(samples), dtype=float)
+    array = _as_float_array(samples)
     if drop_nan:
         array = array[np.isfinite(array)]
     if array.size == 0:
@@ -118,7 +131,7 @@ def log_bins(low: float, high: float, bins_per_decade: int = 4) -> np.ndarray:
 
 def percentile(samples: Sequence[float], q: float) -> float:
     """The ``q``-th percentile (0-100) of the finite samples."""
-    array = np.asarray(list(samples), dtype=float)
+    array = _as_float_array(samples)
     array = array[np.isfinite(array)]
     if array.size == 0:
         raise AnalysisError("cannot take a percentile of an empty sample")
@@ -139,7 +152,7 @@ def percentile_ratio_curve(samples: Sequence[float],
     Raises:
         AnalysisError: when the sample is empty or its median is zero.
     """
-    array = np.asarray(list(samples), dtype=float)
+    array = _as_float_array(samples)
     array = array[np.isfinite(array)]
     if array.size == 0:
         raise AnalysisError("cannot compute a percentile curve of an empty sample")
@@ -168,11 +181,11 @@ def hourly_series(times_s: Sequence[float], weights: Optional[Sequence[float]] =
     Returns:
         A float array of hourly totals (possibly all zeros).
     """
-    times = np.asarray(list(times_s), dtype=float)
+    times = _as_float_array(times_s)
     if weights is None:
         weight_array = np.ones_like(times)
     else:
-        weight_array = np.asarray(list(weights), dtype=float)
+        weight_array = _as_float_array(weights)
         if weight_array.shape != times.shape:
             raise AnalysisError("weights must have the same length as times")
     if times.size == 0:
@@ -193,8 +206,8 @@ def pearson_correlation(series_a: Sequence[float], series_b: Sequence[float]) ->
     Returns 0.0 when either series is constant (correlation undefined), which
     matches how the paper treats uninformative dimensions.
     """
-    a = np.asarray(list(series_a), dtype=float)
-    b = np.asarray(list(series_b), dtype=float)
+    a = _as_float_array(series_a)
+    b = _as_float_array(series_b)
     if a.shape != b.shape:
         raise AnalysisError("correlation needs equal-length series")
     if a.size < 2:
@@ -206,7 +219,7 @@ def pearson_correlation(series_a: Sequence[float], series_b: Sequence[float]) ->
 
 def coefficient_of_variation(samples: Sequence[float]) -> float:
     """Standard deviation divided by mean (0 for an all-zero sample)."""
-    array = np.asarray(list(samples), dtype=float)
+    array = _as_float_array(samples)
     array = array[np.isfinite(array)]
     if array.size == 0:
         raise AnalysisError("cannot compute CoV of an empty sample")
@@ -218,7 +231,7 @@ def coefficient_of_variation(samples: Sequence[float]) -> float:
 
 def geometric_mean(samples: Sequence[float], floor: float = 1e-12) -> float:
     """Geometric mean of positive samples (values below ``floor`` are clamped)."""
-    array = np.asarray(list(samples), dtype=float)
+    array = _as_float_array(samples)
     array = array[np.isfinite(array)]
     if array.size == 0:
         raise AnalysisError("cannot compute a geometric mean of an empty sample")

@@ -1,0 +1,83 @@
+"""Columnar trace engine: out-of-core storage and parallel analytical scans.
+
+This subsystem scales the library's read-mostly analyses past what a Python
+list of :class:`~repro.traces.schema.Job` objects can hold:
+
+* :mod:`repro.engine.columnar` — :class:`ColumnarTrace`, one contiguous NumPy
+  array per job dimension, with Trace-compatible analytical accessors;
+* :mod:`repro.engine.store` — :class:`ChunkedTraceStore`, a chunked ``.npz`` +
+  JSON-manifest on-disk format with per-chunk zone maps, written and read
+  without ever materializing the full job list;
+* :mod:`repro.engine.operators` — lazy ``scan → filter → project →
+  group-by/aggregate → top-k/limit`` pipelines with column pruning, zone-map
+  chunk skipping, and limit short-circuiting;
+* :mod:`repro.engine.aggregates` — mergeable partial aggregates (count, sum,
+  min, max, mean, log-histogram percentile/CDF sketches);
+* :mod:`repro.engine.parallel` — a ``multiprocessing`` executor that fans
+  chunk scans out over workers and merges the partials.
+
+Quickstart::
+
+    from repro.engine import ChunkedTraceStore, Query, execute
+
+    store = ChunkedTraceStore.write("fb2009.store", trace)   # or any job iterable
+    query = (Query()
+             .filter("input_bytes", ">", 1e9)
+             .aggregate(jobs=("count", "input_bytes"),
+                        bytes=("sum", "input_bytes"),
+                        p99=("p99", "duration_s")))
+    print(execute(store, query).aggregates)
+"""
+
+from .aggregates import (
+    AGGREGATE_OPS,
+    AggregateState,
+    CDFState,
+    CountState,
+    HistogramSketch,
+    MaxState,
+    MeanState,
+    MinState,
+    PercentileState,
+    SumState,
+    make_aggregate,
+    parse_aggregate_spec,
+)
+from .columnar import (
+    DEFAULT_CHUNK_ROWS,
+    NUMERIC_COLUMNS,
+    STRING_COLUMNS,
+    ColumnBlock,
+    ColumnarTrace,
+)
+from .operators import PREDICATE_OPS, Predicate, Query, QueryResult, execute
+from .parallel import ParallelExecutor
+from .store import ChunkedTraceStore, write_store
+
+__all__ = [
+    "ColumnarTrace",
+    "ColumnBlock",
+    "NUMERIC_COLUMNS",
+    "STRING_COLUMNS",
+    "DEFAULT_CHUNK_ROWS",
+    "ChunkedTraceStore",
+    "write_store",
+    "Predicate",
+    "Query",
+    "QueryResult",
+    "execute",
+    "PREDICATE_OPS",
+    "ParallelExecutor",
+    "AggregateState",
+    "CountState",
+    "SumState",
+    "MinState",
+    "MaxState",
+    "MeanState",
+    "PercentileState",
+    "CDFState",
+    "HistogramSketch",
+    "AGGREGATE_OPS",
+    "make_aggregate",
+    "parse_aggregate_spec",
+]

@@ -1,0 +1,332 @@
+"""Mergeable partial aggregates for chunk-parallel execution.
+
+Every aggregate here follows the same three-step contract so that a query can
+be evaluated chunk by chunk — serially or fanned out over worker processes —
+and combined at the end:
+
+* ``update(values)`` folds one chunk's column values into the partial state;
+* ``merge(other)`` combines two partials computed on disjoint chunks;
+* ``result()`` extracts the final answer.
+
+Count/sum/min/max/mean merge exactly.  Percentiles and CDFs use a fixed
+log-spaced :class:`HistogramSketch` (the bins are static, so two sketches
+always merge exactly; only the final percentile read-out is approximate, with
+resolution of about 7% — one part in ``10 ** (1/BINS_PER_DECADE)``).
+
+All classes are plain picklable objects so partial states can cross a
+``multiprocessing`` boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "AggregateState",
+    "CountState",
+    "SumState",
+    "MinState",
+    "MaxState",
+    "MeanState",
+    "HistogramSketch",
+    "PercentileState",
+    "CDFState",
+    "make_aggregate",
+    "parse_aggregate_spec",
+    "AGGREGATE_OPS",
+]
+
+
+class AggregateState:
+    """Base interface: fold chunk values, merge partials, extract the result."""
+
+    def update(self, values: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "AggregateState") -> None:
+        raise NotImplementedError
+
+    def result(self):
+        raise NotImplementedError
+
+
+class CountState(AggregateState):
+    """Count of finite (non-NaN) values."""
+
+    def __init__(self):
+        self.count = 0
+
+    def update(self, values):
+        self.count += int(np.isfinite(values).sum())
+
+    def merge(self, other):
+        self.count += other.count
+
+    def result(self):
+        return self.count
+
+
+class SumState(AggregateState):
+    def __init__(self):
+        self.total = 0.0
+
+    def update(self, values):
+        finite = values[np.isfinite(values)]
+        if finite.size:
+            self.total += float(finite.sum())
+
+    def merge(self, other):
+        self.total += other.total
+
+    def result(self):
+        return self.total
+
+
+class MinState(AggregateState):
+    def __init__(self):
+        self.value: Optional[float] = None
+
+    def update(self, values):
+        finite = values[np.isfinite(values)]
+        if finite.size:
+            low = float(finite.min())
+            self.value = low if self.value is None else min(self.value, low)
+
+    def merge(self, other):
+        if other.value is not None:
+            self.value = other.value if self.value is None else min(self.value, other.value)
+
+    def result(self):
+        return self.value
+
+
+class MaxState(AggregateState):
+    def __init__(self):
+        self.value: Optional[float] = None
+
+    def update(self, values):
+        finite = values[np.isfinite(values)]
+        if finite.size:
+            high = float(finite.max())
+            self.value = high if self.value is None else max(self.value, high)
+
+    def merge(self, other):
+        if other.value is not None:
+            self.value = other.value if self.value is None else max(self.value, other.value)
+
+    def result(self):
+        return self.value
+
+
+class MeanState(AggregateState):
+    """Mean as a mergeable (sum, count) pair; ``None`` for an empty column."""
+
+    def __init__(self):
+        self.total = 0.0
+        self.count = 0
+
+    def update(self, values):
+        finite = values[np.isfinite(values)]
+        if finite.size:
+            self.total += float(finite.sum())
+            self.count += int(finite.size)
+
+    def merge(self, other):
+        self.total += other.total
+        self.count += other.count
+
+    def result(self):
+        return self.total / self.count if self.count else None
+
+
+# ---------------------------------------------------------------------------
+# Histogram sketch: shared substrate for percentiles and CDFs
+# ---------------------------------------------------------------------------
+#: Static log-spaced bin layout: 10^LOW_EXP .. 10^HIGH_EXP bytes/seconds.
+LOW_EXP = -3
+HIGH_EXP = 16
+BINS_PER_DECADE = 32
+N_BINS = (HIGH_EXP - LOW_EXP) * BINS_PER_DECADE
+
+_EDGES = np.logspace(LOW_EXP, HIGH_EXP, N_BINS + 1)
+_CENTERS = np.sqrt(_EDGES[:-1] * _EDGES[1:])  # geometric bin midpoints
+
+
+class HistogramSketch(AggregateState):
+    """Fixed-bin log-spaced histogram of non-negative samples.
+
+    The bin layout is static (``10^-3`` to ``10^16``, 32 bins per decade), so
+    two sketches built on different chunks merge by adding their count arrays.
+    Values of exactly zero get a dedicated count, values below the first edge
+    clamp into the first bin, values above the last edge clamp into the last.
+    Exact min/max are tracked alongside so read-outs can be clamped to the
+    observed range.
+    """
+
+    def __init__(self):
+        self.counts = np.zeros(N_BINS, dtype=np.int64)
+        self.zero_count = 0
+        self.n = 0
+        self.low: Optional[float] = None
+        self.high: Optional[float] = None
+
+    def update(self, values):
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            return
+        if float(finite.min()) < 0:
+            raise AnalysisError("histogram sketch expects non-negative samples")
+        self.n += int(finite.size)
+        low, high = float(finite.min()), float(finite.max())
+        self.low = low if self.low is None else min(self.low, low)
+        self.high = high if self.high is None else max(self.high, high)
+        positive = finite[finite > 0.0]
+        self.zero_count += int(finite.size - positive.size)
+        if positive.size:
+            # The edges are exactly log10-uniform, so the bin index is a
+            # closed-form floor instead of a binary search; paired with a
+            # dense bincount fill this is ~20x faster than searchsorted +
+            # np.add.at on million-element chunks.
+            bins = np.floor((np.log10(positive) - LOW_EXP) * BINS_PER_DECADE).astype(np.int64)
+            np.clip(bins, 0, N_BINS - 1, out=bins)
+            self.counts += np.bincount(bins, minlength=N_BINS).astype(np.int64)
+
+    def merge(self, other):
+        self.counts += other.counts
+        self.zero_count += other.zero_count
+        self.n += other.n
+        if other.low is not None:
+            self.low = other.low if self.low is None else min(self.low, other.low)
+        if other.high is not None:
+            self.high = other.high if self.high is None else max(self.high, other.high)
+
+    # -- read-outs ---------------------------------------------------------
+    def percentile(self, q: float) -> Optional[float]:
+        """Approximate ``q``-th percentile (0-100), clamped to observed min/max."""
+        if not 0.0 <= q <= 100.0:
+            raise AnalysisError("percentile must be in [0, 100], got %r" % (q,))
+        if self.n == 0:
+            return None
+        rank = q / 100.0 * self.n
+        if rank <= self.zero_count:
+            return 0.0 if self.zero_count else float(self.low)
+        cumulative = self.zero_count + np.cumsum(self.counts)
+        index = int(np.searchsorted(cumulative, rank, side="left"))
+        index = min(index, N_BINS - 1)
+        estimate = float(_CENTERS[index])
+        return float(min(max(estimate, self.low), self.high))
+
+    def cdf_points(self, max_points: int = 256) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) pairs over the non-empty bins."""
+        if self.n == 0:
+            return []
+        points: List[Tuple[float, float]] = []
+        running = self.zero_count
+        if self.zero_count:
+            points.append((0.0, running / self.n))
+        nonzero = np.nonzero(self.counts)[0]
+        for index in nonzero:
+            running += int(self.counts[index])
+            points.append((float(_CENTERS[index]), running / self.n))
+        if len(points) > max_points:
+            stride = -(-len(points) // max_points)
+            thinned = points[::stride]
+            if thinned[-1] != points[-1]:
+                thinned.append(points[-1])
+            points = thinned
+        return points
+
+    def result(self):
+        return self
+
+
+class PercentileState(AggregateState):
+    """One percentile read out of a :class:`HistogramSketch`."""
+
+    def __init__(self, q: float):
+        if not 0.0 <= q <= 100.0:
+            raise AnalysisError("percentile must be in [0, 100], got %r" % (q,))
+        self.q = q
+        self.sketch = HistogramSketch()
+
+    def update(self, values):
+        self.sketch.update(values)
+
+    def merge(self, other):
+        self.sketch.merge(other.sketch)
+
+    def result(self):
+        return self.sketch.percentile(self.q)
+
+
+class CDFState(AggregateState):
+    """A full (approximate) CDF read out of a :class:`HistogramSketch`."""
+
+    def __init__(self):
+        self.sketch = HistogramSketch()
+
+    def update(self, values):
+        self.sketch.update(values)
+
+    def merge(self, other):
+        self.sketch.merge(other.sketch)
+
+    def result(self):
+        return self.sketch.cdf_points()
+
+
+_SIMPLE_OPS = {
+    "count": CountState,
+    "sum": SumState,
+    "min": MinState,
+    "max": MaxState,
+    "mean": MeanState,
+    "cdf": CDFState,
+    "sketch": HistogramSketch,
+}
+
+#: Supported aggregate operation names (``pNN`` / ``percentile:q`` also work).
+AGGREGATE_OPS = tuple(sorted(_SIMPLE_OPS)) + ("p50", "p95", "p99", "percentile:<q>")
+
+
+def make_aggregate(op: str) -> AggregateState:
+    """Instantiate a fresh aggregate state for ``op``.
+
+    Ops: ``count``, ``sum``, ``min``, ``max``, ``mean``, ``cdf``, ``sketch``,
+    ``pNN`` (e.g. ``p50``, ``p99.5``) or ``percentile:q``.
+    """
+    if op in _SIMPLE_OPS:
+        return _SIMPLE_OPS[op]()
+    if op.startswith("percentile:"):
+        return PercentileState(float(op.split(":", 1)[1]))
+    if op.startswith("p"):
+        try:
+            return PercentileState(float(op[1:]))
+        except ValueError:
+            pass
+    raise AnalysisError("unknown aggregate op %r (supported: %s)"
+                        % (op, ", ".join(AGGREGATE_OPS)))
+
+
+def parse_aggregate_spec(text: str) -> Tuple[str, str, str]:
+    """Parse a CLI-style aggregate spec into ``(label, op, column)``.
+
+    Formats: ``op:column`` (label defaults to the spec itself), or plain
+    ``count`` which counts rows via the ``submit_time_s`` column.
+    """
+    if ":" not in text:
+        if text == "count":
+            return "count", "count", "submit_time_s"
+        raise AnalysisError("aggregate spec %r must look like op:column" % (text,))
+    op, column = text.split(":", 1)
+    if op == "percentile":
+        # percentile:q:column
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise AnalysisError("percentile spec must be percentile:q:column, got %r" % (text,))
+        return text, "percentile:%s" % parts[1], parts[2]
+    return text, op, column

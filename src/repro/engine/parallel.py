@@ -1,0 +1,135 @@
+"""Chunk-parallel query execution over a chunked trace store.
+
+The executor fans the chunks of a :class:`~repro.engine.store.ChunkedTraceStore`
+out over a ``multiprocessing`` pool.  Each worker opens the store itself (so
+only the directory path and the picklable :class:`~repro.engine.operators.Query`
+cross the process boundary), evaluates its chunk subset with the same serial
+``execute`` path, and returns partial aggregate states.  The parent merges
+partials with :meth:`AggregateState.merge` — exact for count/sum/min/max/mean
+and for the fixed-bin percentile/CDF sketches.
+
+Only aggregate-shaped queries (global or grouped) parallelize; ``top-k``,
+``limit`` and plain collection fall back to the serial scan, which for
+``limit`` is the better plan anyway (it short-circuits).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AnalysisError
+from .aggregates import AggregateState
+from .operators import Query, QueryResult, execute
+from .store import ChunkedTraceStore
+
+__all__ = ["ParallelExecutor"]
+
+
+def _worker_partials(task: Tuple[str, Query, List[int]]):
+    """Evaluate a chunk subset and return picklable partial state.
+
+    Runs in a worker process.  Returns ``(states, groups, counters)`` where
+    ``states``/``groups`` hold :class:`AggregateState` partials (not results,
+    so the parent can merge them exactly).
+    """
+    directory, query, chunk_indices = task
+    store = ChunkedTraceStore(directory)
+    states, groups, counters = _partial_execute(store, query, chunk_indices)
+    return states, groups, counters
+
+
+def _partial_execute(store, query: Query, chunk_indices):
+    """Like :func:`execute` but returning unmerged partial states."""
+    from .operators import (_apply_filters, _iter_source_chunks, _make_states,
+                            _update_groups, _update_states)
+
+    columns = query.required_columns()
+    states = _make_states(query)
+    groups: Dict[object, Dict[str, AggregateState]] = {}
+    counters = {"rows_scanned": 0, "rows_matched": 0, "chunks_scanned": 0, "chunks_skipped": 0}
+    for block, skipped in _iter_source_chunks(store, columns, query.predicates, chunk_indices):
+        if skipped:
+            counters["chunks_skipped"] += 1
+            continue
+        counters["chunks_scanned"] += 1
+        counters["rows_scanned"] += block.n_rows
+        block = _apply_filters(block, query.predicates)
+        counters["rows_matched"] += block.n_rows
+        if block.n_rows == 0:
+            continue
+        if query.group_column is None:
+            _update_states(states, block, query)
+        else:
+            _update_groups(groups, block, query)
+    return states, groups, counters
+
+
+class ParallelExecutor:
+    """Fan chunk scans out over worker processes and merge the partials.
+
+    Args:
+        processes: worker count; defaults to ``min(n_chunks, cpu_count)``.
+    """
+
+    def __init__(self, processes: Optional[int] = None):
+        if processes is not None and processes < 1:
+            raise AnalysisError("ParallelExecutor needs at least one process")
+        self.processes = processes
+
+    def run(self, store: ChunkedTraceStore, query: Query) -> QueryResult:
+        """Execute ``query`` against ``store``; parallel for aggregate queries."""
+        query.validate()
+        if not query.is_aggregate_only():
+            return execute(store, query)
+        n_chunks = store.n_chunks
+        n_workers = self.processes or min(n_chunks, multiprocessing.cpu_count())
+        n_workers = max(1, min(n_workers, n_chunks))
+        if n_workers == 1 or n_chunks <= 1:
+            return execute(store, query)
+
+        # Contiguous chunk ranges keep each worker's reads sequential on disk.
+        tasks = []
+        per_worker = -(-n_chunks // n_workers)
+        for start in range(0, n_chunks, per_worker):
+            indices = list(range(start, min(n_chunks, start + per_worker)))
+            tasks.append((store.directory, query, indices))
+
+        with multiprocessing.Pool(processes=n_workers) as pool:
+            partials = pool.map(_worker_partials, tasks)
+
+        return _merge_partials(query, partials)
+
+
+def _merge_partials(query: Query, partials) -> QueryResult:
+    result = QueryResult()
+    merged_states: Optional[Dict[str, AggregateState]] = None
+    merged_groups: Dict[object, Dict[str, AggregateState]] = {}
+    for states, groups, counters in partials:
+        result.rows_scanned += counters["rows_scanned"]
+        result.rows_matched += counters["rows_matched"]
+        result.chunks_scanned += counters["chunks_scanned"]
+        result.chunks_skipped += counters["chunks_skipped"]
+        if query.group_column is None:
+            if merged_states is None:
+                merged_states = states
+            else:
+                for label in merged_states:
+                    merged_states[label].merge(states[label])
+        else:
+            for key, group in groups.items():
+                target = merged_groups.get(key)
+                if target is None:
+                    merged_groups[key] = group
+                else:
+                    for label in target:
+                        target[label].merge(group[label])
+    if query.group_column is None:
+        merged_states = merged_states or {}
+        result.aggregates = {label: state.result() for label, state in merged_states.items()}
+    else:
+        result.groups = {
+            key: {label: state.result() for label, state in group.items()}
+            for key, group in sorted(merged_groups.items(), key=lambda item: str(item[0]))
+        }
+    return result

@@ -1,0 +1,347 @@
+"""Chunked on-disk columnar trace store.
+
+A store is a directory holding a JSON manifest plus one compressed ``.npz``
+file per chunk of rows::
+
+    store/
+      manifest.json
+      chunk-00000.npz
+      chunk-00001.npz
+      ...
+
+Each ``.npz`` member is one column of that chunk.  The manifest records the
+column set, per-chunk row counts and per-chunk min/max **zone maps** for every
+numeric column, so a filtered scan can skip whole chunks whose value range
+cannot match a predicate (the classic columnar small-materialized-aggregates
+trick; see the NeedleTail / Polynesia discussion in PAPERS.md).
+
+The writer consumes any iterable of jobs — including the lazy trace-file
+readers in :mod:`repro.traces.io` — so a trace can be converted to columnar
+form without ever holding more than one chunk of jobs in memory.  Readers are
+equally lazy: :meth:`ChunkedTraceStore.iter_chunks` loads one chunk (and only
+the requested columns) at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import TraceFormatError
+from ..traces.schema import Job
+from ..traces.trace import Trace
+from .columnar import (
+    ALL_COLUMNS,
+    DEFAULT_CHUNK_ROWS,
+    NUMERIC_COLUMNS,
+    STRING_COLUMNS,
+    ColumnBlock,
+    ColumnarTrace,
+    _append_job,
+    _block_to_jobs,
+    _buffers_to_arrays,
+)
+
+__all__ = ["ChunkedTraceStore", "write_store"]
+
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+
+
+class _ChunkMeta:
+    """Manifest entry for one chunk: file name, row count, zone maps."""
+
+    __slots__ = ("file", "rows", "zones")
+
+    def __init__(self, file: str, rows: int, zones: Dict[str, List[float]]):
+        self.file = file
+        self.rows = rows
+        #: column -> [min, max] over finite values (absent if none are finite).
+        self.zones = zones
+
+    def to_json(self) -> Dict:
+        return {"file": self.file, "rows": self.rows, "zones": self.zones}
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "_ChunkMeta":
+        return cls(file=data["file"], rows=int(data["rows"]),
+                   zones={k: [float(v[0]), float(v[1])] for k, v in data.get("zones", {}).items()})
+
+
+def _zone_maps(columns: Dict[str, np.ndarray]) -> Dict[str, List[float]]:
+    zones: Dict[str, List[float]] = {}
+    for name in NUMERIC_COLUMNS:
+        array = columns.get(name)
+        if array is None or array.size == 0:
+            continue
+        finite = array[np.isfinite(array)]
+        if finite.size:
+            zones[name] = [float(finite.min()), float(finite.max())]
+    return zones
+
+
+class ChunkedTraceStore:
+    """Handle on an on-disk chunked columnar trace.
+
+    Open an existing store with ``ChunkedTraceStore(directory)``; create one
+    with :meth:`write`.  The handle itself holds only the manifest — chunk
+    data is read lazily, one ``.npz`` at a time.
+    """
+
+    def __init__(self, directory):
+        self.directory = str(directory)
+        manifest_path = os.path.join(self.directory, MANIFEST_NAME)
+        if not os.path.isfile(manifest_path):
+            raise TraceFormatError("%s: not a chunked trace store (no %s)"
+                                   % (self.directory, MANIFEST_NAME))
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            try:
+                manifest = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError("%s: invalid manifest: %s" % (manifest_path, exc))
+        if manifest.get("format_version") != FORMAT_VERSION:
+            raise TraceFormatError("%s: unsupported format version %r"
+                                   % (manifest_path, manifest.get("format_version")))
+        self.name: str = manifest.get("name", "trace")
+        self.machines: Optional[int] = manifest.get("machines")
+        self.columns: List[str] = list(manifest["columns"])
+        self.sorted_by_submit_time: bool = bool(manifest.get("sorted_by_submit_time", False))
+        self._chunks: List[_ChunkMeta] = [_ChunkMeta.from_json(c) for c in manifest["chunks"]]
+
+    # -- metadata ----------------------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        return sum(chunk.rows for chunk in self._chunks)
+
+    def __len__(self) -> int:
+        return self.n_jobs
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._chunks)
+
+    def __repr__(self) -> str:
+        return "ChunkedTraceStore(%r, n_jobs=%d, n_chunks=%d)" % (
+            self.directory, self.n_jobs, self.n_chunks)
+
+    def chunk_rows(self) -> List[int]:
+        return [chunk.rows for chunk in self._chunks]
+
+    def chunk_zone(self, index: int, column: str) -> Optional[List[float]]:
+        """The [min, max] zone of one numeric column in one chunk, if recorded."""
+        return self._chunks[index].zones.get(column)
+
+    def info(self) -> Dict:
+        """Manifest-level summary (for ``repro engine info``)."""
+        total_bytes = sum(
+            os.path.getsize(os.path.join(self.directory, chunk.file))
+            for chunk in self._chunks
+            if os.path.isfile(os.path.join(self.directory, chunk.file))
+        )
+        submit_zones = [chunk.zones.get("submit_time_s") for chunk in self._chunks]
+        submit_zones = [zone for zone in submit_zones if zone]
+        return {
+            "directory": self.directory,
+            "name": self.name,
+            "machines": self.machines,
+            "n_jobs": self.n_jobs,
+            "n_chunks": self.n_chunks,
+            "columns": self.columns,
+            "on_disk_bytes": int(total_bytes),
+            "submit_time_range": [min(z[0] for z in submit_zones),
+                                  max(z[1] for z in submit_zones)] if submit_zones else None,
+        }
+
+    # -- lazy readers ------------------------------------------------------
+    def read_chunk(self, index: int, columns: Optional[Sequence[str]] = None) -> ColumnBlock:
+        """Load one chunk, materializing only the requested columns."""
+        meta = self._chunks[index]
+        path = os.path.join(self.directory, meta.file)
+        wanted = self._storage_columns(columns)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                data = {name: archive[name] for name in wanted}
+        except (IOError, KeyError, ValueError) as exc:
+            raise TraceFormatError("%s: cannot read chunk %s: %s" % (self.directory, meta.file, exc))
+        return ColumnBlock(data)
+
+    def _storage_columns(self, columns: Optional[Sequence[str]]) -> List[str]:
+        """Resolve a requested column list to stored columns (expanding derived)."""
+        if columns is None:
+            return list(self.columns)
+        wanted: List[str] = []
+        for name in columns:
+            if name in self.columns:
+                parts = [name]
+            elif name == "total_bytes":
+                parts = ["input_bytes", "shuffle_bytes", "output_bytes"]
+            elif name == "total_task_seconds":
+                parts = ["map_task_seconds", "reduce_task_seconds"]
+            elif name == "finish_time_s":
+                parts = ["submit_time_s", "duration_s"]
+            else:
+                raise TraceFormatError("store %s has no column %r (have %s)"
+                                       % (self.directory, name, self.columns))
+            for part in parts:
+                if part not in self.columns:
+                    raise TraceFormatError("store %s has no column %r (needed for %r)"
+                                           % (self.directory, part, name))
+                if part not in wanted:
+                    wanted.append(part)
+        return wanted
+
+    def iter_chunks(self, columns: Optional[Sequence[str]] = None,
+                    chunk_indices: Optional[Sequence[int]] = None) -> Iterator[ColumnBlock]:
+        """Yield chunks lazily; memory use is bounded by one chunk."""
+        indices = range(self.n_chunks) if chunk_indices is None else chunk_indices
+        for index in indices:
+            yield self.read_chunk(index, columns=columns)
+
+    def iter_jobs(self) -> Iterator[Job]:
+        """Yield :class:`Job` objects one chunk at a time."""
+        for block in self.iter_chunks():
+            for job in _block_to_jobs(block):
+                yield job
+
+    # -- whole-store materialization ---------------------------------------
+    def load_columnar(self) -> ColumnarTrace:
+        """Load the full store into one in-memory :class:`ColumnarTrace`."""
+        blocks = list(self.iter_chunks())
+        trace = ColumnarTrace.__new__(ColumnarTrace)
+        trace.block = ColumnBlock.concat(blocks) if blocks else ColumnBlock({})
+        trace.name = self.name
+        trace.machines = self.machines
+        if not self.sorted_by_submit_time:
+            trace._sort_by_submit_time()
+        return trace
+
+    def to_trace(self) -> Trace:
+        """Materialize the full store as a job-list :class:`Trace`."""
+        return Trace(self.iter_jobs(), name=self.name, machines=self.machines)
+
+    # -- writer ------------------------------------------------------------
+    @classmethod
+    def write(cls, directory, source, chunk_rows: int = DEFAULT_CHUNK_ROWS,
+              name: Optional[str] = None, machines: Optional[int] = None) -> "ChunkedTraceStore":
+        """Write a store from a :class:`Trace`, :class:`ColumnarTrace`, or job iterable.
+
+        Job iterables are consumed streamingly: at most ``chunk_rows`` jobs are
+        buffered before being flushed to disk, so arbitrarily large traces can
+        be converted with bounded memory.
+        """
+        if chunk_rows <= 0:
+            raise TraceFormatError("chunk_rows must be positive, got %r" % (chunk_rows,))
+        os.makedirs(directory, exist_ok=True)
+        sorted_hint = False
+        if isinstance(source, ColumnarTrace):
+            name = name or source.name
+            machines = machines if machines is not None else source.machines
+            sorted_hint = True
+            block_iter = source.iter_chunks(chunk_rows=chunk_rows)
+            return cls._write_blocks(directory, block_iter, chunk_rows, name, machines, sorted_hint)
+        if isinstance(source, Trace):
+            name = name or source.name
+            machines = machines if machines is not None else source.machines
+            sorted_hint = True  # Trace keeps jobs sorted by submit time
+            jobs: Iterable[Job] = source.jobs
+        else:
+            jobs = source
+        return cls._write_blocks(directory,
+                                 _job_blocks(jobs, chunk_rows),
+                                 chunk_rows, name or "trace", machines, sorted_hint)
+
+    @classmethod
+    def _write_blocks(cls, directory, blocks: Iterable[ColumnBlock], chunk_rows: int,
+                      name: str, machines: Optional[int], sorted_hint: bool) -> "ChunkedTraceStore":
+        chunk_metas: List[_ChunkMeta] = []
+        column_names: Optional[List[str]] = None
+        for index, block in enumerate(blocks):
+            if block.n_rows == 0 and index > 0:
+                continue
+            columns = dict(block.columns)
+            if column_names is None:
+                column_names = sorted(columns)
+            elif sorted(columns) != column_names:
+                # A later chunk surfaced a string column earlier chunks lacked
+                # (or vice versa): pad to the union so every chunk file has the
+                # same member set.
+                union = sorted(set(column_names) | set(columns))
+                column_names = union
+                for col in union:
+                    if col not in columns:
+                        columns[col] = _empty_column(col, block.n_rows)
+            file_name = "chunk-%05d.npz" % index
+            np.savez_compressed(os.path.join(str(directory), file_name), **columns)
+            chunk_metas.append(_ChunkMeta(file=file_name, rows=block.n_rows,
+                                          zones=_zone_maps(columns)))
+        if column_names is None:
+            column_names = sorted(NUMERIC_COLUMNS + ("job_id",))
+            file_name = "chunk-00000.npz"
+            empty = {col: _empty_column(col, 0) for col in column_names}
+            np.savez_compressed(os.path.join(str(directory), file_name), **empty)
+            chunk_metas.append(_ChunkMeta(file=file_name, rows=0, zones={}))
+        _backfill_missing_columns(str(directory), chunk_metas, column_names)
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "name": name,
+            "machines": machines,
+            "n_jobs": sum(meta.rows for meta in chunk_metas),
+            "chunk_rows": chunk_rows,
+            "sorted_by_submit_time": sorted_hint,
+            "columns": column_names,
+            "chunks": [meta.to_json() for meta in chunk_metas],
+        }
+        manifest_path = os.path.join(str(directory), MANIFEST_NAME)
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return cls(directory)
+
+
+def _empty_column(name: str, rows: int) -> np.ndarray:
+    if name in NUMERIC_COLUMNS:
+        return np.full(rows, np.nan, dtype=float)
+    return np.full(rows, "", dtype=np.str_)
+
+
+def _backfill_missing_columns(directory: str, chunk_metas: List[_ChunkMeta],
+                              column_names: List[str]) -> None:
+    """Rewrite early chunks that predate a column first seen in a later chunk."""
+    for meta in chunk_metas:
+        path = os.path.join(directory, meta.file)
+        with np.load(path, allow_pickle=False) as archive:
+            present = set(archive.files)
+            missing = [col for col in column_names if col not in present]
+            if not missing:
+                continue
+            data = {nm: archive[nm] for nm in archive.files}
+        for col in missing:
+            data[col] = _empty_column(col, meta.rows)
+        np.savez_compressed(path, **data)
+
+
+def _job_blocks(jobs: Iterable[Job], chunk_rows: int) -> Iterator[ColumnBlock]:
+    """Buffer a job iterable into column blocks of at most ``chunk_rows`` rows."""
+    buffers: Dict[str, List] = {column: [] for column in ALL_COLUMNS}
+    count = 0
+    yielded = False
+    for job in jobs:
+        _append_job(buffers, job)
+        count += 1
+        if count >= chunk_rows:
+            yield ColumnBlock(_buffers_to_arrays(buffers))
+            yielded = True
+            buffers = {column: [] for column in ALL_COLUMNS}
+            count = 0
+    if count or not yielded:
+        yield ColumnBlock(_buffers_to_arrays(buffers))
+
+
+def write_store(directory, source, chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                name: Optional[str] = None, machines: Optional[int] = None) -> ChunkedTraceStore:
+    """Functional alias for :meth:`ChunkedTraceStore.write`."""
+    return ChunkedTraceStore.write(directory, source, chunk_rows=chunk_rows,
+                                   name=name, machines=machines)

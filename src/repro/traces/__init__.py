@@ -9,7 +9,17 @@ See DESIGN.md for the full subpackage inventory.
 
 from .schema import FEATURE_DIMENSIONS, NUMERIC_DIMENSIONS, Job
 from .trace import Trace, TraceSummary
-from .io import read_csv, read_jsonl, read_trace, write_csv, write_jsonl, write_trace
+from .io import (
+    iter_csv,
+    iter_jsonl,
+    iter_trace,
+    read_csv,
+    read_jsonl,
+    read_trace,
+    write_csv,
+    write_jsonl,
+    write_trace,
+)
 from .hadoop_log import format_job_line, parse_history_lines, parse_job_line, read_history_log
 from .anonymize import Anonymizer, anonymize_trace
 from .export import AggregatedMetrics, aggregate_trace, merge_aggregates
@@ -39,6 +49,9 @@ __all__ = [
     "read_csv",
     "read_jsonl",
     "read_trace",
+    "iter_csv",
+    "iter_jsonl",
+    "iter_trace",
     "write_csv",
     "write_jsonl",
     "write_trace",

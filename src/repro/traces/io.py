@@ -14,7 +14,7 @@ import gzip
 import io
 import json
 import os
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 from ..errors import TraceFormatError
 from .schema import Job
@@ -23,10 +23,13 @@ from .trace import Trace
 __all__ = [
     "write_csv",
     "read_csv",
+    "iter_csv",
     "write_jsonl",
     "read_jsonl",
+    "iter_jsonl",
     "write_trace",
     "read_trace",
+    "iter_trace",
 ]
 
 #: Column order for CSV output.  Optional columns are written as empty strings.
@@ -81,20 +84,34 @@ def write_csv(trace: Trace, path) -> None:
             writer.writerow({key: ("" if row.get(key) is None else row.get(key)) for key in CSV_COLUMNS})
 
 
-def read_csv(path, name: Optional[str] = None, machines: Optional[int] = None) -> Trace:
-    """Read a trace previously written by :func:`write_csv`.
+def iter_csv(path) -> Iterator[Job]:
+    """Yield jobs from a CSV trace file one row at a time (lazy).
+
+    The file stays open only while the generator is being consumed; memory
+    use is one row, so arbitrarily large traces can be streamed straight into
+    the columnar engine's chunked store without a job-list detour.
 
     Raises:
         TraceFormatError: on a missing header or a malformed row.
     """
-    jobs = []
     with _open_text(path, "r") as handle:
         reader = csv.DictReader(handle)
         if reader.fieldnames is None or "job_id" not in reader.fieldnames:
             raise TraceFormatError("%s: missing CSV header with a job_id column" % (path,))
         for line_number, row in enumerate(reader, start=2):
-            jobs.append(_job_from_csv_row(row, path, line_number))
-    return Trace(jobs, name=name or _default_name(path), machines=machines)
+            yield _job_from_csv_row(row, path, line_number)
+
+
+def read_csv(path, name: Optional[str] = None, machines: Optional[int] = None) -> Trace:
+    """Read a trace previously written by :func:`write_csv`.
+
+    Rows are streamed via :func:`iter_csv` — the whole file is never held as
+    text; only the resulting :class:`Job` objects are materialized.
+
+    Raises:
+        TraceFormatError: on a missing header or a malformed row.
+    """
+    return Trace(iter_csv(path), name=name or _default_name(path), machines=machines)
 
 
 def _job_from_csv_row(row, path, line_number):
@@ -137,13 +154,12 @@ def write_jsonl(trace: Trace, path) -> None:
             handle.write("\n")
 
 
-def read_jsonl(path, name: Optional[str] = None, machines: Optional[int] = None) -> Trace:
-    """Read a trace previously written by :func:`write_jsonl`.
+def iter_jsonl(path) -> Iterator[Job]:
+    """Yield jobs from a JSON-lines trace file one record at a time (lazy).
 
     Raises:
         TraceFormatError: on malformed JSON or a record violating the schema.
     """
-    jobs = []
     with _open_text(path, "r") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -154,10 +170,23 @@ def read_jsonl(path, name: Optional[str] = None, machines: Optional[int] = None)
             except json.JSONDecodeError as exc:
                 raise TraceFormatError("%s line %d: invalid JSON: %s" % (path, line_number, exc))
             try:
-                jobs.append(Job.from_dict(record))
+                yield Job.from_dict(record)
+            except TraceFormatError:
+                raise
             except Exception as exc:
                 raise TraceFormatError("%s line %d: %s" % (path, line_number, exc))
-    return Trace(jobs, name=name or _default_name(path), machines=machines)
+
+
+def read_jsonl(path, name: Optional[str] = None, machines: Optional[int] = None) -> Trace:
+    """Read a trace previously written by :func:`write_jsonl`.
+
+    Rows are streamed via :func:`iter_jsonl`; only the resulting :class:`Job`
+    objects are materialized.
+
+    Raises:
+        TraceFormatError: on malformed JSON or a record violating the schema.
+    """
+    return Trace(iter_jsonl(path), name=name or _default_name(path), machines=machines)
 
 
 # ---------------------------------------------------------------------------
@@ -182,6 +211,20 @@ def read_trace(path, name: Optional[str] = None, machines: Optional[int] = None)
         return read_csv(path, name=name, machines=machines)
     if _strip_gz(path).endswith(".jsonl"):
         return read_jsonl(path, name=name, machines=machines)
+    raise TraceFormatError("unknown trace format for %r (use .csv or .jsonl)" % (path,))
+
+
+def iter_trace(path) -> Iterator[Job]:
+    """Stream jobs from a trace file lazily, choosing the format by extension.
+
+    This is the bounded-memory entry point: pair it with
+    :meth:`repro.engine.ChunkedTraceStore.write` to convert a trace file to
+    the columnar on-disk format without ever materializing the job list.
+    """
+    if _strip_gz(path).endswith(".csv"):
+        return iter_csv(path)
+    if _strip_gz(path).endswith(".jsonl"):
+        return iter_jsonl(path)
     raise TraceFormatError("unknown trace format for %r (use .csv or .jsonl)" % (path,))
 
 

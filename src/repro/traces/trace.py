@@ -8,7 +8,7 @@ and the summary statistics reported in Table 1 of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -66,6 +66,18 @@ class Trace:
         self._jobs: List[Job] = sorted(jobs, key=lambda job: job.submit_time_s)
         self.name = name
         self.machines = machines
+        #: Extracted-column cache: repeated analyses over the same trace reuse
+        #: one array per dimension instead of re-walking the job list.
+        self._column_cache: Dict[str, np.ndarray] = {}
+
+    def invalidate_cache(self):
+        """Drop cached column arrays.  Call after mutating ``jobs`` in place.
+
+        The container is immutable-ish — every public operation returns a new
+        trace — but code that reaches into :attr:`jobs` and edits job fields
+        must invalidate, or stale arrays will be served.
+        """
+        self._column_cache = {}
 
     # -- sequence protocol -------------------------------------------------
     def __len__(self):
@@ -94,27 +106,48 @@ class Trace:
     # -- basic accessors ---------------------------------------------------
     def submit_times(self):
         """Return a numpy array of submit times in seconds."""
-        return np.array([job.submit_time_s for job in self._jobs], dtype=float)
+        return self.dimension("submit_time_s")
 
     def dimension(self, name):
         """Return a numpy array of one numeric dimension across all jobs.
 
         Missing values (``None``) become ``nan`` so downstream code can mask
-        them out explicitly.
+        them out explicitly.  Arrays are cached on the trace (and returned
+        read-only): repeated analyses stop paying the job-list walk.  Call
+        :meth:`invalidate_cache` after mutating jobs in place.
         """
         if name not in NUMERIC_DIMENSIONS and name not in ("submit_time_s", "total_bytes", "total_task_seconds"):
             raise AnalysisError("unknown job dimension: %r" % (name,))
+        cached = self._column_cache.get(name)
+        if cached is not None:
+            return cached
         values = []
         for job in self._jobs:
             value = getattr(job, name)
             values.append(float(value) if value is not None else float("nan"))
-        return np.array(values, dtype=float)
+        array = np.array(values, dtype=float)
+        array.flags.writeable = False
+        self._column_cache[name] = array
+        return array
 
     def feature_matrix(self):
         """Return the (n_jobs, 6) matrix of clustering features (§6.2)."""
         if not self._jobs:
             return np.zeros((0, len(NUMERIC_DIMENSIONS)))
-        return np.array([job.feature_vector() for job in self._jobs], dtype=float)
+        columns = [self.dimension(dim) for dim in NUMERIC_DIMENSIONS]
+        matrix = np.column_stack(columns)
+        return np.where(np.isnan(matrix), 0.0, matrix)
+
+    def to_columnar(self):
+        """Convert to a :class:`repro.engine.ColumnarTrace` (one pass).
+
+        The columnar form holds each dimension as one contiguous array and is
+        the input to the engine's scan operators and chunked on-disk store —
+        see :mod:`repro.engine` for the scaling story.
+        """
+        from ..engine.columnar import ColumnarTrace
+
+        return ColumnarTrace.from_trace(self)
 
     # -- filtering / slicing ----------------------------------------------
     def filter(self, predicate, name=None):

@@ -1,0 +1,94 @@
+"""Parallel executor: serial-vs-parallel equivalence and fallback behavior."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ChunkedTraceStore, ParallelExecutor, Query, execute
+from repro.errors import AnalysisError
+from repro.traces import Job, Trace
+
+
+def build_trace(n_jobs=300):
+    rng = np.random.default_rng(7)
+    jobs = [
+        Job(job_id="p%04d" % index,
+            submit_time_s=float(index),
+            duration_s=float(rng.lognormal(3, 1)),
+            input_bytes=float(10 ** rng.uniform(3, 11)),
+            shuffle_bytes=float(rng.lognormal(10, 2)),
+            output_bytes=float(rng.lognormal(9, 2)),
+            map_task_seconds=float(rng.lognormal(4, 1)),
+            reduce_task_seconds=float(rng.lognormal(3, 1)),
+            framework=str(["hive", "pig"][index % 2]))
+        for index in range(n_jobs)
+    ]
+    return Trace(jobs, name="par")
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("parstore") / "store"
+    return ChunkedTraceStore.write(directory, build_trace(), chunk_rows=32)
+
+
+class TestParallelEquivalence:
+    def test_global_aggregates_match_serial(self, store):
+        query = (Query().filter("input_bytes", ">", 1e6)
+                 .aggregate(n=("count", "input_bytes"),
+                            total=("sum", "input_bytes"),
+                            mean=("mean", "duration_s"),
+                            lo=("min", "duration_s"),
+                            hi=("max", "duration_s"),
+                            p95=("p95", "input_bytes")))
+        serial = execute(store, query)
+        parallel = ParallelExecutor(processes=3).run(store, query)
+        for label in serial.aggregates:
+            assert parallel.aggregates[label] == pytest.approx(serial.aggregates[label]), label
+        assert parallel.rows_scanned == serial.rows_scanned
+        assert parallel.rows_matched == serial.rows_matched
+        assert (parallel.chunks_scanned + parallel.chunks_skipped
+                == serial.chunks_scanned + serial.chunks_skipped)
+
+    def test_grouped_aggregates_match_serial(self, store):
+        query = (Query().group_by("framework")
+                 .aggregate(n=("count", "duration_s"), s=("sum", "input_bytes")))
+        serial = execute(store, query)
+        parallel = ParallelExecutor(processes=4).run(store, query)
+        assert set(parallel.groups) == set(serial.groups)
+        for key in serial.groups:
+            assert parallel.groups[key]["n"] == serial.groups[key]["n"]
+            assert parallel.groups[key]["s"] == pytest.approx(serial.groups[key]["s"])
+
+    def test_cdf_sketch_merges_exactly(self, store):
+        query = Query().aggregate(cdf=("cdf", "input_bytes"))
+        serial = execute(store, query).aggregates["cdf"]
+        parallel = ParallelExecutor(processes=3).run(store, query).aggregates["cdf"]
+        assert parallel == serial  # static bins: merge is exact, not approximate
+
+    def test_more_workers_than_chunks(self, store):
+        query = Query().count()
+        result = ParallelExecutor(processes=64).run(store, query)
+        assert result.aggregates["count"] == store.n_jobs
+
+
+class TestFallbacks:
+    def test_single_process_runs_serially(self, store):
+        query = Query().count()
+        assert ParallelExecutor(processes=1).run(store, query).aggregates["count"] == store.n_jobs
+
+    def test_top_k_falls_back_to_serial(self, store):
+        query = Query().top("duration_s", 4).project(["job_id"])
+        serial = execute(store, query)
+        fallback = ParallelExecutor(processes=3).run(store, query)
+        assert [r["job_id"] for r in fallback.row_dicts()] == \
+            [r["job_id"] for r in serial.row_dicts()]
+
+    def test_limit_falls_back_and_short_circuits(self, store):
+        query = Query().limit(3).project(["job_id"])
+        result = ParallelExecutor(processes=3).run(store, query)
+        assert result.rows.n_rows == 3
+        assert result.chunks_scanned == 1
+
+    def test_invalid_process_count_raises(self):
+        with pytest.raises(AnalysisError):
+            ParallelExecutor(processes=0)

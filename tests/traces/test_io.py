@@ -4,11 +4,16 @@ import gzip
 
 import pytest
 
+import inspect
+
 from repro.errors import TraceFormatError
 from repro.traces import (
     Job,
     Trace,
     format_job_line,
+    iter_csv,
+    iter_jsonl,
+    iter_trace,
     parse_history_lines,
     parse_job_line,
     read_csv,
@@ -100,6 +105,57 @@ class TestFormatDispatch:
             write_trace(sample_trace(), tmp_path / "trace.parquet")
         with pytest.raises(TraceFormatError):
             read_trace(tmp_path / "trace.parquet")
+
+
+class TestLazyReaders:
+    """The readers stream rows via generators instead of loading whole files."""
+
+    def test_iterators_are_generators(self):
+        assert inspect.isgeneratorfunction(iter_csv)
+        assert inspect.isgeneratorfunction(iter_jsonl)
+
+    @pytest.mark.parametrize("filename", ["t.csv", "t.jsonl", "t.csv.gz", "t.jsonl.gz"])
+    def test_iter_trace_streams_all_formats(self, tmp_path, filename):
+        path = tmp_path / filename
+        write_trace(sample_trace(), path)
+        jobs = iter_trace(path)
+        first = next(jobs)
+        assert first.job_id == "a"
+        assert [job.job_id for job in jobs] == ["b"]
+
+    def test_iter_is_lazy_about_malformed_tails(self, tmp_path):
+        """A bad row past the cut-off is never parsed when streaming stops early."""
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(sample_trace(), path)
+        path.write_text(path.read_text() + "{not json\n")
+        jobs = iter_jsonl(path)
+        assert next(jobs).job_id == "a"
+        assert next(jobs).job_id == "b"
+        with pytest.raises(TraceFormatError):
+            next(jobs)
+
+    def test_gzip_jsonl_round_trip_regression(self, tmp_path):
+        """Full-fidelity gzip round trip through the streaming readers."""
+        path = tmp_path / "trace.jsonl.gz"
+        trace = sample_trace()
+        write_jsonl(trace, path)
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline().startswith("{")
+        loaded = read_jsonl(path, name="sample", machines=3)
+        assert [job.to_dict() for job in loaded] == [job.to_dict() for job in trace]
+        streamed = list(iter_jsonl(path))
+        assert [job.to_dict() for job in streamed] == [job.to_dict() for job in trace]
+
+    def test_gzip_csv_round_trip_regression(self, tmp_path):
+        path = tmp_path / "trace.csv.gz"
+        trace = sample_trace()
+        write_csv(trace, path)
+        loaded = read_csv(path, name="sample", machines=3)
+        assert [job.to_dict() for job in loaded] == [job.to_dict() for job in trace]
+
+    def test_iter_trace_unknown_extension_raises(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            iter_trace(tmp_path / "trace.parquet")
 
 
 class TestHadoopLogParser:

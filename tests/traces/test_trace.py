@@ -59,6 +59,46 @@ class TestAccessors:
         assert Trace([], name="e").feature_matrix().shape == (0, 6)
 
 
+class TestColumnCache:
+    def test_repeat_extraction_returns_cached_array(self, trace):
+        first = trace.dimension("input_bytes")
+        second = trace.dimension("input_bytes")
+        assert first is second  # no re-walk of the job list
+
+    def test_cached_arrays_are_read_only(self, trace):
+        values = trace.dimension("input_bytes")
+        with pytest.raises(ValueError):
+            values[0] = 999.0
+
+    def test_invalidate_cache_after_mutation(self, trace):
+        before = trace.dimension("input_bytes")
+        trace.jobs[0].input_bytes = 777.0
+        assert trace.dimension("input_bytes") is before  # stale until invalidated
+        trace.invalidate_cache()
+        after = trace.dimension("input_bytes")
+        assert after is not before
+        assert after[0] == 777.0
+
+    def test_submit_times_uses_cache(self, trace):
+        assert trace.submit_times() is trace.submit_times()
+
+    def test_feature_matrix_is_fresh_and_writable(self, trace):
+        matrix = trace.feature_matrix()
+        matrix[0, 0] = -1.0  # callers may standardize in place
+        assert trace.feature_matrix()[0, 0] != -1.0
+
+    def test_derived_traces_have_independent_caches(self, trace):
+        cached = trace.dimension("input_bytes")
+        filtered = trace.filter(lambda job: job.submit_time_s >= 20)
+        assert filtered.dimension("input_bytes").shape == (2,)
+        assert trace.dimension("input_bytes") is cached
+
+    def test_to_columnar_matches_dimensions(self, trace):
+        columnar = trace.to_columnar()
+        for dim in ("input_bytes", "submit_time_s", "total_bytes"):
+            np.testing.assert_allclose(columnar.dimension(dim), trace.dimension(dim))
+
+
 class TestFilters:
     def test_filter_predicate(self, trace):
         filtered = trace.filter(lambda job: job.submit_time_s >= 20)

@@ -1,0 +1,219 @@
+"""Streaming replay benchmark: store-streamed vs. materialized, at 1M jobs.
+
+Run directly (not collected by pytest — the workload is deliberately large)::
+
+    PYTHONPATH=src python benchmarks/bench_replay.py --jobs 1000000
+
+The benchmark writes a synthetic interactive-heavy trace of ``--jobs`` jobs
+straight to a chunked columnar store (the writer consumes a generator, so
+this parent process never materializes the job list), then replays it twice
+in fresh subprocesses so peak-RSS numbers are clean:
+
+1. **streamed**     — :class:`StreamingReplayer` pulling jobs chunk by chunk
+   from the store with bounded submission look-ahead, metrics kept only as
+   mergeable accumulators;
+2. **materialized** — the store fully converted to an in-memory job-list
+   :class:`Trace` and replayed by the classic :class:`WorkloadReplayer`
+   (per-job outcomes and utilization samples retained, as before the
+   streaming refactor).
+
+Both children print a metrics digest: the accumulator summary, exact
+byte-level SHA-256 hashes of the wait/completion percentile-sketch bins, and
+a hash of the hourly utilization column.  The digests must match **exactly**
+(the two paths share one event loop, so every float folds in the same
+order), and the streamed peak RSS must be at most one third of the
+materialized peak RSS — that pair of checks is this subsystem's acceptance
+bar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.engine import ChunkedTraceStore
+from repro.traces import Job
+
+
+# ---------------------------------------------------------------------------
+# Synthetic trace: interactive-heavy, like the paper's production workloads
+# ---------------------------------------------------------------------------
+def synthetic_replay_jobs(n_jobs: int, horizon_days: float = 30.0, seed: int = 2012):
+    """Yield ``n_jobs`` jobs lazily, sorted by submission time.
+
+    The task-time mix is 80% interactive (single-task), 19% medium and 1%
+    long batch jobs, matching the small-jobs-dominate observation (§6.2)
+    while keeping the discrete-event count tractable at millions of jobs.
+    """
+    rng = np.random.default_rng(seed)
+    horizon_s = horizon_days * 86400.0
+    gaps = rng.exponential(horizon_s / n_jobs, size=n_jobs)
+    submits = np.cumsum(gaps)
+    kind = rng.random(n_jobs)
+    map_s = np.where(kind < 0.80, rng.uniform(5.0, 45.0, size=n_jobs),
+                     np.where(kind < 0.99, rng.uniform(60.0, 600.0, size=n_jobs),
+                              rng.uniform(600.0, 5000.0, size=n_jobs)))
+    reduce_s = np.where(rng.random(n_jobs) < 0.4, map_s * 0.3, 0.0)
+    input_b = rng.lognormal(17.0, 3.0, size=n_jobs)
+    output_b = rng.lognormal(14.0, 3.0, size=n_jobs)
+    for index in range(n_jobs):
+        yield Job(
+            job_id="replay_%07d" % index,
+            submit_time_s=float(submits[index]),
+            duration_s=float(map_s[index] + reduce_s[index]),
+            input_bytes=float(input_b[index]),
+            shuffle_bytes=float(reduce_s[index] and input_b[index] * 0.3),
+            output_bytes=float(output_b[index]),
+            map_task_seconds=float(map_s[index]),
+            reduce_task_seconds=float(reduce_s[index]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Replay children (fresh subprocesses for clean VmHWM peak-RSS numbers)
+# ---------------------------------------------------------------------------
+_RSS_HELPER = """
+import hashlib, json, resource, time
+
+def peak_rss_mb():
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return float(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+def sketch_hash(sketch):
+    digest = hashlib.sha256()
+    digest.update(sketch.counts.tobytes())
+    digest.update(str(sketch.zero_count).encode())
+    digest.update(str(sketch.n).encode())
+    digest.update(repr(sketch.low).encode())
+    digest.update(repr(sketch.high).encode())
+    return digest.hexdigest()
+
+def digest(metrics, wall_s):
+    import numpy as np
+    hourly = metrics.hourly_active_slots()
+    return {
+        "summary": metrics.summary(),
+        "wait_sketch": sketch_hash(metrics.wait.sketch),
+        "completion_sketch": sketch_hash(metrics.completion.sketch),
+        "hourly_hash": hashlib.sha256(hourly.tobytes()).hexdigest(),
+        "busy_slot_seconds": repr(metrics.utilization.busy_slot_seconds),
+        "wall_s": wall_s,
+        "rss_mb": peak_rss_mb(),
+    }
+"""
+
+_STREAM_SNIPPET = _RSS_HELPER + """
+import sys
+from repro.simulator import StreamingReplayer
+start = time.perf_counter()
+metrics = StreamingReplayer().replay_store(sys.argv[1])
+print(json.dumps(digest(metrics, time.perf_counter() - start)))
+"""
+
+_FULL_SNIPPET = _RSS_HELPER + """
+import sys
+from repro.engine import ChunkedTraceStore
+from repro.simulator import WorkloadReplayer
+start = time.perf_counter()
+trace = ChunkedTraceStore(sys.argv[1]).to_trace()
+metrics = WorkloadReplayer().replay(trace)
+print(json.dumps(digest(metrics, time.perf_counter() - start)))
+"""
+
+
+def _run_child(snippet: str, store_path: str) -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    output = subprocess.run([sys.executable, "-c", snippet, store_path],
+                            capture_output=True, text=True, env=env)
+    if output.returncode != 0:
+        raise RuntimeError("replay child failed:\n%s" % output.stderr)
+    return json.loads(output.stdout)
+
+
+# ---------------------------------------------------------------------------
+def run_benchmark(n_jobs: int, chunk_rows: int, keep_store: str = "",
+                  check_rss: bool = True) -> int:
+    print("== streaming replay benchmark: %d jobs ==" % n_jobs)
+    store_dir = keep_store or tempfile.mkdtemp(prefix="bench_replay_")
+    store_path = os.path.join(store_dir, "store")
+
+    start = time.perf_counter()
+    store = ChunkedTraceStore.write(store_path, synthetic_replay_jobs(n_jobs),
+                                    chunk_rows=chunk_rows, name="bench-replay")
+    disk_mb = store.info()["on_disk_bytes"] / 1e6
+    print("wrote chunked store (%d chunks, %.1f MB) in %.1f s\n"
+          % (store.n_chunks, disk_mb, time.perf_counter() - start))
+
+    print("replaying streamed (store -> StreamingReplayer)...")
+    streamed = _run_child(_STREAM_SNIPPET, store_path)
+    print("replaying materialized (store -> Trace -> WorkloadReplayer)...")
+    full = _run_child(_FULL_SNIPPET, store_path)
+
+    header = "%-14s %12s %12s" % ("path", "wall s", "peak RSS MB")
+    print("\n" + header)
+    print("-" * len(header))
+    for name, result in (("streamed", streamed), ("materialized", full)):
+        print("%-14s %12.1f %12.1f" % (name, result["wall_s"], result["rss_mb"]))
+
+    failures = []
+    for key in ("summary", "wait_sketch", "completion_sketch",
+                "hourly_hash", "busy_slot_seconds"):
+        if streamed[key] != full[key]:
+            failures.append("metrics mismatch on %r:\n  streamed:     %r\n"
+                            "  materialized: %r" % (key, streamed[key], full[key]))
+    ratio = streamed["rss_mb"] / full["rss_mb"] if full["rss_mb"] else float("inf")
+    print("\nstreamed/materialized peak-RSS ratio: %.3f (target <= 1/3)" % ratio)
+    print("percentile sketches bit-equal: %s" % (
+        streamed["wait_sketch"] == full["wait_sketch"]
+        and streamed["completion_sketch"] == full["completion_sketch"]))
+    if check_rss and ratio > 1.0 / 3.0:
+        failures.append("peak RSS ratio %.3f exceeds 1/3" % ratio)
+
+    if not keep_store:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    if failures:
+        print("\nFAIL:\n" + "\n".join(failures))
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1_000_000,
+                        help="synthetic trace size (default 1M)")
+    parser.add_argument("--chunk-rows", type=int, default=65536,
+                        help="rows per on-disk chunk")
+    parser.add_argument("--keep-store", default="",
+                        help="write the store here and keep it")
+    parser.add_argument("--skip-rss-check", action="store_true",
+                        help="report but do not enforce the 1/3 peak-RSS bar "
+                             "(for small --jobs smokes where the interpreter "
+                             "baseline dominates; metric equality is always "
+                             "enforced)")
+    args = parser.parse_args(argv)
+    return run_benchmark(args.jobs, args.chunk_rows, keep_store=args.keep_store,
+                         check_rss=not args.skip_rss_check)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

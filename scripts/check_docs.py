@@ -1,0 +1,102 @@
+"""Documentation consistency checks (run by the CI docs job).
+
+Verifies that:
+
+1. every CLI subcommand (and every ``engine`` sub-subcommand) is documented
+   in README.md;
+2. the doc files README.md links to exist;
+3. the docs-bearing modules listed in tests/test_doctests.py actually carry
+   doctests (so the CI doctest step cannot silently test nothing).
+
+Run with::
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tests"))
+
+
+def _subcommands():
+    """All top-level CLI subcommands plus engine's nested ones."""
+    from repro.cli import build_parser
+    import argparse
+
+    names = []
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                names.append(name)
+                for sub_action in sub._actions:
+                    if isinstance(sub_action, argparse._SubParsersAction):
+                        names.extend("%s %s" % (name, nested)
+                                     for nested in sub_action.choices)
+    return names
+
+
+def check_readme_covers_cli(readme_text: str):
+    missing = [name for name in _subcommands()
+               if not re.search(r"\b%s\b" % re.escape(name), readme_text)]
+    return ["README.md does not mention CLI subcommand %r" % name
+            for name in missing]
+
+
+def check_linked_docs_exist(readme_text: str):
+    problems = []
+    for target in re.findall(r"\]\(([^)#]+)\)", readme_text):
+        if target.startswith("http"):
+            continue
+        if not os.path.exists(os.path.join(REPO_ROOT, target)):
+            problems.append("README.md links to missing path %r" % target)
+    return problems
+
+
+def check_doctest_modules():
+    problems = []
+    try:
+        from test_doctests import DOCS_BEARING_MODULES
+    except ImportError as exc:
+        return ["cannot import tests/test_doctests.py: %s" % exc]
+    for module_name in DOCS_BEARING_MODULES:
+        module = importlib.import_module(module_name)
+        finder = doctest.DocTestFinder(exclude_empty=True)
+        examples = sum(len(case.examples) for case in finder.find(module))
+        if examples == 0:
+            problems.append("%s is listed as docs-bearing but has no doctests"
+                            % module_name)
+    return problems
+
+
+def main() -> int:
+    readme_path = os.path.join(REPO_ROOT, "README.md")
+    if not os.path.isfile(readme_path):
+        print("FAIL: README.md is missing")
+        return 1
+    with open(readme_path, "r", encoding="utf-8") as handle:
+        readme_text = handle.read()
+
+    problems = (check_readme_covers_cli(readme_text)
+                + check_linked_docs_exist(readme_text)
+                + check_doctest_modules())
+    if problems:
+        print("documentation checks FAILED:")
+        for problem in problems:
+            print("  - %s" % problem)
+        return 1
+    print("documentation checks OK: %d CLI subcommands documented, links valid, "
+          "doctests present" % len(_subcommands()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,11 @@ main workflows:
 * ``generate`` — synthesize a paper workload trace and write it to disk;
 * ``characterize`` — run the full characterization on a workload or trace file;
 * ``synthesize`` — build a SWIM-style scaled workload from a trace;
-* ``replay`` — replay a workload on the simulated cluster;
+* ``replay`` — replay a workload on the simulated cluster, either
+  materialized or streamed with bounded memory from a chunked store
+  (``--store``) or a trace file (``--streaming``); ``--sweep spec.json``
+  fans a grid of (scheduler × cache × cluster) scenarios out over worker
+  processes and prints a comparison table;
 * ``anonymize`` — hash paths/names in a trace and optionally export the
   aggregated metrics JSON for offsite sharing;
 * ``compare`` — compare two traces (evolution report: median shifts,
@@ -31,6 +35,13 @@ from .core.characterization import characterize
 from .core.evolution import compare_evolution
 from .simulator.cluster import ClusterConfig
 from .simulator.replay import WorkloadReplayer
+from .simulator.sweep import (
+    CACHE_NAMES,
+    SCHEDULER_NAMES,
+    Scenario,
+    ScenarioSweep,
+    load_sweep_spec,
+)
 from .synth.swim import SwimSynthesizer
 from .traces.anonymize import Anonymizer, anonymize_trace
 from .traces.export import aggregate_trace
@@ -76,14 +87,35 @@ def build_parser() -> argparse.ArgumentParser:
     synthesize.add_argument("--scale", type=float, default=None)
     synthesize.add_argument("--output", required=True, help="output synthetic trace path")
 
-    replay = subparsers.add_parser("replay", help="replay a workload on the simulator")
+    replay = subparsers.add_parser(
+        "replay",
+        help="replay a workload on the simulator (materialized or streaming)")
     replay_source = replay.add_mutually_exclusive_group(required=True)
     replay_source.add_argument("--workload", choices=registered_names())
     replay_source.add_argument("--trace", help="trace file to replay")
+    replay_source.add_argument("--store", help="chunked columnar store directory "
+                                               "(streamed with bounded memory)")
     replay.add_argument("--scale", type=float, default=None)
     replay.add_argument("--seed", type=int, default=0)
     replay.add_argument("--nodes", type=int, default=100, help="simulated cluster size")
     replay.add_argument("--max-jobs", type=int, default=None, help="cap on replayed jobs")
+    replay.add_argument("--scheduler", choices=list(SCHEDULER_NAMES), default="fifo",
+                        help="scheduling policy (default fifo)")
+    replay.add_argument("--cache", choices=list(CACHE_NAMES), default="none",
+                        help="storage-cache policy (default none)")
+    replay.add_argument("--cache-gb", type=float, default=1024.0,
+                        help="cache capacity in GB for bounded policies")
+    replay.add_argument("--streaming", action="store_true",
+                        help="stream a --trace file lazily instead of materializing it "
+                             "(--store always streams)")
+    replay.add_argument("--lookahead", type=int, default=None,
+                        help="bound on submissions queued ahead of simulated time")
+    replay.add_argument("--sweep", metavar="SPEC.json",
+                        help="run a scenario sweep (grid/list of scheduler x cache x "
+                             "cluster cells) instead of a single replay")
+    replay.add_argument("--processes", type=int, default=None, metavar="N",
+                        help="worker processes for a store-backed --sweep")
+    replay.add_argument("--output", help="also write the sweep results JSON here")
 
     anonymize = subparsers.add_parser("anonymize",
                                       help="anonymize a trace and/or export aggregated metrics")
@@ -187,16 +219,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "replay":
-        trace = _load_source(args)
-        replayer = WorkloadReplayer(cluster_config=ClusterConfig(n_nodes=args.nodes),
-                                    max_simulated_jobs=args.max_jobs)
-        metrics = replayer.replay(trace)
-        print("replayed %d jobs (%d finished) on %d nodes" % (
-            len(metrics.outcomes), metrics.finished_jobs, args.nodes))
-        print("mean wait %.1f s, median completion %.1f s, mean utilization %.1f%%" % (
-            metrics.mean_wait_time(), metrics.median_completion_time(),
-            100 * metrics.mean_utilization()))
-        return 0
+        return _run_replay(parser, args)
 
     if args.command == "anonymize":
         trace = _load_source(args)
@@ -241,6 +264,89 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser.error("unknown command %r" % (args.command,))
     return 2
+
+
+# ---------------------------------------------------------------------------
+# replay subcommand
+# ---------------------------------------------------------------------------
+def _replay_scenario(args) -> Scenario:
+    """Build the single-replay Scenario described by the CLI flags."""
+    return Scenario(
+        name="cli",
+        scheduler=args.scheduler,
+        cache=args.cache,
+        cache_gb=args.cache_gb,
+        nodes=args.nodes,
+        max_jobs=args.max_jobs,
+        **({"lookahead": args.lookahead} if args.lookahead is not None else {}),
+    )
+
+
+def _run_replay(parser, args) -> int:
+    if args.sweep:
+        return _run_replay_sweep(parser, args)
+
+    scenario = _replay_scenario(args)
+    if args.store:
+        metrics = scenario.build_replayer().replay_store(args.store)
+        source_label = "store %s (streamed)" % args.store
+    elif args.trace and args.streaming:
+        metrics = scenario.build_replayer().replay_path(args.trace)
+        source_label = "trace %s (streamed)" % args.trace
+    else:
+        trace = _load_source(args)
+        replayer = WorkloadReplayer(cluster_config=scenario.cluster_config(),
+                                    scheduler=scenario.build_scheduler(),
+                                    cache=scenario.build_cache(),
+                                    max_simulated_jobs=args.max_jobs,
+                                    **({"lookahead": args.lookahead}
+                                       if args.lookahead is not None else {}))
+        metrics = replayer.replay(trace)
+        source_label = "trace (materialized)"
+    print("replayed %d jobs (%d finished) on %d nodes [%s, scheduler=%s, cache=%s]"
+          % (metrics.n_jobs, metrics.finished_jobs, args.nodes,
+             source_label, args.scheduler, args.cache))
+    print("mean wait %.1f s, median completion %.1f s, mean utilization %.1f%%" % (
+        metrics.mean_wait_time(), metrics.median_completion_time(),
+        100 * metrics.mean_utilization()))
+    if args.cache != "none" and metrics.cache_stats is not None:
+        print("cache hit rate %.1f%% (%.1f%% of bytes)" % (
+            100 * metrics.cache_stats.hit_rate,
+            100 * metrics.cache_stats.byte_hit_rate))
+    return 0
+
+
+def _run_replay_sweep(parser, args) -> int:
+    from .engine import ParallelExecutor
+
+    # Scenario identity (scheduler/cache/cluster) lives in the spec file;
+    # rejecting the single-replay flags here beats silently ignoring them.
+    if (args.scheduler != "fifo" or args.cache != "none"
+            or args.cache_gb != 1024.0 or args.nodes != 100):
+        parser.error("--scheduler/--cache/--cache-gb/--nodes apply to single "
+                     "replays; with --sweep, define them per scenario in the "
+                     "spec file")
+    scenarios = load_sweep_spec(args.sweep)
+    for scenario in scenarios:
+        if args.max_jobs is not None:
+            scenario.max_jobs = args.max_jobs
+        if args.lookahead is not None:
+            scenario.lookahead = args.lookahead
+    sweep = ScenarioSweep(scenarios,
+                          executor=ParallelExecutor(processes=args.processes))
+    if args.store:
+        source = args.store
+    else:
+        # Trace files and generated workloads are materialized once and the
+        # scenarios run serially against the shared in-memory trace.
+        source = _load_source(args)
+    result = sweep.run(source)
+    print(result.render())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json(indent=2) + "\n")
+        print("wrote sweep results JSON to %s" % args.output)
+    return 0
 
 
 # ---------------------------------------------------------------------------

@@ -16,17 +16,32 @@ list of :class:`~repro.traces.schema.Job` objects can hold:
 * :mod:`repro.engine.parallel` — a ``multiprocessing`` executor that fans
   chunk scans out over workers and merges the partials.
 
-Quickstart::
+Quickstart — write a store from any job iterable (here, two literal jobs),
+then run a filtered aggregate over it without materializing the rows::
 
-    from repro.engine import ChunkedTraceStore, Query, execute
+    >>> import tempfile, os
+    >>> from repro.engine import ChunkedTraceStore, Query, execute
+    >>> from repro.traces import Job
+    >>> jobs = [Job(job_id="a", submit_time_s=0.0, duration_s=50.0,
+    ...             input_bytes=5e9, shuffle_bytes=0.0, output_bytes=1e8,
+    ...             map_task_seconds=100.0, reduce_task_seconds=0.0),
+    ...         Job(job_id="b", submit_time_s=10.0, duration_s=20.0,
+    ...             input_bytes=2e7, shuffle_bytes=0.0, output_bytes=1e6,
+    ...             map_task_seconds=40.0, reduce_task_seconds=0.0)]
+    >>> directory = os.path.join(tempfile.mkdtemp(), "tiny.store")
+    >>> store = ChunkedTraceStore.write(directory, iter(jobs))
+    >>> query = (Query()
+    ...          .filter("input_bytes", ">", 1e9)
+    ...          .aggregate(jobs=("count", "input_bytes"),
+    ...                     bytes=("sum", "input_bytes")))
+    >>> result = execute(store, query)
+    >>> result.aggregates["jobs"], result.aggregates["bytes"]
+    (1, 5000000000.0)
 
-    store = ChunkedTraceStore.write("fb2009.store", trace)   # or any job iterable
-    query = (Query()
-             .filter("input_bytes", ">", 1e9)
-             .aggregate(jobs=("count", "input_bytes"),
-                        bytes=("sum", "input_bytes"),
-                        p99=("p99", "duration_s")))
-    print(execute(store, query).aggregates)
+The same store can be replayed with bounded memory by
+:class:`repro.simulator.StreamingReplayer`, and swept across scheduler/cache
+scenarios by :class:`repro.simulator.ScenarioSweep` — see
+:mod:`repro.simulator.replay` and :mod:`repro.simulator.sweep`.
 """
 
 from .aggregates import (

@@ -77,6 +77,24 @@ class ParallelExecutor:
             raise AnalysisError("ParallelExecutor needs at least one process")
         self.processes = processes
 
+    def map(self, func, tasks: List) -> List:
+        """Generic fan-out: apply a picklable ``func`` to each task item.
+
+        Used by the scenario-sweep runner to spread independent replay
+        scenarios over worker processes.  Falls back to a serial loop when
+        one worker (or one task) makes a pool pointless, so results are
+        identical either way.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        n_workers = self.processes or min(len(tasks), multiprocessing.cpu_count())
+        n_workers = max(1, min(n_workers, len(tasks)))
+        if n_workers == 1 or len(tasks) == 1:
+            return [func(task) for task in tasks]
+        with multiprocessing.Pool(processes=n_workers) as pool:
+            return pool.map(func, tasks)
+
     def run(self, store: ChunkedTraceStore, query: Query) -> QueryResult:
         """Execute ``query`` against ``store``; parallel for aggregate queries."""
         query.validate()

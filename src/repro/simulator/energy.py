@@ -126,19 +126,13 @@ class EnergyReport:
 
 
 def _utilization_steps(metrics: SimulationMetrics) -> List[Tuple[float, float, float]]:
-    """Return (start, end, busy_slots) steps from the utilization samples."""
-    samples = sorted(metrics.utilization_samples, key=lambda sample: sample[0])
-    if len(samples) < 2:
-        raise SimulationError("energy accounting needs at least two utilization samples")
-    steps = []
-    for index in range(len(samples) - 1):
-        start, busy = samples[index]
-        end = samples[index + 1][0]
-        if end > start:
-            steps.append((float(start), float(end), float(busy)))
-    if not steps:
-        raise SimulationError("utilization samples span zero simulated time")
-    return steps
+    """Return (start, end, busy_slots) steps of the replay's occupancy.
+
+    Delegates to :meth:`SimulationMetrics.utilization_steps`: sample-exact
+    when the replay retained its utilization samples, reconstructed at hour
+    granularity from the incremental accumulator for streaming replays.
+    """
+    return metrics.utilization_steps()
 
 
 def energy_from_metrics(metrics: SimulationMetrics, config: ClusterConfig,

@@ -30,12 +30,16 @@ class HdfsConfig:
         replication: replicas per block.
         n_datanodes: number of datanodes (used for placement spreading).
         disk_bandwidth_bps: sequential read/write bandwidth per datanode.
+        retain_files: keep an :class:`HdfsFile` entry per path.  Streaming
+            replays of traces without recorded paths disable this so the
+            namespace does not grow by one implicit entry per job.
     """
 
     block_size: float = 128 * 1024 * 1024
     replication: int = 3
     n_datanodes: int = 100
     disk_bandwidth_bps: float = 100e6
+    retain_files: bool = True
 
     def __post_init__(self):
         if self.block_size <= 0:
@@ -122,7 +126,8 @@ class Hdfs:
             raise SimulationError("file %r already exists" % (path,))
         entry = HdfsFile(path=path, size_bytes=float(size_bytes), created_at_s=now_s,
                          last_access_s=now_s)
-        self._files[path] = entry
+        if self.config.retain_files:
+            self._files[path] = entry
         self.bytes_written += float(size_bytes)
         return entry
 

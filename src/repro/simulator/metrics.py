@@ -1,25 +1,81 @@
-"""Simulation metrics collection.
+"""Simulation metrics collection — incremental, mergeable, bounded-memory.
 
 The replayer records what the paper's Figure 7 rightmost column shows —
-cluster occupancy over time in active slots — plus the per-job outcomes
-(wait time, completion time) and the storage-cache statistics needed by the
-policy-comparison benchmarks.
+cluster occupancy over time in active slots — plus per-job wait and completion
+summaries and the storage-cache statistics needed by the policy-comparison
+benchmarks (§4.2/§4.3).
+
+Since the streaming-replay refactor, every summary is maintained
+*incrementally* on top of the mergeable aggregate states from
+:mod:`repro.engine.aggregates`:
+
+* :class:`MetricAccumulator` folds a stream of per-job scalar samples (wait
+  time, completion time) into count/sum/min/max/mean plus a fixed-bin
+  log-histogram :class:`~repro.engine.aggregates.HistogramSketch` for
+  percentile and CDF read-outs;
+* :class:`UtilizationAccumulator` integrates the active-slot step function
+  into total busy slot-seconds and per-hour slot-second bins (the Figure-7
+  utilization column) without retaining the samples.
+
+This means a replay of millions of jobs needs O(1) metric memory.  Retaining
+the raw per-job :class:`JobOutcome` list and the utilization samples is now an
+*option* (``keep_outcomes``, on by default for :class:`WorkloadReplayer`, off
+for :class:`~repro.simulator.replay.StreamingReplayer`); exact medians and
+per-job analyses need it, everything else reads from the accumulators.
+
+Exactness contract (relied on by the replay benchmark and the merge tests):
+
+* counts, finished-job tallies, min/max and sketch bin counts are **exact**
+  and association-independent — merging any partition of the sample stream is
+  bit-identical to folding it serially;
+* float sums (and hence means, busy slot-seconds) are deterministic for a
+  fixed fold order, so a streamed replay and a materialized replay of the
+  same jobs produce bit-identical values; merging differently-partitioned
+  accumulators can differ in the last ulp (float addition is not associative);
+* percentile read-outs are sketch-approximate (~7% relative resolution),
+  clamped to the exact observed min/max, unless per-job outcomes were
+  retained, in which case they are exact.
+
+Doctest — fold two disjoint halves and merge, versus one serial pass::
+
+    >>> import numpy as np
+    >>> serial = MetricAccumulator()
+    >>> serial.update(np.array([1.0, 2.0, 4.0, 8.0]))
+    >>> left, right = MetricAccumulator(), MetricAccumulator()
+    >>> left.update(np.array([1.0, 2.0]))
+    >>> right.update(np.array([4.0, 8.0]))
+    >>> left.merge(right)
+    >>> (left.count, left.total, left.minimum, left.maximum) == \
+        (serial.count, serial.total, serial.minimum, serial.maximum)
+    True
+    >>> bool(np.array_equal(left.sketch.counts, serial.sketch.counts))
+    True
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..engine.aggregates import HistogramSketch, MaxState, MeanState, MinState
 from ..errors import SimulationError
 from .cache import CacheStats
 
-__all__ = ["JobOutcome", "SimulationMetrics"]
+__all__ = [
+    "JobOutcome",
+    "MetricAccumulator",
+    "UtilizationAccumulator",
+    "SimulationMetrics",
+]
+
+#: Scalar samples are buffered and folded into the aggregate states in blocks
+#: of this size; the buffer is the only per-sample state and is bounded.
+ACCUMULATOR_BATCH = 4096
+
+_SECONDS_PER_HOUR = 3600.0
 
 
-@dataclass
 class JobOutcome:
     """Per-job result of a replay.
 
@@ -34,122 +90,449 @@ class JobOutcome:
         n_tasks: number of simulated tasks.
     """
 
-    job_id: str
-    submit_time_s: float
-    start_time_s: Optional[float]
-    finish_time_s: Optional[float]
-    wait_time_s: float
-    completion_time_s: Optional[float]
-    total_bytes: float
-    n_tasks: int
+    __slots__ = ("job_id", "submit_time_s", "start_time_s", "finish_time_s",
+                 "wait_time_s", "completion_time_s", "total_bytes", "n_tasks")
+
+    def __init__(self, job_id: str, submit_time_s: float,
+                 start_time_s: Optional[float], finish_time_s: Optional[float],
+                 wait_time_s: float, completion_time_s: Optional[float],
+                 total_bytes: float, n_tasks: int):
+        self.job_id = job_id
+        self.submit_time_s = submit_time_s
+        self.start_time_s = start_time_s
+        self.finish_time_s = finish_time_s
+        self.wait_time_s = wait_time_s
+        self.completion_time_s = completion_time_s
+        self.total_bytes = total_bytes
+        self.n_tasks = n_tasks
+
+    def __repr__(self) -> str:
+        return ("JobOutcome(job_id=%r, submit_time_s=%r, wait_time_s=%r, "
+                "completion_time_s=%r)" % (self.job_id, self.submit_time_s,
+                                           self.wait_time_s, self.completion_time_s))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, JobOutcome):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name) for name in self.__slots__)
 
 
-@dataclass
+class MetricAccumulator:
+    """Mergeable summary of one scalar metric stream (e.g. job wait times).
+
+    Built on the engine's aggregate states: a :class:`MeanState` carries the
+    exact count and float sum, :class:`MinState`/:class:`MaxState` the exact
+    extremes, and a :class:`HistogramSketch` supports percentile/CDF
+    read-outs.  Scalars are buffered (:data:`ACCUMULATOR_BATCH` at a time)
+    so the per-sample cost is a list append, not a NumPy round-trip.
+    """
+
+    __slots__ = ("mean", "low", "high", "sketch", "_pending")
+
+    def __init__(self):
+        self.mean = MeanState()
+        self.low = MinState()
+        self.high = MaxState()
+        self.sketch = HistogramSketch()
+        self._pending: List[float] = []
+
+    # -- folding -----------------------------------------------------------
+    def add(self, value: float) -> None:
+        """Fold one scalar sample."""
+        self._pending.append(value)
+        if len(self._pending) >= ACCUMULATOR_BATCH:
+            self.flush()
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold a batch of samples (flushes buffered scalars first)."""
+        self.flush()
+        self._update_array(np.asarray(values, dtype=float))
+
+    def flush(self) -> None:
+        """Fold any buffered scalars into the aggregate states."""
+        if self._pending:
+            block = np.array(self._pending, dtype=float)
+            self._pending = []
+            self._update_array(block)
+
+    def _update_array(self, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        self.mean.update(values)
+        self.low.update(values)
+        self.high.update(values)
+        self.sketch.update(values)
+
+    def merge(self, other: "MetricAccumulator") -> None:
+        """Combine with an accumulator folded over a disjoint sample stream."""
+        self.flush()
+        other.flush()
+        self.mean.merge(other.mean)
+        self.low.merge(other.low)
+        self.high.merge(other.high)
+        self.sketch.merge(other.sketch)
+
+    # -- read-outs ---------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Exact number of samples folded so far."""
+        self.flush()
+        return self.mean.count
+
+    @property
+    def total(self) -> float:
+        self.flush()
+        return self.mean.total
+
+    @property
+    def minimum(self) -> Optional[float]:
+        self.flush()
+        return self.low.value
+
+    @property
+    def maximum(self) -> Optional[float]:
+        self.flush()
+        return self.high.value
+
+    @property
+    def mean_value(self) -> Optional[float]:
+        self.flush()
+        return self.mean.result()
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Sketch-approximate percentile, clamped to the observed min/max."""
+        self.flush()
+        return self.sketch.percentile(q)
+
+    def cdf_points(self, max_points: int = 256) -> List[Tuple[float, float]]:
+        self.flush()
+        return self.sketch.cdf_points(max_points=max_points)
+
+
+class UtilizationAccumulator:
+    """Incremental time-weighted integral of the active-slot step function.
+
+    ``observe(now, slots)`` closes the segment since the previous observation
+    (charging the *previous* slot count over it, step-function semantics) and
+    accumulates both the total busy slot-seconds and per-hour slot-second
+    bins.  The bins grow with the simulated horizon (one float per hour), not
+    with the number of observations, so a replay of millions of task events
+    keeps O(hours) utilization state.
+    """
+
+    __slots__ = ("first_time_s", "last_time_s", "last_slots",
+                 "busy_slot_seconds", "hourly_slot_seconds", "n_observations")
+
+    def __init__(self):
+        self.first_time_s: Optional[float] = None
+        self.last_time_s: Optional[float] = None
+        self.last_slots = 0.0
+        self.busy_slot_seconds = 0.0
+        self.hourly_slot_seconds: List[float] = []
+        self.n_observations = 0
+
+    def observe(self, now_s: float, active_slots: float) -> None:
+        """Record the active-slot count at ``now_s`` (monotone non-decreasing)."""
+        self.n_observations += 1
+        if self.last_time_s is None:
+            self.first_time_s = now_s
+            self.last_time_s = now_s
+            self.last_slots = float(active_slots)
+            return
+        if now_s < self.last_time_s:
+            raise SimulationError(
+                "utilization observations must be time-ordered "
+                "(%.3f after %.3f)" % (now_s, self.last_time_s))
+        start, end, value = self.last_time_s, now_s, self.last_slots
+        if end > start:
+            # Idle (zero-slot) segments still extend the hourly bins so the
+            # step reconstruction in utilization_steps() covers the full span.
+            self.busy_slot_seconds += value * (end - start)
+            hour = int(start // _SECONDS_PER_HOUR)
+            while start < end:
+                hour_end = min(end, (hour + 1) * _SECONDS_PER_HOUR)
+                if hour >= len(self.hourly_slot_seconds):
+                    self.hourly_slot_seconds.extend(
+                        [0.0] * (hour + 1 - len(self.hourly_slot_seconds)))
+                self.hourly_slot_seconds[hour] += value * (hour_end - start)
+                start = hour_end
+                hour += 1
+        self.last_time_s = now_s
+        self.last_slots = float(active_slots)
+
+    @property
+    def span_s(self) -> float:
+        """Time between the first and last observation."""
+        if self.first_time_s is None or self.last_time_s is None:
+            return 0.0
+        return self.last_time_s - self.first_time_s
+
+    def merge(self, other: "UtilizationAccumulator") -> None:
+        """Combine with an accumulator covering a disjoint simulated period."""
+        self.busy_slot_seconds += other.busy_slot_seconds
+        self.n_observations += other.n_observations
+        if len(other.hourly_slot_seconds) > len(self.hourly_slot_seconds):
+            self.hourly_slot_seconds.extend(
+                [0.0] * (len(other.hourly_slot_seconds) - len(self.hourly_slot_seconds)))
+        for hour, value in enumerate(other.hourly_slot_seconds):
+            self.hourly_slot_seconds[hour] += value
+        if other.first_time_s is not None:
+            self.first_time_s = (other.first_time_s if self.first_time_s is None
+                                 else min(self.first_time_s, other.first_time_s))
+        if other.last_time_s is not None:
+            self.last_time_s = (other.last_time_s if self.last_time_s is None
+                                else max(self.last_time_s, other.last_time_s))
+
+    def hourly_active_slots(self) -> np.ndarray:
+        """Average active slots per hour — the Figure-7 utilization column."""
+        if not self.hourly_slot_seconds:
+            return np.zeros(1, dtype=float)
+        return np.array(self.hourly_slot_seconds, dtype=float) / _SECONDS_PER_HOUR
+
+    def mean_utilization(self, total_slots: int) -> float:
+        """Mean fraction of ``total_slots`` busy over the observed span."""
+        span = self.span_s
+        if total_slots <= 0 or span <= 0:
+            return 0.0
+        return self.busy_slot_seconds / (span * total_slots)
+
+
 class SimulationMetrics:
     """Aggregated output of one replay run.
 
+    All summaries (wait/completion means and percentiles, utilization) are
+    maintained incrementally in mergeable accumulators, so the memory needed
+    is independent of the number of replayed jobs.  With ``keep_outcomes=True``
+    (the default for materialized replays) the raw per-job
+    :class:`JobOutcome` list and the ``(time, active_slots)`` utilization
+    samples are additionally retained for exact medians and per-job analyses;
+    streaming replays disable it.
+
     Attributes:
-        outcomes: per-job outcomes in submission order.
-        utilization_samples: (time, active slots) samples.
+        outcomes: per-job outcomes in finish order (empty when not retained).
+        utilization_samples: (time, active slots) samples (empty when not
+            retained).
+        keep_outcomes: whether the two lists above are populated.
         total_slots: slot capacity of the simulated cluster.
         cache_stats: statistics of the attached cache policy (if any).
         horizon_s: simulated time span.
+        jobs_submitted: number of jobs submitted to the simulator.
         finished_jobs: number of jobs that completed.
+        wait: :class:`MetricAccumulator` over per-job wait times.
+        completion: :class:`MetricAccumulator` over per-job completion times.
+        utilization: :class:`UtilizationAccumulator` over active-slot samples.
     """
 
-    outcomes: List[JobOutcome] = field(default_factory=list)
-    utilization_samples: List[tuple] = field(default_factory=list)
-    total_slots: int = 0
-    cache_stats: Optional[CacheStats] = None
-    horizon_s: float = 0.0
-    finished_jobs: int = 0
+    def __init__(self, total_slots: int = 0, keep_outcomes: bool = True):
+        self.outcomes: List[JobOutcome] = []
+        self.utilization_samples: List[tuple] = []
+        self.keep_outcomes = keep_outcomes
+        self.total_slots = total_slots
+        self.cache_stats: Optional[CacheStats] = None
+        self.horizon_s = 0.0
+        self.jobs_submitted = 0
+        self.finished_jobs = 0
+        self.wait = MetricAccumulator()
+        self.completion = MetricAccumulator()
+        self.utilization = UtilizationAccumulator()
 
-    # ------------------------------------------------------------------
+    # -- recording ---------------------------------------------------------
+    def record_submission(self) -> None:
+        """Count one job handed to the simulator."""
+        self.jobs_submitted += 1
+
     def record_job(self, outcome: JobOutcome) -> None:
-        self.outcomes.append(outcome)
+        """Fold one finished (or abandoned) job into the summaries."""
         if outcome.finish_time_s is not None:
             self.finished_jobs += 1
+        if outcome.start_time_s is not None:
+            self.wait.add(outcome.wait_time_s)
+        if outcome.completion_time_s is not None:
+            self.completion.add(outcome.completion_time_s)
+        if self.keep_outcomes:
+            self.outcomes.append(outcome)
 
     def record_utilization(self, now_s: float, active_slots: int) -> None:
-        self.utilization_samples.append((now_s, active_slots))
+        self.utilization.observe(now_s, active_slots)
+        if self.keep_outcomes:
+            self.utilization_samples.append((now_s, active_slots))
+
+    def finalize(self) -> None:
+        """Flush buffered accumulator state (called at the end of a replay)."""
+        self.wait.flush()
+        self.completion.flush()
+
+    # -- merging -----------------------------------------------------------
+    def merge(self, other: "SimulationMetrics") -> None:
+        """Merge metrics from a replay of a disjoint job set.
+
+        Counts, extremes and percentile-sketch bins merge exactly; float sums
+        are subject to addition rounding (see the module docstring).  Cache
+        statistics and retained outcome lists are concatenated.
+        """
+        self.jobs_submitted += other.jobs_submitted
+        self.finished_jobs += other.finished_jobs
+        self.wait.merge(other.wait)
+        self.completion.merge(other.completion)
+        self.utilization.merge(other.utilization)
+        self.horizon_s = max(self.horizon_s, other.horizon_s)
+        self.total_slots = max(self.total_slots, other.total_slots)
+        if other.cache_stats is not None:
+            if self.cache_stats is None:
+                self.cache_stats = CacheStats()
+            for field_name in ("hits", "misses", "bytes_from_cache",
+                               "bytes_from_disk", "evictions", "admissions_rejected"):
+                setattr(self.cache_stats, field_name,
+                        getattr(self.cache_stats, field_name)
+                        + getattr(other.cache_stats, field_name))
+        if self.keep_outcomes and other.keep_outcomes:
+            self.outcomes.extend(other.outcomes)
+            self.utilization_samples.extend(other.utilization_samples)
+        else:
+            # Mixed retention: a partial per-job list is worse than none —
+            # exact summaries and utilization_steps() would silently cover
+            # only one side's jobs.  Demote to accumulator-only.
+            self.keep_outcomes = False
+            self.outcomes = []
+            self.utilization_samples = []
 
     # -- summaries ---------------------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        """Number of jobs recorded (submission count when known)."""
+        return self.jobs_submitted or len(self.outcomes)
+
     def completion_times(self) -> np.ndarray:
-        """Completion times of finished jobs (seconds)."""
+        """Completion times of finished jobs (needs retained outcomes)."""
         return np.array([
             outcome.completion_time_s for outcome in self.outcomes
             if outcome.completion_time_s is not None
         ], dtype=float)
 
     def wait_times(self) -> np.ndarray:
-        """Wait times (submission to first task start) of all started jobs."""
+        """Wait times of started jobs (needs retained outcomes)."""
         return np.array([
             outcome.wait_time_s for outcome in self.outcomes
             if outcome.start_time_s is not None
         ], dtype=float)
 
     def mean_completion_time(self) -> float:
-        times = self.completion_times()
-        if times.size == 0:
+        value = self.completion.mean_value
+        if value is None:
             raise SimulationError("no finished jobs to summarize")
-        return float(times.mean())
+        return float(value)
 
     def median_completion_time(self) -> float:
-        times = self.completion_times()
-        if times.size == 0:
-            raise SimulationError("no finished jobs to summarize")
-        return float(np.median(times))
+        """Exact median with retained outcomes, sketch-approximate otherwise."""
+        return self.percentile_completion_time(50.0)
 
     def percentile_completion_time(self, q: float) -> float:
-        times = self.completion_times()
-        if times.size == 0:
+        """Completion-time percentile.
+
+        Exact (``numpy.percentile`` over the retained outcomes) when
+        ``keep_outcomes`` is on; otherwise read from the log-histogram sketch
+        (~7% relative resolution, clamped to the observed min/max).
+        """
+        if self.keep_outcomes:
+            times = self.completion_times()
+            if times.size == 0:
+                raise SimulationError("no finished jobs to summarize")
+            return float(np.percentile(times, q))
+        value = self.completion.percentile(q)
+        if value is None:
             raise SimulationError("no finished jobs to summarize")
-        return float(np.percentile(times, q))
+        return float(value)
+
+    def percentile_wait_time(self, q: float) -> float:
+        """Wait-time percentile (same exactness contract as completions)."""
+        if self.keep_outcomes:
+            waits = self.wait_times()
+            if waits.size == 0:
+                return 0.0
+            return float(np.percentile(waits, q))
+        value = self.wait.percentile(q)
+        return 0.0 if value is None else float(value)
 
     def mean_wait_time(self) -> float:
-        waits = self.wait_times()
-        if waits.size == 0:
-            return 0.0
-        return float(waits.mean())
+        value = self.wait.mean_value
+        return 0.0 if value is None else float(value)
 
     def mean_utilization(self) -> float:
-        """Mean fraction of slots busy, time-weighted over the samples."""
-        if self.total_slots <= 0 or len(self.utilization_samples) < 2:
-            return 0.0
-        times = np.array([sample[0] for sample in self.utilization_samples], dtype=float)
-        slots = np.array([sample[1] for sample in self.utilization_samples], dtype=float)
-        spans = np.diff(times)
-        if spans.sum() <= 0:
-            return 0.0
-        return float(np.dot(slots[:-1], spans) / (spans.sum() * self.total_slots))
+        """Mean fraction of slots busy, time-weighted over the replay."""
+        return self.utilization.mean_utilization(self.total_slots)
 
     def hourly_active_slots(self) -> np.ndarray:
         """Average active slots per hour — the Figure-7 utilization column."""
-        if len(self.utilization_samples) < 2:
-            return np.zeros(1, dtype=float)
-        times = np.array([sample[0] for sample in self.utilization_samples], dtype=float)
-        slots = np.array([sample[1] for sample in self.utilization_samples], dtype=float)
-        horizon = max(self.horizon_s, float(times.max()))
-        n_hours = max(1, int(np.ceil(horizon / 3600.0)))
-        totals = np.zeros(n_hours, dtype=float)
-        # Accumulate slot-seconds per hour from the step function of samples.
-        for index in range(len(times) - 1):
-            start, end = times[index], times[index + 1]
-            value = slots[index]
-            hour = int(start // 3600)
-            while start < end and hour < n_hours:
-                hour_end = min(end, (hour + 1) * 3600.0)
-                totals[hour] += value * (hour_end - start)
-                start = hour_end
-                hour += 1
-        return totals / 3600.0
+        return self.utilization.hourly_active_slots()
+
+    def utilization_steps(self) -> List[Tuple[float, float, float]]:
+        """(start, end, busy_slots) steps of the occupancy function.
+
+        Sample-exact when utilization samples were retained; otherwise the
+        steps are reconstructed at hour granularity from the accumulator bins
+        (good enough for energy integration over multi-hour horizons).
+
+        Raises:
+            SimulationError: when the replay spans zero simulated time.
+        """
+        if self.utilization_samples:
+            samples = sorted(self.utilization_samples, key=lambda sample: sample[0])
+            steps = []
+            for index in range(len(samples) - 1):
+                start, busy = samples[index]
+                end = samples[index + 1][0]
+                if end > start:
+                    steps.append((float(start), float(end), float(busy)))
+            if not steps:
+                raise SimulationError("utilization samples span zero simulated time")
+            return steps
+        bins = self.utilization.hourly_slot_seconds
+        if not bins:
+            raise SimulationError("energy accounting needs a replay spanning "
+                                  "nonzero simulated time")
+        return [
+            (hour * _SECONDS_PER_HOUR, (hour + 1) * _SECONDS_PER_HOUR,
+             slot_seconds / _SECONDS_PER_HOUR)
+            for hour, slot_seconds in enumerate(bins)
+        ]
 
     def slowdown_of_small_jobs(self, small_bytes_threshold: float) -> float:
-        """Mean completion time of jobs at or below the byte threshold."""
+        """Mean completion time of jobs at or below the byte threshold.
+
+        Raises:
+            SimulationError: without retained outcomes (streaming replays
+                discard the per-job list this filter needs), or when no small
+                job finished.
+        """
+        if not self.keep_outcomes:
+            raise SimulationError(
+                "slowdown_of_small_jobs needs retained per-job outcomes; "
+                "replay with keep_outcomes=True")
         small = [
             outcome.completion_time_s for outcome in self.outcomes
-            if outcome.completion_time_s is not None and outcome.total_bytes <= small_bytes_threshold
+            if outcome.completion_time_s is not None
+            and outcome.total_bytes <= small_bytes_threshold
         ]
         if not small:
             raise SimulationError("no finished small jobs below the threshold")
         return float(np.mean(small))
+
+    def summary(self) -> Dict[str, float]:
+        """Accumulator-based scalar summary (identical for streamed and
+        materialized replays of the same jobs)."""
+        self.finalize()
+        summary = {
+            "jobs": self.n_jobs,
+            "finished_jobs": self.finished_jobs,
+            "horizon_s": self.horizon_s,
+            "mean_wait_s": self.mean_wait_time(),
+            "p95_wait_s": float(self.wait.percentile(95.0) or 0.0),
+            "mean_completion_s": float(self.completion.mean_value or 0.0),
+            "p50_completion_s": float(self.completion.percentile(50.0) or 0.0),
+            "p99_completion_s": float(self.completion.percentile(99.0) or 0.0),
+            "mean_utilization": self.mean_utilization(),
+        }
+        if self.cache_stats is not None:
+            summary["cache_hit_rate"] = self.cache_stats.hit_rate
+            summary["cache_byte_hit_rate"] = self.cache_stats.byte_hit_rate
+        return summary

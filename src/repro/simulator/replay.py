@@ -1,29 +1,66 @@
-"""Workload replay on the simulated cluster.
+"""Workload replay on the simulated cluster — materialized or streaming.
 
 :class:`WorkloadReplayer` takes a trace (observed, spec-generated, or produced
 by the SWIM synthesizer), splits each job into tasks, and runs them through
 the discrete-event cluster model under a chosen scheduler and storage-cache
 policy.  The output is a :class:`~repro.simulator.metrics.SimulationMetrics`
-with per-job wait and completion times, slot-occupancy over time (the
+with per-job wait and completion summaries, slot-occupancy over time (the
 Figure-7 utilization column), and cache hit statistics (the §4.2/§4.3 policy
 comparisons).
+
+Both replayers share one lazy event loop (:meth:`WorkloadReplayer.replay_jobs`)
+that pulls jobs from an iterator in arrival-time order with a bounded
+submission look-ahead, so the event sequence — and therefore every metric,
+bit for bit — is identical whether the jobs came from an in-memory
+:class:`~repro.traces.trace.Trace`, a lazy trace-file reader, or a chunked
+on-disk store:
+
+* :class:`WorkloadReplayer` — the classic entry point; replays a materialized
+  trace and retains per-job outcomes for exact medians and per-job analyses.
+* :class:`StreamingReplayer` — bounded-memory replay for traces that do not
+  fit in RAM: consumes a :class:`~repro.engine.store.ChunkedTraceStore`
+  (one chunk resident at a time) or any sorted job iterator, and keeps only
+  the mergeable metric accumulators, never a per-job list.
+
+Usage — the streamed run reproduces the materialized run exactly::
+
+    >>> from repro.simulator.replay import StreamingReplayer, WorkloadReplayer
+    >>> from repro.traces import Job, Trace
+    >>> jobs = [Job(job_id="j%d" % i, submit_time_s=60.0 * i, duration_s=30.0,
+    ...             input_bytes=1e9, shuffle_bytes=0.0, output_bytes=1e8,
+    ...             map_task_seconds=90.0, reduce_task_seconds=0.0)
+    ...         for i in range(4)]
+    >>> materialized = WorkloadReplayer().replay(Trace(jobs, name="tiny"))
+    >>> streamed = StreamingReplayer().replay_jobs(iter(jobs))
+    >>> streamed.finished_jobs == materialized.finished_jobs == 4
+    True
+    >>> streamed.mean_wait_time() == materialized.mean_wait_time()
+    True
+    >>> streamed.keep_outcomes, len(streamed.outcomes)
+    (False, 0)
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, Optional
 
 from ..errors import SimulationError
+from ..traces.schema import Job
 from ..traces.trace import Trace
 from .cache import CachePolicy, NoCache
 from .cluster import Cluster, ClusterConfig
 from .events import EventQueue
 from .hdfs import Hdfs, HdfsConfig
 from .metrics import JobOutcome, SimulationMetrics
-from .scheduler import CapacityScheduler, FifoScheduler, Scheduler
+from .scheduler import FifoScheduler, Scheduler
 from .tasks import SimJob, SimTask, split_job
 
-__all__ = ["WorkloadReplayer", "replay"]
+__all__ = ["WorkloadReplayer", "StreamingReplayer", "replay", "replay_store"]
+
+#: Default bound on submission look-ahead: at most this many jobs are split
+#: into tasks and queued for submission ahead of simulated time.
+DEFAULT_LOOKAHEAD = 4096
 
 
 class WorkloadReplayer:
@@ -42,6 +79,12 @@ class WorkloadReplayer:
             right after it is split into tasks and before it is submitted.
             Used to perturb task durations, e.g. by the straggler-injection
             model in :mod:`repro.simulator.stragglers`.
+        lookahead: bound on how many submissions may be queued ahead of
+            simulated time (default :data:`DEFAULT_LOOKAHEAD`).  Replay
+            memory is O(lookahead + active jobs), independent of trace size.
+        keep_outcomes: retain the per-job :class:`JobOutcome` list and raw
+            utilization samples on the returned metrics (default True here;
+            :class:`StreamingReplayer` defaults to False).
     """
 
     def __init__(self, cluster_config: Optional[ClusterConfig] = None,
@@ -49,36 +92,76 @@ class WorkloadReplayer:
                  cache: Optional[CachePolicy] = None,
                  hdfs_config: Optional[HdfsConfig] = None,
                  max_simulated_jobs: Optional[int] = None,
-                 task_transform: Optional[Callable[[SimJob], None]] = None):
+                 task_transform: Optional[Callable[[SimJob], None]] = None,
+                 lookahead: int = DEFAULT_LOOKAHEAD,
+                 keep_outcomes: bool = True):
+        if lookahead < 1:
+            raise SimulationError("lookahead must be at least 1, got %r" % (lookahead,))
         self.cluster_config = cluster_config or ClusterConfig()
         self.scheduler = scheduler or FifoScheduler()
         self.cache = cache or NoCache()
         self.hdfs = Hdfs(hdfs_config or HdfsConfig(n_datanodes=self.cluster_config.n_nodes))
         self.max_simulated_jobs = max_simulated_jobs
         self.task_transform = task_transform
+        self.lookahead = lookahead
+        self.keep_outcomes = keep_outcomes
 
     # ------------------------------------------------------------------
     def replay(self, trace: Trace) -> SimulationMetrics:
-        """Run the replay and return its metrics.
+        """Replay a fully materialized trace and return its metrics.
 
         Raises:
             SimulationError: when the trace is empty.
         """
         if trace.is_empty():
             raise SimulationError("cannot replay an empty trace")
+        return self.replay_jobs(iter(trace.jobs))
 
-        jobs = list(trace.jobs)
+    def replay_jobs(self, jobs: Iterable[Job]) -> SimulationMetrics:
+        """Replay jobs pulled lazily from an iterable, in arrival-time order.
+
+        At most ``lookahead`` jobs are split into tasks and queued for
+        submission ahead of the simulation clock; each fired submission pulls
+        one more job from the iterator, so memory stays bounded no matter how
+        many jobs the source yields.
+
+        Raises:
+            SimulationError: when the iterable yields no jobs, or yields them
+                out of arrival-time order (sort the trace, or convert it with
+                ``repro engine convert``, first).
+        """
+        job_iter: Iterator[Job] = iter(jobs)
         if self.max_simulated_jobs is not None:
-            jobs = jobs[: self.max_simulated_jobs]
+            job_iter = itertools.islice(job_iter, self.max_simulated_jobs)
 
         queue = EventQueue()
         cluster = Cluster(self.cluster_config)
-        metrics = SimulationMetrics(total_slots=self.cluster_config.total_slots)
-        sim_jobs: Dict[str, SimJob] = {}
+        metrics = SimulationMetrics(total_slots=self.cluster_config.total_slots,
+                                    keep_outcomes=self.keep_outcomes)
         active_jobs: Dict[str, SimJob] = {}
+        last_submit = [float("-inf")]
 
         def record_utilization():
             metrics.record_utilization(queue.now, cluster.total_busy_slots())
+
+        def pull_next_job() -> bool:
+            """Schedule the next job's submission; False when the source is dry."""
+            job = next(job_iter, None)
+            if job is None:
+                return False
+            if job.submit_time_s < last_submit[0]:
+                raise SimulationError(
+                    "job %s submitted at %.3f after a job submitted at %.3f: "
+                    "streaming replay needs jobs in arrival-time order (sort "
+                    "the trace or rebuild the store with 'repro engine convert')"
+                    % (job.job_id, job.submit_time_s, last_submit[0]))
+            last_submit[0] = job.submit_time_s
+            sim_job = split_job(job)
+            if self.task_transform is not None:
+                self.task_transform(sim_job)
+            metrics.record_submission()
+            queue.schedule(max(0.0, job.submit_time_s), on_submit(sim_job), priority=1)
+            return True
 
         def on_submit(sim_job: SimJob):
             def handler():
@@ -87,6 +170,8 @@ class WorkloadReplayer:
                 self._serve_input(sim_job, queue.now)
                 dispatch("map")
                 dispatch("reduce")
+                # This submission fired: top the look-ahead window back up.
+                pull_next_job()
             return handler
 
         def dispatch(kind: str):
@@ -142,19 +227,19 @@ class WorkloadReplayer:
                 )
             )
 
-        # Schedule all submissions.
-        for job in jobs:
-            sim_job = split_job(job)
-            if self.task_transform is not None:
-                self.task_transform(sim_job)
-            sim_jobs[sim_job.job_id] = sim_job
-            queue.schedule(max(0.0, job.submit_time_s), on_submit(sim_job), priority=1)
+        # Prime the look-ahead window, then let each fired submission refill it.
+        for _ in range(self.lookahead):
+            if not pull_next_job():
+                break
+        if metrics.jobs_submitted == 0:
+            raise SimulationError("cannot replay an empty job stream")
 
         record_utilization()
         queue.run()
         metrics.horizon_s = queue.now
         metrics.cache_stats = self.cache.stats
         record_utilization()
+        metrics.finalize()
         return metrics
 
     # ------------------------------------------------------------------
@@ -175,6 +260,78 @@ class WorkloadReplayer:
         self.cache.invalidate(job.output_path)
 
 
+class StreamingReplayer(WorkloadReplayer):
+    """Bounded-memory replay straight from a chunked store or a lazy reader.
+
+    Differences from :class:`WorkloadReplayer` (all overridable):
+
+    * ``keep_outcomes`` defaults to False: the returned metrics hold only the
+      mergeable accumulators, never a per-job outcome list;
+    * the HDFS model defaults to ``retain_files=False`` so traces without
+      recorded paths do not grow the simulated namespace by one implicit
+      entry per job (the file model does not influence replay timing).
+
+    Peak memory is O(chunk + lookahead + active jobs + hours of horizon),
+    independent of how many jobs the source holds — this is what lets a
+    multi-million-job production trace replay in a few hundred MB of RSS.
+
+    Usage::
+
+        >>> from repro.simulator.replay import StreamingReplayer
+        >>> replayer = StreamingReplayer()
+        >>> replayer.keep_outcomes, replayer.hdfs.config.retain_files
+        (False, False)
+
+    See :meth:`replay_store` for the store-backed entry point used by
+    ``repro replay --store``.
+    """
+
+    def __init__(self, cluster_config: Optional[ClusterConfig] = None,
+                 scheduler: Optional[Scheduler] = None,
+                 cache: Optional[CachePolicy] = None,
+                 hdfs_config: Optional[HdfsConfig] = None,
+                 max_simulated_jobs: Optional[int] = None,
+                 task_transform: Optional[Callable[[SimJob], None]] = None,
+                 lookahead: int = DEFAULT_LOOKAHEAD,
+                 keep_outcomes: bool = False):
+        cluster_config = cluster_config or ClusterConfig()
+        if hdfs_config is None:
+            hdfs_config = HdfsConfig(n_datanodes=cluster_config.n_nodes,
+                                     retain_files=False)
+        super().__init__(cluster_config=cluster_config, scheduler=scheduler,
+                         cache=cache, hdfs_config=hdfs_config,
+                         max_simulated_jobs=max_simulated_jobs,
+                         task_transform=task_transform, lookahead=lookahead,
+                         keep_outcomes=keep_outcomes)
+
+    def replay_store(self, store) -> SimulationMetrics:
+        """Replay a :class:`~repro.engine.store.ChunkedTraceStore` (or its
+        directory path), streaming one chunk of jobs at a time.
+
+        Raises:
+            SimulationError: when the store is not sorted by submission time
+                (rebuild it with ``repro engine convert`` from a sorted
+                source) or is empty.
+        """
+        from ..engine.store import ChunkedTraceStore
+
+        if not isinstance(store, ChunkedTraceStore):
+            store = ChunkedTraceStore(store)
+        return self.replay_jobs(store.iter_jobs())
+
+    def replay_path(self, path) -> SimulationMetrics:
+        """Replay a trace file (.csv/.jsonl, optionally .gz) without
+        materializing it, via the lazy readers in :mod:`repro.traces.io`.
+
+        The file must list jobs in arrival-time order (the library's writers
+        always do, since :class:`~repro.traces.trace.Trace` keeps jobs
+        sorted).
+        """
+        from ..traces.io import iter_trace
+
+        return self.replay_jobs(iter_trace(path))
+
+
 def replay(trace: Trace, cluster_config: Optional[ClusterConfig] = None,
            scheduler: Optional[Scheduler] = None, cache: Optional[CachePolicy] = None,
            max_simulated_jobs: Optional[int] = None) -> SimulationMetrics:
@@ -184,3 +341,17 @@ def replay(trace: Trace, cluster_config: Optional[ClusterConfig] = None,
         max_simulated_jobs=max_simulated_jobs,
     )
     return replayer.replay(trace)
+
+
+def replay_store(store, cluster_config: Optional[ClusterConfig] = None,
+                 scheduler: Optional[Scheduler] = None,
+                 cache: Optional[CachePolicy] = None,
+                 max_simulated_jobs: Optional[int] = None,
+                 lookahead: int = DEFAULT_LOOKAHEAD) -> SimulationMetrics:
+    """Convenience wrapper: stream a chunked store through a
+    :class:`StreamingReplayer` with bounded memory."""
+    replayer = StreamingReplayer(
+        cluster_config=cluster_config, scheduler=scheduler, cache=cache,
+        max_simulated_jobs=max_simulated_jobs, lookahead=lookahead,
+    )
+    return replayer.replay_store(store)

@@ -1,0 +1,163 @@
+"""Scenario sweep: spec parsing, grid expansion, parallel fan-out, report."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import ChunkedTraceStore, ParallelExecutor
+from repro.errors import SimulationError
+from repro.simulator import (
+    Scenario,
+    ScenarioSweep,
+    StreamingReplayer,
+    expand_grid,
+    load_sweep_spec,
+)
+from repro.simulator.cache import LruCache, NoCache, SizeThresholdCache
+from repro.simulator.scheduler import CapacityScheduler, FairScheduler, FifoScheduler
+from repro.traces import load_workload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return load_workload("CC-e", seed=5, scale=0.08)
+
+
+@pytest.fixture(scope="module")
+def store(trace, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("sweep-stores") / "cc-e.store"
+    return ChunkedTraceStore.write(directory, trace, chunk_rows=200)
+
+
+class TestScenario:
+    def test_builds_named_schedulers(self):
+        assert isinstance(Scenario("a").build_scheduler(), FifoScheduler)
+        assert isinstance(Scenario("a", scheduler="fair").build_scheduler(),
+                          FairScheduler)
+        capacity = Scenario("a", scheduler="capacity",
+                            scheduler_kwargs={"interactive_share": 0.25})
+        assert isinstance(capacity.build_scheduler(), CapacityScheduler)
+
+    def test_builds_named_caches(self):
+        assert isinstance(Scenario("a").build_cache(), NoCache)
+        lru = Scenario("a", cache="lru", cache_gb=2.0).build_cache()
+        assert isinstance(lru, LruCache)
+        assert lru.capacity_bytes == pytest.approx(2e9)
+        threshold = Scenario("a", cache="size-threshold", cache_gb=1.0,
+                             cache_kwargs={"size_threshold_bytes": 1e6}).build_cache()
+        assert isinstance(threshold, SizeThresholdCache)
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(SimulationError, match="unknown scheduler"):
+            Scenario("a", scheduler="lottery").build_scheduler()
+        with pytest.raises(SimulationError, match="unknown cache"):
+            Scenario("a", cache="belady").build_cache()
+
+    def test_build_replayer_is_streaming(self):
+        replayer = Scenario("a", nodes=10, max_jobs=5).build_replayer()
+        assert isinstance(replayer, StreamingReplayer)
+        assert replayer.cluster_config.n_nodes == 10
+        assert replayer.max_simulated_jobs == 5
+
+    def test_round_trips_through_dict(self):
+        scenario = Scenario("x", scheduler="fair", cache="lru", cache_gb=3.5,
+                            nodes=40, max_jobs=100)
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(SimulationError, match="unknown scenario fields"):
+            Scenario.from_dict({"name": "x", "sched": "fifo"})
+
+
+class TestSpecLoading:
+    def test_expand_grid_crosses_axes(self):
+        scenarios = expand_grid({"schedulers": ["fifo", "fair"],
+                                 "caches": ["none", {"cache": "lru", "cache_gb": 1}],
+                                 "nodes": [50, 100]})
+        assert len(scenarios) == 8
+        names = [scenario.name for scenario in scenarios]
+        assert "fifo/none/50n" in names and "fair/lru/100n" in names
+
+    def test_repeated_policy_axis_entries_get_unique_names(self):
+        scenarios = expand_grid({"caches": [{"cache": "lru", "cache_gb": 512},
+                                            {"cache": "lru", "cache_gb": 1024}]})
+        assert [scenario.name for scenario in scenarios] == \
+            ["fifo/lru-512GB", "fifo/lru-1024GB"]
+        # Same name and same capacity but different kwargs: counter suffix.
+        scenarios = expand_grid({
+            "schedulers": [{"scheduler": "capacity"},
+                           {"scheduler": "capacity",
+                            "scheduler_kwargs": {"interactive_share": 0.2}}]})
+        assert [scenario.name for scenario in scenarios] == \
+            ["capacity/none", "capacity#2/none"]
+        # A sizing sweep round-trips through load_sweep_spec without a
+        # duplicate-name rejection.
+        loaded = load_sweep_spec({"grid": {"caches": [
+            {"cache": "lru", "cache_gb": 1}, {"cache": "lru", "cache_gb": 2}]}})
+        assert len(loaded) == 2
+
+    def test_load_spec_from_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({
+            "grid": {"schedulers": ["fifo"], "caches": ["none"]},
+            "scenarios": [{"name": "big-cache", "cache": "unlimited"}],
+        }))
+        scenarios = load_sweep_spec(str(path))
+        assert [scenario.name for scenario in scenarios] == ["fifo/none", "big-cache"]
+
+    def test_empty_and_duplicate_specs_rejected(self, tmp_path):
+        with pytest.raises(SimulationError, match="no scenarios"):
+            load_sweep_spec({})
+        with pytest.raises(SimulationError, match="duplicate scenario names"):
+            load_sweep_spec({"scenarios": [{"name": "a"}, {"name": "a"}]})
+        with pytest.raises(SimulationError, match="cannot read sweep spec"):
+            load_sweep_spec(str(tmp_path / "missing.json"))
+
+
+class TestScenarioSweep:
+    def test_store_sweep_matches_direct_replays(self, store):
+        scenarios = expand_grid({"schedulers": ["fifo", "fair"]})
+        result = ScenarioSweep(scenarios).run(store.directory)
+        assert len(result) == 2
+        direct = scenarios[0].build_replayer().replay_store(store)
+        assert result["fifo/none"].summary == direct.summary()
+
+    def test_parallel_and_serial_sweeps_agree(self, store):
+        scenarios = expand_grid({"schedulers": ["fifo", "fair"],
+                                 "caches": [{"cache": "lru", "cache_gb": 0.5}]})
+        serial = ScenarioSweep(scenarios, executor=ParallelExecutor(processes=1))
+        parallel = ScenarioSweep(scenarios, executor=ParallelExecutor(processes=2))
+        serial_result = serial.run(store.directory)
+        parallel_result = parallel.run(store.directory)
+        for scenario in scenarios:
+            assert (serial_result[scenario.name].summary
+                    == parallel_result[scenario.name].summary)
+            assert np.array_equal(
+                serial_result[scenario.name].metrics.completion.sketch.counts,
+                parallel_result[scenario.name].metrics.completion.sketch.counts)
+
+    def test_trace_source_runs_serially(self, trace, store):
+        scenarios = [Scenario("only")]
+        from_trace = ScenarioSweep(scenarios).run(trace)
+        from_store = ScenarioSweep(scenarios).run(store.directory)
+        assert from_trace["only"].summary == from_store["only"].summary
+
+    def test_render_and_json(self, store):
+        scenarios = expand_grid({"schedulers": ["fifo"],
+                                 "caches": [{"cache": "lru", "cache_gb": 0.5}]})
+        result = ScenarioSweep(scenarios).run(store.directory)
+        text = result.render()
+        assert "scenario sweep" in text and "fifo/lru" in text
+        payload = json.loads(result.to_json())
+        assert payload[0]["scenario"]["name"] == "fifo/lru"
+        assert payload[0]["summary"]["finished_jobs"] > 0
+
+    def test_missing_store_fails_fast(self, tmp_path):
+        sweep = ScenarioSweep([Scenario("a")])
+        with pytest.raises(Exception):
+            sweep.run(str(tmp_path / "not-a-store"))
+
+    def test_needs_scenarios(self):
+        with pytest.raises(SimulationError, match="at least one scenario"):
+            ScenarioSweep([])

@@ -1,0 +1,29 @@
+"""Run the usage doctests embedded in the docs-bearing modules.
+
+The CI docs job runs the same set via ``python -m pytest tests/test_doctests.py``;
+keeping the doctests inside the tier-1 suite means the examples in the module
+docstrings (the ones README.md and docs/ point readers at) can never rot
+silently.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+#: Modules whose docstrings carry runnable usage examples.
+DOCS_BEARING_MODULES = [
+    "repro.engine",
+    "repro.simulator",
+    "repro.simulator.metrics",
+    "repro.simulator.replay",
+    "repro.simulator.sweep",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCS_BEARING_MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, "%s advertises doctests but has none" % module_name
+    assert result.failed == 0, "%d doctest failure(s) in %s" % (result.failed, module_name)

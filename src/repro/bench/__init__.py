@@ -16,7 +16,7 @@ from .extensions import (
     tiered_cluster_ablation,
     workload_suite_experiment,
 )
-from .suite import EXPERIMENT_IDS, render_suite, run_suite
+from .suite import CHARACTERIZATION_EXPERIMENT_IDS, EXPERIMENT_IDS, render_suite, run_suite
 
 __all__ = [
     "ExperimentResult",
@@ -44,6 +44,7 @@ __all__ = [
     "evolution_experiment",
     "workload_suite_experiment",
     "EXPERIMENT_IDS",
+    "CHARACTERIZATION_EXPERIMENT_IDS",
     "run_suite",
     "render_suite",
 ]

@@ -145,8 +145,15 @@ def energy_ablation(trace: Trace, n_nodes: int = 60,
 
 
 def consolidation_ablation(traces: Dict[str, Trace]) -> ExperimentResult:
-    """Burstiness of individual workloads versus their consolidation."""
-    sources = [trace for trace in traces.values() if not trace.is_empty()]
+    """Burstiness of individual workloads versus their consolidation.
+
+    Accepts traces in any :class:`~repro.engine.source.TraceSource`-wrappable
+    representation (store-backed inputs consolidate streamingly).
+    """
+    from ..engine.source import TraceSource
+
+    sources = [source for source in (TraceSource.wrap(trace) for trace in traces.values())
+               if not source.is_empty()]
     study = consolidation_study(sources)
     result = ExperimentResult(
         experiment_id="ablation_consolidation",

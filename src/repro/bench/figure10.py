@@ -12,14 +12,17 @@ from typing import Dict
 
 from ..core.naming import analyze_naming
 from ..errors import AnalysisError
-from ..traces.trace import Trace
 from .rendering import ExperimentResult
 
 __all__ = ["figure10"]
 
 
-def figure10(traces: Dict[str, Trace], top_n: int = 5) -> ExperimentResult:
-    """Build the Figure-10 reproduction for every trace that records names."""
+def figure10(traces: Dict[str, object], top_n: int = 5) -> ExperimentResult:
+    """Build the Figure-10 reproduction for every trace that records names.
+
+    Traces may be in any :class:`~repro.engine.source.TraceSource`-wrappable
+    representation; the naming analysis streams the name column chunk by chunk.
+    """
     result = ExperimentResult(
         experiment_id="figure10",
         title="First word of job names, weighted by jobs / bytes / task-time",

@@ -1,9 +1,13 @@
 """Figures 1-6: data access pattern experiments.
 
-One function per figure.  Each takes ``{workload name: Trace}`` and returns an
+One function per figure.  Each takes ``{workload name: trace}`` — where a
+trace may be any :class:`~repro.engine.source.TraceSource`-wrappable
+representation, including an out-of-core chunked store — and returns an
 :class:`~repro.bench.rendering.ExperimentResult` whose series/rows regenerate
 the corresponding paper figure and whose notes record the shape criteria the
 paper reports (median spreads, Zipf slope ≈ 5/6, 80-x rule, re-access timing).
+Store-backed inputs stream chunk by chunk; Figure 1's CDFs are then
+sketch-backed (see :mod:`repro.core.datasizes`), everything else is exact.
 """
 
 from __future__ import annotations
@@ -20,7 +24,6 @@ from ..core.access import (
 )
 from ..core.datasizes import analyze_data_sizes, median_spread_orders
 from ..errors import AnalysisError
-from ..traces.trace import Trace
 from ..units import format_bytes
 from .rendering import ExperimentResult
 
@@ -39,7 +42,7 @@ def _cdf_series(cdf, max_points: int = 200):
     return thinned
 
 
-def figure1(traces: Dict[str, Trace]) -> ExperimentResult:
+def figure1(traces: Dict[str, object]) -> ExperimentResult:
     """Figure 1: CDFs of per-job input, shuffle and output size per workload."""
     result = ExperimentResult(
         experiment_id="figure1",
@@ -70,7 +73,7 @@ def figure1(traces: Dict[str, Trace]) -> ExperimentResult:
     return result
 
 
-def figure2(traces: Dict[str, Trace]) -> ExperimentResult:
+def figure2(traces: Dict[str, object]) -> ExperimentResult:
     """Figure 2: log-log file access frequency vs rank (Zipf, slope ≈ 5/6)."""
     result = ExperimentResult(
         experiment_id="figure2",
@@ -94,17 +97,17 @@ def figure2(traces: Dict[str, Trace]) -> ExperimentResult:
     return result
 
 
-def figure3(traces: Dict[str, Trace]) -> ExperimentResult:
+def figure3(traces: Dict[str, object]) -> ExperimentResult:
     """Figure 3: jobs and stored bytes versus input file size."""
     return _size_profile_figure(traces, "input", "figure3")
 
 
-def figure4(traces: Dict[str, Trace]) -> ExperimentResult:
+def figure4(traces: Dict[str, object]) -> ExperimentResult:
     """Figure 4: jobs and stored bytes versus output file size."""
     return _size_profile_figure(traces, "output", "figure4")
 
 
-def _size_profile_figure(traces: Dict[str, Trace], kind: str, experiment_id: str) -> ExperimentResult:
+def _size_profile_figure(traces: Dict[str, object], kind: str, experiment_id: str) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id=experiment_id,
         title="Access patterns vs %s file size (fraction of jobs / of stored bytes)" % kind,
@@ -131,7 +134,7 @@ def _size_profile_figure(traces: Dict[str, Trace], kind: str, experiment_id: str
     return result
 
 
-def figure5(traces: Dict[str, Trace]) -> ExperimentResult:
+def figure5(traces: Dict[str, object]) -> ExperimentResult:
     """Figure 5: CDFs of input->input and output->input re-access intervals."""
     result = ExperimentResult(
         experiment_id="figure5",
@@ -154,7 +157,7 @@ def figure5(traces: Dict[str, Trace]) -> ExperimentResult:
     return result
 
 
-def figure6(traces: Dict[str, Trace]) -> ExperimentResult:
+def figure6(traces: Dict[str, object]) -> ExperimentResult:
     """Figure 6: fraction of jobs whose input re-accesses pre-existing data."""
     result = ExperimentResult(
         experiment_id="figure6",

@@ -4,6 +4,12 @@ Figure 7 — weekly time series of job submissions, aggregate I/O, aggregate
 task-time and cluster utilization; Figure 8 — burstiness curves with sine
 reference signals; Figure 9 — pairwise correlations between the hourly
 submission dimensions.
+
+Traces may be given in any :class:`~repro.engine.source.TraceSource`-wrappable
+representation.  The hourly series come from chunked group-by scans; for the
+Figure-7 utilization column a store-backed source feeds the replayer through
+the shared lazy event loop (one chunk of jobs at a time) instead of
+materializing the trace, producing the identical metric fold.
 """
 
 from __future__ import annotations
@@ -14,18 +20,59 @@ import numpy as np
 
 from ..core.burstiness import burstiness_curve, hourly_task_seconds
 from ..core.temporal import dimension_correlations, diurnal_strength, hourly_dimensions, weekly_view
+from ..engine.source import TraceSource
 from ..errors import AnalysisError
 from ..simulator.cluster import ClusterConfig
 from ..simulator.replay import WorkloadReplayer
 from ..synth.arrival import sine_reference_series
-from ..traces.trace import Trace
 from ..units import HOUR, WEEK
 from .rendering import ExperimentResult
 
 __all__ = ["figure7", "figure8", "figure9"]
 
 
-def figure7(traces: Dict[str, Trace], simulate_utilization: bool = True,
+def _first_week_jobs(source: TraceSource, week_end: float):
+    """Yield jobs submitted in ``[0, week_end)``, verifying submit order.
+
+    Stopping at the first job past the window is only sound on a sorted
+    stream, so disorder raises instead of silently truncating the window.
+    """
+    last_submit = -np.inf
+    for job in source.iter_jobs():
+        if job.submit_time_s < last_submit:
+            raise AnalysisError(
+                "source %r is not sorted by submit time; cannot window the "
+                "first week for the utilization replay" % (source.name,))
+        last_submit = job.submit_time_s
+        if job.submit_time_s >= week_end:
+            break
+        if job.submit_time_s >= 0.0:
+            yield job
+
+
+def _first_week_utilization(source: TraceSource,
+                            max_simulated_jobs: Optional[int]) -> Optional[np.ndarray]:
+    """Replay the first week of a source; hourly active slots (None if empty).
+
+    Materialized and streaming sources feed the same
+    :meth:`WorkloadReplayer.replay_jobs` event loop with the same job
+    sequence (submissions in ``[0, min(week, duration))``), so the hourly
+    utilization column is identical for every representation; a store source
+    streams jobs one chunk at a time.
+    """
+    week_end = float(min(WEEK, source.duration_s()))
+    machines = source.machines or 100
+    replayer = WorkloadReplayer(
+        cluster_config=ClusterConfig(n_nodes=machines),
+        max_simulated_jobs=max_simulated_jobs,
+    )
+    metrics = replayer.replay_jobs(_first_week_jobs(source, week_end))
+    if metrics.n_jobs == 0:
+        return None
+    return metrics.hourly_active_slots()
+
+
+def figure7(traces: Dict[str, object], simulate_utilization: bool = True,
             max_simulated_jobs: Optional[int] = 4000) -> ExperimentResult:
     """Figure 7: workload behaviour over a week in four dimensions.
 
@@ -41,7 +88,8 @@ def figure7(traces: Dict[str, Trace], simulate_utilization: bool = True,
         headers=["Workload", "Hours", "Mean jobs/hr", "Peak jobs/hr", "Diurnal strength"],
     )
     for name, trace in traces.items():
-        dims = hourly_dimensions(trace)
+        source = TraceSource.wrap(trace)
+        dims = hourly_dimensions(source)
         week = weekly_view(dims, 0)
         jobs_series = week.series["jobs"]
         diurnal = diurnal_strength(dims.jobs_per_hour)
@@ -58,17 +106,11 @@ def figure7(traces: Dict[str, Trace], simulate_utilization: bool = True,
                 (float(hour), float(value)) for hour, value in enumerate(series)
             ]
         if simulate_utilization:
-            week_trace = trace.time_window(0.0, float(min(WEEK, trace.duration_s())))
-            if not week_trace.is_empty():
-                machines = trace.machines or 100
-                replayer = WorkloadReplayer(
-                    cluster_config=ClusterConfig(n_nodes=machines),
-                    max_simulated_jobs=max_simulated_jobs,
-                )
-                metrics = replayer.replay(week_trace)
+            hourly_slots = _first_week_utilization(source, max_simulated_jobs)
+            if hourly_slots is not None:
                 result.series["%s/active_slots_per_hour" % name] = [
                     (float(hour), float(value))
-                    for hour, value in enumerate(metrics.hourly_active_slots()[: WEEK // HOUR])
+                    for hour, value in enumerate(hourly_slots[: WEEK // HOUR])
                 ]
     result.notes.append(
         "paper: high noise in all dimensions; some workloads show visually "
@@ -77,7 +119,7 @@ def figure7(traces: Dict[str, Trace], simulate_utilization: bool = True,
     return result
 
 
-def figure8(traces: Dict[str, Trace]) -> ExperimentResult:
+def figure8(traces: Dict[str, object]) -> ExperimentResult:
     """Figure 8: burstiness (percentile-to-median CDF of hourly task-time)."""
     result = ExperimentResult(
         experiment_id="figure8",
@@ -112,7 +154,7 @@ def figure8(traces: Dict[str, Trace]) -> ExperimentResult:
     return result
 
 
-def figure9(traces: Dict[str, Trace]) -> ExperimentResult:
+def figure9(traces: Dict[str, object]) -> ExperimentResult:
     """Figure 9: correlations between hourly jobs, bytes and task-time series."""
     result = ExperimentResult(
         experiment_id="figure9",

@@ -5,12 +5,21 @@ runs every experiment module, and returns the collected
 :class:`~repro.bench.rendering.ExperimentResult` objects;
 :func:`render_suite` turns them into the plain-text report that EXPERIMENTS.md
 is built from.
+
+Pre-generated ``traces`` may be passed in any
+:class:`~repro.engine.source.TraceSource`-wrappable representation, including
+out-of-core :class:`~repro.engine.store.ChunkedTraceStore` directories.  The
+characterization experiments (:data:`CHARACTERIZATION_EXPERIMENT_IDS` —
+Table 1, Figures 1-10, Table 2) run on chunked scans without materializing
+jobs; the replay-simulation ablations need real ``Job`` objects and
+materialize their reference trace on demand.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..engine.source import TraceSource
 from ..traces.registry import DEFAULT_SCALES, load_all_paper_workloads
 from ..traces.trace import Trace
 from .ablations import burstiness_metric_ablation, cache_policy_ablation, k_selection_ablation
@@ -30,12 +39,19 @@ from .swim_replay import swim_replay
 from .table1 import table1
 from .table2 import table2
 
-__all__ = ["run_suite", "render_suite", "EXPERIMENT_IDS"]
+__all__ = ["run_suite", "render_suite", "EXPERIMENT_IDS", "CHARACTERIZATION_EXPERIMENT_IDS"]
+
+#: The experiments that reproduce the paper's characterization proper
+#: (Table 1, Figures 1-10, Table 2).  These run on any representation via
+#: chunked engine scans — this is the default set for ``repro bench --store``.
+CHARACTERIZATION_EXPERIMENT_IDS = (
+    "table1", "figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
+    "figure7", "figure8", "figure9", "figure10", "table2",
+)
 
 #: Identifiers of every experiment the suite runs, in report order.
-EXPERIMENT_IDS = (
-    "table1", "figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
-    "figure7", "figure8", "figure9", "figure10", "table2", "swim_replay",
+EXPERIMENT_IDS = CHARACTERIZATION_EXPERIMENT_IDS + (
+    "swim_replay",
     "ablation_cache", "ablation_burstiness", "ablation_kselect",
     "ablation_tiered", "ablation_stragglers", "ablation_energy",
     "ablation_consolidation", "evolution", "workload_suite",
@@ -54,7 +70,9 @@ def run_suite(seed: int = 0, scale: Optional[float] = None,
         seed: seed used for workload generation and clustering.
         scale: optional uniform scale factor for every paper workload.
         scale_overrides: per-workload scale factors layered on top of ``scale``.
-        traces: pre-generated traces keyed by workload name (skips generation).
+        traces: pre-generated traces keyed by workload name (skips generation);
+            values may be in any :class:`TraceSource`-wrappable representation,
+            including chunked store handles.
         include_ablations: include the three ablation experiments.
         include_simulation: include the experiments that need the replay
             simulator (Figure 7 utilization column, SWIM replay, cache ablation).
@@ -71,6 +89,13 @@ def run_suite(seed: int = 0, scale: Optional[float] = None,
 
     def wanted(experiment_id: str) -> bool:
         return experiment_id in selected
+
+    def materialized(name: str) -> Trace:
+        """A job-list Trace for the simulation experiments (cached in place)."""
+        trace = traces[name]
+        if not isinstance(trace, Trace):
+            traces[name] = trace = TraceSource.wrap(trace).materialize()
+        return trace
 
     if wanted("table1"):
         results.append(table1(traces, scales=scale_overrides or DEFAULT_SCALES))
@@ -98,28 +123,29 @@ def run_suite(seed: int = 0, scale: Optional[float] = None,
         results.append(table2(traces, seed=seed))
     if include_simulation and wanted("swim_replay"):
         source_name = "FB-2009" if "FB-2009" in traces else next(iter(traces))
-        results.append(swim_replay(traces[source_name], seed=seed))
+        results.append(swim_replay(materialized(source_name), seed=seed))
     if include_ablations:
         reference_name = "CC-c" if "CC-c" in traces else next(iter(traces))
-        reference = traces[reference_name]
-        if include_simulation and wanted("ablation_cache"):
-            results.append(cache_policy_ablation(reference))
         if wanted("ablation_burstiness"):
-            results.append(burstiness_metric_ablation(reference))
+            results.append(burstiness_metric_ablation(traces[reference_name]))
+        if include_simulation and wanted("ablation_cache"):
+            results.append(cache_policy_ablation(materialized(reference_name)))
         if wanted("ablation_kselect"):
-            results.append(k_selection_ablation(reference, seed=seed))
+            results.append(k_selection_ablation(materialized(reference_name), seed=seed))
         if include_simulation and wanted("ablation_tiered"):
-            results.append(tiered_cluster_ablation(reference))
+            results.append(tiered_cluster_ablation(materialized(reference_name)))
         if include_simulation and wanted("ablation_stragglers"):
-            results.append(straggler_ablation(reference, seed=seed))
+            results.append(straggler_ablation(materialized(reference_name), seed=seed))
         if include_simulation and wanted("ablation_energy"):
-            results.append(energy_ablation(reference))
+            results.append(energy_ablation(materialized(reference_name)))
         if wanted("ablation_consolidation"):
             results.append(consolidation_ablation(traces))
         if wanted("evolution") and "FB-2009" in traces and "FB-2010" in traces:
-            results.append(evolution_experiment(traces["FB-2009"], traces["FB-2010"]))
+            results.append(evolution_experiment(materialized("FB-2009"),
+                                                materialized("FB-2010")))
         if wanted("workload_suite"):
-            results.append(workload_suite_experiment(traces))
+            results.append(workload_suite_experiment(
+                {name: materialized(name) for name in traces}))
     return results
 
 

@@ -3,15 +3,17 @@
 Regenerates the paper's Table 1 row for every workload (machines, trace
 length, job count, bytes moved) from the generated traces, alongside the
 published full-scale values carried on each workload's spec, so the scaled
-reproduction can be compared against the paper directly.
+reproduction can be compared against the paper directly.  Traces may be given
+in any :class:`~repro.engine.source.TraceSource`-wrappable representation —
+a chunked store is summarized by one engine scan without materializing jobs.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..engine.source import TraceSource
 from ..traces.registry import DEFAULT_SCALES, PAPER_WORKLOAD_NAMES, get_spec
-from ..traces.trace import Trace
 from ..units import format_bytes, format_duration
 from .rendering import ExperimentResult
 
@@ -29,12 +31,13 @@ PAPER_TABLE1 = {
 }
 
 
-def table1(traces: Dict[str, Trace], scales: Optional[Dict[str, float]] = None) -> ExperimentResult:
+def table1(traces: Dict[str, object], scales: Optional[Dict[str, float]] = None) -> ExperimentResult:
     """Build the Table-1 reproduction from generated traces.
 
     Args:
-        traces: mapping of workload name -> trace (typically from
-            :func:`repro.traces.load_all_paper_workloads`).
+        traces: mapping of workload name -> trace, in any representation
+            (typically from :func:`repro.traces.load_all_paper_workloads`, or
+            chunked stores for the out-of-core path).
         scales: the scale factor used per workload, recorded in the notes.
     """
     scales = scales or DEFAULT_SCALES
@@ -43,8 +46,7 @@ def table1(traces: Dict[str, Trace], scales: Optional[Dict[str, float]] = None) 
     for name in PAPER_WORKLOAD_NAMES:
         if name not in traces:
             continue
-        trace = traces[name]
-        summary = trace.summary()
+        summary = TraceSource.wrap(traces[name]).summary()
         paper_jobs, paper_bytes = PAPER_TABLE1.get(name, ("-", "-"))
         rows.append([
             name,

@@ -4,6 +4,12 @@ Regenerates the paper's Table 2 for each workload: cluster sizes, 6-D cluster
 centers (input, shuffle, output bytes; duration; map and reduce task time) and
 human labels, using the automatic k selection rule of §6.2.  The headline
 shape criterion is that small jobs form more than 90% of every workload.
+
+Traces may be given in any :class:`~repro.engine.source.TraceSource`-wrappable
+representation.  The seeded sub-sample is gathered by global row index through
+chunked scans, so the same rows — and therefore the identical clustering —
+are selected whether the workload arrives as a job list, a columnar trace, or
+an out-of-core store.
 """
 
 from __future__ import annotations
@@ -13,18 +19,18 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..core.clustering import cluster_jobs
-from ..traces.trace import Trace
+from ..engine.source import TraceSource
 from .rendering import ExperimentResult
 
 __all__ = ["table2"]
 
 
-def table2(traces: Dict[str, Trace], max_k: int = 10, seed: int = 0,
+def table2(traces: Dict[str, object], max_k: int = 10, seed: int = 0,
            max_jobs_per_workload: Optional[int] = 20000) -> ExperimentResult:
     """Cluster every workload's jobs and render the Table-2 reproduction.
 
     Args:
-        traces: mapping of workload name -> trace.
+        traces: mapping of workload name -> trace (any representation).
         max_k: upper bound of the automatic k sweep.
         seed: k-means seed.
         max_jobs_per_workload: optional cap on the jobs clustered per workload
@@ -39,13 +45,13 @@ def table2(traces: Dict[str, Trace], max_k: int = 10, seed: int = 0,
                  "Map time", "Reduce time", "Label"],
     )
     for name, trace in traces.items():
-        clustered_trace = trace
-        if max_jobs_per_workload is not None and len(trace) > max_jobs_per_workload:
+        source = TraceSource.wrap(trace)
+        clustered = source
+        if max_jobs_per_workload is not None and len(source) > max_jobs_per_workload:
             rng = np.random.default_rng(seed)
-            picked = np.sort(rng.choice(len(trace), size=max_jobs_per_workload, replace=False))
-            clustered_trace = Trace([trace.jobs[int(index)] for index in picked],
-                                    name=trace.name, machines=trace.machines)
-        clustering = cluster_jobs(clustered_trace, max_k=max_k, seed=seed)
+            picked = np.sort(rng.choice(len(source), size=max_jobs_per_workload, replace=False))
+            clustered = source.gather(picked)
+        clustering = cluster_jobs(clustered, max_k=max_k, seed=seed)
         for cluster in clustering.clusters:
             result.rows.append([name] + cluster.as_row())
         result.notes.append(

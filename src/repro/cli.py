@@ -4,7 +4,9 @@
 main workflows:
 
 * ``generate`` — synthesize a paper workload trace and write it to disk;
-* ``characterize`` — run the full characterization on a workload or trace file;
+* ``characterize`` — run the full characterization on a workload, a trace
+  file, or — out-of-core via streamed engine scans — a chunked columnar
+  store (``--store``);
 * ``synthesize`` — build a SWIM-style scaled workload from a trace;
 * ``replay`` — replay a workload on the simulated cluster, either
   materialized or streamed with bounded memory from a chunked store
@@ -15,7 +17,9 @@ main workflows:
   aggregated metrics JSON for offsite sharing;
 * ``compare`` — compare two traces (evolution report: median shifts,
   burstiness change);
-* ``bench`` — run the benchmark suite and print the report;
+* ``bench`` — run the benchmark suite and print the report; ``--store``
+  reproduces Table 1, Figures 1-10 and Table 2 directly from chunked
+  columnar store(s) without materializing jobs;
 * ``engine`` — columnar trace engine: convert a trace to the chunked on-disk
   columnar store, inspect a store, and run filtered/grouped aggregate and
   top-k queries over it (optionally in parallel).
@@ -24,11 +28,12 @@ main workflows:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
 from . import __version__
-from .bench.suite import EXPERIMENT_IDS, render_suite, run_suite
+from .bench.suite import CHARACTERIZATION_EXPERIMENT_IDS, EXPERIMENT_IDS, render_suite, run_suite
 from .engine import ChunkedTraceStore, ParallelExecutor, Query, execute, parse_aggregate_spec
 from .errors import ReproError
 from .core.characterization import characterize
@@ -72,6 +77,8 @@ def build_parser() -> argparse.ArgumentParser:
     source = character.add_mutually_exclusive_group(required=True)
     source.add_argument("--workload", choices=registered_names(), help="generate and characterize")
     source.add_argument("--trace", help="characterize an existing trace file")
+    source.add_argument("--store", help="characterize a chunked columnar store "
+                                        "out-of-core (streamed engine scans)")
     character.add_argument("--scale", type=float, default=None, help="scale for generated workloads")
     character.add_argument("--seed", type=int, default=0)
     character.add_argument("--no-cluster", action="store_true", help="skip the Table-2 clustering step")
@@ -140,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser("bench", help="run the benchmark suite")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--scale", type=float, default=None, help="uniform workload scale")
+    bench.add_argument("--store", action="append", metavar="DIR",
+                       help="run the suite on chunked columnar store(s) instead of "
+                            "generating workloads (repeatable; defaults to the "
+                            "characterization experiments, streamed out-of-core)")
     bench.add_argument("--experiments", nargs="*", choices=list(EXPERIMENT_IDS),
                        help="subset of experiments to run")
     bench.add_argument("--no-simulation", action="store_true",
@@ -184,9 +195,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_source(args) -> "object":
-    """Load a trace from --workload or --trace arguments."""
+    """Load a trace from --workload, --trace or --store arguments.
+
+    ``--store`` returns a lazy :class:`ChunkedTraceStore` handle (for the
+    commands that stream it); the others materialize a :class:`Trace`.
+    """
     if getattr(args, "workload", None):
         return load_workload(args.workload, seed=args.seed, scale=args.scale)
+    if getattr(args, "store", None) and not getattr(args, "trace", None):
+        return ChunkedTraceStore(args.store)
     return read_trace(args.trace)
 
 
@@ -252,8 +269,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_engine(parser, args)
 
     if args.command == "bench":
+        traces = None
+        experiments = args.experiments
+        if args.store:
+            traces = {}
+            for directory in args.store:
+                store = ChunkedTraceStore(directory)
+                # Stores converted from plain trace files all default to the
+                # manifest name "trace"; disambiguate collisions by directory
+                # so no store silently drops out of the report.
+                name = store.name
+                if name in traces:
+                    base = os.path.basename(os.path.normpath(directory))
+                    name = "%s (%s)" % (store.name, base)
+                    suffix = 2
+                    while name in traces:
+                        name = "%s (%s#%d)" % (store.name, base, suffix)
+                        suffix += 1
+                traces[name] = store
+            if experiments is None:
+                # Stores default to the characterization experiments: the
+                # replay ablations need materialized Job objects and must be
+                # requested explicitly.
+                experiments = list(CHARACTERIZATION_EXPERIMENT_IDS)
         results = run_suite(seed=args.seed, scale=args.scale,
-                            experiments=args.experiments,
+                            traces=traces,
+                            experiments=experiments,
                             include_simulation=not args.no_simulation)
         report = render_suite(results)
         print(report)

@@ -7,6 +7,7 @@ ties them together into a single report per workload.
 
 from .stats import (
     EmpiricalCDF,
+    SketchCDF,
     coefficient_of_variation,
     empirical_cdf,
     geometric_mean,
@@ -15,8 +16,15 @@ from .stats import (
     pearson_correlation,
     percentile,
     percentile_ratio_curve,
+    sketch_cdf,
 )
-from .zipf import RankFrequency, fit_zipf_slope, rank_frequencies, zipf_goodness_of_fit
+from .zipf import (
+    RankFrequency,
+    column_rank_frequencies,
+    fit_zipf_slope,
+    rank_frequencies,
+    zipf_goodness_of_fit,
+)
 from .burstiness import BurstinessResult, analyze_burstiness, burstiness_curve, hourly_task_seconds
 from .temporal import (
     CorrelationResult,
@@ -26,6 +34,7 @@ from .temporal import (
     dimension_correlations,
     diurnal_strength,
     hourly_dimensions,
+    hourly_totals,
     weekly_view,
 )
 from .datasizes import DataSizeDistributions, analyze_data_sizes, median_spread_orders
@@ -42,7 +51,16 @@ from .access import (
     reaccess_intervals,
     size_access_profile,
 )
-from .kmeans import KMeansResult, KSelectionResult, kmeans, log_standardize, select_k
+from .kmeans import (
+    KMeansResult,
+    KSelectionResult,
+    MiniBatchKMeansResult,
+    assign_labels,
+    kmeans,
+    log_standardize,
+    mini_batch_kmeans,
+    select_k,
+)
 from .clustering import ClusteringResult, JobCluster, cluster_jobs, label_centroid
 from .naming import (
     FRAMEWORK_KEYWORDS,
@@ -68,7 +86,9 @@ from .characterization import WorkloadCharacterizer, characterize
 __all__ = [
     # stats
     "EmpiricalCDF",
+    "SketchCDF",
     "empirical_cdf",
+    "sketch_cdf",
     "log_bins",
     "percentile",
     "percentile_ratio_curve",
@@ -79,6 +99,7 @@ __all__ = [
     # zipf
     "RankFrequency",
     "rank_frequencies",
+    "column_rank_frequencies",
     "fit_zipf_slope",
     "zipf_goodness_of_fit",
     # burstiness
@@ -91,6 +112,7 @@ __all__ = [
     "WeeklyView",
     "DiurnalAnalysis",
     "CorrelationResult",
+    "hourly_totals",
     "hourly_dimensions",
     "weekly_view",
     "diurnal_strength",
@@ -114,7 +136,10 @@ __all__ = [
     # kmeans / clustering
     "KMeansResult",
     "KSelectionResult",
+    "MiniBatchKMeansResult",
     "kmeans",
+    "mini_batch_kmeans",
+    "assign_labels",
     "select_k",
     "log_standardize",
     "ClusteringResult",

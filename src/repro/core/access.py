@@ -11,21 +11,26 @@ computes:
   output→input (a job reading what an earlier job wrote) (Figure 5);
 * the fraction of jobs whose input re-accesses pre-existing input or output
   (Figure 6).
+
+Every analysis consumes a :class:`~repro.engine.source.TraceSource`-wrappable
+representation and streams the path/size/time columns chunk by chunk, so the
+whole §4 pipeline runs over an out-of-core store with memory bounded by the
+chunk size plus the distinct-path dictionaries.  All results here are exact
+(dictionary- and counter-based) — identical across representations.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..engine.source import TraceSource
 from ..errors import AnalysisError
-from ..traces.trace import Trace
 from ..units import GB
 from .stats import EmpiricalCDF, empirical_cdf
-from .zipf import RankFrequency, rank_frequencies
+from .zipf import RankFrequency, column_rank_frequencies
 
 __all__ = [
     "SizeAccessProfile",
@@ -45,14 +50,14 @@ __all__ = [
 # ---------------------------------------------------------------------------
 # Figure 2: rank-frequency
 # ---------------------------------------------------------------------------
-def input_rank_frequencies(trace: Trace) -> RankFrequency:
+def input_rank_frequencies(trace) -> RankFrequency:
     """Access frequency vs rank for input paths (Figure 2, top)."""
-    return rank_frequencies(job.input_path for job in trace)
+    return column_rank_frequencies(trace, "input_path")
 
 
-def output_rank_frequencies(trace: Trace) -> RankFrequency:
+def output_rank_frequencies(trace) -> RankFrequency:
     """Access frequency vs rank for output paths (Figure 2, bottom)."""
-    return rank_frequencies(job.output_path for job in trace)
+    return column_rank_frequencies(trace, "output_path")
 
 
 # ---------------------------------------------------------------------------
@@ -82,37 +87,51 @@ class SizeAccessProfile:
     bytes_below_gb_fraction: float
 
 
-def _file_size_estimates(trace: Trace, kind: str) -> Tuple[Dict[str, float], List[Tuple[str, float]]]:
-    """Distinct file sizes and the per-access (path, size) pairs for a path kind.
+def _path_size_chunks(source: TraceSource, kind: str) -> Iterator[Tuple[List[str], List[float]]]:
+    """Yield per-chunk (paths, reported bytes) lists for one path kind."""
+    path_column = "%s_path" % kind
+    bytes_column = "%s_bytes" % kind
+    for block in source.iter_chunks(columns=[path_column, bytes_column]):
+        if block.n_rows == 0:
+            continue
+        paths = block.column(path_column).tolist()
+        sizes = np.nan_to_num(block.column(bytes_column), nan=0.0).tolist()
+        yield paths, sizes
+
+
+def _file_size_estimates(source: TraceSource, kind: str) -> Tuple[Dict[str, float], List[float]]:
+    """Distinct file sizes plus the per-access size sequence for a path kind.
 
     The size of a file is estimated as the largest input (or output) bytes any
     job reported against that path — traces only record per-job volumes, not
     catalog sizes, and the maximum over accesses is the closest observable
-    proxy.
+    proxy.  Two chunked scans: the first resolves the per-file maxima, the
+    second maps every access to its file's size.
     """
     if kind not in ("input", "output"):
         raise AnalysisError("kind must be 'input' or 'output'")
-    path_attr = "%s_path" % kind
-    bytes_attr = "%s_bytes" % kind
-    sizes: Dict[str, float] = {}
-    accesses: List[Tuple[str, float]] = []
-    for job in trace:
-        path = getattr(job, path_attr)
-        if path is None:
-            continue
-        size = float(getattr(job, bytes_attr) or 0.0)
-        sizes[path] = max(sizes.get(path, 0.0), size)
-        accesses.append((path, size))
-    if not accesses:
+    if not source.has_column("%s_path" % kind):
         raise AnalysisError("trace has no recorded %s paths" % kind)
-    return sizes, accesses
+    sizes: Dict[str, float] = {}
+    for paths, reported in _path_size_chunks(source, kind):
+        for path, size in zip(paths, reported):
+            if path:
+                sizes[path] = max(sizes.get(path, 0.0), size)
+    if not sizes:
+        raise AnalysisError("trace has no recorded %s paths" % kind)
+    per_access: List[float] = []
+    for block in source.iter_chunks(columns=["%s_path" % kind]):
+        for path in block.column("%s_path" % kind).tolist():
+            if path:
+                per_access.append(sizes[path])
+    return sizes, per_access
 
 
-def size_access_profile(trace: Trace, kind: str = "input",
+def size_access_profile(trace, kind: str = "input",
                         small_file_threshold: float = 4 * GB) -> SizeAccessProfile:
     """Compute the Figure-3 (input) or Figure-4 (output) profile for a trace."""
-    sizes, accesses = _file_size_estimates(trace, kind)
-    per_access_sizes = [sizes[path] for path, _ in accesses]
+    source = TraceSource.wrap(trace)
+    sizes, per_access_sizes = _file_size_estimates(source, kind)
     jobs_cdf = empirical_cdf(per_access_sizes)
 
     file_size_array = np.array(sorted(sizes.values()), dtype=float)
@@ -133,7 +152,7 @@ def size_access_profile(trace: Trace, kind: str = "input",
     )
 
 
-def eighty_x_rule(trace: Trace, kind: str = "input", job_fraction: float = 0.8) -> float:
+def eighty_x_rule(trace, kind: str = "input", job_fraction: float = 0.8) -> float:
     """The "80-x" rule of §4.2: x such that 80% of accesses go to x% of bytes.
 
     Following how the paper derives the rule from Figures 3 and 4, the
@@ -170,28 +189,50 @@ class ReaccessIntervals:
     fraction_within_6h: float
 
 
-def reaccess_intervals(trace: Trace) -> ReaccessIntervals:
+def _iter_path_time_rows(source: TraceSource) -> Iterator[Tuple[float, Optional[str], Optional[str]]]:
+    """Stream (submit time, input path, output path) rows in submit order.
+
+    Submit-time order is verified as the chunks stream (the re-access logic is
+    stateful and order-sensitive); an unsorted store raises instead of
+    silently producing wrong intervals.
+    """
+    has_input = source.has_column("input_path")
+    has_output = source.has_column("output_path")
+    for block in source.iter_chunks_sorted(["submit_time_s"]
+                                           + (["input_path"] if has_input else [])
+                                           + (["output_path"] if has_output else [])):
+        n_rows = block.n_rows
+        if n_rows == 0:
+            continue
+        times = block.column("submit_time_s").tolist()
+        inputs = block.column("input_path").tolist() if has_input else [""] * n_rows
+        outputs = block.column("output_path").tolist() if has_output else [""] * n_rows
+        for row in range(n_rows):
+            yield times[row], inputs[row] or None, outputs[row] or None
+
+
+def reaccess_intervals(trace) -> ReaccessIntervals:
     """Compute re-access interval distributions for a trace.
 
     Jobs are processed in submission order.  For input→input intervals the
     reference time is the previous *read* of the path; for output→input it is
     the most recent earlier *write*.
     """
+    source = TraceSource.wrap(trace)
     last_read: Dict[str, float] = {}
     last_write: Dict[str, float] = {}
     input_input: List[float] = []
     output_input: List[float] = []
-    for job in trace:
-        t = job.submit_time_s
-        if job.input_path is not None:
-            path = job.input_path
+    for t, input_path, output_path in _iter_path_time_rows(source):
+        if input_path is not None:
+            path = input_path
             if path in last_write and (path not in last_read or last_write[path] >= last_read[path]):
                 output_input.append(max(0.0, t - last_write[path]))
             elif path in last_read:
                 input_input.append(max(0.0, t - last_read[path]))
             last_read[path] = t
-        if job.output_path is not None:
-            last_write[job.output_path] = t
+        if output_path is not None:
+            last_write[output_path] = t
 
     pooled = input_input + output_input
     fraction_6h = (
@@ -224,29 +265,29 @@ class ReaccessFractions:
     jobs_with_paths: int
 
 
-def reaccess_fractions(trace: Trace) -> ReaccessFractions:
+def reaccess_fractions(trace) -> ReaccessFractions:
     """Compute the Figure-6 fractions for one trace."""
+    source = TraceSource.wrap(trace)
     seen_inputs: set = set()
     seen_outputs: set = set()
     jobs_with_paths = 0
     input_hits = 0
     output_hits = 0
     any_hits = 0
-    for job in trace:
-        path = job.input_path
-        if path is not None:
+    for _t, input_path, output_path in _iter_path_time_rows(source):
+        if input_path is not None:
             jobs_with_paths += 1
-            is_input_hit = path in seen_inputs
-            is_output_hit = path in seen_outputs
+            is_input_hit = input_path in seen_inputs
+            is_output_hit = input_path in seen_outputs
             if is_output_hit:
                 output_hits += 1
             elif is_input_hit:
                 input_hits += 1
             if is_input_hit or is_output_hit:
                 any_hits += 1
-            seen_inputs.add(path)
-        if job.output_path is not None:
-            seen_outputs.add(job.output_path)
+            seen_inputs.add(input_path)
+        if output_path is not None:
+            seen_outputs.add(output_path)
     if jobs_with_paths == 0:
         raise AnalysisError("trace has no recorded input paths")
     return ReaccessFractions(
@@ -279,9 +320,10 @@ class AccessPatternResult:
     eighty_x_input: Optional[float]
 
 
-def analyze_access_patterns(trace: Trace) -> AccessPatternResult:
+def analyze_access_patterns(trace) -> AccessPatternResult:
     """Run every §4 analysis that the trace's recorded dimensions permit."""
-    if trace.is_empty():
+    source = TraceSource.wrap(trace)
+    if source.is_empty():
         raise AnalysisError("cannot analyze access patterns of an empty trace")
 
     def attempt(function, *args, **kwargs):
@@ -291,12 +333,12 @@ def analyze_access_patterns(trace: Trace) -> AccessPatternResult:
             return None
 
     return AccessPatternResult(
-        workload=trace.name,
-        input_ranks=attempt(input_rank_frequencies, trace),
-        output_ranks=attempt(output_rank_frequencies, trace),
-        input_profile=attempt(size_access_profile, trace, "input"),
-        output_profile=attempt(size_access_profile, trace, "output"),
-        intervals=attempt(reaccess_intervals, trace),
-        fractions=attempt(reaccess_fractions, trace),
-        eighty_x_input=attempt(eighty_x_rule, trace, "input"),
+        workload=source.name,
+        input_ranks=attempt(input_rank_frequencies, source),
+        output_ranks=attempt(output_rank_frequencies, source),
+        input_profile=attempt(size_access_profile, source, "input"),
+        output_profile=attempt(size_access_profile, source, "output"),
+        intervals=attempt(reaccess_intervals, source),
+        fractions=attempt(reaccess_fractions, source),
+        eighty_x_input=attempt(eighty_x_rule, source, "input"),
     )

@@ -20,8 +20,8 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import AnalysisError
-from ..traces.trace import Trace
-from .stats import hourly_series, percentile_ratio_curve
+from .stats import percentile, percentile_ratio_curve
+from .temporal import hourly_totals
 
 __all__ = ["BurstinessResult", "burstiness_curve", "hourly_task_seconds", "analyze_burstiness"]
 
@@ -51,17 +51,15 @@ class BurstinessResult:
         return float(np.interp(percentile_value, percentiles, ratios))
 
 
-def hourly_task_seconds(trace: Trace) -> np.ndarray:
+def hourly_task_seconds(trace) -> np.ndarray:
     """Hourly sum of per-job task time (map + reduce), keyed by submit hour.
 
     This is the dimension Figure 8 plots: the task-time demand submitted in
-    each hour.  Hours with no submissions contribute zeros.
+    each hour.  Hours with no submissions contribute zeros.  Accepts any
+    :class:`~repro.engine.source.TraceSource`-wrappable representation and
+    runs as one chunked group-by scan.
     """
-    if trace.is_empty():
-        raise AnalysisError("cannot compute hourly task-seconds of an empty trace")
-    times = trace.submit_times()
-    weights = [job.total_task_seconds for job in trace]
-    return hourly_series(times, weights, horizon_s=trace.duration_s())
+    return hourly_totals(trace, task_seconds=("sum", "total_task_seconds"))["task_seconds"]
 
 
 def burstiness_curve(hourly_values: Sequence[float], drop_zero_hours: bool = False) -> BurstinessResult:
@@ -82,7 +80,8 @@ def burstiness_curve(hourly_values: Sequence[float], drop_zero_hours: bool = Fal
         values = values[values > 0]
     if values.size == 0:
         raise AnalysisError("burstiness needs at least one hourly sample")
-    median = float(np.median(values))
+    # Shared lower nearest-rank percentile convention (see repro.core.stats).
+    median = percentile(values, 50.0)
     if median == 0:
         raise AnalysisError(
             "hourly median is zero; burstiness ratio undefined "
@@ -92,12 +91,16 @@ def burstiness_curve(hourly_values: Sequence[float], drop_zero_hours: bool = Fal
     return BurstinessResult(
         curve=curve,
         peak_to_median=float(values.max() / median),
-        p99_to_median=float(np.percentile(values, 99) / median),
-        p90_to_median=float(np.percentile(values, 90) / median),
+        p99_to_median=float(percentile(values, 99.0) / median),
+        p90_to_median=float(percentile(values, 90.0) / median),
         hours=int(values.size),
     )
 
 
-def analyze_burstiness(trace: Trace, drop_zero_hours: bool = True) -> BurstinessResult:
-    """Burstiness of a trace's hourly task-time series (the Figure-8 metric)."""
+def analyze_burstiness(trace, drop_zero_hours: bool = True) -> BurstinessResult:
+    """Burstiness of a trace's hourly task-time series (the Figure-8 metric).
+
+    Accepts any :class:`~repro.engine.source.TraceSource`-wrappable
+    representation (chunked stores included).
+    """
     return burstiness_curve(hourly_task_seconds(trace), drop_zero_hours=drop_zero_hours)

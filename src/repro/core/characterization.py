@@ -6,14 +6,22 @@ methodology against a single trace and collects the results into a
 support (no job names, no file paths, trace too short for a diurnal test) are
 skipped with a note instead of failing the whole run — exactly how the paper
 omits workloads from individual figures when a dimension is missing.
+
+The characterizer accepts any :class:`~repro.engine.source.TraceSource`-
+wrappable representation.  Handing it a
+:class:`~repro.engine.store.ChunkedTraceStore` runs the whole pipeline
+out-of-core: every statistic is computed by chunked engine scans (sums,
+counts and dictionary statistics exact; percentile-shaped read-outs backed by
+mergeable log-histogram sketches), with peak memory bounded by chunk size
+plus the k-means feature matrix.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..engine.source import TraceSource
 from ..errors import AnalysisError
-from ..traces.trace import Trace
 from .access import analyze_access_patterns
 from .burstiness import analyze_burstiness
 from .clustering import cluster_jobs
@@ -40,32 +48,36 @@ class WorkloadCharacterizer:
         self.seed = int(seed)
         self.cluster = bool(cluster)
 
-    def characterize(self, trace: Trace) -> WorkloadReport:
+    def characterize(self, trace) -> WorkloadReport:
         """Characterize one trace and return its :class:`WorkloadReport`.
+
+        ``trace`` may be a :class:`Trace`, :class:`ColumnarTrace`,
+        :class:`ChunkedTraceStore` or :class:`TraceSource`.
 
         Raises:
             AnalysisError: only when the trace is empty; everything else
                 degrades to a note in the report.
         """
-        if trace.is_empty():
+        source = TraceSource.wrap(trace)
+        if source.is_empty():
             raise AnalysisError("cannot characterize an empty trace")
 
-        report = WorkloadReport(workload=trace.name, summary=trace.summary())
+        report = WorkloadReport(workload=source.name, summary=source.summary())
 
         # §4.1 per-job data sizes (Figure 1).
-        report.data_sizes = analyze_data_sizes(trace)
+        report.data_sizes = analyze_data_sizes(source)
 
         # §4.2-4.3 access patterns (Figures 2-6).
-        report.access = analyze_access_patterns(trace)
+        report.access = analyze_access_patterns(source)
         if report.access.input_ranks is None:
             report.notes.append("no input paths recorded; Figures 2-6 unavailable for inputs")
         if report.access.output_ranks is None:
             report.notes.append("no output paths recorded; Figure 2/4 unavailable for outputs")
 
         # §5 temporal behaviour (Figures 7-9).
-        report.hourly = hourly_dimensions(trace)
+        report.hourly = hourly_dimensions(source)
         try:
-            report.burstiness = analyze_burstiness(trace)
+            report.burstiness = analyze_burstiness(source)
         except AnalysisError as exc:
             report.notes.append("burstiness unavailable: %s" % exc)
         try:
@@ -76,17 +88,17 @@ class WorkloadCharacterizer:
 
         # §6.1 job names (Figure 10).
         try:
-            report.naming = analyze_naming(trace)
+            report.naming = analyze_naming(source)
         except AnalysisError as exc:
             report.notes.append(str(exc))
 
         # §6.2 job clustering (Table 2).
         if self.cluster:
-            report.clustering = cluster_jobs(trace, max_k=self.max_k, seed=self.seed)
+            report.clustering = cluster_jobs(source, max_k=self.max_k, seed=self.seed)
 
         return report
 
 
-def characterize(trace: Trace, max_k: int = 12, seed: int = 0, cluster: bool = True) -> WorkloadReport:
+def characterize(trace, max_k: int = 12, seed: int = 0, cluster: bool = True) -> WorkloadReport:
     """Convenience wrapper: run :class:`WorkloadCharacterizer` on one trace."""
     return WorkloadCharacterizer(max_k=max_k, seed=seed, cluster=cluster).characterize(trace)

@@ -6,6 +6,16 @@ output bytes; duration; map and reduce task time), selects k automatically,
 and labels each resulting cluster with a human-readable description following
 the paper's vocabulary ("Small jobs", "Map only transform", "Aggregate",
 "Expand and aggregate", ...), producing a Table-2-style summary.
+
+Any :class:`~repro.engine.source.TraceSource`-wrappable representation is
+accepted.  The default (``method="exact"``) gathers the feature matrix from
+chunked column batches — 48 bytes/job, three orders of magnitude lighter than
+materialized ``Job`` objects — and runs full vectorized k-means, so results
+are identical across representations.  ``method="minibatch"`` never holds the
+matrix at all: it trains with :func:`~repro.core.kmeans.mini_batch_kmeans`
+over streamed batches and reads per-cluster median centroids out of mergeable
+log-histogram sketches (bin-resolution accurate), keeping memory bounded by
+one chunk for arbitrarily large stores.
 """
 
 from __future__ import annotations
@@ -15,11 +25,20 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine.aggregates import HistogramSketch
+from ..engine.source import TraceSource
 from ..errors import ClusteringError
 from ..traces.schema import FEATURE_DIMENSIONS
-from ..traces.trace import Trace
 from ..units import GB, HOUR, MINUTE, format_bytes, format_duration
-from .kmeans import KMeansResult, KSelectionResult, kmeans, log_standardize, select_k
+from .kmeans import (
+    KMeansResult,
+    KSelectionResult,
+    assign_labels,
+    kmeans,
+    log_standardize,
+    mini_batch_kmeans,
+    select_k,
+)
 
 __all__ = ["JobCluster", "ClusteringResult", "cluster_jobs", "label_centroid", "small_job_fraction"]
 
@@ -131,33 +150,49 @@ def small_job_fraction(result: "ClusteringResult") -> float:
     return small / total
 
 
-def cluster_jobs(trace: Trace, k: Optional[int] = None, max_k: int = 12, seed: int = 0,
-                 improvement_threshold: float = 0.10) -> ClusteringResult:
+def cluster_jobs(trace, k: Optional[int] = None, max_k: int = 12, seed: int = 0,
+                 improvement_threshold: float = 0.10,
+                 rng: Optional[np.random.Generator] = None,
+                 method: str = "exact") -> ClusteringResult:
     """Cluster a trace's jobs into Table-2 style job types.
 
     Args:
-        trace: the workload trace.
+        trace: the workload trace, in any :class:`TraceSource`-wrappable
+            representation.
         k: fixed number of clusters; when ``None`` the paper's
             diminishing-returns rule picks it automatically.
         max_k: upper bound of the automatic k sweep.
         seed: RNG seed for k-means.
         improvement_threshold: relative inertia-improvement cutoff of the
             automatic rule.
+        rng: explicit generator for k-means++ seeding (overrides ``seed``).
+        method: ``"exact"`` (default — gather the feature matrix from column
+            batches, full k-means, representation-independent results) or
+            ``"minibatch"`` (stream batches through mini-batch k-means with
+            sketch-backed median centroids; needs an explicit ``k``; memory
+            bounded by one chunk).
 
     Raises:
-        ClusteringError: for an empty trace or an invalid fixed ``k``.
+        ClusteringError: for an empty trace, an invalid fixed ``k``, or
+            ``method="minibatch"`` without ``k``.
     """
-    if trace.is_empty():
+    source = TraceSource.wrap(trace)
+    if source.is_empty():
         raise ClusteringError("cannot cluster an empty trace")
-    features = trace.feature_matrix()
+    if method == "minibatch":
+        return _cluster_jobs_minibatch(source, k, seed=seed, rng=rng)
+    if method != "exact":
+        raise ClusteringError("unknown clustering method %r" % (method,))
+
+    features = source.feature_matrix()
     scaled = log_standardize(features)
 
     if k is not None:
-        result = kmeans(scaled, k, seed=seed)
+        result = kmeans(scaled, k, seed=seed, rng=rng)
         selection = KSelectionResult(chosen_k=k, inertias=[(k, result.inertia)], result=result)
     else:
         selection = select_k(scaled, max_k=max_k, seed=seed,
-                             improvement_threshold=improvement_threshold)
+                             improvement_threshold=improvement_threshold, rng=rng)
         result = selection.result
 
     clusters: List[JobCluster] = []
@@ -179,9 +214,90 @@ def cluster_jobs(trace: Trace, k: Optional[int] = None, max_k: int = 12, seed: i
         )
     clusters.sort(key=lambda cluster: cluster.n_jobs, reverse=True)
     clustering = ClusteringResult(
-        workload=trace.name,
+        workload=source.name,
         clusters=clusters,
         k_selection=selection,
+        small_job_fraction=0.0,
+    )
+    clustering.small_job_fraction = small_job_fraction(clustering)
+    return clustering
+
+
+def _cluster_jobs_minibatch(source: TraceSource, k: Optional[int], seed: int,
+                            rng: Optional[np.random.Generator]) -> ClusteringResult:
+    """Bounded-memory clustering: mini-batch training + sketch centroids."""
+    if k is None:
+        raise ClusteringError("method='minibatch' needs an explicit k "
+                              "(the elbow sweep would re-stream the store per k)")
+    n_dims = len(FEATURE_DIMENSIONS)
+
+    # Pass 1: global log-standardization statistics (exact, one scan).
+    count = 0
+    sums = np.zeros(n_dims)
+    sum_squares = np.zeros(n_dims)
+    for batch in source.feature_batches():
+        logged = np.log10(np.maximum(batch, 1.0))
+        count += logged.shape[0]
+        sums += logged.sum(axis=0)
+        sum_squares += (logged ** 2).sum(axis=0)
+    if count == 0:
+        raise ClusteringError("cannot cluster an empty trace")
+    if k > count:
+        raise ClusteringError("k=%d exceeds the number of points (%d)" % (k, count))
+    means = sums / count
+    variances = np.maximum(sum_squares / count - means ** 2, 0.0)
+    stds = np.sqrt(variances)
+    stds[stds == 0] = 1.0
+
+    def scaled_batches():
+        for raw in source.feature_batches():
+            yield (np.log10(np.maximum(raw, 1.0)) - means) / stds
+
+    # Pass 2: mini-batch training over the scaled stream.
+    trained = mini_batch_kmeans(scaled_batches(), k, seed=seed, rng=rng)
+
+    # Pass 3: final assignment — counts plus per-(cluster, dimension) median
+    # sketches over the *natural-unit* features.
+    counts = np.zeros(k, dtype=np.int64)
+    inertia = 0.0
+    sketches = [[HistogramSketch() for _ in range(n_dims)] for _ in range(k)]
+    for raw in source.feature_batches():
+        scaled = (np.log10(np.maximum(raw, 1.0)) - means) / stds
+        labels, assigned_sq = assign_labels(scaled, trained.centroids)
+        inertia += float(assigned_sq.sum())
+        counts += np.bincount(labels, minlength=k)
+        for cluster_index in np.unique(labels):
+            members = raw[labels == cluster_index]
+            for dim in range(n_dims):
+                sketches[cluster_index][dim].update(members[:, dim])
+
+    clusters: List[JobCluster] = []
+    for cluster_index in range(k):
+        n_members = int(counts[cluster_index])
+        if n_members == 0:
+            continue
+        centroid = tuple(
+            float(sketches[cluster_index][dim].percentile(50.0) or 0.0)
+            for dim in range(n_dims)
+        )
+        clusters.append(JobCluster(
+            label=label_centroid(centroid),
+            n_jobs=n_members,
+            centroid=centroid,  # type: ignore[arg-type]
+            fraction=n_members / count,
+        ))
+    clusters.sort(key=lambda cluster: cluster.n_jobs, reverse=True)
+    final = KMeansResult(
+        centroids=trained.centroids,
+        labels=np.zeros(0, dtype=int),  # per-point labels are never retained
+        inertia=inertia,
+        n_iterations=trained.n_batches,
+        converged=True,
+    )
+    clustering = ClusteringResult(
+        workload=source.name,
+        clusters=clusters,
+        k_selection=KSelectionResult(chosen_k=k, inertias=[(k, inertia)], result=final),
         small_job_fraction=0.0,
     )
     clustering.small_job_fraction = small_job_fraction(clustering)

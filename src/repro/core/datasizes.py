@@ -5,18 +5,28 @@ output sizes for every workload.  The headline observations are that median
 sizes differ across workloads by 6 / 8 / 4 orders of magnitude (input /
 shuffle / output), and that most jobs move megabytes to gigabytes — far below
 the terabyte scale assumed by earlier micro-benchmarks.
+
+The analysis consumes any :class:`~repro.engine.source.TraceSource`-wrappable
+representation.  Materialized sources get exact sorting-based CDFs; streaming
+sources (a :class:`~repro.engine.store.ChunkedTraceStore`) are folded in one
+chunked scan into mergeable log-histogram sketches, so the whole Figure-1
+pipeline runs with memory bounded by chunk size.  Counts (the map-only
+fraction) are exact either way; sketch medians and below-1GB fractions are
+accurate to histogram-bin resolution (about 7.5%).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 
+from ..engine.aggregates import HistogramSketch
+from ..engine.source import TraceSource
 from ..errors import AnalysisError
-from ..units import GB, MB
-from .stats import EmpiricalCDF, empirical_cdf
+from ..units import GB
+from .stats import SketchCDF, empirical_cdf
 
 __all__ = ["DataSizeDistributions", "analyze_data_sizes", "median_spread_orders"]
 
@@ -30,15 +40,19 @@ class DataSizeDistributions:
 
     Attributes:
         workload: workload name.
-        cdfs: mapping of dimension name -> :class:`EmpiricalCDF`.
+        cdfs: mapping of dimension name -> CDF.  Exact
+            :class:`~repro.core.stats.EmpiricalCDF` for materialized sources,
+            sketch-backed :class:`~repro.core.stats.SketchCDF` for streaming
+            ones; both expose the same read-out API.
         medians: mapping of dimension name -> median bytes.
         fraction_below_gb: mapping of dimension name -> fraction of jobs whose
             size is below 1 GB (the "MB to GB range" observation of §4.1).
-        map_only_fraction: fraction of jobs with zero shuffle and reduce time.
+        map_only_fraction: fraction of jobs with zero shuffle and reduce time
+            (always exact).
     """
 
     workload: str
-    cdfs: Dict[str, EmpiricalCDF]
+    cdfs: Dict[str, object]
     medians: Dict[str, float]
     fraction_below_gb: Dict[str, float]
     map_only_fraction: float
@@ -52,32 +66,73 @@ class DataSizeDistributions:
 def analyze_data_sizes(trace) -> DataSizeDistributions:
     """Compute Figure-1 style per-job size distributions for one trace.
 
-    Accepts either representation — a job-list :class:`Trace` or a
-    :class:`repro.engine.ColumnarTrace` — since both expose the same
-    ``dimension`` accessor.  The map-only fraction is computed from the
-    dimension arrays directly (NaN counts as zero, matching
-    :attr:`Job.is_map_only`), so no per-job Python loop runs either way.
+    Accepts a :class:`Trace`, :class:`ColumnarTrace`, :class:`ChunkedTraceStore`
+    or :class:`TraceSource`.  Materialized representations keep the exact
+    empirical CDFs; streaming ones are scanned chunk by chunk into percentile
+    sketches without materializing any column.
     """
-    if trace.is_empty():
+    source = TraceSource.wrap(trace)
+    if source.is_empty():
         raise AnalysisError("cannot analyze data sizes of an empty trace")
-    cdfs: Dict[str, EmpiricalCDF] = {}
+    if source.is_streaming:
+        return _analyze_streaming(source)
+    return _analyze_materialized(source)
+
+
+def _analyze_materialized(source: TraceSource) -> DataSizeDistributions:
+    cdfs: Dict[str, object] = {}
     medians: Dict[str, float] = {}
     below_gb: Dict[str, float] = {}
     for dimension in SIZE_DIMENSIONS:
-        values = trace.dimension(dimension)
-        cdf = empirical_cdf(values)
+        cdf = empirical_cdf(source.dimension(dimension))
         cdfs[dimension] = cdf
         medians[dimension] = cdf.median()
         below_gb[dimension] = cdf.fraction_at_or_below(float(GB))
-    shuffle = np.nan_to_num(trace.dimension("shuffle_bytes"), nan=0.0)
-    reduce_s = np.nan_to_num(trace.dimension("reduce_task_seconds"), nan=0.0)
+    shuffle = np.nan_to_num(source.dimension("shuffle_bytes"), nan=0.0)
+    reduce_s = np.nan_to_num(source.dimension("reduce_task_seconds"), nan=0.0)
     map_only = float(np.mean((shuffle == 0.0) & (reduce_s == 0.0)))
     return DataSizeDistributions(
-        workload=trace.name,
+        workload=source.name,
         cdfs=cdfs,
         medians=medians,
         fraction_below_gb=below_gb,
-        map_only_fraction=float(map_only),
+        map_only_fraction=map_only,
+    )
+
+
+def _analyze_streaming(source: TraceSource) -> DataSizeDistributions:
+    """One chunked scan: three percentile sketches plus the map-only count."""
+    sketches = {dimension: HistogramSketch() for dimension in SIZE_DIMENSIONS}
+    n_rows = 0
+    n_map_only = 0
+    columns = list(SIZE_DIMENSIONS) + ["reduce_task_seconds"]
+    for block in source.iter_chunks(columns=columns):
+        if block.n_rows == 0:
+            continue
+        n_rows += block.n_rows
+        for dimension in SIZE_DIMENSIONS:
+            sketches[dimension].update(block.column(dimension))
+        shuffle = np.nan_to_num(block.column("shuffle_bytes"), nan=0.0)
+        reduce_s = np.nan_to_num(block.column("reduce_task_seconds"), nan=0.0)
+        n_map_only += int(((shuffle == 0.0) & (reduce_s == 0.0)).sum())
+
+    cdfs: Dict[str, object] = {}
+    medians: Dict[str, float] = {}
+    below_gb: Dict[str, float] = {}
+    for dimension in SIZE_DIMENSIONS:
+        sketch = sketches[dimension]
+        if sketch.n == 0:
+            raise AnalysisError("dimension %r records no finite samples" % (dimension,))
+        cdf = SketchCDF(sketch)
+        cdfs[dimension] = cdf
+        medians[dimension] = cdf.median()
+        below_gb[dimension] = cdf.fraction_at_or_below(float(GB))
+    return DataSizeDistributions(
+        workload=source.name,
+        cdfs=cdfs,
+        medians=medians,
+        fraction_below_gb=below_gb,
+        map_only_fraction=(n_map_only / n_rows) if n_rows else 0.0,
     )
 
 

@@ -5,23 +5,43 @@ shuffle and output bytes; duration; map and reduce task time) using k-means,
 choosing k by incrementing it until the decrease in intra-cluster (residual)
 variance shows diminishing returns.  This module implements:
 
-* k-means from scratch on numpy arrays with k-means++ seeding;
+* k-means from scratch on numpy arrays with k-means++ seeding, with the
+  assignment and update steps fully vectorized (the (n, k) squared-distance
+  matrix comes from the Gram expansion ``|x|² + |c|² - 2x·c`` — no (n, k, d)
+  tensor — and per-cluster sums from ``bincount``), so a million-job
+  assignment is a handful of BLAS calls rather than per-point Python work;
+* mini-batch k-means (:func:`mini_batch_kmeans`) for training on chunked
+  column batches streamed from an out-of-core store;
 * the elbow-style k selection rule;
 * feature scaling appropriate for job dimensions that span many orders of
   magnitude (log transform + standardization), since raw byte values would
   let the largest dimension dominate Euclidean distance.
+
+Randomness: every entry point accepts either a ``seed`` (each restart derives
+its own stream, the historical behaviour) or an explicit ``rng``
+(:class:`numpy.random.Generator`), which makes k-means++ seeding deterministic
+under caller-controlled generators.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ClusteringError
 
-__all__ = ["KMeansResult", "KSelectionResult", "kmeans", "select_k", "log_standardize"]
+__all__ = [
+    "KMeansResult",
+    "KSelectionResult",
+    "MiniBatchKMeansResult",
+    "kmeans",
+    "mini_batch_kmeans",
+    "assign_labels",
+    "select_k",
+    "log_standardize",
+]
 
 
 @dataclass
@@ -66,6 +86,29 @@ class KSelectionResult:
     result: KMeansResult
 
 
+@dataclass
+class MiniBatchKMeansResult:
+    """Result of a mini-batch k-means training pass over chunked batches.
+
+    Attributes:
+        centroids: (k, d) array of trained cluster centers.
+        n_points: total points consumed across all batches.
+        n_batches: number of batches processed.
+        inertia: sum over batches of the assignment-time squared distances
+            (an online proxy for the full inertia — centers move after each
+            batch, so this is not the final-assignment inertia).
+    """
+
+    centroids: np.ndarray
+    n_points: int
+    n_batches: int
+    inertia: float
+
+    @property
+    def k(self) -> int:
+        return int(self.centroids.shape[0])
+
+
 def log_standardize(features: np.ndarray, floor: float = 1.0) -> np.ndarray:
     """Log-transform and standardize a feature matrix.
 
@@ -82,6 +125,31 @@ def log_standardize(features: np.ndarray, floor: float = 1.0) -> np.ndarray:
     stds = logged.std(axis=0)
     stds[stds == 0] = 1.0
     return (logged - means) / stds
+
+
+def _squared_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """(n, k) squared Euclidean distances via the Gram expansion (no tensor)."""
+    point_sq = np.einsum("ij,ij->i", points, points)
+    centroid_sq = np.einsum("ij,ij->i", centroids, centroids)
+    cross = points @ centroids.T
+    distances = point_sq[:, None] + centroid_sq[None, :] - 2.0 * cross
+    # The expansion can go a hair negative for near-coincident points.
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+def assign_labels(points: np.ndarray, centroids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Assign each point to its nearest centroid.
+
+    Returns ``(labels, squared_distances_to_assigned)`` — the vectorized
+    assignment step shared by batch k-means, mini-batch training, and the
+    streaming per-chunk assignment pass in :mod:`repro.core.clustering`.
+    """
+    points = np.asarray(points, dtype=float)
+    distances = _squared_distances(points, np.asarray(centroids, dtype=float))
+    labels = np.argmin(distances, axis=1)
+    assigned = distances[np.arange(points.shape[0]), labels]
+    return labels, assigned
 
 
 def _kmeans_plus_plus(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
@@ -106,7 +174,8 @@ def _kmeans_plus_plus(points: np.ndarray, k: int, rng: np.random.Generator) -> n
 
 
 def kmeans(points: np.ndarray, k: int, seed: int = 0, max_iterations: int = 300,
-           tolerance: float = 1e-6, n_init: int = 3) -> KMeansResult:
+           tolerance: float = 1e-6, n_init: int = 3,
+           rng: Optional[np.random.Generator] = None) -> KMeansResult:
     """Run k-means with k-means++ seeding; keep the best of ``n_init`` restarts.
 
     Args:
@@ -116,6 +185,9 @@ def kmeans(points: np.ndarray, k: int, seed: int = 0, max_iterations: int = 300,
         max_iterations: iteration cap per restart.
         tolerance: relative inertia improvement below which a run stops.
         n_init: number of restarts.
+        rng: explicit generator for the k-means++ seeding.  When given it is
+            drawn from sequentially across restarts (and ``seed`` is ignored),
+            so callers can make seeding deterministic under their own stream.
 
     Raises:
         ClusteringError: for an empty matrix, k < 1 or k > n.
@@ -131,8 +203,8 @@ def kmeans(points: np.ndarray, k: int, seed: int = 0, max_iterations: int = 300,
 
     best: Optional[KMeansResult] = None
     for restart in range(max(1, n_init)):
-        rng = np.random.default_rng(seed + restart * 7919)
-        result = _kmeans_single(points, k, rng, max_iterations, tolerance)
+        restart_rng = rng if rng is not None else np.random.default_rng(seed + restart * 7919)
+        result = _kmeans_single(points, k, restart_rng, max_iterations, tolerance)
         if best is None or result.inertia < best.inertia:
             best = result
     assert best is not None
@@ -143,22 +215,25 @@ def _kmeans_single(points: np.ndarray, k: int, rng: np.random.Generator,
                    max_iterations: int, tolerance: float) -> KMeansResult:
     centroids = _kmeans_plus_plus(points, k, rng)
     labels = np.zeros(points.shape[0], dtype=int)
+    dimensions = points.shape[1]
     previous_inertia = np.inf
     converged = False
     iteration = 0
     for iteration in range(1, max_iterations + 1):
-        # Assignment step.
-        distances = np.linalg.norm(points[:, None, :] - centroids[None, :, :], axis=2)
-        labels = np.argmin(distances, axis=1)
-        inertia = float(np.sum(distances[np.arange(points.shape[0]), labels] ** 2))
-        # Update step; re-seed empty clusters on the farthest points.
-        for cluster in range(k):
-            members = points[labels == cluster]
-            if members.shape[0] == 0:
-                farthest = int(np.argmax(distances[np.arange(points.shape[0]), labels]))
-                centroids[cluster] = points[farthest]
-            else:
-                centroids[cluster] = members.mean(axis=0)
+        # Assignment step: one (n, k) distance matrix, no per-point loop.
+        labels, assigned_sq = assign_labels(points, centroids)
+        inertia = float(assigned_sq.sum())
+        # Update step: per-cluster sums via bincount; re-seed empty clusters
+        # on the farthest point.
+        counts = np.bincount(labels, minlength=k)
+        sums = np.empty((k, dimensions), dtype=float)
+        for dim in range(dimensions):
+            sums[:, dim] = np.bincount(labels, weights=points[:, dim], minlength=k)
+        non_empty = counts > 0
+        centroids[non_empty] = sums[non_empty] / counts[non_empty, None]
+        if not non_empty.all():
+            farthest = int(np.argmax(assigned_sq))
+            centroids[~non_empty] = points[farthest]
         if previous_inertia - inertia <= tolerance * max(previous_inertia, 1e-12):
             converged = True
             previous_inertia = inertia
@@ -173,14 +248,92 @@ def _kmeans_single(points: np.ndarray, k: int, rng: np.random.Generator,
     )
 
 
+def mini_batch_kmeans(batches: Iterable[np.ndarray], k: int, seed: int = 0,
+                      rng: Optional[np.random.Generator] = None,
+                      init_batch: Optional[np.ndarray] = None) -> MiniBatchKMeansResult:
+    """Train k-means over a stream of feature batches (Sculley's algorithm).
+
+    Designed for chunked column batches from a
+    :class:`~repro.engine.source.TraceSource` (see
+    :meth:`TraceSource.feature_batches`): each batch is assigned with the
+    vectorized step, then centers take a per-center-learning-rate gradient
+    step ``c += (mean of new members - c) * m_c / n_c`` where ``n_c`` is the
+    cumulative member count.  Memory is bounded by one batch.
+
+    Args:
+        batches: iterable of (m, d) arrays (already scaled); consumed once.
+        k: number of clusters.
+        seed: RNG seed for k-means++ seeding on the first batch.
+        rng: explicit generator (overrides ``seed``).
+        init_batch: optional explicit (m, d) array to seed from; defaults to
+            the first batch of the stream (which is still also trained on).
+
+    Raises:
+        ClusteringError: when the stream is empty or the first batch has
+            fewer than ``k`` points.
+    """
+    if k < 1:
+        raise ClusteringError("k must be at least 1")
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    iterator = iter(batches)
+    centroids: Optional[np.ndarray] = None
+    cumulative = np.zeros(k, dtype=np.int64)
+    n_points = 0
+    n_batches = 0
+    inertia = 0.0
+
+    if init_batch is not None:
+        init = np.asarray(init_batch, dtype=float)
+        if init.ndim != 2 or init.shape[0] < k:
+            raise ClusteringError("init batch needs at least k=%d points" % k)
+        centroids = _kmeans_plus_plus(init, k, generator)
+
+    for batch in iterator:
+        batch = np.asarray(batch, dtype=float)
+        if batch.ndim != 2 or batch.shape[0] == 0:
+            continue
+        if centroids is None:
+            if batch.shape[0] < k:
+                raise ClusteringError(
+                    "first batch has %d points but k=%d; provide init_batch"
+                    % (batch.shape[0], k))
+            centroids = _kmeans_plus_plus(batch, k, generator)
+        labels, assigned_sq = assign_labels(batch, centroids)
+        inertia += float(assigned_sq.sum())
+        counts = np.bincount(labels, minlength=k)
+        sums = np.empty_like(centroids)
+        for dim in range(centroids.shape[1]):
+            sums[:, dim] = np.bincount(labels, weights=batch[:, dim], minlength=k)
+        cumulative += counts
+        seen = counts > 0
+        # Per-center learning rate 1/n_c (Sculley 2010), applied batch-wise.
+        step = counts[seen, None] / cumulative[seen, None]
+        batch_means = sums[seen] / counts[seen, None]
+        centroids[seen] = centroids[seen] + step * (batch_means - centroids[seen])
+        n_points += int(batch.shape[0])
+        n_batches += 1
+
+    if centroids is None:
+        raise ClusteringError("mini-batch k-means needs at least one non-empty batch")
+    return MiniBatchKMeansResult(
+        centroids=centroids.copy(),
+        n_points=n_points,
+        n_batches=n_batches,
+        inertia=inertia,
+    )
+
+
 def select_k(points: np.ndarray, max_k: int = 12, seed: int = 0,
-             improvement_threshold: float = 0.10, min_k: int = 1) -> KSelectionResult:
+             improvement_threshold: float = 0.10, min_k: int = 1,
+             rng: Optional[np.random.Generator] = None) -> KSelectionResult:
     """Choose k by the paper's diminishing-returns rule.
 
     k is incremented from ``min_k``; for each step the relative decrease in
     residual variance (inertia) is measured, and the sweep stops at the first
     k whose improvement over k-1 falls below ``improvement_threshold`` (the
-    previous k is chosen), or at ``max_k``.
+    previous k is chosen), or at ``max_k``.  ``rng`` (if given) seeds each
+    k's restarts from one shared stream; otherwise ``seed`` reproduces the
+    historical per-k derivation.
 
     Raises:
         ClusteringError: if the matrix is empty or ``max_k`` < ``min_k``.
@@ -198,7 +351,7 @@ def select_k(points: np.ndarray, max_k: int = 12, seed: int = 0,
     chosen = min_k
     previous_inertia: Optional[float] = None
     for k in range(min_k, max_k + 1):
-        result = kmeans(points, k, seed=seed)
+        result = kmeans(points, k, seed=seed, rng=rng)
         results[k] = result
         inertias.append((k, result.inertia))
         if previous_inertia is not None and previous_inertia > 0:

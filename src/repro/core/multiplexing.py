@@ -21,10 +21,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..engine.source import TraceSource
 from ..errors import AnalysisError
 from ..traces.schema import Job
 from ..traces.trace import Trace
-from .burstiness import BurstinessResult, analyze_burstiness
+from .burstiness import BurstinessResult, analyze_burstiness, burstiness_curve
 
 __all__ = ["consolidate", "ConsolidationStudy", "consolidation_study"]
 
@@ -91,12 +92,43 @@ class ConsolidationStudy:
     bursty_threshold: float
 
 
-def consolidation_study(traces: Sequence[Trace], bursty_threshold: float = 3.0,
+def _consolidated_hourly_task_seconds(sources: Sequence[TraceSource]) -> np.ndarray:
+    """Hourly task-seconds of the start-aligned union of several sources.
+
+    Streaming equivalent of ``hourly_task_seconds(consolidate(traces))``: each
+    source's submissions are shifted so its first submission lands at hour
+    zero, then folded into one shared hourly array, chunk by chunk — no merged
+    job list is ever materialized.  Bucket boundaries match the materialized
+    path exactly; only the floating-point summation order differs.
+    """
+    starts = []
+    horizon = 0.0
+    for source in sources:
+        start_s, end_s = source.time_bounds()
+        starts.append(start_s)
+        horizon = max(horizon, end_s - start_s)
+    n_hours = max(1, int(np.ceil(horizon / 3600.0)))
+    series = np.zeros(n_hours, dtype=float)
+    for source, start_s in zip(sources, starts):
+        for block in source.iter_chunks(columns=["submit_time_s", "total_task_seconds"]):
+            if block.n_rows == 0:
+                continue
+            shifted = block.column("submit_time_s") - start_s
+            buckets = np.minimum((shifted // 3600.0).astype(int), n_hours - 1)
+            np.add.at(series, buckets, np.nan_to_num(block.column("total_task_seconds"), nan=0.0))
+    return series
+
+
+def consolidation_study(traces: Sequence, bursty_threshold: float = 3.0,
                         drop_zero_hours: bool = True) -> ConsolidationStudy:
     """Quantify how much consolidating the given workloads reduces burstiness.
 
     Args:
-        traces: source traces (at least two non-empty ones).
+        traces: source traces (at least two non-empty ones), in any
+            :class:`TraceSource`-wrappable representation.  Materialized
+            inputs take the exact job-merge path; when any input is an
+            out-of-core store, the consolidated hourly series is folded
+            streamingly instead of materializing the merged job list.
         bursty_threshold: peak-to-median ratio above which the consolidated
             workload is still called bursty.
         drop_zero_hours: passed through to the burstiness metric (idle hours
@@ -105,16 +137,21 @@ def consolidation_study(traces: Sequence[Trace], bursty_threshold: float = 3.0,
     Raises:
         AnalysisError: with fewer than two non-empty traces.
     """
-    non_empty = [trace for trace in traces if not trace.is_empty()]
+    sources = [TraceSource.wrap(trace) for trace in traces]
+    non_empty = [source for source in sources if not source.is_empty()]
     if len(non_empty) < 2:
         raise AnalysisError("a consolidation study needs at least two non-empty traces")
 
     per_source = {
-        trace.name: analyze_burstiness(trace, drop_zero_hours=drop_zero_hours)
-        for trace in non_empty
+        source.name: analyze_burstiness(source, drop_zero_hours=drop_zero_hours)
+        for source in non_empty
     }
-    merged = consolidate(non_empty)
-    combined = analyze_burstiness(merged, drop_zero_hours=drop_zero_hours)
+    if any(source.is_streaming for source in non_empty):
+        combined = burstiness_curve(_consolidated_hourly_task_seconds(non_empty),
+                                    drop_zero_hours=drop_zero_hours)
+    else:
+        merged = consolidate([source.materialize() for source in non_empty])
+        combined = analyze_burstiness(merged, drop_zero_hours=drop_zero_hours)
 
     mean_source_peak = float(np.mean([result.peak_to_median for result in per_source.values()]))
     mean_source_p99 = float(np.mean([result.p99_to_median for result in per_source.values()]))

@@ -8,17 +8,21 @@ words per workload, weighted three ways: by job count, by total I/O bytes, and
 by task-time.
 
 This module classifies names into frameworks, computes the weighted first-word
-breakdowns, and summarizes framework shares of cluster load.
+breakdowns, and summarizes framework shares of cluster load.  The analyses
+stream the ``name`` / ``framework`` / derived weight columns chunk by chunk
+from any :class:`~repro.engine.source.TraceSource`-wrappable representation;
+all results are exact dictionary totals, identical across representations.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..engine.source import TraceSource
 from ..errors import AnalysisError
-from ..traces.trace import Trace
+from ..traces.schema import extract_first_word
 
 __all__ = [
     "FRAMEWORK_KEYWORDS",
@@ -42,6 +46,9 @@ FRAMEWORK_KEYWORDS = {
     "oozie": "oozie",
     "distcp": "native",
 }
+
+#: The three Figure-10 weightings, in panel order.
+WEIGHTINGS = ("jobs", "bytes", "task_seconds")
 
 
 def classify_framework(first_word: Optional[str], declared: Optional[str] = None) -> str:
@@ -110,32 +117,28 @@ class NamingAnalysis:
         return sum(shares.get(name, 0.0) for name in frameworks)
 
 
-def _weights_for(trace: Trace, weighting: str) -> List[float]:
-    if weighting == "jobs":
-        return [1.0] * len(trace)
-    if weighting == "bytes":
-        return [job.total_bytes for job in trace]
-    if weighting == "task_seconds":
-        return [job.total_task_seconds for job in trace]
-    raise AnalysisError("unknown weighting %r" % (weighting,))
+def _iter_name_rows(source: TraceSource) -> Iterator[Tuple[List[str], List[str], List[float], List[float]]]:
+    """Stream per-chunk (names, frameworks, byte weights, task weights) lists."""
+    has_name = source.has_column("name")
+    has_framework = source.has_column("framework")
+    columns = ["total_bytes", "total_task_seconds"]
+    if has_name:
+        columns.append("name")
+    if has_framework:
+        columns.append("framework")
+    for block in source.iter_chunks(columns=columns):
+        n_rows = block.n_rows
+        if n_rows == 0:
+            continue
+        names = block.column("name").tolist() if has_name else [""] * n_rows
+        frameworks = block.column("framework").tolist() if has_framework else [""] * n_rows
+        yield (names, frameworks,
+               block.column("total_bytes").tolist(),
+               block.column("total_task_seconds").tolist())
 
 
-def first_word_breakdown(trace: Trace, weighting: str = "jobs", top_n: int = 10) -> FirstWordBreakdown:
-    """Share of the workload attributed to each job-name first word.
-
-    Jobs without names are grouped under ``"[unnamed]"``.  Words beyond the
-    ``top_n`` most significant are folded into ``"[others]"``.
-
-    Raises:
-        AnalysisError: for an empty trace or unknown weighting.
-    """
-    if trace.is_empty():
-        raise AnalysisError("cannot analyze names of an empty trace")
-    weights = _weights_for(trace, weighting)
-    totals: Dict[str, float] = defaultdict(float)
-    for job, weight in zip(trace, weights):
-        word = job.first_word or "[unnamed]"
-        totals[word] += weight
+def _ranked_shares(totals: Dict[str, float], weighting: str, top_n: int) -> FirstWordBreakdown:
+    """Turn word -> weight totals into the ranked, others-folded share list."""
     grand_total = sum(totals.values())
     if grand_total <= 0:
         # All-zero weights (e.g. a trace of zero-byte jobs weighted by bytes):
@@ -156,33 +159,85 @@ def first_word_breakdown(trace: Trace, weighting: str = "jobs", top_n: int = 10)
     return FirstWordBreakdown(weighting=weighting, shares=shares)
 
 
-def analyze_naming(trace: Trace, top_n: int = 10) -> NamingAnalysis:
-    """Run the full §6.1 analysis (all three weightings + framework shares)."""
-    named = trace.with_names()
-    if named.is_empty():
-        raise AnalysisError(
-            "trace %r records no job names; naming analysis unavailable" % (trace.name,)
-        )
-    breakdowns = {
-        weighting: first_word_breakdown(named, weighting, top_n)
-        for weighting in ("jobs", "bytes", "task_seconds")
-    }
+def first_word_breakdown(trace, weighting: str = "jobs", top_n: int = 10) -> FirstWordBreakdown:
+    """Share of the workload attributed to each job-name first word.
 
+    Jobs without names are grouped under ``"[unnamed]"``.  Words beyond the
+    ``top_n`` most significant are folded into ``"[others]"``.  Accepts any
+    :class:`TraceSource`-wrappable representation (streamed chunk by chunk).
+
+    Raises:
+        AnalysisError: for an empty trace or unknown weighting.
+    """
+    source = TraceSource.wrap(trace)
+    if source.is_empty():
+        raise AnalysisError("cannot analyze names of an empty trace")
+    if weighting not in WEIGHTINGS:
+        raise AnalysisError("unknown weighting %r" % (weighting,))
+    totals: Dict[str, float] = defaultdict(float)
+    for names, _frameworks, byte_weights, task_weights in _iter_name_rows(source):
+        if weighting == "jobs":
+            weights: List[float] = [1.0] * len(names)
+        elif weighting == "bytes":
+            weights = byte_weights
+        else:
+            weights = task_weights
+        for name, weight in zip(names, weights):
+            word = extract_first_word(name) or "[unnamed]"
+            totals[word] += weight
+    return _ranked_shares(totals, weighting, top_n)
+
+
+def analyze_naming(trace, top_n: int = 10) -> NamingAnalysis:
+    """Run the full §6.1 analysis (all three weightings + framework shares).
+
+    One streaming pass over the named jobs accumulates every panel of
+    Figure 10 and the framework shares; jobs with no recorded name are
+    excluded (as in the materialized ``with_names`` path).
+
+    Raises:
+        AnalysisError: when the trace records no job names at all.
+    """
+    source = TraceSource.wrap(trace)
+    word_totals: Dict[str, Dict[str, float]] = {w: defaultdict(float) for w in WEIGHTINGS}
+    framework_totals: Dict[str, Dict[str, float]] = {w: defaultdict(float) for w in WEIGHTINGS}
+    n_named = 0
+    if source.has_column("name") and not source.is_empty():
+        for names, frameworks, byte_weights, task_weights in _iter_name_rows(source):
+            for index, name in enumerate(names):
+                if not name:
+                    continue
+                n_named += 1
+                first = extract_first_word(name)
+                word = first or "[unnamed]"
+                framework = classify_framework(first, frameworks[index] or None)
+                for weighting, weight in (("jobs", 1.0),
+                                          ("bytes", byte_weights[index]),
+                                          ("task_seconds", task_weights[index])):
+                    word_totals[weighting][word] += weight
+                    framework_totals[weighting][framework] += weight
+    if n_named == 0:
+        raise AnalysisError(
+            "trace %r records no job names; naming analysis unavailable" % (source.name,)
+        )
+
+    breakdowns = {
+        weighting: _ranked_shares(word_totals[weighting], weighting, top_n)
+        for weighting in WEIGHTINGS
+    }
     framework_shares: Dict[str, Dict[str, float]] = {}
-    for weighting in ("jobs", "bytes", "task_seconds"):
-        weights = _weights_for(named, weighting)
-        totals: Dict[str, float] = defaultdict(float)
-        for job, weight in zip(named, weights):
-            totals[classify_framework(job.first_word, job.framework)] += weight
+    for weighting in WEIGHTINGS:
+        totals = framework_totals[weighting]
         grand_total = sum(totals.values())
         if grand_total > 0:
-            framework_shares[weighting] = {name: value / grand_total for name, value in totals.items()}
+            framework_shares[weighting] = {name: value / grand_total
+                                           for name, value in totals.items()}
         else:
             framework_shares[weighting] = {name: 0.0 for name in totals}
 
     top_cover = sum(share for _, share in breakdowns["jobs"].top(5))
     return NamingAnalysis(
-        workload=trace.name,
+        workload=source.name,
         by_jobs=breakdowns["jobs"],
         by_bytes=breakdowns["bytes"],
         by_task_seconds=breakdowns["task_seconds"],

@@ -6,12 +6,30 @@ percentile ratios (Figure 8), hourly aggregation of time series (Figures 7-9)
 and Pearson correlation between those series (Figure 9).  This module provides
 those primitives with explicit handling of empty inputs and NaNs so the
 higher-level analyses stay small.
+
+Percentile convention
+---------------------
+
+Every percentile read-out in this library — :func:`percentile`,
+:meth:`EmpiricalCDF.quantile`, :meth:`SketchCDF.quantile` and the engine's
+:meth:`repro.engine.aggregates.HistogramSketch.percentile` — follows one
+shared **lower nearest-rank** convention:
+
+    ``P(q)`` is the smallest observed value ``v`` such that at least
+    ``ceil(q / 100 * n)`` of the ``n`` finite samples are ``<= v``.
+
+No interpolation between order statistics is performed, so an exact percentile
+is always an observed sample value, and the sketch-backed read-out is the same
+rank rule evaluated at histogram-bin granularity (its value resolution is one
+part in ``10 ** (1/32)`` — about 7.5% — and it is clamped to the observed
+min/max).  ``tests/core/test_percentile_convention.py`` pins the exact paths
+to each other bit-for-bit and the sketch path to within bin resolution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +37,9 @@ from ..errors import AnalysisError
 
 __all__ = [
     "EmpiricalCDF",
+    "SketchCDF",
     "empirical_cdf",
+    "sketch_cdf",
     "log_bins",
     "percentile",
     "percentile_ratio_curve",
@@ -27,7 +47,12 @@ __all__ = [
     "pearson_correlation",
     "coefficient_of_variation",
     "geometric_mean",
+    "SKETCH_RELATIVE_RESOLUTION",
 ]
+
+#: Relative value resolution of sketch-backed percentiles: one part in
+#: ``10 ** (1 / BINS_PER_DECADE)`` (32 bins per decade), i.e. about 7.5%.
+SKETCH_RELATIVE_RESOLUTION = 10.0 ** (1.0 / 32.0) - 1.0
 
 
 def _as_float_array(samples: Sequence[float]) -> np.ndarray:
@@ -112,6 +137,77 @@ def empirical_cdf(samples: Sequence[float], drop_nan: bool = True) -> EmpiricalC
     return EmpiricalCDF(values=array, fractions=fractions)
 
 
+class SketchCDF:
+    """A CDF backed by the engine's mergeable log-histogram sketch.
+
+    Exposes the same read-out API as :class:`EmpiricalCDF` (``quantile``,
+    ``median``, ``fraction_at_or_below``, ``as_points``, ``n``) so the
+    streaming analysis paths can hand one to any consumer of exact CDFs.
+    Quantiles follow the shared lower nearest-rank convention at histogram-bin
+    granularity (about 7.5% relative value resolution, clamped to the observed
+    min/max); fractions are exact counts at bin-edge granularity.
+    """
+
+    def __init__(self, sketch):
+        # `sketch` is a repro.engine.aggregates.HistogramSketch (imported
+        # lazily by sketch_cdf to keep this module importable standalone).
+        self.sketch = sketch
+
+    @property
+    def n(self) -> int:
+        return int(self.sketch.n)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError("quantile fraction must be in [0, 1], got %r" % (q,))
+        if self.n == 0:
+            raise AnalysisError("cannot take a quantile of an empty CDF")
+        value = self.sketch.percentile(100.0 * q)
+        assert value is not None  # n > 0 guarantees a read-out
+        return float(value)
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def fraction_at_or_below(self, value: float) -> float:
+        """Fraction of samples ≤ ``value``, at bin granularity (0 when empty)."""
+        if self.n == 0:
+            return 0.0
+        if self.sketch.low is not None and value < self.sketch.low:
+            return 0.0
+        if self.sketch.high is not None and value >= self.sketch.high:
+            return 1.0
+        points = self.sketch.cdf_points(max_points=1 << 30)
+        fraction = 0.0
+        for point_value, cumulative_fraction in points:
+            if point_value <= value:
+                fraction = cumulative_fraction
+            else:
+                break
+        return float(fraction)
+
+    def as_points(self) -> "list[tuple[float, float]]":
+        """(value, cumulative fraction) pairs over the non-empty bins."""
+        return self.sketch.cdf_points()
+
+
+def sketch_cdf(samples: Sequence[float]) -> SketchCDF:
+    """Build a :class:`SketchCDF` from raw samples (NaNs dropped).
+
+    Raises:
+        AnalysisError: when no finite samples remain (matching
+        :func:`empirical_cdf`) or when samples are negative.
+    """
+    from ..engine.aggregates import HistogramSketch
+
+    sketch = HistogramSketch()
+    array = _as_float_array(samples)
+    sketch.update(array)
+    if sketch.n == 0:
+        raise AnalysisError("cannot build a CDF from an empty sample")
+    return SketchCDF(sketch)
+
+
 def log_bins(low: float, high: float, bins_per_decade: int = 4) -> np.ndarray:
     """Logarithmically spaced bin edges covering ``[low, high]``.
 
@@ -130,14 +226,22 @@ def log_bins(low: float, high: float, bins_per_decade: int = 4) -> np.ndarray:
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile (0-100) of the finite samples."""
+    """The ``q``-th percentile (0-100) of the finite samples.
+
+    Uses the library-wide lower nearest-rank convention (see the module
+    docstring): the smallest sample value with at least ``ceil(q/100 * n)``
+    samples at or below it.  This matches :meth:`EmpiricalCDF.quantile`
+    exactly and the engine's sketch percentile at bin resolution.
+    """
     array = _as_float_array(samples)
     array = array[np.isfinite(array)]
     if array.size == 0:
         raise AnalysisError("cannot take a percentile of an empty sample")
     if not 0.0 <= q <= 100.0:
         raise AnalysisError("percentile must be in [0, 100], got %r" % (q,))
-    return float(np.percentile(array, q))
+    rank = int(np.ceil(q / 100.0 * array.size))
+    rank = min(max(rank, 1), int(array.size))
+    return float(np.partition(array, rank - 1)[rank - 1])
 
 
 def percentile_ratio_curve(samples: Sequence[float],
@@ -156,14 +260,16 @@ def percentile_ratio_curve(samples: Sequence[float],
     array = array[np.isfinite(array)]
     if array.size == 0:
         raise AnalysisError("cannot compute a percentile curve of an empty sample")
-    median = float(np.median(array))
+    median = percentile(array, 50.0)
     if median == 0:
         raise AnalysisError("percentile-ratio curve undefined: median is zero")
     if percentiles is None:
         percentiles = list(range(1, 100)) + [99.5, 100.0]
+    array = np.sort(array)
     curve = []
     for n in percentiles:
-        curve.append((float(np.percentile(array, n)) / median, float(n)))
+        rank = min(max(int(np.ceil(n / 100.0 * array.size)), 1), int(array.size))
+        curve.append((float(array[rank - 1]) / median, float(n)))
     return curve
 
 

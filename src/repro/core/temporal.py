@@ -9,7 +9,13 @@ three dimensions.
 
 This module builds those hourly series, extracts weekly views, detects diurnal
 periodicity with a Fourier analysis, and computes the Figure-9 correlation
-triplet.
+triplet.  The hourly series are produced by **one** engine group-by scan over
+the derived ``submit_hour`` column, so any
+:class:`~repro.engine.source.TraceSource`-wrappable representation works —
+including an out-of-core chunked store, with memory bounded by chunk size.
+Hourly job counts are exact for every representation; the byte and
+task-second sums are exact up to floating-point summation order (different
+chunkings can differ in the last ulp).
 """
 
 from __future__ import annotations
@@ -19,16 +25,17 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..engine.source import TraceSource
 from ..errors import AnalysisError
-from ..traces.trace import Trace
 from ..units import DAY, HOUR, WEEK
-from .stats import hourly_series, pearson_correlation
+from .stats import pearson_correlation
 
 __all__ = [
     "HourlyDimensions",
     "WeeklyView",
     "DiurnalAnalysis",
     "CorrelationResult",
+    "hourly_totals",
     "hourly_dimensions",
     "weekly_view",
     "diurnal_strength",
@@ -124,18 +131,49 @@ class CorrelationResult:
         return max(pairs, key=lambda key: pairs[key])
 
 
-def hourly_dimensions(trace: Trace) -> HourlyDimensions:
-    """Aggregate a trace into the three hourly submission dimensions."""
-    if trace.is_empty():
+def hourly_totals(source, **aggregate_specs) -> Dict[str, np.ndarray]:
+    """Per-hour totals of arbitrary engine aggregates over one scan.
+
+    ``aggregate_specs`` are engine ``label=(op, column)`` pairs.  The result
+    maps each label to an hourly array covering ``ceil(duration / 3600)``
+    hours (idle hours are zero); events past the horizon clamp into the final
+    hour, matching :func:`repro.core.stats.hourly_series`.
+
+    Raises:
+        AnalysisError: for an empty trace or negative submit times.
+    """
+    src = TraceSource.wrap(source)
+    if src.is_empty():
         raise AnalysisError("cannot compute hourly dimensions of an empty trace")
-    times = trace.submit_times()
-    horizon = trace.duration_s()
-    bytes_weights = [job.total_bytes for job in trace]
-    compute_weights = [job.total_task_seconds for job in trace]
+    start_s, end_s = src.time_bounds()
+    if start_s < 0:
+        raise AnalysisError("event times must be non-negative")
+    n_hours = max(1, int(np.ceil(max(0.0, end_s - start_s) / 3600.0)))
+    groups = src.hourly_groups(**aggregate_specs)
+    series = {label: np.zeros(n_hours, dtype=float) for label in aggregate_specs}
+    for hour in sorted(groups):
+        bucket = min(int(hour), n_hours - 1)
+        for label, value in groups[hour].items():
+            series[label][bucket] += float(value or 0.0)
+    return series
+
+
+def hourly_dimensions(trace) -> HourlyDimensions:
+    """Aggregate a trace into the three hourly submission dimensions.
+
+    Accepts any :class:`TraceSource`-wrappable representation; runs as one
+    chunked group-by scan over ``submit_hour``.
+    """
+    series = hourly_totals(
+        trace,
+        jobs=("count", "submit_time_s"),
+        bytes=("sum", "total_bytes"),
+        task_seconds=("sum", "total_task_seconds"),
+    )
     return HourlyDimensions(
-        jobs_per_hour=hourly_series(times, None, horizon),
-        bytes_per_hour=hourly_series(times, bytes_weights, horizon),
-        task_seconds_per_hour=hourly_series(times, compute_weights, horizon),
+        jobs_per_hour=series["jobs"],
+        bytes_per_hour=series["bytes"],
+        task_seconds_per_hour=series["task_seconds"],
     )
 
 

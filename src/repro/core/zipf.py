@@ -5,6 +5,11 @@ and observes approximately straight lines — Zipf-like behaviour — with a slo
 of about 5/6 for every workload and for both inputs and outputs.  This module
 fits that slope from observed access counts and exposes the points needed to
 regenerate the figure.
+
+:func:`column_rank_frequencies` is the out-of-core entry point: it streams one
+string column (``input_path`` / ``output_path``) chunk by chunk from any
+:class:`~repro.engine.source.TraceSource`-wrappable representation, so memory
+is bounded by the number of *distinct* paths rather than the number of jobs.
 """
 
 from __future__ import annotations
@@ -17,7 +22,13 @@ import numpy as np
 
 from ..errors import AnalysisError
 
-__all__ = ["RankFrequency", "rank_frequencies", "fit_zipf_slope", "zipf_goodness_of_fit"]
+__all__ = [
+    "RankFrequency",
+    "rank_frequencies",
+    "column_rank_frequencies",
+    "fit_zipf_slope",
+    "zipf_goodness_of_fit",
+]
 
 
 @dataclass
@@ -88,6 +99,24 @@ def rank_frequencies(paths: Iterable[Optional[str]], min_items: int = 2) -> Rank
         ranks=ranks, frequencies=frequencies, slope=slope, intercept=intercept,
         r_squared=r_squared,
     )
+
+
+def column_rank_frequencies(source, column: str, min_items: int = 2) -> RankFrequency:
+    """Access frequency vs rank for one string column of a trace source.
+
+    Streams the column chunk by chunk (empty strings — the trace encoding of
+    "not recorded" — are skipped), so arbitrarily large stores are counted
+    with memory bounded by the distinct-path dictionary.
+
+    Raises:
+        AnalysisError: when the source does not record the column at all.
+    """
+    from ..engine.source import TraceSource
+
+    src = TraceSource.wrap(source)
+    if not src.has_column(column):
+        raise AnalysisError("trace %r records no %s values" % (src.name, column))
+    return rank_frequencies(src.string_values(column), min_items=min_items)
 
 
 def _log_spaced_points(ranks: np.ndarray, frequencies: np.ndarray,

@@ -67,6 +67,7 @@ from .columnar import (
 )
 from .operators import PREDICATE_OPS, Predicate, Query, QueryResult, execute
 from .parallel import ParallelExecutor
+from .source import TraceSource
 from .store import ChunkedTraceStore, write_store
 
 __all__ = [
@@ -83,6 +84,7 @@ __all__ = [
     "execute",
     "PREDICATE_OPS",
     "ParallelExecutor",
+    "TraceSource",
     "AggregateState",
     "CountState",
     "SumState",

@@ -206,7 +206,15 @@ class HistogramSketch(AggregateState):
 
     # -- read-outs ---------------------------------------------------------
     def percentile(self, q: float) -> Optional[float]:
-        """Approximate ``q``-th percentile (0-100), clamped to observed min/max."""
+        """Approximate ``q``-th percentile (0-100), clamped to observed min/max.
+
+        Follows the library-wide **lower nearest-rank** convention shared with
+        :func:`repro.core.stats.percentile` (see that module's docstring): the
+        first bin whose cumulative count reaches ``q/100 * n``, read out at its
+        geometric center.  The two paths agree to within one bin — about 7.5%
+        relative resolution — which ``tests/core/test_percentile_convention.py``
+        asserts.
+        """
         if not 0.0 <= q <= 100.0:
             raise AnalysisError("percentile must be in [0, 100], got %r" % (q,))
         if self.n == 0:

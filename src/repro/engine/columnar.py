@@ -53,7 +53,7 @@ STRING_COLUMNS = (
 )
 
 #: Derived columns computable from the stored ones without materializing jobs.
-DERIVED_COLUMNS = ("total_bytes", "total_task_seconds", "finish_time_s")
+DERIVED_COLUMNS = ("total_bytes", "total_task_seconds", "finish_time_s", "submit_hour")
 
 ALL_COLUMNS = NUMERIC_COLUMNS + STRING_COLUMNS
 
@@ -104,6 +104,8 @@ class ColumnBlock:
                     + _nan_to_zero(self.column("reduce_task_seconds")))
         if name == "finish_time_s":
             return self.column("submit_time_s") + _nan_to_zero(self.column("duration_s"))
+        if name == "submit_hour":
+            return np.floor(self.column("submit_time_s") / 3600.0)
         raise AnalysisError("unknown column %r (have %s)" % (name, sorted(self.columns)))
 
     def has_column(self, name: str) -> bool:
@@ -115,6 +117,8 @@ class ColumnBlock:
             return all(dim in self.columns for dim in ("map_task_seconds", "reduce_task_seconds"))
         if name == "finish_time_s":
             return all(dim in self.columns for dim in ("submit_time_s", "duration_s"))
+        if name == "submit_hour":
+            return "submit_time_s" in self.columns
         return False
 
     def select(self, mask: np.ndarray) -> "ColumnBlock":

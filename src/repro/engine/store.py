@@ -134,6 +134,16 @@ class ChunkedTraceStore:
         """The [min, max] zone of one numeric column in one chunk, if recorded."""
         return self._chunks[index].zones.get(column)
 
+    def has_column(self, name: str) -> bool:
+        """Whether the store records ``name``, including resolvable derived columns."""
+        if name in self.columns:
+            return True
+        try:
+            self._storage_columns([name])
+            return True
+        except TraceFormatError:
+            return False
+
     def info(self) -> Dict:
         """Manifest-level summary (for ``repro engine info``)."""
         total_bytes = sum(
@@ -182,6 +192,8 @@ class ChunkedTraceStore:
                 parts = ["map_task_seconds", "reduce_task_seconds"]
             elif name == "finish_time_s":
                 parts = ["submit_time_s", "duration_s"]
+            elif name == "submit_hour":
+                parts = ["submit_time_s"]
             else:
                 raise TraceFormatError("store %s has no column %r (have %s)"
                                        % (self.directory, name, self.columns))

@@ -19,7 +19,24 @@ from typing import Optional
 
 from ..errors import SchemaError
 
-__all__ = ["Job", "NUMERIC_DIMENSIONS", "FEATURE_DIMENSIONS"]
+__all__ = ["Job", "NUMERIC_DIMENSIONS", "FEATURE_DIMENSIONS", "extract_first_word"]
+
+
+def extract_first_word(name: Optional[str]) -> Optional[str]:
+    """First word of a job name, lower-cased and stripped of digits/symbols.
+
+    This mirrors §6.1 of the paper: "we focus on the first word of job names,
+    ignoring any capitalization, numbers, or other symbols."  Returns ``None``
+    for missing/empty names or when nothing alphabetic remains.  Shared by
+    :attr:`Job.first_word` and the columnar naming analysis so both paths
+    classify names identically.
+    """
+    if not name:
+        return None
+    stripped = name.strip()
+    token = stripped.split()[0] if stripped else ""
+    cleaned = "".join(ch for ch in token.lower() if ch.isalpha())
+    return cleaned or None
 
 #: Numeric per-job dimensions, in the order used throughout the library.
 NUMERIC_DIMENSIONS = (
@@ -164,11 +181,7 @@ class Job:
         any capitalization, numbers, or other symbols."  Returns ``None`` when
         the trace did not record job names.
         """
-        if not self.name:
-            return None
-        token = self.name.strip().split()[0] if self.name.strip() else ""
-        cleaned = "".join(ch for ch in token.lower() if ch.isalpha())
-        return cleaned or None
+        return extract_first_word(self.name)
 
     # Serialization -------------------------------------------------------
     def to_dict(self):

@@ -1,0 +1,192 @@
+"""Source-equivalence contract: every refactored core statistic and every
+bench table/figure produces identical results across the three trace
+representations — job-list ``Trace``, in-memory ``ColumnarTrace``, and
+out-of-core ``ChunkedTraceStore``.
+
+Exceptions, exactly as documented in ``docs/architecture.md``:
+
+* sketch-backed percentiles (store-side Figure-1 medians / below-1GB
+  fractions) are tolerance-bounded at histogram-bin resolution;
+* float sums folded over different chunkings may differ in the last ulp, so
+  byte/task-second totals compare with a tight relative tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    analyze_access_patterns,
+    analyze_burstiness,
+    analyze_data_sizes,
+    analyze_naming,
+    characterize,
+    cluster_jobs,
+    consolidation_study,
+    eighty_x_rule,
+    hourly_dimensions,
+    hourly_task_seconds,
+    input_rank_frequencies,
+    reaccess_fractions,
+    reaccess_intervals,
+    size_access_profile,
+)
+from repro.bench.suite import CHARACTERIZATION_EXPERIMENT_IDS, run_suite
+from repro.engine import ChunkedTraceStore, TraceSource
+
+REPRESENTATIONS = ("trace", "columnar", "store")
+
+#: Relative tolerance for sketch-backed percentile read-outs (bin resolution).
+SKETCH_REL = 0.16
+#: Relative tolerance for float sums folded over different chunk boundaries.
+SUM_REL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def cc_e_reps(cc_e_trace, tmp_path_factory):
+    """The CC-e workload in all three representations (multi-chunk store)."""
+    directory = tmp_path_factory.mktemp("equivalence") / "cc-e.store"
+    store = ChunkedTraceStore.write(directory, cc_e_trace, chunk_rows=2048,
+                                    name=cc_e_trace.name)
+    return {"trace": cc_e_trace,
+            "columnar": cc_e_trace.to_columnar(),
+            "store": store}
+
+
+@pytest.fixture(scope="module")
+def cc_b_reps(cc_b_small_trace, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("equivalence") / "cc-b.store"
+    store = ChunkedTraceStore.write(directory, cc_b_small_trace, chunk_rows=512,
+                                    name=cc_b_small_trace.name)
+    return {"trace": cc_b_small_trace,
+            "columnar": cc_b_small_trace.to_columnar(),
+            "store": store}
+
+
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+class TestCoreStatisticEquivalence:
+    def test_summary(self, cc_e_reps, representation):
+        baseline = cc_e_reps["trace"].summary()
+        summary = TraceSource.wrap(cc_e_reps[representation]).summary()
+        assert summary.n_jobs == baseline.n_jobs
+        assert summary.length_s == pytest.approx(baseline.length_s)
+        assert summary.bytes_moved == pytest.approx(baseline.bytes_moved, rel=SUM_REL)
+        assert summary.total_task_seconds == pytest.approx(
+            baseline.total_task_seconds, rel=SUM_REL)
+
+    def test_hourly_dimensions(self, cc_e_reps, representation):
+        baseline = hourly_dimensions(cc_e_reps["trace"])
+        dims = hourly_dimensions(cc_e_reps[representation])
+        assert np.array_equal(dims.jobs_per_hour, baseline.jobs_per_hour)
+        assert np.allclose(dims.bytes_per_hour, baseline.bytes_per_hour, rtol=SUM_REL)
+        assert np.allclose(dims.task_seconds_per_hour,
+                           baseline.task_seconds_per_hour, rtol=SUM_REL)
+
+    def test_burstiness(self, cc_e_reps, representation):
+        baseline = analyze_burstiness(cc_e_reps["trace"])
+        burst = analyze_burstiness(cc_e_reps[representation])
+        assert burst.hours == baseline.hours
+        assert burst.peak_to_median == pytest.approx(baseline.peak_to_median, rel=SUM_REL)
+        assert burst.p99_to_median == pytest.approx(baseline.p99_to_median, rel=SUM_REL)
+        assert np.allclose(hourly_task_seconds(cc_e_reps[representation]),
+                           hourly_task_seconds(cc_e_reps["trace"]), rtol=SUM_REL)
+
+    def test_data_sizes(self, cc_e_reps, representation):
+        baseline = analyze_data_sizes(cc_e_reps["trace"])
+        sizes = analyze_data_sizes(cc_e_reps[representation])
+        # Counts are exact for every representation.
+        assert sizes.map_only_fraction == baseline.map_only_fraction
+        for dimension, exact in baseline.medians.items():
+            if representation == "store":  # sketch-backed: bin resolution
+                assert sizes.medians[dimension] == pytest.approx(exact, rel=SKETCH_REL)
+                assert sizes.fraction_below_gb[dimension] == pytest.approx(
+                    baseline.fraction_below_gb[dimension], abs=0.02)
+            else:
+                assert sizes.medians[dimension] == exact
+                assert sizes.fraction_below_gb[dimension] == baseline.fraction_below_gb[dimension]
+
+    def test_zipf_ranks(self, cc_e_reps, representation):
+        baseline = input_rank_frequencies(cc_e_reps["trace"])
+        ranks = input_rank_frequencies(cc_e_reps[representation])
+        assert np.array_equal(ranks.frequencies, baseline.frequencies)
+        assert ranks.slope == baseline.slope
+
+    def test_access_patterns(self, cc_e_reps, representation):
+        baseline_fracs = reaccess_fractions(cc_e_reps["trace"])
+        fracs = reaccess_fractions(cc_e_reps[representation])
+        assert fracs == baseline_fracs
+        baseline_intervals = reaccess_intervals(cc_e_reps["trace"])
+        intervals = reaccess_intervals(cc_e_reps[representation])
+        assert intervals.fraction_within_6h == baseline_intervals.fraction_within_6h
+        assert np.array_equal(intervals.input_input.values,
+                              baseline_intervals.input_input.values)
+        assert eighty_x_rule(cc_e_reps[representation]) == eighty_x_rule(cc_e_reps["trace"])
+        profile = size_access_profile(cc_e_reps[representation], "input")
+        baseline_profile = size_access_profile(cc_e_reps["trace"], "input")
+        assert np.array_equal(profile.file_sizes, baseline_profile.file_sizes)
+        assert profile.jobs_below_gb_fraction == baseline_profile.jobs_below_gb_fraction
+
+    def test_naming(self, cc_e_reps, representation):
+        baseline = analyze_naming(cc_e_reps["trace"])
+        naming = analyze_naming(cc_e_reps[representation])
+        assert naming.by_jobs.shares == baseline.by_jobs.shares
+        assert naming.by_bytes.shares == baseline.by_bytes.shares
+        assert naming.framework_shares == baseline.framework_shares
+
+    def test_clustering(self, cc_b_reps, representation):
+        baseline = cluster_jobs(cc_b_reps["trace"], max_k=6, seed=0)
+        clustering = cluster_jobs(cc_b_reps[representation], max_k=6, seed=0)
+        assert clustering.k == baseline.k
+        assert [cluster.n_jobs for cluster in clustering.clusters] == \
+            [cluster.n_jobs for cluster in baseline.clusters]
+        assert [cluster.label for cluster in clustering.clusters] == \
+            [cluster.label for cluster in baseline.clusters]
+        for mine, theirs in zip(clustering.clusters, baseline.clusters):
+            assert mine.centroid == pytest.approx(theirs.centroid)
+
+    def test_consolidation_study(self, cc_e_reps, cc_b_reps, representation):
+        baseline = consolidation_study([cc_e_reps["trace"], cc_b_reps["trace"]])
+        study = consolidation_study([cc_e_reps[representation], cc_b_reps[representation]])
+        for name, burst in baseline.source_burstiness.items():
+            assert study.source_burstiness[name].peak_to_median == pytest.approx(
+                burst.peak_to_median, rel=SUM_REL)
+        assert study.consolidated_burstiness.peak_to_median == pytest.approx(
+            baseline.consolidated_burstiness.peak_to_median, rel=1e-6)
+        assert study.remains_bursty == baseline.remains_bursty
+
+
+class TestBenchSuiteEquivalence:
+    @pytest.fixture(scope="class")
+    def suite_results(self, cc_b_reps):
+        return {
+            representation: run_suite(
+                traces={"CC-b": cc_b_reps[representation]},
+                experiments=list(CHARACTERIZATION_EXPERIMENT_IDS),
+                include_ablations=False, include_simulation=False)
+            for representation in REPRESENTATIONS
+        }
+
+    @pytest.mark.parametrize("representation", ("columnar", "store"))
+    def test_all_rows_identical_except_sketch_backed(self, suite_results, representation):
+        baseline = {result.experiment_id: result for result in suite_results["trace"]}
+        for result in suite_results[representation]:
+            if representation == "store" and result.experiment_id == "figure1":
+                continue  # sketch medians: checked numerically in the core tests
+            assert result.rows == baseline[result.experiment_id].rows, result.experiment_id
+
+    def test_figure1_store_rows_structurally_equal(self, suite_results):
+        baseline = {r.experiment_id: r for r in suite_results["trace"]}["figure1"]
+        store_result = {r.experiment_id: r for r in suite_results["store"]}["figure1"]
+        assert len(store_result.rows) == len(baseline.rows)
+        for mine, theirs in zip(store_result.rows, baseline.rows):
+            assert mine[0] == theirs[0]  # workload name
+
+
+class TestCharacterizeOnStore:
+    def test_full_report_runs_out_of_core(self, cc_b_reps):
+        report = characterize(cc_b_reps["store"], max_k=4)
+        baseline = characterize(cc_b_reps["trace"], max_k=4)
+        assert report.summary.n_jobs == baseline.summary.n_jobs
+        assert report.clustering.k == baseline.clustering.k
+        assert report.access.fractions == baseline.access.fractions
+        rendered = report.render()
+        assert "Per-job data sizes" in rendered and "Job types" in rendered

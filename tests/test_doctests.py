@@ -14,6 +14,7 @@ import pytest
 #: Modules whose docstrings carry runnable usage examples.
 DOCS_BEARING_MODULES = [
     "repro.engine",
+    "repro.engine.source",
     "repro.simulator",
     "repro.simulator.metrics",
     "repro.simulator.replay",

@@ -8,20 +8,23 @@ every workload; query-like frameworks contribute 20%-80%+ of load).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..core.naming import analyze_naming
+from ..core.sharedscan import CharacterizationAnalyses
 from ..errors import AnalysisError
 from .rendering import ExperimentResult
 
 __all__ = ["figure10"]
 
 
-def figure10(traces: Dict[str, object], top_n: int = 5) -> ExperimentResult:
+def figure10(traces: Dict[str, object], top_n: int = 5,
+             analyses: Optional[Dict[str, CharacterizationAnalyses]] = None) -> ExperimentResult:
     """Build the Figure-10 reproduction for every trace that records names.
 
     Traces may be in any :class:`~repro.engine.source.TraceSource`-wrappable
-    representation; the naming analysis streams the name column chunk by chunk.
+    representation; the naming fold streams the name column chunk by chunk
+    (through the shared scan when ``analyses`` is given).
     """
     result = ExperimentResult(
         experiment_id="figure10",
@@ -30,7 +33,10 @@ def figure10(traces: Dict[str, object], top_n: int = 5) -> ExperimentResult:
     )
     for name, trace in traces.items():
         try:
-            analysis = analyze_naming(trace)
+            if analyses is not None and name in analyses:
+                analysis = analyses[name].value("naming")
+            else:
+                analysis = analyze_naming(trace)
         except AnalysisError:
             result.notes.append("%s records no job names (as in the paper's FB-2010 trace)" % name)
             continue

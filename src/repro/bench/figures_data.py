@@ -6,32 +6,61 @@ representation, including an out-of-core chunked store — and returns an
 :class:`~repro.bench.rendering.ExperimentResult` whose series/rows regenerate
 the corresponding paper figure and whose notes record the shape criteria the
 paper reports (median spreads, Zipf slope ≈ 5/6, 80-x rule, re-access timing).
-Store-backed inputs stream chunk by chunk; Figure 1's CDFs are then
-sketch-backed (see :mod:`repro.core.datasizes`), everything else is exact.
+
+Every function also accepts ``analyses``: the per-workload results of one
+shared characterization scan
+(:func:`repro.core.sharedscan.run_characterization_scan`).  The suite runner
+builds that scan once per trace, so the whole Figure 1-6 block consumes a
+single decoded pass; called without ``analyses``, each figure folds its own
+consumers (same code, one scan per figure).  Store-backed inputs stream chunk
+by chunk; Figure 1's CDFs are then sketch-backed (see
+:mod:`repro.core.datasizes`), everything else is exact.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..core.access import (
-    eighty_x_rule,
-    input_rank_frequencies,
-    output_rank_frequencies,
+    eighty_x_from_profile,
     reaccess_fractions,
     reaccess_intervals,
     size_access_profile,
 )
 from ..core.datasizes import analyze_data_sizes, median_spread_orders
+from ..core.sharedscan import CharacterizationAnalyses
+from ..core.zipf import column_rank_frequencies
 from ..errors import AnalysisError
 from ..units import format_bytes
 from .rendering import ExperimentResult
 
 __all__ = ["figure1", "figure2", "figure3", "figure4", "figure5", "figure6"]
 
+_RANK_COLUMNS = {"input": "input_path", "output": "output_path"}
+
 
 def _cdf_series(cdf, max_points: int = 200):
-    """Thin a CDF to at most ``max_points`` (value, fraction) pairs."""
+    """Thin a CDF to about ``max_points`` (value, fraction) pairs.
+
+    The stride is ``n // max_points`` (floored, at least 1), so the series
+    can run up to twice the target — the historical thinning rule, kept so
+    figure series stay identical across scan modes.
+    """
+    values = getattr(cdf, "values", None)
+    if values is not None:
+        # Exact CDFs expose their sorted arrays: thin before materializing
+        # Python tuples (an exact CDF over 1M jobs would otherwise build a
+        # million-pair list only to keep 200 of them).
+        fractions = cdf.fractions
+        n = int(values.size)
+        if n <= max_points:
+            return list(zip(values.tolist(), fractions.tolist()))
+        step = max(1, n // max_points)
+        points = list(zip(values[::step].tolist(), fractions[::step].tolist()))
+        last = (float(values[-1]), float(fractions[-1]))
+        if points[-1] != last:
+            points.append(last)
+        return points
     points = cdf.as_points()
     if len(points) <= max_points:
         return points
@@ -42,7 +71,15 @@ def _cdf_series(cdf, max_points: int = 200):
     return thinned
 
 
-def figure1(traces: Dict[str, object]) -> ExperimentResult:
+def _bundle(analyses: Optional[Dict[str, CharacterizationAnalyses]],
+            name: str) -> Optional[CharacterizationAnalyses]:
+    if analyses is None:
+        return None
+    return analyses.get(name)
+
+
+def figure1(traces: Dict[str, object],
+            analyses: Optional[Dict[str, CharacterizationAnalyses]] = None) -> ExperimentResult:
     """Figure 1: CDFs of per-job input, shuffle and output size per workload."""
     result = ExperimentResult(
         experiment_id="figure1",
@@ -51,7 +88,8 @@ def figure1(traces: Dict[str, object]) -> ExperimentResult:
     )
     distributions = []
     for name, trace in traces.items():
-        dist = analyze_data_sizes(trace)
+        bundle = _bundle(analyses, name)
+        dist = bundle.value("data_sizes") if bundle is not None else analyze_data_sizes(trace)
         distributions.append(dist)
         result.rows.append([
             name,
@@ -73,7 +111,8 @@ def figure1(traces: Dict[str, object]) -> ExperimentResult:
     return result
 
 
-def figure2(traces: Dict[str, object]) -> ExperimentResult:
+def figure2(traces: Dict[str, object],
+            analyses: Optional[Dict[str, CharacterizationAnalyses]] = None) -> ExperimentResult:
     """Figure 2: log-log file access frequency vs rank (Zipf, slope ≈ 5/6)."""
     result = ExperimentResult(
         experiment_id="figure2",
@@ -81,11 +120,17 @@ def figure2(traces: Dict[str, object]) -> ExperimentResult:
         headers=["Workload", "Kind", "Distinct files", "Max frequency", "Fitted slope"],
     )
     for name, trace in traces.items():
-        for kind, analyzer in (("input", input_rank_frequencies), ("output", output_rank_frequencies)):
-            try:
-                ranks = analyzer(trace)
-            except AnalysisError:
-                continue
+        bundle = _bundle(analyses, name)
+        for kind in ("input", "output"):
+            if bundle is not None:
+                ranks = bundle.get("%s_ranks" % kind)
+                if ranks is None:
+                    continue
+            else:
+                try:
+                    ranks = column_rank_frequencies(trace, _RANK_COLUMNS[kind])
+                except AnalysisError:
+                    continue
             slope = "%.2f" % ranks.slope if ranks.slope is not None else "-"
             result.rows.append([
                 name, kind, str(ranks.n_items), str(int(ranks.frequencies[0])), slope,
@@ -97,26 +142,38 @@ def figure2(traces: Dict[str, object]) -> ExperimentResult:
     return result
 
 
-def figure3(traces: Dict[str, object]) -> ExperimentResult:
+def figure3(traces: Dict[str, object],
+            analyses: Optional[Dict[str, CharacterizationAnalyses]] = None) -> ExperimentResult:
     """Figure 3: jobs and stored bytes versus input file size."""
-    return _size_profile_figure(traces, "input", "figure3")
+    return _size_profile_figure(traces, "input", "figure3", analyses)
 
 
-def figure4(traces: Dict[str, object]) -> ExperimentResult:
+def figure4(traces: Dict[str, object],
+            analyses: Optional[Dict[str, CharacterizationAnalyses]] = None) -> ExperimentResult:
     """Figure 4: jobs and stored bytes versus output file size."""
-    return _size_profile_figure(traces, "output", "figure4")
+    return _size_profile_figure(traces, "output", "figure4", analyses)
 
 
-def _size_profile_figure(traces: Dict[str, object], kind: str, experiment_id: str) -> ExperimentResult:
+def _size_profile_figure(traces: Dict[str, object], kind: str, experiment_id: str,
+                         analyses: Optional[Dict[str, CharacterizationAnalyses]]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id=experiment_id,
         title="Access patterns vs %s file size (fraction of jobs / of stored bytes)" % kind,
         headers=["Workload", "Jobs on files <= 4 GB", "Stored bytes in files <= 4 GB", "80-x rule (x%)"],
     )
     for name, trace in traces.items():
+        bundle = _bundle(analyses, name)
+        if bundle is not None:
+            profile = bundle.get("%s_profile" % kind)
+            if profile is None:
+                continue
+        else:
+            try:
+                profile = size_access_profile(trace, kind)
+            except AnalysisError:
+                continue
         try:
-            profile = size_access_profile(trace, kind)
-            rule = eighty_x_rule(trace, kind)
+            rule = eighty_x_from_profile(profile)
         except AnalysisError:
             continue
         result.rows.append([
@@ -134,7 +191,8 @@ def _size_profile_figure(traces: Dict[str, object], kind: str, experiment_id: st
     return result
 
 
-def figure5(traces: Dict[str, object]) -> ExperimentResult:
+def figure5(traces: Dict[str, object],
+            analyses: Optional[Dict[str, CharacterizationAnalyses]] = None) -> ExperimentResult:
     """Figure 5: CDFs of input->input and output->input re-access intervals."""
     result = ExperimentResult(
         experiment_id="figure5",
@@ -142,10 +200,16 @@ def figure5(traces: Dict[str, object]) -> ExperimentResult:
         headers=["Workload", "Re-accesses within 6 hours"],
     )
     for name, trace in traces.items():
-        try:
-            intervals = reaccess_intervals(trace)
-        except AnalysisError:
-            continue
+        bundle = _bundle(analyses, name)
+        if bundle is not None:
+            intervals = bundle.get("reaccess_intervals")
+            if intervals is None:
+                continue
+        else:
+            try:
+                intervals = reaccess_intervals(trace)
+            except AnalysisError:
+                continue
         if intervals.input_input is None and intervals.output_input is None:
             continue
         result.rows.append([name, "%.0f%%" % (100 * intervals.fraction_within_6h)])
@@ -157,7 +221,8 @@ def figure5(traces: Dict[str, object]) -> ExperimentResult:
     return result
 
 
-def figure6(traces: Dict[str, object]) -> ExperimentResult:
+def figure6(traces: Dict[str, object],
+            analyses: Optional[Dict[str, CharacterizationAnalyses]] = None) -> ExperimentResult:
     """Figure 6: fraction of jobs whose input re-accesses pre-existing data."""
     result = ExperimentResult(
         experiment_id="figure6",
@@ -165,10 +230,16 @@ def figure6(traces: Dict[str, object]) -> ExperimentResult:
         headers=["Workload", "Re-access pre-existing input", "Re-access pre-existing output", "Either"],
     )
     for name, trace in traces.items():
-        try:
-            fractions = reaccess_fractions(trace)
-        except AnalysisError:
-            continue
+        bundle = _bundle(analyses, name)
+        if bundle is not None:
+            fractions = bundle.get("reaccess_fractions")
+            if fractions is None:
+                continue
+        else:
+            try:
+                fractions = reaccess_fractions(trace)
+            except AnalysisError:
+                continue
         result.rows.append([
             name,
             "%.0f%%" % (100 * fractions.input_reaccess),

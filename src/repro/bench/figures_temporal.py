@@ -19,6 +19,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..core.burstiness import burstiness_curve, hourly_task_seconds
+from ..core.sharedscan import CharacterizationAnalyses
 from ..core.temporal import dimension_correlations, diurnal_strength, hourly_dimensions, weekly_view
 from ..engine.source import TraceSource
 from ..errors import AnalysisError
@@ -73,14 +74,16 @@ def _first_week_utilization(source: TraceSource,
 
 
 def figure7(traces: Dict[str, object], simulate_utilization: bool = True,
-            max_simulated_jobs: Optional[int] = 4000) -> ExperimentResult:
+            max_simulated_jobs: Optional[int] = 4000,
+            analyses: Optional[Dict[str, CharacterizationAnalyses]] = None) -> ExperimentResult:
     """Figure 7: workload behaviour over a week in four dimensions.
 
     The first three columns (submissions, I/O and task-time per hour) come
-    straight from the trace; the fourth (cluster utilization in active slots)
-    is obtained by replaying the first week of the trace on the simulator,
-    mirroring how the paper's utilization column reflects the cluster's
-    execution rather than the submission stream.
+    straight from the trace (via the shared scan when ``analyses`` is given);
+    the fourth (cluster utilization in active slots) is obtained by replaying
+    the first week of the trace on the simulator, mirroring how the paper's
+    utilization column reflects the cluster's execution rather than the
+    submission stream.
     """
     result = ExperimentResult(
         experiment_id="figure7",
@@ -89,7 +92,10 @@ def figure7(traces: Dict[str, object], simulate_utilization: bool = True,
     )
     for name, trace in traces.items():
         source = TraceSource.wrap(trace)
-        dims = hourly_dimensions(source)
+        if analyses is not None and name in analyses:
+            dims = analyses[name].value("hourly")
+        else:
+            dims = hourly_dimensions(source)
         week = weekly_view(dims, 0)
         jobs_series = week.series["jobs"]
         diurnal = diurnal_strength(dims.jobs_per_hour)
@@ -119,7 +125,8 @@ def figure7(traces: Dict[str, object], simulate_utilization: bool = True,
     return result
 
 
-def figure8(traces: Dict[str, object]) -> ExperimentResult:
+def figure8(traces: Dict[str, object],
+            analyses: Optional[Dict[str, CharacterizationAnalyses]] = None) -> ExperimentResult:
     """Figure 8: burstiness (percentile-to-median CDF of hourly task-time)."""
     result = ExperimentResult(
         experiment_id="figure8",
@@ -128,7 +135,11 @@ def figure8(traces: Dict[str, object]) -> ExperimentResult:
     )
     for name, trace in traces.items():
         try:
-            burst = burstiness_curve(hourly_task_seconds(trace), drop_zero_hours=True)
+            if analyses is not None and name in analyses:
+                hourly = analyses[name].value("hourly").task_seconds_per_hour
+            else:
+                hourly = hourly_task_seconds(trace)
+            burst = burstiness_curve(hourly, drop_zero_hours=True)
         except AnalysisError:
             continue
         result.rows.append([
@@ -154,7 +165,8 @@ def figure8(traces: Dict[str, object]) -> ExperimentResult:
     return result
 
 
-def figure9(traces: Dict[str, object]) -> ExperimentResult:
+def figure9(traces: Dict[str, object],
+            analyses: Optional[Dict[str, CharacterizationAnalyses]] = None) -> ExperimentResult:
     """Figure 9: correlations between hourly jobs, bytes and task-time series."""
     result = ExperimentResult(
         experiment_id="figure9",
@@ -163,7 +175,11 @@ def figure9(traces: Dict[str, object]) -> ExperimentResult:
     )
     all_values = {"jobs-bytes": [], "jobs-task-seconds": [], "bytes-task-seconds": []}
     for name, trace in traces.items():
-        correlations = dimension_correlations(hourly_dimensions(trace))
+        if analyses is not None and name in analyses:
+            dims = analyses[name].value("hourly")
+        else:
+            dims = hourly_dimensions(trace)
+        correlations = dimension_correlations(dims)
         values = correlations.as_dict()
         for key in all_values:
             all_values[key].append(values[key])

@@ -10,15 +10,21 @@ Pre-generated ``traces`` may be passed in any
 :class:`~repro.engine.source.TraceSource`-wrappable representation, including
 out-of-core :class:`~repro.engine.store.ChunkedTraceStore` directories.  The
 characterization experiments (:data:`CHARACTERIZATION_EXPERIMENT_IDS` —
-Table 1, Figures 1-10, Table 2) run on chunked scans without materializing
-jobs; the replay-simulation ablations need real ``Job`` objects and
-materialize their reference trace on demand.
+Table 1, Figures 1-10, Table 2) run from **one shared scan per trace**
+(:func:`repro.core.sharedscan.run_characterization_scan`): every selected
+experiment registers its chunk-consumer fold on a single
+:class:`~repro.engine.pipeline.ScanPipeline`, so a store is decoded once for
+the whole batch and ``processes`` fans the chunks over workers.  The
+replay-simulation ablations need real ``Job`` objects and materialize their
+reference trace on demand.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..core.sharedscan import CharacterizationAnalyses, run_characterization_scan
+from ..engine.parallel import ParallelExecutor
 from ..engine.source import TraceSource
 from ..traces.registry import DEFAULT_SCALES, load_all_paper_workloads
 from ..traces.trace import Trace
@@ -63,7 +69,9 @@ def run_suite(seed: int = 0, scale: Optional[float] = None,
               traces: Optional[Dict[str, Trace]] = None,
               include_ablations: bool = True,
               include_simulation: bool = True,
-              experiments: Optional[List[str]] = None) -> List[ExperimentResult]:
+              experiments: Optional[List[str]] = None,
+              shared_scan: bool = True,
+              processes: Optional[int] = None) -> List[ExperimentResult]:
     """Run the full benchmark suite.
 
     Args:
@@ -77,6 +85,14 @@ def run_suite(seed: int = 0, scale: Optional[float] = None,
         include_simulation: include the experiments that need the replay
             simulator (Figure 7 utilization column, SWIM replay, cache ablation).
         experiments: restrict to a subset of :data:`EXPERIMENT_IDS`.
+        shared_scan: run the selected characterization experiments from **one**
+            shared scan per trace (see :mod:`repro.core.sharedscan`) instead of
+            one scan per experiment.  ``False`` forces the per-analysis path
+            (the results are identical; this exists for benchmarking and for
+            the equality tests).
+        processes: fan the shared scan of store-backed traces out over this
+            many worker processes (``None`` = serial; implies nothing for
+            materialized traces).
 
     Returns:
         A list of experiment results in report order.
@@ -97,30 +113,43 @@ def run_suite(seed: int = 0, scale: Optional[float] = None,
             traces[name] = trace = TraceSource.wrap(trace).materialize()
         return trace
 
+    characterization = [experiment_id for experiment_id in CHARACTERIZATION_EXPERIMENT_IDS
+                        if wanted(experiment_id)]
+    analyses: Optional[Dict[str, CharacterizationAnalyses]] = None
+    if shared_scan and characterization:
+        executor = ParallelExecutor(processes=processes) if processes else None
+        analyses = {
+            name: run_characterization_scan(trace, experiments=characterization,
+                                            seed=seed, executor=executor)
+            for name, trace in traces.items()
+        }
+
     if wanted("table1"):
-        results.append(table1(traces, scales=scale_overrides or DEFAULT_SCALES))
+        results.append(table1(traces, scales=scale_overrides or DEFAULT_SCALES,
+                              analyses=analyses))
     if wanted("figure1"):
-        results.append(figure1(traces))
+        results.append(figure1(traces, analyses=analyses))
     if wanted("figure2"):
-        results.append(figure2(traces))
+        results.append(figure2(traces, analyses=analyses))
     if wanted("figure3"):
-        results.append(figure3(traces))
+        results.append(figure3(traces, analyses=analyses))
     if wanted("figure4"):
-        results.append(figure4(traces))
+        results.append(figure4(traces, analyses=analyses))
     if wanted("figure5"):
-        results.append(figure5(traces))
+        results.append(figure5(traces, analyses=analyses))
     if wanted("figure6"):
-        results.append(figure6(traces))
+        results.append(figure6(traces, analyses=analyses))
     if wanted("figure7"):
-        results.append(figure7(traces, simulate_utilization=include_simulation))
+        results.append(figure7(traces, simulate_utilization=include_simulation,
+                               analyses=analyses))
     if wanted("figure8"):
-        results.append(figure8(traces))
+        results.append(figure8(traces, analyses=analyses))
     if wanted("figure9"):
-        results.append(figure9(traces))
+        results.append(figure9(traces, analyses=analyses))
     if wanted("figure10"):
-        results.append(figure10(traces))
+        results.append(figure10(traces, analyses=analyses))
     if wanted("table2"):
-        results.append(table2(traces, seed=seed))
+        results.append(table2(traces, seed=seed, analyses=analyses))
     if include_simulation and wanted("swim_replay"):
         source_name = "FB-2009" if "FB-2009" in traces else next(iter(traces))
         results.append(swim_replay(materialized(source_name), seed=seed))

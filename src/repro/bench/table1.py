@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..core.sharedscan import CharacterizationAnalyses
 from ..engine.source import TraceSource
 from ..traces.registry import DEFAULT_SCALES, PAPER_WORKLOAD_NAMES, get_spec
 from ..units import format_bytes, format_duration
@@ -31,7 +32,8 @@ PAPER_TABLE1 = {
 }
 
 
-def table1(traces: Dict[str, object], scales: Optional[Dict[str, float]] = None) -> ExperimentResult:
+def table1(traces: Dict[str, object], scales: Optional[Dict[str, float]] = None,
+           analyses: Optional[Dict[str, CharacterizationAnalyses]] = None) -> ExperimentResult:
     """Build the Table-1 reproduction from generated traces.
 
     Args:
@@ -39,6 +41,10 @@ def table1(traces: Dict[str, object], scales: Optional[Dict[str, float]] = None)
             (typically from :func:`repro.traces.load_all_paper_workloads`, or
             chunked stores for the out-of-core path).
         scales: the scale factor used per workload, recorded in the notes.
+        analyses: optional shared-scan results per workload (from
+            :func:`repro.core.sharedscan.run_characterization_scan`); when
+            given, the summaries come from the one decoded pass instead of a
+            dedicated scan.
     """
     scales = scales or DEFAULT_SCALES
     headers = ["Trace", "Machines", "Length", "Jobs", "Bytes moved", "Scale", "Paper jobs", "Paper bytes"]
@@ -46,7 +52,10 @@ def table1(traces: Dict[str, object], scales: Optional[Dict[str, float]] = None)
     for name in PAPER_WORKLOAD_NAMES:
         if name not in traces:
             continue
-        summary = TraceSource.wrap(traces[name]).summary()
+        if analyses is not None and name in analyses:
+            summary = analyses[name].value("summary")
+        else:
+            summary = TraceSource.wrap(traces[name]).summary()
         paper_jobs, paper_bytes = PAPER_TABLE1.get(name, ("-", "-"))
         rows.append([
             name,

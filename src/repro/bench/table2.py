@@ -16,9 +16,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-import numpy as np
-
 from ..core.clustering import cluster_jobs
+from ..core.sharedscan import (
+    DEFAULT_CLUSTER_SAMPLE_CAP,
+    CharacterizationAnalyses,
+    cluster_sample_indices,
+)
 from ..engine.source import TraceSource
 from .rendering import ExperimentResult
 
@@ -26,7 +29,8 @@ __all__ = ["table2"]
 
 
 def table2(traces: Dict[str, object], max_k: int = 10, seed: int = 0,
-           max_jobs_per_workload: Optional[int] = 20000) -> ExperimentResult:
+           max_jobs_per_workload: Optional[int] = DEFAULT_CLUSTER_SAMPLE_CAP,
+           analyses: Optional[Dict[str, CharacterizationAnalyses]] = None) -> ExperimentResult:
     """Cluster every workload's jobs and render the Table-2 reproduction.
 
     Args:
@@ -37,6 +41,9 @@ def table2(traces: Dict[str, object], max_k: int = 10, seed: int = 0,
             to bound benchmark runtime.  The cap is applied as a seeded uniform
             random subsample — a submission-order prefix would bias the job-type
             mix (job classes are not spread evenly over the trace timeline).
+        analyses: optional shared-scan results built with the same ``seed``
+            and cap; their pre-gathered subsample replaces the dedicated
+            gather scan (identical rows, hence identical clusters).
     """
     result = ExperimentResult(
         experiment_id="table2",
@@ -47,10 +54,16 @@ def table2(traces: Dict[str, object], max_k: int = 10, seed: int = 0,
     for name, trace in traces.items():
         source = TraceSource.wrap(trace)
         clustered = source
-        if max_jobs_per_workload is not None and len(source) > max_jobs_per_workload:
-            rng = np.random.default_rng(seed)
-            picked = np.sort(rng.choice(len(source), size=max_jobs_per_workload, replace=False))
-            clustered = source.gather(picked)
+        if (analyses is not None and name in analyses
+                and analyses[name].has("cluster_sample")
+                and max_jobs_per_workload == DEFAULT_CLUSTER_SAMPLE_CAP):
+            sample = analyses[name].value("cluster_sample")
+            if sample is not None:
+                clustered = sample
+        else:
+            picked = cluster_sample_indices(len(source), max_jobs_per_workload, seed)
+            if picked is not None:
+                clustered = source.gather(picked)
         clustering = cluster_jobs(clustered, max_k=max_k, seed=seed)
         for cluster in clustering.clusters:
             result.rows.append([name] + cluster.as_row())

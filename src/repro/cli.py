@@ -82,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
     character.add_argument("--scale", type=float, default=None, help="scale for generated workloads")
     character.add_argument("--seed", type=int, default=0)
     character.add_argument("--no-cluster", action="store_true", help="skip the Table-2 clustering step")
+    character.add_argument("--processes", type=int, default=None, metavar="N",
+                           help="fan the shared scan of a --store source out "
+                                "over N worker processes")
 
     synthesize = subparsers.add_parser("synthesize", help="SWIM-style scaled synthesis")
     synth_source = synthesize.add_mutually_exclusive_group(required=True)
@@ -155,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="subset of experiments to run")
     bench.add_argument("--no-simulation", action="store_true",
                        help="skip experiments that need the replay simulator")
+    bench.add_argument("--no-shared-scan", action="store_true",
+                       help="run each characterization experiment as its own "
+                            "scan instead of one shared scan per trace")
+    bench.add_argument("--processes", type=int, default=None, metavar="N",
+                       help="worker processes for the shared scan of "
+                            "store-backed traces")
     bench.add_argument("--output", help="also write the report to this file")
 
     engine = subparsers.add_parser("engine",
@@ -172,6 +181,9 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--output", required=True, help="store directory to create")
     convert.add_argument("--chunk-rows", type=int, default=65536,
                          help="rows per on-disk chunk (bounds conversion memory)")
+    convert.add_argument("--format", choices=["v1", "v2"], default="v2",
+                         help="store layout: v2 (default) raw per-column .npy "
+                              "read via mmap; v1 legacy compressed .npz")
 
     info = engine_actions.add_parser("info", help="summarize a chunked columnar store")
     info.add_argument("--store", required=True, help="store directory")
@@ -220,7 +232,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "characterize":
         trace = _load_source(args)
-        report = characterize(trace, cluster=not args.no_cluster)
+        report = characterize(trace, cluster=not args.no_cluster,
+                              processes=args.processes)
         print(report.render())
         return 0
 
@@ -295,7 +308,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         results = run_suite(seed=args.seed, scale=args.scale,
                             traces=traces,
                             experiments=experiments,
-                            include_simulation=not args.no_simulation)
+                            include_simulation=not args.no_simulation,
+                            shared_scan=not args.no_shared_scan,
+                            processes=args.processes)
         report = render_suite(results)
         print(report)
         if args.output:
@@ -457,14 +472,16 @@ def _run_engine(parser, args) -> int:
         else:
             source = iter_trace(args.trace)  # lazy: bounded by --chunk-rows
         store = ChunkedTraceStore.write(args.output, source, chunk_rows=args.chunk_rows,
-                                        name=args.workload or None)
-        print("wrote %d jobs in %d chunks to %s" % (store.n_jobs, store.n_chunks, args.output))
+                                        name=args.workload or None,
+                                        format_version=int(args.format.lstrip("v")))
+        print("wrote %d jobs in %d chunks to %s (format v%d)"
+              % (store.n_jobs, store.n_chunks, args.output, store.format_version))
         return 0
 
     if args.engine_command == "info":
         info = ChunkedTraceStore(args.store).info()
-        for key in ("directory", "name", "machines", "n_jobs", "n_chunks",
-                    "on_disk_bytes", "submit_time_range"):
+        for key in ("directory", "name", "machines", "format_version", "n_jobs",
+                    "n_chunks", "on_disk_bytes", "submit_time_range"):
             print("%-18s %s" % (key, info[key]))
         print("%-18s %s" % ("columns", ", ".join(info["columns"])))
         return 0

@@ -71,6 +71,11 @@ from .naming import (
     first_word_breakdown,
 )
 from .multiplexing import ConsolidationStudy, consolidate, consolidation_study
+from .sharedscan import (
+    DEFAULT_CLUSTER_SAMPLE_CAP,
+    CharacterizationAnalyses,
+    run_characterization_scan,
+)
 from .comparison import (
     WorkloadFeatures,
     WorkloadSuite,
@@ -121,6 +126,10 @@ __all__ = [
     "DataSizeDistributions",
     "analyze_data_sizes",
     "median_spread_orders",
+    # shared scan
+    "CharacterizationAnalyses",
+    "run_characterization_scan",
+    "DEFAULT_CLUSTER_SAMPLE_CAP",
     # access
     "AccessPatternResult",
     "SizeAccessProfile",

@@ -12,37 +12,51 @@ computes:
 * the fraction of jobs whose input re-accesses pre-existing input or output
   (Figure 6).
 
-Every analysis consumes a :class:`~repro.engine.source.TraceSource`-wrappable
-representation and streams the path/size/time columns chunk by chunk, so the
-whole §4 pipeline runs over an out-of-core store with memory bounded by the
-chunk size plus the distinct-path dictionaries.  All results here are exact
-(dictionary- and counter-based) — identical across representations.
+Every analysis is a shared-scan **chunk consumer**
+(:class:`~repro.engine.pipeline.ChunkConsumer`): :class:`PathStatsConsumer`
+folds per-path maxima and access counts in one vectorized pass (one fold
+feeds Figure 2's rank-frequencies *and* the Figure 3/4 size profiles *and*
+the 80-x rule), and :class:`ReaccessConsumer` — order-sensitive, so it runs
+in the pipeline's sequential lane — folds the Figure 5 intervals and Figure 6
+fractions in a single pass of its own.  The standalone entry points below run
+the same consumers as degenerate one-consumer pipelines, so a statistic
+computed standalone and inside the full characterization scan is identical by
+construction.  All results here are exact (dictionary- and counter-based) —
+identical across representations, chunkings and worker counts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..engine.pipeline import ChunkConsumer, ScanChunk, ScanPipeline, fold_consumer
 from ..engine.source import TraceSource
 from ..errors import AnalysisError
 from ..units import GB
 from .stats import EmpiricalCDF, empirical_cdf
-from .zipf import RankFrequency, column_rank_frequencies
+from .zipf import RankFrequency, column_rank_frequencies, rank_frequencies_from_counts
 
 __all__ = [
     "SizeAccessProfile",
     "ReaccessIntervals",
     "ReaccessFractions",
+    "ReaccessResult",
     "AccessPatternResult",
+    "PathStatsConsumer",
+    "ReaccessConsumer",
     "input_rank_frequencies",
     "output_rank_frequencies",
+    "path_stats",
+    "rank_frequencies_from_path_stats",
     "size_access_profile",
+    "profile_from_path_stats",
     "reaccess_intervals",
     "reaccess_fractions",
     "eighty_x_rule",
+    "eighty_x_from_profile",
     "analyze_access_patterns",
 ]
 
@@ -58,6 +72,134 @@ def input_rank_frequencies(trace) -> RankFrequency:
 def output_rank_frequencies(trace) -> RankFrequency:
     """Access frequency vs rank for output paths (Figure 2, bottom)."""
     return column_rank_frequencies(trace, "output_path")
+
+
+# ---------------------------------------------------------------------------
+# Shared path-statistics fold (Figures 2, 3, 4 and the 80-x rule)
+# ---------------------------------------------------------------------------
+def _assign_global_ids(state, unique_paths: np.ndarray) -> np.ndarray:
+    """Map a chunk's **sorted** distinct paths to global ids, admitting new ones.
+
+    ``state`` carries ``known_paths`` (a sorted array of every path seen so
+    far) plus parallel value arrays listed in ``state["arrays"]``, indexed by
+    the path's position in ``known_paths``.  New paths are merged in with one
+    ``np.insert`` per array (value arrays shift consistently, so positions
+    stay aligned).  Everything is vectorized sorted-merge work — no per-path
+    Python at all — which keeps the per-chunk carry cost proportional to the
+    *distinct* paths of the chunk.
+    """
+    known = state["known_paths"]
+    if known.size:
+        positions = np.searchsorted(known, unique_paths)
+        clipped = np.minimum(positions, known.size - 1)
+        new_mask = known[clipped] != unique_paths
+    else:
+        new_mask = np.ones(unique_paths.size, dtype=bool)
+    if new_mask.any():
+        new_paths = unique_paths[new_mask]
+        insert_at = np.searchsorted(known, new_paths)
+        # Scatter-merge two sorted arrays in O(n) — no re-sort, and the
+        # string dtype widens when a new path is longer than every known one.
+        total = known.size + new_paths.size
+        merged = np.empty(total, dtype=np.promote_types(known.dtype, new_paths.dtype))
+        new_positions = insert_at + np.arange(new_paths.size)
+        is_new = np.zeros(total, dtype=bool)
+        is_new[new_positions] = True
+        merged[is_new] = new_paths
+        merged[~is_new] = known
+        state["known_paths"] = known = merged
+        for key in state["arrays"]:
+            state[key] = np.insert(state[key], insert_at, state["fill"][key])
+    return np.searchsorted(known, unique_paths)
+
+
+class PathStatsConsumer(ChunkConsumer):
+    """Per-path (max reported bytes, access count) fold for one path kind.
+
+    The size of a file is estimated as the largest input (or output) bytes
+    any job reported against that path — traces only record per-job volumes,
+    not catalog sizes, and the maximum over accesses is the closest
+    observable proxy.  One vectorized pass per chunk (shared ``unique`` +
+    ``np.maximum.at`` + ``bincount``, scattered into global-id arrays)
+    replaces the former two scans; maxima and integer counts are
+    order-independent, so serial, merged and per-row results coincide
+    exactly.
+    """
+
+    def __init__(self, kind: str, name: Optional[str] = None):
+        if kind not in ("input", "output"):
+            raise AnalysisError("kind must be 'input' or 'output'")
+        self.kind = kind
+        self.name = name or ("path_stats_%s" % kind)
+        self.columns = ("%s_path" % kind, "%s_bytes" % kind)
+
+    def make_state(self):
+        return {
+            "known_paths": np.array([], dtype=np.str_),
+            "maxima": np.zeros(0),
+            "counts": np.zeros(0, dtype=np.int64),
+            "arrays": ("maxima", "counts"),
+            "fill": {"maxima": 0.0, "counts": 0},
+        }
+
+    def fold(self, state, chunk: ScanChunk):
+        sizes = np.nan_to_num(chunk.column(self.columns[1]), nan=0.0)
+        unique, inverse = chunk.unique(self.columns[0])
+        if unique.size == 0:
+            return state
+        # Reported sizes clamp at zero, matching the historical
+        # max(0.0, size) accumulation.
+        maxima = np.zeros(unique.size)
+        np.maximum.at(maxima, inverse, sizes)
+        counts = np.bincount(inverse, minlength=unique.size)
+        if unique[0] == "":  # sorted: the "not recorded" marker is first
+            unique, maxima, counts = unique[1:], maxima[1:], counts[1:]
+            if unique.size == 0:
+                return state
+        ids = _assign_global_ids(state, unique)
+        np.maximum.at(state["maxima"], ids, maxima)
+        state["counts"][ids] += counts
+        return state
+
+    def merge(self, a, b):
+        if b["known_paths"].size:
+            a_ids = _assign_global_ids(a, b["known_paths"])
+            np.maximum.at(a["maxima"], a_ids, b["maxima"])
+            a["counts"][a_ids] += b["counts"]
+        return a
+
+    def finalize(self, state) -> Dict[str, List[float]]:
+        if not state["known_paths"].size:
+            raise AnalysisError("trace has no recorded %s paths" % self.kind)
+        return {path: [high, count]
+                for path, high, count in zip(state["known_paths"].tolist(),
+                                             state["maxima"].tolist(),
+                                             state["counts"].tolist())}
+
+
+def path_stats(trace, kind: str) -> Dict[str, List[float]]:
+    """Per-path [max bytes, access count] for one path kind (one fold).
+
+    Raises:
+        AnalysisError: when the trace records no paths of that kind.
+    """
+    source = TraceSource.wrap(trace)
+    consumer = PathStatsConsumer(kind)
+    if not source.has_column(consumer.columns[0]):
+        raise AnalysisError("trace has no recorded %s paths" % kind)
+    return fold_consumer(source, consumer)
+
+
+def rank_frequencies_from_path_stats(stats: Dict[str, List[float]],
+                                     min_items: int = 2) -> RankFrequency:
+    """The Figure-2 rank-frequency curve from a path-statistics fold.
+
+    The access counts of :class:`PathStatsConsumer` are exactly the counts
+    :func:`~repro.core.zipf.column_rank_frequencies` would tally, so the
+    shared scan derives Figure 2 from the same fold as Figures 3/4.
+    """
+    return rank_frequencies_from_counts(
+        {path: int(entry[1]) for path, entry in stats.items()}, min_items=min_items)
 
 
 # ---------------------------------------------------------------------------
@@ -87,54 +229,28 @@ class SizeAccessProfile:
     bytes_below_gb_fraction: float
 
 
-def _path_size_chunks(source: TraceSource, kind: str) -> Iterator[Tuple[List[str], List[float]]]:
-    """Yield per-chunk (paths, reported bytes) lists for one path kind."""
-    path_column = "%s_path" % kind
-    bytes_column = "%s_bytes" % kind
-    for block in source.iter_chunks(columns=[path_column, bytes_column]):
-        if block.n_rows == 0:
-            continue
-        paths = block.column(path_column).tolist()
-        sizes = np.nan_to_num(block.column(bytes_column), nan=0.0).tolist()
-        yield paths, sizes
+def profile_from_path_stats(stats: Dict[str, List[float]],
+                            small_file_threshold: float = 4 * GB) -> SizeAccessProfile:
+    """Build the Figure-3/4 profile from a per-path statistics fold.
 
-
-def _file_size_estimates(source: TraceSource, kind: str) -> Tuple[Dict[str, float], List[float]]:
-    """Distinct file sizes plus the per-access size sequence for a path kind.
-
-    The size of a file is estimated as the largest input (or output) bytes any
-    job reported against that path — traces only record per-job volumes, not
-    catalog sizes, and the maximum over accesses is the closest observable
-    proxy.  Two chunked scans: the first resolves the per-file maxima, the
-    second maps every access to its file's size.
+    The per-access size multiset is each file's size repeated by its access
+    count — the CDF sorts it anyway, so expanding counts is equivalent to the
+    historical per-access second scan.
     """
-    if kind not in ("input", "output"):
-        raise AnalysisError("kind must be 'input' or 'output'")
-    if not source.has_column("%s_path" % kind):
-        raise AnalysisError("trace has no recorded %s paths" % kind)
-    sizes: Dict[str, float] = {}
-    for paths, reported in _path_size_chunks(source, kind):
-        for path, size in zip(paths, reported):
-            if path:
-                sizes[path] = max(sizes.get(path, 0.0), size)
-    if not sizes:
-        raise AnalysisError("trace has no recorded %s paths" % kind)
-    per_access: List[float] = []
-    for block in source.iter_chunks(columns=["%s_path" % kind]):
-        for path in block.column("%s_path" % kind).tolist():
-            if path:
-                per_access.append(sizes[path])
-    return sizes, per_access
+    if not stats:
+        raise AnalysisError("trace has no recorded paths")
+    sizes = np.array([entry[0] for entry in stats.values()], dtype=float)
+    counts = np.array([entry[1] for entry in stats.values()], dtype=np.int64)
+    # Sort the distinct file sizes once and expand by access count: the
+    # expansion of a sorted sequence is sorted, so the per-access CDF needs
+    # no million-element sort (identical values to sorting the expansion).
+    order = np.argsort(sizes)
+    per_access = np.repeat(sizes[order], counts[order])
+    jobs_cdf = EmpiricalCDF(
+        values=per_access,
+        fractions=np.arange(1, per_access.size + 1, dtype=float) / per_access.size)
 
-
-def size_access_profile(trace, kind: str = "input",
-                        small_file_threshold: float = 4 * GB) -> SizeAccessProfile:
-    """Compute the Figure-3 (input) or Figure-4 (output) profile for a trace."""
-    source = TraceSource.wrap(trace)
-    sizes, per_access_sizes = _file_size_estimates(source, kind)
-    jobs_cdf = empirical_cdf(per_access_sizes)
-
-    file_size_array = np.array(sorted(sizes.values()), dtype=float)
+    file_size_array = sizes[order]
     total_stored = float(file_size_array.sum())
     if total_stored <= 0:
         stored_cdf = EmpiricalCDF(values=file_size_array,
@@ -152,8 +268,16 @@ def size_access_profile(trace, kind: str = "input",
     )
 
 
-def eighty_x_rule(trace, kind: str = "input", job_fraction: float = 0.8) -> float:
-    """The "80-x" rule of §4.2: x such that 80% of accesses go to x% of bytes.
+def size_access_profile(trace, kind: str = "input",
+                        small_file_threshold: float = 4 * GB) -> SizeAccessProfile:
+    """Compute the Figure-3 (input) or Figure-4 (output) profile for a trace."""
+    return profile_from_path_stats(path_stats(trace, kind),
+                                   small_file_threshold=small_file_threshold)
+
+
+def eighty_x_from_profile(profile: SizeAccessProfile,
+                          job_fraction: float = 0.8) -> float:
+    """The "80-x" rule of §4.2 read off an already-computed size profile.
 
     Following how the paper derives the rule from Figures 3 and 4, the
     computation is size-threshold based: find the file size below which
@@ -163,13 +287,19 @@ def eighty_x_rule(trace, kind: str = "input", job_fraction: float = 0.8) -> floa
     """
     if not 0.0 < job_fraction < 1.0:
         raise AnalysisError("job_fraction must be in (0, 1)")
-    profile = size_access_profile(trace, kind)
     size_threshold = profile.jobs_cdf.quantile(job_fraction)
     return 100.0 * profile.stored_bytes_cdf.fraction_at_or_below(size_threshold)
 
 
+def eighty_x_rule(trace, kind: str = "input", job_fraction: float = 0.8) -> float:
+    """The "80-x" rule computed directly from a trace (one path-stats fold)."""
+    if not 0.0 < job_fraction < 1.0:
+        raise AnalysisError("job_fraction must be in (0, 1)")
+    return eighty_x_from_profile(size_access_profile(trace, kind), job_fraction)
+
+
 # ---------------------------------------------------------------------------
-# Figure 5: re-access intervals
+# Figures 5 and 6: re-access intervals and fractions (order-sensitive)
 # ---------------------------------------------------------------------------
 @dataclass
 class ReaccessIntervals:
@@ -189,65 +319,6 @@ class ReaccessIntervals:
     fraction_within_6h: float
 
 
-def _iter_path_time_rows(source: TraceSource) -> Iterator[Tuple[float, Optional[str], Optional[str]]]:
-    """Stream (submit time, input path, output path) rows in submit order.
-
-    Submit-time order is verified as the chunks stream (the re-access logic is
-    stateful and order-sensitive); an unsorted store raises instead of
-    silently producing wrong intervals.
-    """
-    has_input = source.has_column("input_path")
-    has_output = source.has_column("output_path")
-    for block in source.iter_chunks_sorted(["submit_time_s"]
-                                           + (["input_path"] if has_input else [])
-                                           + (["output_path"] if has_output else [])):
-        n_rows = block.n_rows
-        if n_rows == 0:
-            continue
-        times = block.column("submit_time_s").tolist()
-        inputs = block.column("input_path").tolist() if has_input else [""] * n_rows
-        outputs = block.column("output_path").tolist() if has_output else [""] * n_rows
-        for row in range(n_rows):
-            yield times[row], inputs[row] or None, outputs[row] or None
-
-
-def reaccess_intervals(trace) -> ReaccessIntervals:
-    """Compute re-access interval distributions for a trace.
-
-    Jobs are processed in submission order.  For input→input intervals the
-    reference time is the previous *read* of the path; for output→input it is
-    the most recent earlier *write*.
-    """
-    source = TraceSource.wrap(trace)
-    last_read: Dict[str, float] = {}
-    last_write: Dict[str, float] = {}
-    input_input: List[float] = []
-    output_input: List[float] = []
-    for t, input_path, output_path in _iter_path_time_rows(source):
-        if input_path is not None:
-            path = input_path
-            if path in last_write and (path not in last_read or last_write[path] >= last_read[path]):
-                output_input.append(max(0.0, t - last_write[path]))
-            elif path in last_read:
-                input_input.append(max(0.0, t - last_read[path]))
-            last_read[path] = t
-        if output_path is not None:
-            last_write[output_path] = t
-
-    pooled = input_input + output_input
-    fraction_6h = (
-        float(np.mean(np.asarray(pooled) <= 6 * 3600.0)) if pooled else 0.0
-    )
-    return ReaccessIntervals(
-        input_input=empirical_cdf(input_input) if input_input else None,
-        output_input=empirical_cdf(output_input) if output_input else None,
-        fraction_within_6h=fraction_6h,
-    )
-
-
-# ---------------------------------------------------------------------------
-# Figure 6: fraction of jobs re-accessing existing data
-# ---------------------------------------------------------------------------
 @dataclass
 class ReaccessFractions:
     """Fractions of jobs whose input re-accesses pre-existing data (Figure 6).
@@ -265,37 +336,212 @@ class ReaccessFractions:
     jobs_with_paths: int
 
 
+@dataclass
+class ReaccessResult:
+    """Joint result of the single re-access fold (Figures 5 and 6).
+
+    ``fractions`` is ``None`` when no job recorded an input path (the
+    standalone :func:`reaccess_fractions` raises for that case).
+    """
+
+    intervals: ReaccessIntervals
+    fractions: Optional[ReaccessFractions]
+
+
+class ReaccessConsumer(ChunkConsumer):
+    """Order-sensitive fold of the Figure-5 intervals and Figure-6 fractions.
+
+    The semantics are the paper's sequential row walk: for each job reading a
+    path, the governing earlier access is the most recent *write* of that
+    path when one exists at least as recent as the last read (output→input),
+    else the most recent *read* (input→input); a job re-accesses data when
+    its input path was read or written by any earlier job.  The fold declares
+    ``ordered=True`` and runs in the pipeline's sequential lane (an unsorted
+    store raises instead of silently producing wrong intervals).
+
+    Each chunk is evaluated vectorized instead of row by row: reads and
+    writes become ``(path code, row)`` events, the most recent in-chunk
+    predecessor of each read is a ``searchsorted`` over the packed event
+    keys (a read at row *i* never sees row *i*'s own write, exactly like the
+    sequential walk), and per-path carry times from earlier chunks fill the
+    segment starts.  Every derived quantity is order-free (interval
+    *multisets* feed sorted CDFs; hit counters are sums), so the results are
+    identical to the row walk.
+    """
+
+    ordered = True
+
+    def __init__(self, has_input: bool, has_output: bool, name: str = "reaccess"):
+        self.name = name
+        self.has_input = has_input
+        self.has_output = has_output
+        columns = ["submit_time_s"]
+        if has_input:
+            columns.append("input_path")
+        if has_output:
+            columns.append("output_path")
+        self.columns = tuple(columns)
+
+    def make_state(self):
+        return {
+            # Last read/write times live in arrays aligned with the sorted
+            # known-path set, so per-chunk carry state is one vectorized
+            # gather instead of per-path dict probes.
+            "known_paths": np.array([], dtype=np.str_),
+            "read_t": np.zeros(0),
+            "write_t": np.zeros(0),
+            "arrays": ("read_t", "write_t"),
+            "fill": {"read_t": -np.inf, "write_t": -np.inf},
+            "input_input": [], "output_input": [],  # lists of per-chunk arrays
+            "jobs_with_paths": 0, "input_hits": 0, "output_hits": 0, "any_hits": 0,
+        }
+
+    def fold(self, state, chunk: ScanChunk):
+        if not self.has_input:
+            return state  # no reads: nothing re-accesses, writes are never consulted
+        times = np.asarray(chunk.column("submit_time_s"), dtype=float)
+        inputs = np.asarray(chunk.column("input_path"))
+        read_mask = inputs != ""
+        n_reads = int(read_mask.sum())
+        if self.has_output:
+            outputs = np.asarray(chunk.column("output_path"))
+            write_mask = outputs != ""
+        else:
+            outputs = None
+            write_mask = np.zeros(times.size, dtype=bool)
+        state["jobs_with_paths"] += n_reads
+        if n_reads == 0 and not write_mask.any():
+            return state
+
+        read_rows = np.nonzero(read_mask)[0]
+        write_rows = np.nonzero(write_mask)[0]
+        # Joint path codes from the cached per-column uniques: merging two
+        # sorted unique sets (and remapping through searchsorted) replaces a
+        # fresh string sort over all rows of both columns.
+        unique_in, inverse_in = chunk.unique("input_path")
+        if self.has_output:
+            unique_out, inverse_out = chunk.unique("output_path")
+            unique_paths = np.union1d(unique_in, unique_out)
+            out_positions = np.searchsorted(unique_paths, unique_out)
+            write_codes = out_positions[inverse_out[write_rows]]
+        else:
+            unique_paths = unique_in
+            write_codes = np.zeros(0, dtype=np.int64)
+        in_positions = np.searchsorted(unique_paths, unique_in)
+        read_codes = in_positions[inverse_in[read_rows]]
+
+        global_ids = _assign_global_ids(state, unique_paths)
+        carry_read = state["read_t"][global_ids]
+        carry_write = state["write_t"][global_ids]
+
+        # Events packed as code * stride + row sort by (path, row); row order
+        # stands in for time order because the ordered lane verified
+        # non-decreasing submit times.
+        stride = times.size + 1
+        read_keys = read_codes * stride + read_rows
+        write_keys = write_codes * stride + write_rows
+        read_order = np.argsort(read_keys)
+        sorted_read_keys = read_keys[read_order]
+        sorted_read_times = times[read_rows[read_order]]
+        sorted_read_codes = read_codes[read_order]
+        write_order = np.argsort(write_keys)
+        sorted_write_keys = write_keys[write_order]
+        sorted_write_times = times[write_rows[write_order]]
+
+        if n_reads:
+            # Most recent earlier write of the same path: the predecessor in
+            # the packed write keys ('left' excludes the read's own row).
+            position = np.searchsorted(sorted_write_keys, sorted_read_keys,
+                                       side="left") - 1
+            in_chunk = position >= 0
+            if in_chunk.any():
+                same_path = np.zeros(n_reads, dtype=bool)
+                same_path[in_chunk] = (
+                    sorted_write_keys[position[in_chunk]] // stride
+                    == sorted_read_codes[in_chunk])
+                previous_write = np.where(
+                    same_path, sorted_write_times[np.maximum(position, 0)],
+                    carry_write[sorted_read_codes])
+            else:
+                previous_write = carry_write[sorted_read_codes]
+            # Most recent earlier read: the previous packed read of the path.
+            previous_read = carry_read[sorted_read_codes]
+            same_prev = np.zeros(n_reads, dtype=bool)
+            same_prev[1:] = sorted_read_codes[1:] == sorted_read_codes[:-1]
+            previous_read[same_prev] = sorted_read_times[
+                np.nonzero(same_prev)[0] - 1]
+
+            has_write = previous_write > -np.inf
+            has_read = previous_read > -np.inf
+            write_governs = has_write & (~has_read | (previous_write >= previous_read))
+            read_governs = has_read & ~write_governs
+            if write_governs.any():
+                state["output_input"].append(
+                    sorted_read_times[write_governs] - previous_write[write_governs])
+            if read_governs.any():
+                state["input_input"].append(
+                    sorted_read_times[read_governs] - previous_read[read_governs])
+            state["output_hits"] += int(has_write.sum())
+            state["input_hits"] += int((has_read & ~has_write).sum())
+            state["any_hits"] += int((has_read | has_write).sum())
+
+            unique_read_codes = np.unique(sorted_read_codes)
+            final_read = np.searchsorted(sorted_read_codes, unique_read_codes,
+                                         side="right") - 1
+            state["read_t"][global_ids[unique_read_codes]] = sorted_read_times[final_read]
+        if write_rows.size:
+            sorted_write_codes = sorted_write_keys // stride
+            unique_write_codes = np.unique(sorted_write_codes)
+            final_write = np.searchsorted(sorted_write_codes, unique_write_codes,
+                                          side="right") - 1
+            state["write_t"][global_ids[unique_write_codes]] = sorted_write_times[final_write]
+        return state
+
+    def finalize(self, state) -> ReaccessResult:
+        input_input = (np.concatenate(state["input_input"])
+                       if state["input_input"] else np.zeros(0))
+        output_input = (np.concatenate(state["output_input"])
+                        if state["output_input"] else np.zeros(0))
+        pooled = np.concatenate([input_input, output_input])
+        fraction_6h = float(np.mean(pooled <= 6 * 3600.0)) if pooled.size else 0.0
+        intervals = ReaccessIntervals(
+            input_input=empirical_cdf(input_input) if input_input.size else None,
+            output_input=empirical_cdf(output_input) if output_input.size else None,
+            fraction_within_6h=fraction_6h,
+        )
+        fractions = None
+        if state["jobs_with_paths"]:
+            fractions = ReaccessFractions(
+                input_reaccess=state["input_hits"] / state["jobs_with_paths"],
+                output_reaccess=state["output_hits"] / state["jobs_with_paths"],
+                any_reaccess=state["any_hits"] / state["jobs_with_paths"],
+                jobs_with_paths=state["jobs_with_paths"],
+            )
+        return ReaccessResult(intervals=intervals, fractions=fractions)
+
+
+def _reaccess(source: TraceSource) -> ReaccessResult:
+    consumer = ReaccessConsumer(has_input=source.has_column("input_path"),
+                                has_output=source.has_column("output_path"))
+    return fold_consumer(source, consumer)
+
+
+def reaccess_intervals(trace) -> ReaccessIntervals:
+    """Compute re-access interval distributions for a trace.
+
+    Jobs are processed in submission order.  For input→input intervals the
+    reference time is the previous *read* of the path; for output→input it is
+    the most recent earlier *write*.
+    """
+    return _reaccess(TraceSource.wrap(trace)).intervals
+
+
 def reaccess_fractions(trace) -> ReaccessFractions:
     """Compute the Figure-6 fractions for one trace."""
-    source = TraceSource.wrap(trace)
-    seen_inputs: set = set()
-    seen_outputs: set = set()
-    jobs_with_paths = 0
-    input_hits = 0
-    output_hits = 0
-    any_hits = 0
-    for _t, input_path, output_path in _iter_path_time_rows(source):
-        if input_path is not None:
-            jobs_with_paths += 1
-            is_input_hit = input_path in seen_inputs
-            is_output_hit = input_path in seen_outputs
-            if is_output_hit:
-                output_hits += 1
-            elif is_input_hit:
-                input_hits += 1
-            if is_input_hit or is_output_hit:
-                any_hits += 1
-            seen_inputs.add(input_path)
-        if output_path is not None:
-            seen_outputs.add(output_path)
-    if jobs_with_paths == 0:
+    fractions = _reaccess(TraceSource.wrap(trace)).fractions
+    if fractions is None:
         raise AnalysisError("trace has no recorded input paths")
-    return ReaccessFractions(
-        input_reaccess=input_hits / jobs_with_paths,
-        output_reaccess=output_hits / jobs_with_paths,
-        any_reaccess=any_hits / jobs_with_paths,
-        jobs_with_paths=jobs_with_paths,
-    )
+    return fractions
 
 
 # ---------------------------------------------------------------------------
@@ -321,24 +567,46 @@ class AccessPatternResult:
 
 
 def analyze_access_patterns(trace) -> AccessPatternResult:
-    """Run every §4 analysis that the trace's recorded dimensions permit."""
+    """Run every §4 analysis that the trace's recorded dimensions permit.
+
+    One shared scan: the two path-statistics folds (feeding Figure 2,
+    Figures 3/4 and the 80-x rule) and the ordered re-access fold (Figures
+    5/6) all register on a single :class:`ScanPipeline`, so the trace is
+    decoded once for the whole section.
+    """
     source = TraceSource.wrap(trace)
     if source.is_empty():
         raise AnalysisError("cannot analyze access patterns of an empty trace")
 
-    def attempt(function, *args, **kwargs):
+    pipeline = ScanPipeline(source)
+    pipeline.add(PathStatsConsumer("input"))
+    pipeline.add(PathStatsConsumer("output"))
+    pipeline.add(ReaccessConsumer(has_input=source.has_column("input_path"),
+                                  has_output=source.has_column("output_path")))
+    scan = pipeline.run()
+    input_stats = scan.get("path_stats_input")
+    output_stats = scan.get("path_stats_output")
+    reaccess = scan.get("reaccess")
+
+    def attempt(function, *args):
         try:
-            return function(*args, **kwargs)
+            return function(*args)
         except AnalysisError:
             return None
 
+    input_profile = (attempt(profile_from_path_stats, input_stats)
+                     if input_stats is not None else None)
     return AccessPatternResult(
         workload=source.name,
-        input_ranks=attempt(input_rank_frequencies, source),
-        output_ranks=attempt(output_rank_frequencies, source),
-        input_profile=attempt(size_access_profile, source, "input"),
-        output_profile=attempt(size_access_profile, source, "output"),
-        intervals=attempt(reaccess_intervals, source),
-        fractions=attempt(reaccess_fractions, source),
-        eighty_x_input=attempt(eighty_x_rule, source, "input"),
+        input_ranks=(attempt(rank_frequencies_from_path_stats, input_stats)
+                     if input_stats is not None else None),
+        output_ranks=(attempt(rank_frequencies_from_path_stats, output_stats)
+                      if output_stats is not None else None),
+        input_profile=input_profile,
+        output_profile=(attempt(profile_from_path_stats, output_stats)
+                        if output_stats is not None else None),
+        intervals=reaccess.intervals if reaccess is not None else None,
+        fractions=reaccess.fractions if reaccess is not None else None,
+        eighty_x_input=(attempt(eighty_x_from_profile, input_profile)
+                        if input_profile is not None else None),
     )

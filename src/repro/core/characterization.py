@@ -10,25 +10,29 @@ omits workloads from individual figures when a dimension is missing.
 The characterizer accepts any :class:`~repro.engine.source.TraceSource`-
 wrappable representation.  Handing it a
 :class:`~repro.engine.store.ChunkedTraceStore` runs the whole pipeline
-out-of-core: every statistic is computed by chunked engine scans (sums,
-counts and dictionary statistics exact; percentile-shaped read-outs backed by
-mergeable log-histogram sketches), with peak memory bounded by chunk size
-plus the k-means feature matrix.
+out-of-core **in one shared scan** (see :mod:`repro.core.sharedscan`): every
+statistic registers its chunk-consumer fold on a single
+:class:`~repro.engine.pipeline.ScanPipeline`, so each chunk is decoded
+exactly once for the full report instead of once per analysis, and
+``processes`` fans the chunks across worker processes.  Sums, counts and
+dictionary statistics are exact; percentile-shaped read-outs are backed by
+mergeable log-histogram sketches; peak memory is bounded by chunk size plus
+the k-means feature matrix.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..engine.parallel import ParallelExecutor
 from ..engine.source import TraceSource
 from ..errors import AnalysisError
-from .access import analyze_access_patterns
-from .burstiness import analyze_burstiness
+from .access import AccessPatternResult, eighty_x_from_profile
+from .burstiness import burstiness_curve
 from .clustering import cluster_jobs
-from .datasizes import analyze_data_sizes
-from .naming import analyze_naming
 from .report import WorkloadReport
-from .temporal import dimension_correlations, diurnal_strength, hourly_dimensions
+from .sharedscan import run_characterization_scan
+from .temporal import dimension_correlations, diurnal_strength
 
 __all__ = ["WorkloadCharacterizer", "characterize"]
 
@@ -41,12 +45,16 @@ class WorkloadCharacterizer:
         seed: RNG seed used by k-means.
         cluster: set to False to skip the (comparatively expensive) Table-2
             clustering step.
+        processes: fan the shared scan of a store-backed trace out over this
+            many worker processes (``None`` = serial).
     """
 
-    def __init__(self, max_k: int = 12, seed: int = 0, cluster: bool = True):
+    def __init__(self, max_k: int = 12, seed: int = 0, cluster: bool = True,
+                 processes: Optional[int] = None):
         self.max_k = int(max_k)
         self.seed = int(seed)
         self.cluster = bool(cluster)
+        self.processes = processes
 
     def characterize(self, trace) -> WorkloadReport:
         """Characterize one trace and return its :class:`WorkloadReport`.
@@ -62,22 +70,44 @@ class WorkloadCharacterizer:
         if source.is_empty():
             raise AnalysisError("cannot characterize an empty trace")
 
-        report = WorkloadReport(workload=source.name, summary=source.summary())
+        executor = ParallelExecutor(processes=self.processes) if self.processes else None
+        analyses = run_characterization_scan(
+            source, experiments=None, seed=self.seed, cluster_sample_cap=None,
+            include_features=self.cluster, executor=executor)
+
+        report = WorkloadReport(workload=source.name, summary=analyses.value("summary"))
 
         # §4.1 per-job data sizes (Figure 1).
-        report.data_sizes = analyze_data_sizes(source)
+        report.data_sizes = analyses.value("data_sizes")
 
         # §4.2-4.3 access patterns (Figures 2-6).
-        report.access = analyze_access_patterns(source)
+        input_profile = analyses.get("input_profile")
+        eighty_x_input = None
+        if input_profile is not None:
+            try:
+                eighty_x_input = eighty_x_from_profile(input_profile)
+            except AnalysisError:
+                eighty_x_input = None
+        report.access = AccessPatternResult(
+            workload=source.name,
+            input_ranks=analyses.get("input_ranks"),
+            output_ranks=analyses.get("output_ranks"),
+            input_profile=input_profile,
+            output_profile=analyses.get("output_profile"),
+            intervals=analyses.get("reaccess_intervals"),
+            fractions=analyses.get("reaccess_fractions"),
+            eighty_x_input=eighty_x_input,
+        )
         if report.access.input_ranks is None:
             report.notes.append("no input paths recorded; Figures 2-6 unavailable for inputs")
         if report.access.output_ranks is None:
             report.notes.append("no output paths recorded; Figure 2/4 unavailable for outputs")
 
         # §5 temporal behaviour (Figures 7-9).
-        report.hourly = hourly_dimensions(source)
+        report.hourly = analyses.value("hourly")
         try:
-            report.burstiness = analyze_burstiness(source)
+            report.burstiness = burstiness_curve(report.hourly.task_seconds_per_hour,
+                                                 drop_zero_hours=True)
         except AnalysisError as exc:
             report.notes.append("burstiness unavailable: %s" % exc)
         try:
@@ -87,18 +117,22 @@ class WorkloadCharacterizer:
         report.diurnal = diurnal_strength(report.hourly.jobs_per_hour)
 
         # §6.1 job names (Figure 10).
-        try:
-            report.naming = analyze_naming(source)
-        except AnalysisError as exc:
-            report.notes.append(str(exc))
+        naming_error = analyses.error("naming")
+        if naming_error is not None:
+            report.notes.append(str(naming_error))
+        else:
+            report.naming = analyses.get("naming")
 
         # §6.2 job clustering (Table 2).
         if self.cluster:
-            report.clustering = cluster_jobs(source, max_k=self.max_k, seed=self.seed)
+            report.clustering = cluster_jobs(source, max_k=self.max_k, seed=self.seed,
+                                             features=analyses.get("features"))
 
         return report
 
 
-def characterize(trace, max_k: int = 12, seed: int = 0, cluster: bool = True) -> WorkloadReport:
+def characterize(trace, max_k: int = 12, seed: int = 0, cluster: bool = True,
+                 processes: Optional[int] = None) -> WorkloadReport:
     """Convenience wrapper: run :class:`WorkloadCharacterizer` on one trace."""
-    return WorkloadCharacterizer(max_k=max_k, seed=seed, cluster=cluster).characterize(trace)
+    return WorkloadCharacterizer(max_k=max_k, seed=seed, cluster=cluster,
+                                 processes=processes).characterize(trace)

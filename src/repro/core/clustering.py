@@ -26,9 +26,10 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..engine.aggregates import HistogramSketch
+from ..engine.pipeline import ChunkConsumer, ScanChunk
 from ..engine.source import TraceSource
 from ..errors import ClusteringError
-from ..traces.schema import FEATURE_DIMENSIONS
+from ..traces.schema import FEATURE_DIMENSIONS, NUMERIC_DIMENSIONS
 from ..units import GB, HOUR, MINUTE, format_bytes, format_duration
 from .kmeans import (
     KMeansResult,
@@ -40,7 +41,43 @@ from .kmeans import (
     select_k,
 )
 
-__all__ = ["JobCluster", "ClusteringResult", "cluster_jobs", "label_centroid", "small_job_fraction"]
+__all__ = ["JobCluster", "ClusteringResult", "FeatureMatrixConsumer", "cluster_jobs",
+           "label_centroid", "small_job_fraction"]
+
+
+class FeatureMatrixConsumer(ChunkConsumer):
+    """Shared-scan fold gathering the (n_jobs, 6) k-means feature matrix.
+
+    Chunks contribute ``np.column_stack`` batches (missing values as zero,
+    exactly like :meth:`TraceSource.feature_batches`); partials re-assemble in
+    chunk order, so the matrix is identical to a standalone gather.  Feed the
+    result to :func:`cluster_jobs` via its ``features`` argument to cluster a
+    store without a second scan.
+    """
+
+    columns = tuple(NUMERIC_DIMENSIONS)
+
+    def __init__(self, name: str = "features"):
+        self.name = name
+
+    def make_state(self):
+        return []  # [(chunk index, (rows, 6) batch)]
+
+    def fold(self, state, chunk: ScanChunk):
+        batch = np.column_stack([
+            np.where(np.isnan(chunk.column(dim)), 0.0, chunk.column(dim))
+            for dim in NUMERIC_DIMENSIONS])
+        state.append((chunk.index, batch))
+        return state
+
+    def merge(self, a, b):
+        a.extend(b)
+        return a
+
+    def finalize(self, state) -> np.ndarray:
+        if not state:
+            return np.zeros((0, len(NUMERIC_DIMENSIONS)))
+        return np.vstack([batch for _index, batch in sorted(state, key=lambda p: p[0])])
 
 
 @dataclass
@@ -153,7 +190,8 @@ def small_job_fraction(result: "ClusteringResult") -> float:
 def cluster_jobs(trace, k: Optional[int] = None, max_k: int = 12, seed: int = 0,
                  improvement_threshold: float = 0.10,
                  rng: Optional[np.random.Generator] = None,
-                 method: str = "exact") -> ClusteringResult:
+                 method: str = "exact",
+                 features: Optional[np.ndarray] = None) -> ClusteringResult:
     """Cluster a trace's jobs into Table-2 style job types.
 
     Args:
@@ -171,6 +209,10 @@ def cluster_jobs(trace, k: Optional[int] = None, max_k: int = 12, seed: int = 0,
             ``"minibatch"`` (stream batches through mini-batch k-means with
             sketch-backed median centroids; needs an explicit ``k``; memory
             bounded by one chunk).
+        features: optional pre-gathered (n_jobs, 6) feature matrix (e.g. from
+            a shared-scan :class:`FeatureMatrixConsumer`), skipping the
+            feature-gather scan; must match :meth:`TraceSource.feature_matrix`
+            of ``trace``.  Ignored by ``method="minibatch"``.
 
     Raises:
         ClusteringError: for an empty trace, an invalid fixed ``k``, or
@@ -184,7 +226,8 @@ def cluster_jobs(trace, k: Optional[int] = None, max_k: int = 12, seed: int = 0,
     if method != "exact":
         raise ClusteringError("unknown clustering method %r" % (method,))
 
-    features = source.feature_matrix()
+    if features is None:
+        features = source.feature_matrix()
     scaled = log_standardize(features)
 
     if k is not None:

@@ -23,12 +23,14 @@ from typing import Dict, Iterable, List
 import numpy as np
 
 from ..engine.aggregates import HistogramSketch
+from ..engine.pipeline import ChunkConsumer, ScanChunk, fold_consumer
 from ..engine.source import TraceSource
 from ..errors import AnalysisError
 from ..units import GB
 from .stats import SketchCDF, empirical_cdf
 
-__all__ = ["DataSizeDistributions", "analyze_data_sizes", "median_spread_orders"]
+__all__ = ["DataSizeDistributions", "DataSizeConsumer", "analyze_data_sizes",
+           "median_spread_orders"]
 
 #: Per-job size dimensions, in Figure 1 column order.
 SIZE_DIMENSIONS = ("input_bytes", "shuffle_bytes", "output_bytes")
@@ -100,40 +102,66 @@ def _analyze_materialized(source: TraceSource) -> DataSizeDistributions:
     )
 
 
+class DataSizeConsumer(ChunkConsumer):
+    """Shared-scan fold for the Figure-1 size distributions (streaming form).
+
+    One pass over the size columns accumulates three mergeable log-histogram
+    sketches plus the exact map-only count; ``finalize`` reads out the
+    sketch-backed :class:`DataSizeDistributions`.
+    """
+
+    columns = SIZE_DIMENSIONS + ("reduce_task_seconds",)
+
+    def __init__(self, name: str = "data_sizes", workload: str = "trace"):
+        self.name = name
+        self.workload = workload
+
+    def make_state(self):
+        return {"sketches": {dimension: HistogramSketch() for dimension in SIZE_DIMENSIONS},
+                "n_rows": 0, "n_map_only": 0}
+
+    def fold(self, state, chunk: ScanChunk):
+        state["n_rows"] += chunk.n_rows
+        for dimension in SIZE_DIMENSIONS:
+            state["sketches"][dimension].update(chunk.column(dimension))
+        shuffle = np.nan_to_num(chunk.column("shuffle_bytes"), nan=0.0)
+        reduce_s = np.nan_to_num(chunk.column("reduce_task_seconds"), nan=0.0)
+        state["n_map_only"] += int(((shuffle == 0.0) & (reduce_s == 0.0)).sum())
+        return state
+
+    def merge(self, a, b):
+        for dimension in SIZE_DIMENSIONS:
+            a["sketches"][dimension].merge(b["sketches"][dimension])
+        a["n_rows"] += b["n_rows"]
+        a["n_map_only"] += b["n_map_only"]
+        return a
+
+    def finalize(self, state) -> DataSizeDistributions:
+        if state["n_rows"] == 0:
+            raise AnalysisError("cannot analyze data sizes of an empty trace")
+        cdfs: Dict[str, object] = {}
+        medians: Dict[str, float] = {}
+        below_gb: Dict[str, float] = {}
+        for dimension in SIZE_DIMENSIONS:
+            sketch = state["sketches"][dimension]
+            if sketch.n == 0:
+                raise AnalysisError("dimension %r records no finite samples" % (dimension,))
+            cdf = SketchCDF(sketch)
+            cdfs[dimension] = cdf
+            medians[dimension] = cdf.median()
+            below_gb[dimension] = cdf.fraction_at_or_below(float(GB))
+        return DataSizeDistributions(
+            workload=self.workload,
+            cdfs=cdfs,
+            medians=medians,
+            fraction_below_gb=below_gb,
+            map_only_fraction=state["n_map_only"] / state["n_rows"],
+        )
+
+
 def _analyze_streaming(source: TraceSource) -> DataSizeDistributions:
     """One chunked scan: three percentile sketches plus the map-only count."""
-    sketches = {dimension: HistogramSketch() for dimension in SIZE_DIMENSIONS}
-    n_rows = 0
-    n_map_only = 0
-    columns = list(SIZE_DIMENSIONS) + ["reduce_task_seconds"]
-    for block in source.iter_chunks(columns=columns):
-        if block.n_rows == 0:
-            continue
-        n_rows += block.n_rows
-        for dimension in SIZE_DIMENSIONS:
-            sketches[dimension].update(block.column(dimension))
-        shuffle = np.nan_to_num(block.column("shuffle_bytes"), nan=0.0)
-        reduce_s = np.nan_to_num(block.column("reduce_task_seconds"), nan=0.0)
-        n_map_only += int(((shuffle == 0.0) & (reduce_s == 0.0)).sum())
-
-    cdfs: Dict[str, object] = {}
-    medians: Dict[str, float] = {}
-    below_gb: Dict[str, float] = {}
-    for dimension in SIZE_DIMENSIONS:
-        sketch = sketches[dimension]
-        if sketch.n == 0:
-            raise AnalysisError("dimension %r records no finite samples" % (dimension,))
-        cdf = SketchCDF(sketch)
-        cdfs[dimension] = cdf
-        medians[dimension] = cdf.median()
-        below_gb[dimension] = cdf.fraction_at_or_below(float(GB))
-    return DataSizeDistributions(
-        workload=source.name,
-        cdfs=cdfs,
-        medians=medians,
-        fraction_below_gb=below_gb,
-        map_only_fraction=(n_map_only / n_rows) if n_rows else 0.0,
-    )
+    return fold_consumer(source, DataSizeConsumer(workload=source.name))
 
 
 def median_spread_orders(distributions: Iterable[DataSizeDistributions],

@@ -21,13 +21,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..engine.pipeline import ChunkConsumer, ScanChunk, fold_consumer
 from ..engine.source import TraceSource
 from ..errors import AnalysisError
 from ..traces.schema import Job
 from ..traces.trace import Trace
 from .burstiness import BurstinessResult, analyze_burstiness, burstiness_curve
 
-__all__ = ["consolidate", "ConsolidationStudy", "consolidation_study"]
+__all__ = ["consolidate", "ConsolidationStudy", "ShiftedHourlyTaskSecondsConsumer",
+           "consolidation_study"]
 
 
 def consolidate(traces: Sequence[Trace], name: str = "consolidated",
@@ -92,14 +94,46 @@ class ConsolidationStudy:
     bursty_threshold: float
 
 
+class ShiftedHourlyTaskSecondsConsumer(ChunkConsumer):
+    """Start-aligned hourly task-second fold for one consolidation source.
+
+    Each source's submissions are shifted so its first submission lands at
+    hour zero; the fold accumulates into a fixed ``n_hours`` bucket array
+    (events past the shared horizon clamp into the final hour).  The
+    per-source arrays are summed by the consolidation study — the streaming
+    equivalent of ``hourly_task_seconds(consolidate(traces))``, with no
+    merged job list ever materialized.
+    """
+
+    columns = ("submit_time_s", "total_task_seconds")
+
+    def __init__(self, start_s: float, n_hours: int, name: str = "shifted_hourly"):
+        self.name = name
+        self.start_s = float(start_s)
+        self.n_hours = int(n_hours)
+
+    def make_state(self) -> np.ndarray:
+        return np.zeros(self.n_hours, dtype=float)
+
+    def fold(self, state, chunk: ScanChunk):
+        shifted = chunk.column("submit_time_s") - self.start_s
+        buckets = np.minimum((shifted // 3600.0).astype(int), self.n_hours - 1)
+        np.add.at(state, buckets, np.nan_to_num(chunk.column("total_task_seconds"), nan=0.0))
+        return state
+
+    def merge(self, a, b):
+        return a + b
+
+    def finalize(self, state) -> np.ndarray:
+        return state
+
+
 def _consolidated_hourly_task_seconds(sources: Sequence[TraceSource]) -> np.ndarray:
     """Hourly task-seconds of the start-aligned union of several sources.
 
-    Streaming equivalent of ``hourly_task_seconds(consolidate(traces))``: each
-    source's submissions are shifted so its first submission lands at hour
-    zero, then folded into one shared hourly array, chunk by chunk — no merged
-    job list is ever materialized.  Bucket boundaries match the materialized
-    path exactly; only the floating-point summation order differs.
+    Bucket boundaries match the materialized path exactly; only the
+    floating-point summation order differs (per-source partial arrays are
+    summed instead of folding every source into one shared array).
     """
     starts = []
     horizon = 0.0
@@ -110,12 +144,8 @@ def _consolidated_hourly_task_seconds(sources: Sequence[TraceSource]) -> np.ndar
     n_hours = max(1, int(np.ceil(horizon / 3600.0)))
     series = np.zeros(n_hours, dtype=float)
     for source, start_s in zip(sources, starts):
-        for block in source.iter_chunks(columns=["submit_time_s", "total_task_seconds"]):
-            if block.n_rows == 0:
-                continue
-            shifted = block.column("submit_time_s") - start_s
-            buckets = np.minimum((shifted // 3600.0).astype(int), n_hours - 1)
-            np.add.at(series, buckets, np.nan_to_num(block.column("total_task_seconds"), nan=0.0))
+        series += fold_consumer(
+            source, ShiftedHourlyTaskSecondsConsumer(start_s=start_s, n_hours=n_hours))
     return series
 
 

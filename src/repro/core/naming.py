@@ -20,6 +20,9 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
+from ..engine.pipeline import ChunkConsumer, ScanChunk, fold_consumer
 from ..engine.source import TraceSource
 from ..errors import AnalysisError
 from ..traces.schema import extract_first_word
@@ -29,6 +32,7 @@ __all__ = [
     "classify_framework",
     "FirstWordBreakdown",
     "NamingAnalysis",
+    "NamingConsumer",
     "first_word_breakdown",
     "analyze_naming",
 ]
@@ -188,6 +192,125 @@ def first_word_breakdown(trace, weighting: str = "jobs", top_n: int = 10) -> Fir
     return _ranked_shares(totals, weighting, top_n)
 
 
+class NamingConsumer(ChunkConsumer):
+    """Shared-scan fold of every Figure-10 panel and the framework shares.
+
+    Each chunk is grouped vectorized: ``np.unique`` over the (heavily
+    repeating) names, first-word extraction cached per distinct name, and the
+    three weightings accumulated by ``bincount`` over the group codes.  Job
+    counts are integers (exact for every chunking and worker count); the
+    byte/task-second totals group per chunk before entering the running
+    dicts, so different chunkings can differ in the last float ulp — the same
+    caveat as every chunk-folded sum in the engine.
+    """
+
+    def __init__(self, has_framework: bool, workload: str = "trace",
+                 top_n: int = 10, name: str = "naming"):
+        self.name = name
+        self.workload = workload
+        self.top_n = top_n
+        self.has_framework = has_framework
+        self.columns = (("name", "framework") if has_framework else ("name",)) + (
+            "total_bytes", "total_task_seconds")
+
+    def make_state(self):
+        return {
+            "word_totals": {w: defaultdict(float) for w in WEIGHTINGS},
+            "framework_totals": {w: defaultdict(float) for w in WEIGHTINGS},
+            "n_named": 0,
+            # name -> (word label, framework when none is declared)
+            "cache": {},
+        }
+
+    def fold(self, state, chunk: ScanChunk):
+        names = np.asarray(chunk.column("name"))
+        named = names != ""
+        n_named = int(named.sum())
+        if n_named == 0:
+            return state
+        byte_weights = chunk.column("total_bytes")
+        task_weights = chunk.column("total_task_seconds")
+        declared = chunk.column("framework") if self.has_framework else None
+        if n_named != names.size:
+            names = names[named]
+            byte_weights = byte_weights[named]
+            task_weights = task_weights[named]
+            declared = declared[named] if declared is not None else None
+        state["n_named"] += n_named
+
+        unique_names, inverse = np.unique(names, return_inverse=True)
+        cache = state["cache"]
+        unique_words = []
+        unique_frameworks = []
+        for job_name in unique_names.tolist():
+            cached = cache.get(job_name)
+            if cached is None:
+                first = extract_first_word(job_name)
+                cached = cache[job_name] = (first or "[unnamed]",
+                                            classify_framework(first, None))
+            unique_words.append(cached[0])
+            unique_frameworks.append(cached[1])
+
+        word_rows = np.asarray(unique_words, dtype=np.str_)[inverse]
+        framework_rows = np.asarray(unique_frameworks, dtype=np.str_)[inverse]
+        if declared is not None:
+            has_declared = declared != ""
+            if has_declared.any():
+                framework_rows = np.where(has_declared, declared, framework_rows)
+        for keys, totals in ((word_rows, state["word_totals"]),
+                             (framework_rows, state["framework_totals"])):
+            labels, codes = np.unique(keys, return_inverse=True)
+            jobs = np.bincount(codes, minlength=labels.size)
+            total_bytes = np.bincount(codes, weights=byte_weights, minlength=labels.size)
+            total_tasks = np.bincount(codes, weights=task_weights, minlength=labels.size)
+            jobs_dict = totals["jobs"]
+            bytes_dict = totals["bytes"]
+            tasks_dict = totals["task_seconds"]
+            for label, n_jobs, byte_total, task_total in zip(
+                    labels.tolist(), jobs.tolist(), total_bytes.tolist(), total_tasks.tolist()):
+                jobs_dict[label] += n_jobs
+                bytes_dict[label] += byte_total
+                tasks_dict[label] += task_total
+        return state
+
+    def merge(self, a, b):
+        for weighting in WEIGHTINGS:
+            for word, total in b["word_totals"][weighting].items():
+                a["word_totals"][weighting][word] += total
+            for framework, total in b["framework_totals"][weighting].items():
+                a["framework_totals"][weighting][framework] += total
+        a["n_named"] += b["n_named"]
+        return a
+
+    def finalize(self, state) -> NamingAnalysis:
+        if state["n_named"] == 0:
+            raise AnalysisError(
+                "trace %r records no job names; naming analysis unavailable"
+                % (self.workload,))
+        breakdowns = {
+            weighting: _ranked_shares(state["word_totals"][weighting], weighting, self.top_n)
+            for weighting in WEIGHTINGS
+        }
+        framework_shares: Dict[str, Dict[str, float]] = {}
+        for weighting in WEIGHTINGS:
+            totals = state["framework_totals"][weighting]
+            grand_total = sum(totals.values())
+            if grand_total > 0:
+                framework_shares[weighting] = {name: value / grand_total
+                                               for name, value in totals.items()}
+            else:
+                framework_shares[weighting] = {name: 0.0 for name in totals}
+        top_cover = sum(share for _, share in breakdowns["jobs"].top(5))
+        return NamingAnalysis(
+            workload=self.workload,
+            by_jobs=breakdowns["jobs"],
+            by_bytes=breakdowns["bytes"],
+            by_task_seconds=breakdowns["task_seconds"],
+            framework_shares=framework_shares,
+            top_words_cover=top_cover,
+        )
+
+
 def analyze_naming(trace, top_n: int = 10) -> NamingAnalysis:
     """Run the full §6.1 analysis (all three weightings + framework shares).
 
@@ -199,48 +322,10 @@ def analyze_naming(trace, top_n: int = 10) -> NamingAnalysis:
         AnalysisError: when the trace records no job names at all.
     """
     source = TraceSource.wrap(trace)
-    word_totals: Dict[str, Dict[str, float]] = {w: defaultdict(float) for w in WEIGHTINGS}
-    framework_totals: Dict[str, Dict[str, float]] = {w: defaultdict(float) for w in WEIGHTINGS}
-    n_named = 0
-    if source.has_column("name") and not source.is_empty():
-        for names, frameworks, byte_weights, task_weights in _iter_name_rows(source):
-            for index, name in enumerate(names):
-                if not name:
-                    continue
-                n_named += 1
-                first = extract_first_word(name)
-                word = first or "[unnamed]"
-                framework = classify_framework(first, frameworks[index] or None)
-                for weighting, weight in (("jobs", 1.0),
-                                          ("bytes", byte_weights[index]),
-                                          ("task_seconds", task_weights[index])):
-                    word_totals[weighting][word] += weight
-                    framework_totals[weighting][framework] += weight
-    if n_named == 0:
+    if not source.has_column("name") or source.is_empty():
         raise AnalysisError(
             "trace %r records no job names; naming analysis unavailable" % (source.name,)
         )
-
-    breakdowns = {
-        weighting: _ranked_shares(word_totals[weighting], weighting, top_n)
-        for weighting in WEIGHTINGS
-    }
-    framework_shares: Dict[str, Dict[str, float]] = {}
-    for weighting in WEIGHTINGS:
-        totals = framework_totals[weighting]
-        grand_total = sum(totals.values())
-        if grand_total > 0:
-            framework_shares[weighting] = {name: value / grand_total
-                                           for name, value in totals.items()}
-        else:
-            framework_shares[weighting] = {name: 0.0 for name in totals}
-
-    top_cover = sum(share for _, share in breakdowns["jobs"].top(5))
-    return NamingAnalysis(
-        workload=source.name,
-        by_jobs=breakdowns["jobs"],
-        by_bytes=breakdowns["bytes"],
-        by_task_seconds=breakdowns["task_seconds"],
-        framework_shares=framework_shares,
-        top_words_cover=top_cover,
-    )
+    consumer = NamingConsumer(has_framework=source.has_column("framework"),
+                              workload=source.name, top_n=top_n)
+    return fold_consumer(source, consumer)

@@ -1,0 +1,377 @@
+"""One shared scan for the whole characterization suite.
+
+The paper's characterization is a batch of ~15 analyses (Table 1, Figures
+1-10, Table 2) over the same trace.  :func:`run_characterization_scan`
+registers the chunk-consumer form of every requested analysis on a single
+:class:`~repro.engine.pipeline.ScanPipeline`, so an out-of-core store is
+decoded **once** for the whole batch (and, with a
+:class:`~repro.engine.parallel.ParallelExecutor`, fanned out across worker
+processes) instead of once per analysis.  The returned
+:class:`CharacterizationAnalyses` hands each table/figure builder its
+precomputed piece.
+
+Equality contract: every consumer is the exact fold its standalone
+per-analysis entry point runs (see the module docs of
+:mod:`repro.core.access`, :mod:`repro.core.datasizes`, ...), so shared-scan
+results match per-analysis streaming results — serial or parallel — up to
+floating-point merge order, and the parametrized tests in
+``tests/core/test_sharedscan.py`` pin the table/figure rows to be identical.
+
+Materialized sources (job-list :class:`~repro.traces.trace.Trace`, in-memory
+:class:`~repro.engine.columnar.ColumnarTrace`) have no decode cost to share;
+for them the same fields are filled through the standalone entry points, so
+the exact whole-column paths (sorting-based CDFs, exact medians) are
+preserved bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.pipeline import GatherConsumer, ScanPipeline, SummaryConsumer
+from ..engine.source import TraceSource
+from ..errors import AnalysisError
+from .access import (
+    PathStatsConsumer,
+    ReaccessConsumer,
+    _reaccess,
+    path_stats,
+    profile_from_path_stats,
+    rank_frequencies_from_path_stats,
+)
+from .clustering import FeatureMatrixConsumer
+from .datasizes import DataSizeConsumer, analyze_data_sizes
+from .naming import NamingConsumer, analyze_naming
+from .temporal import (
+    HOURLY_DIMENSION_SPECS,
+    HourlyTotalsConsumer,
+    hourly_dimensions,
+    hourly_dimensions_from_groups,
+)
+
+__all__ = ["CharacterizationAnalyses", "run_characterization_scan",
+           "cluster_sample_indices", "DEFAULT_CLUSTER_SAMPLE_CAP",
+           "EXPERIMENT_NEEDS"]
+
+#: Default cap on jobs clustered per workload (the Table-2 seeded subsample).
+DEFAULT_CLUSTER_SAMPLE_CAP = 20000
+
+#: Which analysis keys each characterization experiment consumes.
+EXPERIMENT_NEEDS: Dict[str, Tuple[str, ...]] = {
+    "table1": ("summary",),
+    "figure1": ("data_sizes",),
+    "figure2": ("input_ranks", "output_ranks"),
+    "figure3": ("input_profile",),
+    "figure4": ("output_profile",),
+    "figure5": ("reaccess_intervals",),
+    "figure6": ("reaccess_fractions",),
+    "figure7": ("hourly", "summary"),
+    "figure8": ("hourly", "summary"),
+    "figure9": ("hourly", "summary"),
+    "figure10": ("naming",),
+    "table2": ("cluster_sample",),
+}
+
+_ALL_KEYS = ("summary", "data_sizes", "input_ranks", "output_ranks",
+             "input_profile", "output_profile", "reaccess_intervals",
+             "reaccess_fractions", "hourly", "naming", "cluster_sample",
+             "features")
+
+
+class CharacterizationAnalyses:
+    """Per-workload results of one shared characterization scan.
+
+    Each analysis key holds either a result or the :class:`AnalysisError`
+    that made it unavailable (no paths recorded, unsorted store, ...).
+    Table/figure builders read results through :meth:`value` when they let
+    errors propagate, or :meth:`get` when a missing analysis just skips a row
+    — matching the per-analysis error behaviour exactly.
+    """
+
+    def __init__(self, workload: str):
+        self.workload = workload
+        self._results: Dict[str, object] = {}
+        self._errors: Dict[str, AnalysisError] = {}
+
+    def set(self, key: str, value) -> None:
+        self._results[key] = value
+
+    def set_error(self, key: str, error: AnalysisError) -> None:
+        self._errors[key] = error
+
+    def has(self, key: str) -> bool:
+        """Whether the key was computed (successfully or not)."""
+        return key in self._results or key in self._errors
+
+    def get(self, key: str, default=None):
+        """The result for ``key``; ``default`` when it errored or is absent."""
+        return self._results.get(key, default)
+
+    def error(self, key: str) -> Optional[AnalysisError]:
+        return self._errors.get(key)
+
+    def value(self, key: str):
+        """The result for ``key``; re-raises its recorded error."""
+        if key in self._errors:
+            raise self._errors[key]
+        if key not in self._results:
+            raise AnalysisError("shared scan did not compute %r for workload %r"
+                                % (key, self.workload))
+        return self._results[key]
+
+
+def _needed_keys(experiments: Optional[Iterable[str]],
+                 include_features: bool) -> List[str]:
+    if experiments is None:
+        needed = [key for key in _ALL_KEYS if key != "features"]
+    else:
+        needed = []
+        for experiment in experiments:
+            for key in EXPERIMENT_NEEDS.get(experiment, ()):
+                if key not in needed:
+                    needed.append(key)
+    if include_features and "features" not in needed:
+        needed.append("features")
+    return needed
+
+
+def cluster_sample_indices(n_jobs: int, cap: Optional[int],
+                           seed: int) -> Optional[np.ndarray]:
+    """The Table-2 seeded subsample: sorted global row indices, or None.
+
+    The single source of the sampling rule — :func:`repro.bench.table2.table2`
+    calls this too, so the shared scan and the standalone gather select
+    identical rows (and therefore produce the identical clustering).  A
+    submission-order prefix would bias the job-type mix; the seeded uniform
+    choice does not.
+    """
+    if cap is None or n_jobs <= cap:
+        return None
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(n_jobs, size=cap, replace=False))
+
+
+def run_characterization_scan(trace, experiments: Optional[Sequence[str]] = None,
+                              seed: int = 0,
+                              cluster_sample_cap: Optional[int] = DEFAULT_CLUSTER_SAMPLE_CAP,
+                              include_features: bool = False,
+                              executor=None) -> CharacterizationAnalyses:
+    """Compute every requested characterization analysis in one shared scan.
+
+    Args:
+        trace: any :class:`TraceSource`-wrappable representation.
+        experiments: characterization experiment ids (``table1``,
+            ``figure1``..``figure10``, ``table2``) selecting which analyses to
+            fold; ``None`` folds everything (except ``features``).
+        seed: seed of the Table-2 subsample (must match the clustering seed).
+        cluster_sample_cap: job cap for the Table-2 subsample; ``None``
+            disables sampling (cluster the full source).
+        include_features: also gather the full (n_jobs, 6) k-means feature
+            matrix (used by :func:`repro.core.characterization.characterize`,
+            which clusters every job).
+        executor: optional :class:`~repro.engine.parallel.ParallelExecutor`
+            fanning the chunk scan across worker processes for store-backed
+            sources.
+    """
+    source = TraceSource.wrap(trace)
+    needed = _needed_keys(experiments, include_features)
+    analyses = CharacterizationAnalyses(source.name)
+    if not needed:
+        return analyses
+    if source.is_streaming:
+        _scan_streaming(source, needed, analyses, seed, cluster_sample_cap, executor)
+    else:
+        _scan_materialized(source, needed, analyses, seed, cluster_sample_cap)
+    return analyses
+
+
+# ---------------------------------------------------------------------------
+# Streaming: one pipeline, every analysis a consumer
+# ---------------------------------------------------------------------------
+def _scan_streaming(source: TraceSource, needed: List[str],
+                    analyses: CharacterizationAnalyses, seed: int,
+                    cluster_sample_cap: Optional[int], executor) -> None:
+    pipeline = ScanPipeline(source, executor=executor)
+    wants_hourly = "hourly" in needed
+    wants_summary = "summary" in needed or wants_hourly
+    wants_input_stats = "input_ranks" in needed or "input_profile" in needed
+    wants_output_stats = "output_ranks" in needed or "output_profile" in needed
+    wants_reaccess = "reaccess_intervals" in needed or "reaccess_fractions" in needed
+
+    if wants_summary:
+        pipeline.add(SummaryConsumer(trace_name=source.name, machines=source.machines))
+    if "data_sizes" in needed:
+        pipeline.add(DataSizeConsumer(workload=source.name))
+    if wants_input_stats:
+        pipeline.add(PathStatsConsumer("input"))
+    if wants_output_stats:
+        pipeline.add(PathStatsConsumer("output"))
+    if wants_reaccess:
+        pipeline.add(ReaccessConsumer(has_input=source.has_column("input_path"),
+                                      has_output=source.has_column("output_path")))
+    if wants_hourly:
+        pipeline.add(HourlyTotalsConsumer(HOURLY_DIMENSION_SPECS))
+    if "naming" in needed:
+        if source.has_column("name") and not source.is_empty():
+            pipeline.add(NamingConsumer(has_framework=source.has_column("framework"),
+                                        workload=source.name))
+        else:
+            analyses.set_error("naming", AnalysisError(
+                "trace %r records no job names; naming analysis unavailable"
+                % (source.name,)))
+    sample_indices = None
+    if "cluster_sample" in needed:
+        sample_indices = cluster_sample_indices(len(source), cluster_sample_cap, seed)
+        if sample_indices is None:
+            analyses.set("cluster_sample", None)  # cluster the full source
+        else:
+            pipeline.add(GatherConsumer(sample_indices, name="cluster_sample",
+                                        trace_name=source.name,
+                                        machines=source.machines))
+    if "features" in needed:
+        pipeline.add(FeatureMatrixConsumer())
+
+    scan = pipeline.run()
+
+    def adopt(key: str, consumer_name: str) -> bool:
+        """Copy one consumer's result/error onto an analysis key."""
+        error = scan.errors.get(consumer_name)
+        if error is not None:
+            analyses.set_error(key, error)
+            return False
+        if consumer_name in scan.results:
+            analyses.set(key, scan.results[consumer_name])
+            return True
+        return False
+
+    if wants_summary:
+        adopt("summary", "summary")
+    if "data_sizes" in needed:
+        adopt("data_sizes", "data_sizes")
+    _adopt_path_stats(analyses, scan, needed, "input")
+    _adopt_path_stats(analyses, scan, needed, "output")
+    if wants_reaccess:
+        if adopt("reaccess", "reaccess"):
+            reaccess = analyses.get("reaccess")
+            analyses.set("reaccess_intervals", reaccess.intervals)
+            if reaccess.fractions is not None:
+                analyses.set("reaccess_fractions", reaccess.fractions)
+            else:
+                analyses.set_error("reaccess_fractions", AnalysisError(
+                    "trace has no recorded input paths"))
+        else:
+            error = analyses.error("reaccess")
+            analyses.set_error("reaccess_intervals", error)
+            analyses.set_error("reaccess_fractions", error)
+    if wants_hourly:
+        _adopt_hourly(analyses, scan)
+    if "naming" in needed and not analyses.has("naming"):
+        adopt("naming", "naming")
+    if sample_indices is not None:
+        adopt("cluster_sample", "cluster_sample")
+    if "features" in needed:
+        adopt("features", "features")
+
+
+def _adopt_path_stats(analyses: CharacterizationAnalyses, scan, needed: List[str],
+                      kind: str) -> None:
+    ranks_key = "%s_ranks" % kind
+    profile_key = "%s_profile" % kind
+    if ranks_key not in needed and profile_key not in needed:
+        return
+    consumer_name = "path_stats_%s" % kind
+    error = scan.errors.get(consumer_name)
+    if error is not None:
+        if ranks_key in needed:
+            analyses.set_error(ranks_key, error)
+        if profile_key in needed:
+            analyses.set_error(profile_key, error)
+        return
+    stats = scan.results.get(consumer_name)
+    if stats is None:
+        return
+    if ranks_key in needed:
+        _attempt(analyses, ranks_key, rank_frequencies_from_path_stats, stats)
+    if profile_key in needed:
+        _attempt(analyses, profile_key, profile_from_path_stats, stats)
+
+
+def _adopt_hourly(analyses: CharacterizationAnalyses, scan) -> None:
+    error = scan.errors.get("hourly")
+    if error is None and "summary" in scan.errors:
+        error = scan.errors["summary"]
+    if error is not None:
+        analyses.set_error("hourly", error)
+        return
+    summary = scan.results.get("summary")
+    groups = scan.results.get("hourly")
+    if summary is None or groups is None:
+        return
+    if summary.n_jobs == 0:
+        analyses.set_error("hourly", AnalysisError(
+            "cannot compute hourly dimensions of an empty trace"))
+        return
+    _attempt(analyses, "hourly", hourly_dimensions_from_groups,
+             groups, summary.start_s, summary.end_s)
+
+
+def _attempt(analyses: CharacterizationAnalyses, key: str, function, *args) -> None:
+    try:
+        analyses.set(key, function(*args))
+    except AnalysisError as exc:
+        analyses.set_error(key, exc)
+
+
+# ---------------------------------------------------------------------------
+# Materialized: standalone entry points (exact whole-column paths preserved)
+# ---------------------------------------------------------------------------
+def _scan_materialized(source: TraceSource, needed: List[str],
+                       analyses: CharacterizationAnalyses, seed: int,
+                       cluster_sample_cap: Optional[int]) -> None:
+    if "summary" in needed or "hourly" in needed:
+        _attempt(analyses, "summary", source.summary)
+    if "data_sizes" in needed:
+        _attempt(analyses, "data_sizes", analyze_data_sizes, source)
+    for kind in ("input", "output"):
+        ranks_key, profile_key = "%s_ranks" % kind, "%s_profile" % kind
+        if ranks_key not in needed and profile_key not in needed:
+            continue
+        try:
+            stats = path_stats(source, kind)
+        except AnalysisError as exc:
+            if ranks_key in needed:
+                analyses.set_error(ranks_key, exc)
+            if profile_key in needed:
+                analyses.set_error(profile_key, exc)
+            continue
+        if ranks_key in needed:
+            _attempt(analyses, ranks_key, rank_frequencies_from_path_stats, stats)
+        if profile_key in needed:
+            _attempt(analyses, profile_key, profile_from_path_stats, stats)
+    if "reaccess_intervals" in needed or "reaccess_fractions" in needed:
+        try:
+            reaccess = _reaccess(source)
+        except AnalysisError as exc:
+            analyses.set_error("reaccess_intervals", exc)
+            analyses.set_error("reaccess_fractions", exc)
+        else:
+            analyses.set("reaccess_intervals", reaccess.intervals)
+            if reaccess.fractions is not None:
+                analyses.set("reaccess_fractions", reaccess.fractions)
+            else:
+                analyses.set_error("reaccess_fractions", AnalysisError(
+                    "trace has no recorded input paths"))
+    if "hourly" in needed:
+        _attempt(analyses, "hourly", hourly_dimensions, source)
+    if "naming" in needed:
+        _attempt(analyses, "naming", analyze_naming, source)
+    if "cluster_sample" in needed:
+        indices = cluster_sample_indices(len(source), cluster_sample_cap, seed)
+        if indices is None:
+            analyses.set("cluster_sample", None)
+        else:
+            _attempt(analyses, "cluster_sample", source.gather, indices)
+    if "features" in needed:
+        _attempt(analyses, "features", source.feature_matrix)

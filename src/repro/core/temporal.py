@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..engine.pipeline import ChunkConsumer, ScanChunk
 from ..engine.source import TraceSource
 from ..errors import AnalysisError
 from ..units import DAY, HOUR, WEEK
@@ -35,12 +36,23 @@ __all__ = [
     "WeeklyView",
     "DiurnalAnalysis",
     "CorrelationResult",
+    "HOURLY_DIMENSION_SPECS",
+    "HourlyTotalsConsumer",
     "hourly_totals",
+    "hourly_series_from_groups",
     "hourly_dimensions",
+    "hourly_dimensions_from_groups",
     "weekly_view",
     "diurnal_strength",
     "dimension_correlations",
 ]
+
+#: The engine aggregate specs behind the three Figure-7 submission dimensions.
+HOURLY_DIMENSION_SPECS = {
+    "jobs": ("count", "submit_time_s"),
+    "bytes": ("sum", "total_bytes"),
+    "task_seconds": ("sum", "total_task_seconds"),
+}
 
 
 @dataclass
@@ -131,6 +143,78 @@ class CorrelationResult:
         return max(pairs, key=lambda key: pairs[key])
 
 
+class HourlyTotalsConsumer(ChunkConsumer):
+    """Shared-scan fold for per-hour engine aggregates (one group-by pass).
+
+    The fold state is the same ``{hour: {label: AggregateState}}`` structure
+    the engine's group-by operator builds, updated by the operator's own
+    chunk-update routine — so the per-hour read-outs are identical to a
+    standalone :meth:`TraceSource.hourly_groups` query, chunk for chunk.
+    """
+
+    def __init__(self, aggregate_specs: Dict[str, tuple], name: str = "hourly"):
+        from ..engine.operators import Query
+
+        self.name = name
+        self.specs = dict(aggregate_specs)
+        self.query = Query().aggregate(**self.specs).group_by("submit_hour")
+        columns = ["submit_hour"]
+        for _op, column in self.specs.values():
+            if column not in columns:
+                columns.append(column)
+        self.columns = tuple(columns)
+
+    def make_state(self):
+        return {}
+
+    def fold(self, state, chunk: ScanChunk):
+        from ..engine.operators import _update_groups
+
+        _update_groups(state, chunk.block, self.query)
+        return state
+
+    def merge(self, a, b):
+        for key, group in b.items():
+            target = a.get(key)
+            if target is None:
+                a[key] = group
+            else:
+                for label in target:
+                    target[label].merge(group[label])
+        return a
+
+    def finalize(self, state) -> Dict[int, Dict[str, object]]:
+        groups: Dict[int, Dict[str, object]] = {}
+        for key, states in state.items():
+            if key is None:
+                continue  # jobs with no recorded submit time
+            groups[int(key)] = {label: agg.result() for label, agg in states.items()}
+        return groups
+
+
+def hourly_series_from_groups(groups: Dict[int, Dict[str, object]],
+                              start_s: float, end_s: float,
+                              labels) -> Dict[str, np.ndarray]:
+    """Spread ``{hour: {label: value}}`` group results onto dense hourly arrays.
+
+    The arrays cover ``ceil((end - start) / 3600)`` hours (idle hours zero);
+    events past the horizon clamp into the final hour, matching
+    :func:`repro.core.stats.hourly_series`.
+
+    Raises:
+        AnalysisError: for negative submit times.
+    """
+    if start_s < 0:
+        raise AnalysisError("event times must be non-negative")
+    n_hours = max(1, int(np.ceil(max(0.0, end_s - start_s) / 3600.0)))
+    series = {label: np.zeros(n_hours, dtype=float) for label in labels}
+    for hour in sorted(groups):
+        bucket = min(int(hour), n_hours - 1)
+        for label, value in groups[hour].items():
+            series[label][bucket] += float(value or 0.0)
+    return series
+
+
 def hourly_totals(source, **aggregate_specs) -> Dict[str, np.ndarray]:
     """Per-hour totals of arbitrary engine aggregates over one scan.
 
@@ -146,16 +230,8 @@ def hourly_totals(source, **aggregate_specs) -> Dict[str, np.ndarray]:
     if src.is_empty():
         raise AnalysisError("cannot compute hourly dimensions of an empty trace")
     start_s, end_s = src.time_bounds()
-    if start_s < 0:
-        raise AnalysisError("event times must be non-negative")
-    n_hours = max(1, int(np.ceil(max(0.0, end_s - start_s) / 3600.0)))
     groups = src.hourly_groups(**aggregate_specs)
-    series = {label: np.zeros(n_hours, dtype=float) for label in aggregate_specs}
-    for hour in sorted(groups):
-        bucket = min(int(hour), n_hours - 1)
-        for label, value in groups[hour].items():
-            series[label][bucket] += float(value or 0.0)
-    return series
+    return hourly_series_from_groups(groups, start_s, end_s, aggregate_specs)
 
 
 def hourly_dimensions(trace) -> HourlyDimensions:
@@ -164,12 +240,23 @@ def hourly_dimensions(trace) -> HourlyDimensions:
     Accepts any :class:`TraceSource`-wrappable representation; runs as one
     chunked group-by scan over ``submit_hour``.
     """
-    series = hourly_totals(
-        trace,
-        jobs=("count", "submit_time_s"),
-        bytes=("sum", "total_bytes"),
-        task_seconds=("sum", "total_task_seconds"),
+    series = hourly_totals(trace, **HOURLY_DIMENSION_SPECS)
+    return HourlyDimensions(
+        jobs_per_hour=series["jobs"],
+        bytes_per_hour=series["bytes"],
+        task_seconds_per_hour=series["task_seconds"],
     )
+
+
+def hourly_dimensions_from_groups(groups: Dict[int, Dict[str, object]],
+                                  start_s: float, end_s: float) -> HourlyDimensions:
+    """The Figure-7 dimensions from a shared-scan :class:`HourlyTotalsConsumer`.
+
+    ``groups`` must come from a consumer built with
+    :data:`HOURLY_DIMENSION_SPECS`; ``start_s``/``end_s`` are the trace time
+    bounds (from the shared scan's summary fold).
+    """
+    series = hourly_series_from_groups(groups, start_s, end_s, HOURLY_DIMENSION_SPECS)
     return HourlyDimensions(
         jobs_per_hour=series["jobs"],
         bytes_per_hour=series["bytes"],

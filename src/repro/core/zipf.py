@@ -20,11 +20,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine.pipeline import ChunkConsumer, ScanChunk
 from ..errors import AnalysisError
 
 __all__ = [
     "RankFrequency",
+    "RankFrequencyConsumer",
     "rank_frequencies",
+    "rank_frequencies_from_counts",
     "column_rank_frequencies",
     "fit_zipf_slope",
     "zipf_goodness_of_fit",
@@ -86,6 +89,20 @@ def rank_frequencies(paths: Iterable[Optional[str]], min_items: int = 2) -> Rank
         AnalysisError: when no recorded paths are present at all.
     """
     counts = Counter(path for path in paths if path is not None)
+    return rank_frequencies_from_counts(counts, min_items=min_items)
+
+
+def rank_frequencies_from_counts(counts: Dict[str, int], min_items: int = 2) -> RankFrequency:
+    """Build a :class:`RankFrequency` from item -> access-count totals.
+
+    This is the finalize step shared by every counting path: the iterable
+    front-end above, the chunked :class:`RankFrequencyConsumer`, and the
+    shared-scan path-statistics fold (whose per-path counts double as the
+    Figure-2 frequencies).
+
+    Raises:
+        AnalysisError: when ``counts`` is empty.
+    """
     if not counts:
         raise AnalysisError("no recorded file paths to analyze")
     frequencies = np.array(sorted(counts.values(), reverse=True), dtype=float)
@@ -101,22 +118,58 @@ def rank_frequencies(paths: Iterable[Optional[str]], min_items: int = 2) -> Rank
     )
 
 
+class RankFrequencyConsumer(ChunkConsumer):
+    """Shared-scan fold counting accesses per distinct value of one column.
+
+    Each chunk contributes its ``np.unique`` counts (empty strings — the
+    trace encoding of "not recorded" — are skipped), so the fold cost is one
+    vectorized pass per chunk and memory stays bounded by the distinct-value
+    dictionary.  Counts are integers: serial, merged, and per-row results are
+    all exactly equal.
+    """
+
+    def __init__(self, column: str, name: Optional[str] = None, min_items: int = 2):
+        self.name = name or ("ranks_%s" % column)
+        self.column = column
+        self.columns = (column,)
+        self.min_items = min_items
+
+    def make_state(self) -> Dict[str, int]:
+        return {}
+
+    def fold(self, state, chunk: ScanChunk):
+        values, counts = np.unique(chunk.column(self.column), return_counts=True)
+        for value, count in zip(values.tolist(), counts.tolist()):
+            if value:
+                state[value] = state.get(value, 0) + count
+        return state
+
+    def merge(self, a, b):
+        for value, count in b.items():
+            a[value] = a.get(value, 0) + count
+        return a
+
+    def finalize(self, state) -> RankFrequency:
+        return rank_frequencies_from_counts(state, min_items=self.min_items)
+
+
 def column_rank_frequencies(source, column: str, min_items: int = 2) -> RankFrequency:
     """Access frequency vs rank for one string column of a trace source.
 
-    Streams the column chunk by chunk (empty strings — the trace encoding of
+    Folds the column chunk by chunk (empty strings — the trace encoding of
     "not recorded" — are skipped), so arbitrarily large stores are counted
     with memory bounded by the distinct-path dictionary.
 
     Raises:
         AnalysisError: when the source does not record the column at all.
     """
+    from ..engine.pipeline import fold_consumer
     from ..engine.source import TraceSource
 
     src = TraceSource.wrap(source)
     if not src.has_column(column):
         raise AnalysisError("trace %r records no %s values" % (src.name, column))
-    return rank_frequencies(src.string_values(column), min_items=min_items)
+    return fold_consumer(src, RankFrequencyConsumer(column, min_items=min_items))
 
 
 def _log_spaced_points(ranks: np.ndarray, frequencies: np.ndarray,

@@ -5,8 +5,9 @@ list of :class:`~repro.traces.schema.Job` objects can hold:
 
 * :mod:`repro.engine.columnar` — :class:`ColumnarTrace`, one contiguous NumPy
   array per job dimension, with Trace-compatible analytical accessors;
-* :mod:`repro.engine.store` — :class:`ChunkedTraceStore`, a chunked ``.npz`` +
-  JSON-manifest on-disk format with per-chunk zone maps, written and read
+* :mod:`repro.engine.store` — :class:`ChunkedTraceStore`, a chunked columnar
+  on-disk format (v2: raw per-column ``.npy`` read via mmap; v1: compressed
+  ``.npz``) with a JSON manifest and per-chunk zone maps, written and read
   without ever materializing the full job list;
 * :mod:`repro.engine.operators` — lazy ``scan → filter → project →
   group-by/aggregate → top-k/limit`` pipelines with column pruning, zone-map
@@ -14,7 +15,10 @@ list of :class:`~repro.traces.schema.Job` objects can hold:
 * :mod:`repro.engine.aggregates` — mergeable partial aggregates (count, sum,
   min, max, mean, log-histogram percentile/CDF sketches);
 * :mod:`repro.engine.parallel` — a ``multiprocessing`` executor that fans
-  chunk scans out over workers and merges the partials.
+  chunk scans out over workers (each opening the store once) and merges the
+  partials;
+* :mod:`repro.engine.pipeline` — :class:`ScanPipeline`, the shared-scan
+  runner: N analyses fold over one decoded pass of the store.
 
 Quickstart — write a store from any job iterable (here, two literal jobs),
 then run a filtered aggregate over it without materializing the rows::
@@ -66,13 +70,37 @@ from .columnar import (
     ColumnarTrace,
 )
 from .operators import PREDICATE_OPS, Predicate, Query, QueryResult, execute
-from .parallel import ParallelExecutor
+from .parallel import ParallelExecutor, get_worker_store
+from .pipeline import (
+    ChunkConsumer,
+    GatherConsumer,
+    PipelineResult,
+    ScanChunk,
+    ScanPipeline,
+    SummaryConsumer,
+    fold_consumer,
+)
 from .source import TraceSource
-from .store import ChunkedTraceStore, write_store
+from .store import (
+    DEFAULT_FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
+    ChunkedTraceStore,
+    write_store,
+)
 
 __all__ = [
     "ColumnarTrace",
     "ColumnBlock",
+    "ChunkConsumer",
+    "GatherConsumer",
+    "PipelineResult",
+    "ScanChunk",
+    "ScanPipeline",
+    "SummaryConsumer",
+    "fold_consumer",
+    "get_worker_store",
+    "DEFAULT_FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
     "NUMERIC_COLUMNS",
     "STRING_COLUMNS",
     "DEFAULT_CHUNK_ROWS",

@@ -245,10 +245,12 @@ def _iter_source_chunks(source, columns, predicates,
     if zone_aware:
         indices = list(chunk_indices) if chunk_indices is not None else list(range(source.n_chunks))
         for index in indices:
+            # chunk_zone answers None for columns without a recorded zone
+            # (strings, unknown names) and resolves derived columns such as
+            # submit_hour, so every predicate can be consulted directly.
             admitted = all(
                 predicate.admits_zone(source.chunk_zone(index, predicate.column))
                 for predicate in predicates
-                if predicate.column in getattr(source, "columns", ())
             )
             if not admitted:
                 yield None, True

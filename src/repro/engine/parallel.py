@@ -1,12 +1,15 @@
 """Chunk-parallel query execution over a chunked trace store.
 
 The executor fans the chunks of a :class:`~repro.engine.store.ChunkedTraceStore`
-out over a ``multiprocessing`` pool.  Each worker opens the store itself (so
-only the directory path and the picklable :class:`~repro.engine.operators.Query`
-cross the process boundary), evaluates its chunk subset with the same serial
-``execute`` path, and returns partial aggregate states.  The parent merges
-partials with :meth:`AggregateState.merge` — exact for count/sum/min/max/mean
-and for the fixed-bin percentile/CDF sketches.
+out over a ``multiprocessing`` pool.  Each worker opens the store **once** —
+a pool initializer parses the manifest and caches the handle in the worker
+process — and reuses it across every chunk batch it is handed, so only the
+picklable task payloads (a :class:`~repro.engine.operators.Query`, or the
+shared-scan pipeline's consumer lists) cross the process boundary.  Workers
+evaluate their chunk subset with the same serial ``execute`` path and return
+partial aggregate states; the parent merges partials with
+:meth:`AggregateState.merge` — exact for count/sum/min/max/mean and for the
+fixed-bin percentile/CDF sketches.
 
 Only aggregate-shaped queries (global or grouped) parallelize; ``top-k``,
 ``limit`` and plain collection fall back to the serial scan, which for
@@ -23,18 +26,40 @@ from .aggregates import AggregateState
 from .operators import Query, QueryResult, execute
 from .store import ChunkedTraceStore
 
-__all__ = ["ParallelExecutor"]
+__all__ = ["ParallelExecutor", "get_worker_store"]
+
+#: Per-worker store handle, opened once by :func:`_init_worker_store` and
+#: reused for every task the worker processes (manifest parsed once).
+_WORKER_STORE: Optional[ChunkedTraceStore] = None
 
 
-def _worker_partials(task: Tuple[str, Query, List[int]]):
+def _init_worker_store(directory: str) -> None:
+    """Pool initializer: open the store once for this worker process."""
+    global _WORKER_STORE
+    _WORKER_STORE = ChunkedTraceStore(directory)
+
+
+def get_worker_store(directory: Optional[str] = None) -> ChunkedTraceStore:
+    """The cached store handle (re-opened only when the directory changes)."""
+    global _WORKER_STORE
+    if directory is not None and (_WORKER_STORE is None
+                                  or _WORKER_STORE.directory != str(directory)):
+        _WORKER_STORE = ChunkedTraceStore(directory)
+    if _WORKER_STORE is None:
+        raise AnalysisError("worker store was never initialized")
+    return _WORKER_STORE
+
+
+def _worker_partials(task: Tuple[Query, List[int]]):
     """Evaluate a chunk subset and return picklable partial state.
 
-    Runs in a worker process.  Returns ``(states, groups, counters)`` where
-    ``states``/``groups`` hold :class:`AggregateState` partials (not results,
-    so the parent can merge them exactly).
+    Runs in a worker process whose initializer already opened the store.
+    Returns ``(states, groups, counters)`` where ``states``/``groups`` hold
+    :class:`AggregateState` partials (not results, so the parent can merge
+    them exactly).
     """
-    directory, query, chunk_indices = task
-    store = ChunkedTraceStore(directory)
+    query, chunk_indices = task
+    store = get_worker_store()
     states, groups, counters = _partial_execute(store, query, chunk_indices)
     return states, groups, counters
 
@@ -77,22 +102,37 @@ class ParallelExecutor:
             raise AnalysisError("ParallelExecutor needs at least one process")
         self.processes = processes
 
-    def map(self, func, tasks: List) -> List:
+    def effective_workers(self, n_tasks: int) -> int:
+        """Worker count for ``n_tasks`` independent tasks (at least one)."""
+        n_workers = self.processes or min(n_tasks, multiprocessing.cpu_count())
+        return max(1, min(n_workers, n_tasks))
+
+    def map(self, func, tasks: List, store_directory: Optional[str] = None) -> List:
         """Generic fan-out: apply a picklable ``func`` to each task item.
 
-        Used by the scenario-sweep runner to spread independent replay
-        scenarios over worker processes.  Falls back to a serial loop when
-        one worker (or one task) makes a pool pointless, so results are
-        identical either way.
+        Used by the scenario-sweep runner and the shared-scan pipeline to
+        spread independent work items over worker processes.  When
+        ``store_directory`` is given, each worker opens that chunked store
+        once in its pool initializer and ``func`` can fetch the cached handle
+        via :func:`get_worker_store` — instead of re-parsing the manifest per
+        task.  Falls back to a serial loop when one worker (or one task)
+        makes a pool pointless, so results are identical either way.
         """
         tasks = list(tasks)
         if not tasks:
             return []
-        n_workers = self.processes or min(len(tasks), multiprocessing.cpu_count())
-        n_workers = max(1, min(n_workers, len(tasks)))
+        n_workers = self.effective_workers(len(tasks))
         if n_workers == 1 or len(tasks) == 1:
+            if store_directory is not None:
+                # Parity with the pool path: (re-)open the handle once per
+                # map call, so a store rewritten in place between calls is
+                # never read through a stale manifest.
+                _init_worker_store(store_directory)
             return [func(task) for task in tasks]
-        with multiprocessing.Pool(processes=n_workers) as pool:
+        initializer = _init_worker_store if store_directory is not None else None
+        initargs = (store_directory,) if store_directory is not None else ()
+        with multiprocessing.Pool(processes=n_workers, initializer=initializer,
+                                  initargs=initargs) as pool:
             return pool.map(func, tasks)
 
     def run(self, store: ChunkedTraceStore, query: Query) -> QueryResult:
@@ -101,8 +141,7 @@ class ParallelExecutor:
         if not query.is_aggregate_only():
             return execute(store, query)
         n_chunks = store.n_chunks
-        n_workers = self.processes or min(n_chunks, multiprocessing.cpu_count())
-        n_workers = max(1, min(n_workers, n_chunks))
+        n_workers = self.effective_workers(n_chunks)
         if n_workers == 1 or n_chunks <= 1:
             return execute(store, query)
 
@@ -111,11 +150,9 @@ class ParallelExecutor:
         per_worker = -(-n_chunks // n_workers)
         for start in range(0, n_chunks, per_worker):
             indices = list(range(start, min(n_chunks, start + per_worker)))
-            tasks.append((store.directory, query, indices))
+            tasks.append((query, indices))
 
-        with multiprocessing.Pool(processes=n_workers) as pool:
-            partials = pool.map(_worker_partials, tasks)
-
+        partials = self.map(_worker_partials, tasks, store_directory=store.directory)
         return _merge_partials(query, partials)
 
 

@@ -1,0 +1,517 @@
+"""Shared-scan execution pipeline: one decoded pass for many analyses.
+
+The characterization suite is a *batch* of analyses over the same trace —
+exactly the shape the source paper ascribes to MapReduce workloads themselves
+(many jobs scanning shared data).  Running each analysis as its own scan
+re-reads and re-decodes every chunk once per analysis; :class:`ScanPipeline`
+instead registers every analysis as a **chunk consumer**, decodes each chunk
+exactly once, and pushes the shared :class:`~repro.engine.columnar.ColumnBlock`
+through all of them (classic multi-query scan sharing).
+
+A consumer (see :class:`ChunkConsumer`) declares the columns it needs and
+three pure operations::
+
+    make_state()           -> fresh fold state
+    fold(state, chunk)     -> state   # one decoded chunk
+    merge(a, b)            -> state   # partials from disjoint chunk ranges
+    finalize(state)        -> result
+
+The pipeline computes the union of all declared columns, so each stored
+column is decoded at most once per chunk.  With a
+:class:`~repro.engine.parallel.ParallelExecutor`, chunks fan out across
+worker processes in contiguous ranges (each worker opens the store once and
+keeps the handle); per-worker partial states are merged in chunk order at the
+end.  Consumers whose fold is order-sensitive declare ``ordered=True`` and
+run in a single sequential lane that sees every chunk in submit-time order —
+in-process during a serial run, as one dedicated worker task during a
+parallel run (format-v2 stores mmap their columns, so the ordered lane's
+reads share pages with the fanned-out lanes instead of re-decoding).
+
+``AnalysisError`` raised by one consumer (e.g. "trace records no job names")
+is isolated: the failing consumer is dropped from the rest of the scan and
+its error is reported per-consumer in the :class:`PipelineResult`, while all
+other consumers complete normally — mirroring how the paper omits a workload
+from individual figures when a dimension is missing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .aggregates import MaxState, MinState, SumState
+from .columnar import ColumnBlock, ColumnarTrace
+from .source import TraceSource
+
+__all__ = ["ScanChunk", "ChunkConsumer", "PipelineResult", "ScanPipeline",
+           "SummaryConsumer", "GatherConsumer", "fold_consumer"]
+
+
+class ScanChunk:
+    """One decoded chunk as seen by consumers: a block plus its position.
+
+    Attributes:
+        block: the decoded :class:`ColumnBlock` (shared by every consumer).
+        index: chunk index within the scan (0-based).
+        start_row: global row offset of the chunk's first row — what
+            row-addressed consumers (:class:`GatherConsumer`) key on.
+    """
+
+    __slots__ = ("block", "index", "start_row", "_unique_cache")
+
+    def __init__(self, block: ColumnBlock, index: int, start_row: int):
+        self.block = block
+        self.index = index
+        self.start_row = start_row
+        self._unique_cache: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def n_rows(self) -> int:
+        return self.block.n_rows
+
+    def column(self, name: str) -> np.ndarray:
+        return self.block.column(name)
+
+    def unique(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """``np.unique(column, return_inverse=True)``, cached per chunk.
+
+        Group-shaped folds over string columns (path statistics, re-access
+        codes, naming) all start from the same unique/inverse decomposition;
+        caching it on the shared chunk means the string sort happens once per
+        chunk per column no matter how many consumers ask — the same sharing
+        argument as decoding itself.
+        """
+        cached = self._unique_cache.get(name)
+        if cached is None:
+            values, inverse = np.unique(self.column(name), return_inverse=True)
+            cached = self._unique_cache[name] = (values, inverse.ravel())
+        return cached
+
+
+class ChunkConsumer:
+    """Base class for shared-scan consumers (the fold/merge contract).
+
+    Subclasses set :attr:`name` (unique within a pipeline), :attr:`columns`
+    (the stored/derived columns their fold touches) and, when their fold
+    depends on rows arriving in submit-time order, ``ordered = True``.
+    ``merge`` is only called for unordered consumers (ordered ones run in one
+    sequential lane and never produce partials).
+    """
+
+    #: Result key within the pipeline; subclasses override (often per-instance).
+    name: str = "consumer"
+    #: Columns the fold reads; the pipeline decodes the union over consumers.
+    #: ``None`` means "every stored column" (e.g. a row gather).
+    columns: Optional[Tuple[str, ...]] = ()
+    #: True when fold correctness depends on submit-time chunk order.
+    ordered: bool = False
+
+    def make_state(self):
+        raise NotImplementedError
+
+    def fold(self, state, chunk: ScanChunk):
+        raise NotImplementedError
+
+    def merge(self, a, b):
+        raise AnalysisError("consumer %r does not support merging partial states"
+                            % (self.name,))
+
+    def finalize(self, state):
+        return state
+
+
+class PipelineResult:
+    """Per-consumer results of one shared scan.
+
+    Attributes:
+        results: consumer name -> finalized result, for consumers that ran to
+            completion.
+        errors: consumer name -> the :class:`AnalysisError` that removed the
+            consumer from the scan (missing columns, unsorted store, ...).
+        chunks_scanned / rows_scanned: scan counters (the decoded pass).
+    """
+
+    def __init__(self):
+        self.results: Dict[str, object] = {}
+        self.errors: Dict[str, AnalysisError] = {}
+        self.chunks_scanned = 0
+        self.rows_scanned = 0
+
+    def value(self, name: str):
+        """The result of one consumer; re-raises its recorded error."""
+        if name in self.errors:
+            raise self.errors[name]
+        if name not in self.results:
+            raise AnalysisError("pipeline has no consumer %r (have %s)"
+                                % (name, sorted(self.results) + sorted(self.errors)))
+        return self.results[name]
+
+    def get(self, name: str, default=None):
+        """The result of one consumer, or ``default`` if it errored/is absent."""
+        return self.results.get(name, default)
+
+
+_UNSORTED_MESSAGE = (
+    "source %r is not sorted by submit time; rewrite the store from a "
+    "Trace/ColumnarTrace (or a sorted job iterable) before running "
+    "order-sensitive analyses")
+
+
+class _OrderCheck:
+    """Verifies non-decreasing submit times as chunks stream."""
+
+    __slots__ = ("previous_end", "source_name")
+
+    def __init__(self, source_name: str):
+        self.previous_end = -np.inf
+        self.source_name = source_name
+
+    def check(self, block: ColumnBlock) -> None:
+        if block.n_rows == 0:
+            return
+        times = block.column("submit_time_s")
+        if times[0] < self.previous_end or np.any(times[:-1] > times[1:]):
+            raise AnalysisError(_UNSORTED_MESSAGE % (self.source_name,))
+        self.previous_end = float(times[-1])
+
+
+def _fold_lane(source_name: str, blocks, consumers: List[ChunkConsumer],
+               states: Dict[str, object], errors: Dict[str, AnalysisError],
+               check_order: bool, counters: Optional[Dict[str, int]] = None) -> None:
+    """Fold a stream of :class:`ScanChunk` through one lane of consumers.
+
+    ``consumers``/``states`` are mutated in place: a consumer whose fold
+    raises :class:`AnalysisError` is dropped and its error recorded.  An
+    order violation (``check_order``) drops every ordered consumer in the
+    lane the same way.
+    """
+    order = _OrderCheck(source_name) if check_order else None
+    for chunk in blocks:
+        if counters is not None:
+            counters["chunks"] += 1
+            counters["rows"] += chunk.n_rows
+        if chunk.n_rows == 0:
+            continue
+        if order is not None:
+            try:
+                order.check(chunk.block)
+            except AnalysisError as exc:
+                for consumer in [c for c in consumers if c.ordered]:
+                    errors[consumer.name] = exc
+                    states.pop(consumer.name, None)
+                    consumers.remove(consumer)
+                order = None
+        for consumer in list(consumers):
+            try:
+                states[consumer.name] = consumer.fold(states[consumer.name], chunk)
+            except AnalysisError as exc:
+                errors[consumer.name] = exc
+                states.pop(consumer.name, None)
+                consumers.remove(consumer)
+        if not consumers:
+            break
+
+
+def _scan_worker(task):
+    """Worker-side lane fold for the parallel pipeline.
+
+    Runs in a pool whose initializer opened the store once per worker (see
+    :func:`repro.engine.parallel.get_worker_store`); only the consumers,
+    chunk indices and row offsets cross the process boundary.  Returns
+    ``(states, errors, rows)`` with unordered partials left unfinalized so
+    the parent can merge them exactly.
+    """
+    from .parallel import get_worker_store
+
+    consumers, chunk_indices, start_rows, columns, check_order = task
+    store = get_worker_store()
+    states = {consumer.name: consumer.make_state() for consumer in consumers}
+    errors: Dict[str, AnalysisError] = {}
+    counters = {"chunks": 0, "rows": 0}
+    blocks = (
+        ScanChunk(store.read_chunk(index, columns=columns), index, start)
+        for index, start in zip(chunk_indices, start_rows))
+    _fold_lane(store.name, blocks, list(consumers), states, errors,
+               check_order, counters)
+    return states, errors, counters["rows"]
+
+
+class ScanPipeline:
+    """Shared-scan runner: register consumers, then :meth:`run` one pass.
+
+    Args:
+        source: any :class:`TraceSource`-wrappable trace representation.
+        executor: optional :class:`~repro.engine.parallel.ParallelExecutor`;
+            with more than one effective worker and a store-backed source the
+            chunk fan-out runs across processes.  Serial otherwise, with
+            results identical up to floating-point merge order.
+    """
+
+    def __init__(self, source, executor=None):
+        self.source = TraceSource.wrap(source)
+        self.executor = executor
+        self._consumers: List[ChunkConsumer] = []
+
+    def add(self, consumer: ChunkConsumer) -> ChunkConsumer:
+        """Register a consumer; returns it (for call-site chaining)."""
+        if any(existing.name == consumer.name for existing in self._consumers):
+            raise AnalysisError("duplicate pipeline consumer name %r" % (consumer.name,))
+        self._consumers.append(consumer)
+        return consumer
+
+    @property
+    def consumers(self) -> List[ChunkConsumer]:
+        return list(self._consumers)
+
+    def columns(self, consumers: Optional[Sequence[ChunkConsumer]] = None) -> Optional[List[str]]:
+        """Union of the declared column sets (the decoded-once set).
+
+        ``None`` when any consumer asks for every stored column.
+        """
+        union: List[str] = []
+        chosen = self._consumers if consumers is None else consumers
+        for consumer in chosen:
+            if consumer.columns is None:
+                return None
+            for column in consumer.columns:
+                if column not in union:
+                    union.append(column)
+        if any(consumer.ordered for consumer in chosen) and "submit_time_s" not in union:
+            union.append("submit_time_s")
+        return union
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> PipelineResult:
+        """Execute the shared scan and finalize every consumer."""
+        result = PipelineResult()
+        runnable: List[ChunkConsumer] = []
+        for consumer in self._consumers:
+            missing = [column for column in (consumer.columns or ())
+                       if not self.source.has_column(column)]
+            if missing:
+                result.errors[consumer.name] = AnalysisError(
+                    "source %r records no column %s (needed by %r)"
+                    % (self.source.name, ", ".join(sorted(missing)), consumer.name))
+            else:
+                runnable.append(consumer)
+        if not runnable:
+            return result
+
+        states: Dict[str, object] = {}
+        if self._parallel_plan_applies(runnable):
+            self._run_parallel(runnable, states, result)
+        else:
+            self._run_serial(runnable, states, result)
+
+        for consumer in self._consumers:
+            if consumer.name not in states:
+                continue
+            try:
+                result.results[consumer.name] = consumer.finalize(states[consumer.name])
+            except AnalysisError as exc:
+                result.errors[consumer.name] = exc
+        return result
+
+    def _run_serial(self, runnable: List[ChunkConsumer], states: Dict[str, object],
+                    result: PipelineResult) -> None:
+        lane = list(runnable)
+        for consumer in lane:
+            states[consumer.name] = consumer.make_state()
+        check_order = any(consumer.ordered for consumer in lane)
+        counters = {"chunks": 0, "rows": 0}
+        start_row = 0
+        index = 0
+
+        def chunks():
+            nonlocal start_row, index
+            for block in self.source.iter_chunks(columns=self.columns(lane)):
+                yield ScanChunk(block, index, start_row)
+                start_row += block.n_rows
+                index += 1
+
+        _fold_lane(self.source.name, chunks(), lane, states, result.errors,
+                   check_order, counters)
+        result.chunks_scanned = counters["chunks"]
+        result.rows_scanned = counters["rows"]
+
+    def _parallel_plan_applies(self, runnable: List[ChunkConsumer]) -> bool:
+        if self.executor is None or not self.source.is_streaming:
+            return False
+        store = self.source.backing
+        n_workers = self.executor.effective_workers(store.n_chunks)
+        return n_workers > 1 and store.n_chunks > 1
+
+    def _run_parallel(self, runnable: List[ChunkConsumer], states: Dict[str, object],
+                      result: PipelineResult) -> None:
+        store = self.source.backing
+        chunk_rows = store.chunk_rows()
+        offsets = np.concatenate(([0], np.cumsum(chunk_rows)))[:-1].tolist()
+        n_chunks = store.n_chunks
+
+        ordered = [consumer for consumer in runnable if consumer.ordered]
+        unordered = [consumer for consumer in runnable if not consumer.ordered]
+
+        tasks = []
+        if ordered:
+            # One sequential lane sees every chunk in submit-time order.
+            tasks.append((ordered, list(range(n_chunks)), offsets,
+                          self.columns(ordered), True))
+        range_tasks = 0
+        if unordered:
+            n_workers = self.executor.effective_workers(n_chunks)
+            per_worker = -(-n_chunks // n_workers)
+            columns = self.columns(unordered)
+            for start in range(0, n_chunks, per_worker):
+                indices = list(range(start, min(n_chunks, start + per_worker)))
+                tasks.append((unordered, indices, [offsets[i] for i in indices],
+                              columns, False))
+                range_tasks += 1
+
+        partials = self.executor.map(_scan_worker, tasks,
+                                     store_directory=store.directory)
+
+        range_partials = partials[len(partials) - range_tasks:]
+        if ordered:
+            lane_states, lane_errors, _rows = partials[0]
+            states.update(lane_states)
+            result.errors.update(lane_errors)
+        for consumer in unordered:
+            merged = None
+            error: Optional[AnalysisError] = None
+            for lane_states, lane_errors, _rows in range_partials:
+                if consumer.name in lane_errors:
+                    error = error or lane_errors[consumer.name]
+                elif error is None:
+                    partial = lane_states[consumer.name]
+                    merged = partial if merged is None else consumer.merge(merged, partial)
+            if error is not None:
+                result.errors[consumer.name] = error
+            else:
+                states[consumer.name] = merged
+        result.chunks_scanned = n_chunks
+        result.rows_scanned = sum(rows for _states, _errors, rows in range_partials) \
+            if range_tasks else (partials[0][2] if partials else 0)
+
+
+def fold_consumer(source, consumer: ChunkConsumer, executor=None):
+    """Run one consumer as its own (degenerate) shared scan.
+
+    This is how the standalone per-analysis entry points execute their folds,
+    so a standalone result and the same consumer's result inside a many-
+    consumer pipeline come from literally the same code path.  Re-raises the
+    consumer's recorded :class:`AnalysisError`, if any.
+    """
+    pipeline = ScanPipeline(source, executor=executor)
+    pipeline.add(consumer)
+    return pipeline.run().value(consumer.name)
+
+
+# ---------------------------------------------------------------------------
+# Generic consumers
+# ---------------------------------------------------------------------------
+class SummaryConsumer(ChunkConsumer):
+    """Table-1 summary fold: count, time bounds, byte/task-second totals.
+
+    Folds the exact quantities of :meth:`TraceSource.summary` with the same
+    mergeable aggregate states the engine query path uses, so the read-outs
+    are identical to the per-analysis scan.
+    """
+
+    columns = ("submit_time_s", "finish_time_s", "total_bytes", "total_task_seconds")
+
+    def __init__(self, name: str = "summary", trace_name: str = "trace",
+                 machines: Optional[int] = None):
+        self.name = name
+        self.trace_name = trace_name
+        self.machines = machines
+
+    def make_state(self):
+        return {"n_jobs": 0, "start": MinState(), "end": MaxState(),
+                "bytes": SumState(), "task_seconds": SumState()}
+
+    def fold(self, state, chunk: ScanChunk):
+        state["n_jobs"] += chunk.n_rows
+        state["start"].update(chunk.column("submit_time_s"))
+        state["end"].update(chunk.column("finish_time_s"))
+        state["bytes"].update(chunk.column("total_bytes"))
+        state["task_seconds"].update(chunk.column("total_task_seconds"))
+        return state
+
+    def merge(self, a, b):
+        a["n_jobs"] += b["n_jobs"]
+        for key in ("start", "end", "bytes", "task_seconds"):
+            a[key].merge(b[key])
+        return a
+
+    def finalize(self, state):
+        from ..traces.trace import TraceSummary
+
+        if state["n_jobs"] == 0:
+            return TraceSummary(name=self.trace_name, machines=self.machines,
+                                length_s=0.0, start_s=0.0, end_s=0.0, n_jobs=0,
+                                bytes_moved=0.0, total_task_seconds=0.0)
+        start = float(state["start"].result() or 0.0)
+        end = float(state["end"].result() or 0.0)
+        return TraceSummary(
+            name=self.trace_name,
+            machines=self.machines,
+            length_s=end - start,
+            start_s=start,
+            end_s=end,
+            n_jobs=int(state["n_jobs"]),
+            bytes_moved=float(state["bytes"].result()),
+            total_task_seconds=float(state["task_seconds"].result()),
+        )
+
+
+class GatherConsumer(ChunkConsumer):
+    """Collect the rows at sorted global indices (the Table-2 subsample).
+
+    The shared-scan equivalent of :meth:`TraceSource.gather`: each chunk
+    contributes the selected rows inside its global row range; partials are
+    re-assembled in chunk order, so the gathered :class:`ColumnarTrace` is
+    identical to a standalone gather for every chunking and worker count.
+    """
+
+    def __init__(self, indices: Sequence[int], name: str = "gather",
+                 trace_name: str = "trace", machines: Optional[int] = None,
+                 columns: Optional[Tuple[str, ...]] = None):
+        self.name = name
+        self.trace_name = trace_name
+        self.machines = machines
+        self.columns = columns
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if self.indices.size and np.any(self.indices[:-1] > self.indices[1:]):
+            raise AnalysisError("gather expects sorted indices")
+
+    def make_state(self):
+        return {"picked": [], "rows_seen_past": 0}
+
+    def fold(self, state, chunk: ScanChunk):
+        end = chunk.start_row + chunk.n_rows
+        lo = int(np.searchsorted(self.indices, chunk.start_row, side="left"))
+        hi = int(np.searchsorted(self.indices, end, side="left"))
+        if hi > lo:
+            local = self.indices[lo:hi] - chunk.start_row
+            state["picked"].append((chunk.index, chunk.block.take(local)))
+        state["rows_seen_past"] = max(state["rows_seen_past"], end)
+        return state
+
+    def merge(self, a, b):
+        a["picked"].extend(b["picked"])
+        a["rows_seen_past"] = max(a["rows_seen_past"], b["rows_seen_past"])
+        return a
+
+    def finalize(self, state):
+        total_rows = state["rows_seen_past"]
+        if self.indices.size and int(self.indices[-1]) >= total_rows:
+            raise AnalysisError("gather index %d out of range (%d rows)"
+                                % (int(self.indices[-1]), total_rows))
+        blocks = [block for _index, block in sorted(state["picked"], key=lambda p: p[0])]
+        gathered = ColumnarTrace.__new__(ColumnarTrace)
+        gathered.block = ColumnBlock.concat(blocks) if blocks else ColumnBlock({})
+        gathered.name = self.trace_name
+        gathered.machines = self.machines
+        return gathered

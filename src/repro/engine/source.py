@@ -142,17 +142,46 @@ class TraceSource:
 
     # -- the scan protocol ---------------------------------------------------
     def iter_chunks(self, columns: Optional[Sequence[str]] = None,
-                    chunk_rows: int = DEFAULT_CHUNK_ROWS) -> Iterator[ColumnBlock]:
+                    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                    predicates: Optional[Sequence] = None) -> Iterator[ColumnBlock]:
         """Yield the trace as :class:`ColumnBlock` batches.
 
         Streaming backings read one chunk (only the requested columns) at a
         time; materialized backings yield view-backed slices of the cached
         columnar form.  Requesting a column the source does not record raises
         :class:`AnalysisError` via the block/chunk readers.
+
+        ``predicates`` (a sequence of :class:`~repro.engine.operators.Predicate`)
+        filters the stream: store backings first skip whole chunks whose zone
+        maps cannot match — including on the derived ``submit_hour`` column,
+        whose zone resolves through the stored ``submit_time_s`` range — and
+        the surviving chunks are row-filtered before being yielded.
         """
+        if predicates:
+            return self._iter_filtered_chunks(columns, chunk_rows, tuple(predicates))
         if self.is_streaming:
             return self.backing.iter_chunks(columns=columns)
         return self.columnar().iter_chunks(columns=columns, chunk_rows=chunk_rows)
+
+    def _iter_filtered_chunks(self, columns, chunk_rows, predicates) -> Iterator[ColumnBlock]:
+        from .operators import _apply_filters
+
+        wanted = None
+        if columns is not None:
+            wanted = list(columns)
+            for predicate in predicates:
+                if predicate.column not in wanted:
+                    wanted.append(predicate.column)
+        if self.is_streaming:
+            store = self.backing
+            for index in range(store.n_chunks):
+                if not all(predicate.admits_zone(store.chunk_zone(index, predicate.column))
+                           for predicate in predicates):
+                    continue  # zone map proves no row can match: never read
+                yield _apply_filters(store.read_chunk(index, columns=wanted), predicates)
+        else:
+            for block in self.columnar().iter_chunks(columns=wanted, chunk_rows=chunk_rows):
+                yield _apply_filters(block, predicates)
 
     def has_column(self, name: str) -> bool:
         """Whether the source records ``name`` (derived columns included)."""

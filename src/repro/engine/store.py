@@ -1,19 +1,31 @@
 """Chunked on-disk columnar trace store.
 
-A store is a directory holding a JSON manifest plus one compressed ``.npz``
-file per chunk of rows::
+A store is a directory holding a JSON manifest plus the column data of each
+chunk of rows, in one of two manifest-versioned layouts:
 
-    store/
-      manifest.json
-      chunk-00000.npz
-      chunk-00001.npz
-      ...
+* **format v2** (default) — one raw ``.npy`` file per column per chunk::
 
-Each ``.npz`` member is one column of that chunk.  The manifest records the
-column set, per-chunk row counts and per-chunk min/max **zone maps** for every
-numeric column, so a filtered scan can skip whole chunks whose value range
-cannot match a predicate (the classic columnar small-materialized-aggregates
-trick; see the NeedleTail / Polynesia discussion in PAPERS.md).
+      store/
+        manifest.json
+        chunk-00000.submit_time_s.npy
+        chunk-00000.input_bytes.npy
+        ...
+
+  Raw ``.npy`` columns are read with ``numpy.load(..., mmap_mode="r")``, so a
+  scan touches only the pages it actually reads and concurrent readers (the
+  shared-scan pipeline's worker processes) share one copy of the data in the
+  OS page cache instead of each decompressing its own.
+
+* **format v1** (legacy, still fully readable) — one compressed ``.npz`` file
+  per chunk whose members are the columns.  Compact on disk, but every read
+  decompresses the chunk privately.
+
+The manifest records the column set, per-chunk row counts and per-chunk
+min/max **zone maps** for every numeric column, so a filtered scan can skip
+whole chunks whose value range cannot match a predicate (the classic columnar
+small-materialized-aggregates trick; see the NeedleTail / Polynesia discussion
+in PAPERS.md).  Zone maps for the derived ``submit_hour`` column are resolved
+from the stored ``submit_time_s`` zones on the fly.
 
 The writer consumes any iterable of jobs — including the lazy trace-file
 readers in :mod:`repro.traces.io` — so a trace can be converted to columnar
@@ -45,18 +57,24 @@ from .columnar import (
     _buffers_to_arrays,
 )
 
-__all__ = ["ChunkedTraceStore", "write_store"]
+__all__ = ["ChunkedTraceStore", "write_store", "SUPPORTED_FORMAT_VERSIONS",
+           "DEFAULT_FORMAT_VERSION"]
 
 MANIFEST_NAME = "manifest.json"
-FORMAT_VERSION = 1
+#: Manifest versions this reader understands.
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
+#: The version new stores are written with (raw per-column ``.npy``).
+DEFAULT_FORMAT_VERSION = 2
 
 
 class _ChunkMeta:
-    """Manifest entry for one chunk: file name, row count, zone maps."""
+    """Manifest entry for one chunk: file name/prefix, row count, zone maps."""
 
     __slots__ = ("file", "rows", "zones")
 
     def __init__(self, file: str, rows: int, zones: Dict[str, List[float]]):
+        #: v1: the ``.npz`` file name; v2: the per-chunk file prefix
+        #: (column files are ``<prefix>.<column>.npy``).
         self.file = file
         self.rows = rows
         #: column -> [min, max] over finite values (absent if none are finite).
@@ -88,7 +106,8 @@ class ChunkedTraceStore:
 
     Open an existing store with ``ChunkedTraceStore(directory)``; create one
     with :meth:`write`.  The handle itself holds only the manifest — chunk
-    data is read lazily, one ``.npz`` at a time.
+    data is read lazily, one chunk at a time (v2 column files are
+    memory-mapped, so repeated readers share the OS page cache).
     """
 
     def __init__(self, directory):
@@ -102,9 +121,11 @@ class ChunkedTraceStore:
                 manifest = json.load(handle)
             except json.JSONDecodeError as exc:
                 raise TraceFormatError("%s: invalid manifest: %s" % (manifest_path, exc))
-        if manifest.get("format_version") != FORMAT_VERSION:
-            raise TraceFormatError("%s: unsupported format version %r"
-                                   % (manifest_path, manifest.get("format_version")))
+        if manifest.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
+            raise TraceFormatError("%s: unsupported format version %r (supported: %s)"
+                                   % (manifest_path, manifest.get("format_version"),
+                                      ", ".join(str(v) for v in SUPPORTED_FORMAT_VERSIONS)))
+        self.format_version: int = int(manifest["format_version"])
         self.name: str = manifest.get("name", "trace")
         self.machines: Optional[int] = manifest.get("machines")
         self.columns: List[str] = list(manifest["columns"])
@@ -124,15 +145,31 @@ class ChunkedTraceStore:
         return len(self._chunks)
 
     def __repr__(self) -> str:
-        return "ChunkedTraceStore(%r, n_jobs=%d, n_chunks=%d)" % (
-            self.directory, self.n_jobs, self.n_chunks)
+        return "ChunkedTraceStore(%r, n_jobs=%d, n_chunks=%d, format=v%d)" % (
+            self.directory, self.n_jobs, self.n_chunks, self.format_version)
 
     def chunk_rows(self) -> List[int]:
         return [chunk.rows for chunk in self._chunks]
 
     def chunk_zone(self, index: int, column: str) -> Optional[List[float]]:
-        """The [min, max] zone of one numeric column in one chunk, if recorded."""
-        return self._chunks[index].zones.get(column)
+        """The [min, max] zone of one numeric column in one chunk, if known.
+
+        Besides the stored numeric columns, the derived ``submit_hour`` column
+        resolves through the ``submit_time_s`` zone (``floor(t / 3600)`` is
+        monotone, so the hour zone is just the floored time zone) — this is
+        what lets a filtered scan skip chunks on hour predicates without any
+        extra manifest data.  Unknown columns return ``None`` (never skip).
+        """
+        zones = self._chunks[index].zones
+        zone = zones.get(column)
+        if zone is not None:
+            return zone
+        if column == "submit_hour":
+            time_zone = zones.get("submit_time_s")
+            if time_zone is not None:
+                return [float(np.floor(time_zone[0] / 3600.0)),
+                        float(np.floor(time_zone[1] / 3600.0))]
+        return None
 
     def has_column(self, name: str) -> bool:
         """Whether the store records ``name``, including resolvable derived columns."""
@@ -144,19 +181,27 @@ class ChunkedTraceStore:
         except TraceFormatError:
             return False
 
+    def _chunk_files(self, meta: _ChunkMeta) -> List[str]:
+        """All on-disk files belonging to one chunk."""
+        if self.format_version == 1:
+            return [meta.file]
+        return ["%s.%s.npy" % (meta.file, column) for column in self.columns]
+
     def info(self) -> Dict:
         """Manifest-level summary (for ``repro engine info``)."""
-        total_bytes = sum(
-            os.path.getsize(os.path.join(self.directory, chunk.file))
-            for chunk in self._chunks
-            if os.path.isfile(os.path.join(self.directory, chunk.file))
-        )
+        total_bytes = 0
+        for chunk in self._chunks:
+            for file_name in self._chunk_files(chunk):
+                path = os.path.join(self.directory, file_name)
+                if os.path.isfile(path):
+                    total_bytes += os.path.getsize(path)
         submit_zones = [chunk.zones.get("submit_time_s") for chunk in self._chunks]
         submit_zones = [zone for zone in submit_zones if zone]
         return {
             "directory": self.directory,
             "name": self.name,
             "machines": self.machines,
+            "format_version": self.format_version,
             "n_jobs": self.n_jobs,
             "n_chunks": self.n_chunks,
             "columns": self.columns,
@@ -167,15 +212,33 @@ class ChunkedTraceStore:
 
     # -- lazy readers ------------------------------------------------------
     def read_chunk(self, index: int, columns: Optional[Sequence[str]] = None) -> ColumnBlock:
-        """Load one chunk, materializing only the requested columns."""
+        """Load one chunk, materializing only the requested columns.
+
+        v2 column files are opened with ``mmap_mode="r"``: the returned arrays
+        are read-only memory maps whose pages load on first touch and are
+        shared between every process scanning the same store.
+        """
         meta = self._chunks[index]
-        path = os.path.join(self.directory, meta.file)
         wanted = self._storage_columns(columns)
-        try:
-            with np.load(path, allow_pickle=False) as archive:
-                data = {name: archive[name] for name in wanted}
-        except (IOError, KeyError, ValueError) as exc:
-            raise TraceFormatError("%s: cannot read chunk %s: %s" % (self.directory, meta.file, exc))
+        if self.format_version == 1:
+            path = os.path.join(self.directory, meta.file)
+            try:
+                with np.load(path, allow_pickle=False) as archive:
+                    data = {name: archive[name] for name in wanted}
+            except (IOError, KeyError, ValueError) as exc:
+                raise TraceFormatError("%s: cannot read chunk %s: %s"
+                                       % (self.directory, meta.file, exc))
+            return ColumnBlock(data)
+        data = {}
+        for name in wanted:
+            path = os.path.join(self.directory, "%s.%s.npy" % (meta.file, name))
+            try:
+                # Zero-row columns cannot be mmapped (there is nothing to map).
+                data[name] = np.load(path, allow_pickle=False,
+                                     mmap_mode="r" if meta.rows else None)
+            except (IOError, ValueError) as exc:
+                raise TraceFormatError("%s: cannot read chunk column %s: %s"
+                                       % (self.directory, os.path.basename(path), exc))
         return ColumnBlock(data)
 
     def _storage_columns(self, columns: Optional[Sequence[str]]) -> List[str]:
@@ -237,15 +300,22 @@ class ChunkedTraceStore:
     # -- writer ------------------------------------------------------------
     @classmethod
     def write(cls, directory, source, chunk_rows: int = DEFAULT_CHUNK_ROWS,
-              name: Optional[str] = None, machines: Optional[int] = None) -> "ChunkedTraceStore":
+              name: Optional[str] = None, machines: Optional[int] = None,
+              format_version: int = DEFAULT_FORMAT_VERSION) -> "ChunkedTraceStore":
         """Write a store from a :class:`Trace`, :class:`ColumnarTrace`, or job iterable.
 
         Job iterables are consumed streamingly: at most ``chunk_rows`` jobs are
         buffered before being flushed to disk, so arbitrarily large traces can
-        be converted with bounded memory.
+        be converted with bounded memory.  ``format_version`` selects the
+        on-disk layout: 2 (default) writes raw per-column ``.npy`` files read
+        back via mmap; 1 writes the legacy compressed ``.npz`` chunks.
         """
         if chunk_rows <= 0:
             raise TraceFormatError("chunk_rows must be positive, got %r" % (chunk_rows,))
+        if format_version not in SUPPORTED_FORMAT_VERSIONS:
+            raise TraceFormatError("unsupported store format version %r (supported: %s)"
+                                   % (format_version,
+                                      ", ".join(str(v) for v in SUPPORTED_FORMAT_VERSIONS)))
         os.makedirs(directory, exist_ok=True)
         sorted_hint = False
         if isinstance(source, ColumnarTrace):
@@ -253,7 +323,8 @@ class ChunkedTraceStore:
             machines = machines if machines is not None else source.machines
             sorted_hint = True
             block_iter = source.iter_chunks(chunk_rows=chunk_rows)
-            return cls._write_blocks(directory, block_iter, chunk_rows, name, machines, sorted_hint)
+            return cls._write_blocks(directory, block_iter, chunk_rows, name, machines,
+                                     sorted_hint, format_version)
         if isinstance(source, Trace):
             name = name or source.name
             machines = machines if machines is not None else source.machines
@@ -263,11 +334,13 @@ class ChunkedTraceStore:
             jobs = source
         return cls._write_blocks(directory,
                                  _job_blocks(jobs, chunk_rows),
-                                 chunk_rows, name or "trace", machines, sorted_hint)
+                                 chunk_rows, name or "trace", machines, sorted_hint,
+                                 format_version)
 
     @classmethod
     def _write_blocks(cls, directory, blocks: Iterable[ColumnBlock], chunk_rows: int,
-                      name: str, machines: Optional[int], sorted_hint: bool) -> "ChunkedTraceStore":
+                      name: str, machines: Optional[int], sorted_hint: bool,
+                      format_version: int) -> "ChunkedTraceStore":
         chunk_metas: List[_ChunkMeta] = []
         column_names: Optional[List[str]] = None
         for index, block in enumerate(blocks):
@@ -285,19 +358,17 @@ class ChunkedTraceStore:
                 for col in union:
                     if col not in columns:
                         columns[col] = _empty_column(col, block.n_rows)
-            file_name = "chunk-%05d.npz" % index
-            np.savez_compressed(os.path.join(str(directory), file_name), **columns)
+            file_name = _write_chunk(str(directory), index, columns, format_version)
             chunk_metas.append(_ChunkMeta(file=file_name, rows=block.n_rows,
                                           zones=_zone_maps(columns)))
         if column_names is None:
             column_names = sorted(NUMERIC_COLUMNS + ("job_id",))
-            file_name = "chunk-00000.npz"
             empty = {col: _empty_column(col, 0) for col in column_names}
-            np.savez_compressed(os.path.join(str(directory), file_name), **empty)
+            file_name = _write_chunk(str(directory), 0, empty, format_version)
             chunk_metas.append(_ChunkMeta(file=file_name, rows=0, zones={}))
-        _backfill_missing_columns(str(directory), chunk_metas, column_names)
+        _backfill_missing_columns(str(directory), chunk_metas, column_names, format_version)
         manifest = {
-            "format_version": FORMAT_VERSION,
+            "format_version": format_version,
             "name": name,
             "machines": machines,
             "n_jobs": sum(meta.rows for meta in chunk_metas),
@@ -313,6 +384,20 @@ class ChunkedTraceStore:
         return cls(directory)
 
 
+def _write_chunk(directory: str, index: int, columns: Dict[str, np.ndarray],
+                 format_version: int) -> str:
+    """Write one chunk's columns; returns the manifest ``file`` entry."""
+    if format_version == 1:
+        file_name = "chunk-%05d.npz" % index
+        np.savez_compressed(os.path.join(directory, file_name), **columns)
+        return file_name
+    prefix = "chunk-%05d" % index
+    for name, array in columns.items():
+        np.save(os.path.join(directory, "%s.%s.npy" % (prefix, name)),
+                np.ascontiguousarray(array))
+    return prefix
+
+
 def _empty_column(name: str, rows: int) -> np.ndarray:
     if name in NUMERIC_COLUMNS:
         return np.full(rows, np.nan, dtype=float)
@@ -320,8 +405,15 @@ def _empty_column(name: str, rows: int) -> np.ndarray:
 
 
 def _backfill_missing_columns(directory: str, chunk_metas: List[_ChunkMeta],
-                              column_names: List[str]) -> None:
+                              column_names: List[str], format_version: int) -> None:
     """Rewrite early chunks that predate a column first seen in a later chunk."""
+    if format_version == 2:
+        for meta in chunk_metas:
+            for col in column_names:
+                path = os.path.join(directory, "%s.%s.npy" % (meta.file, col))
+                if not os.path.isfile(path):
+                    np.save(path, _empty_column(col, meta.rows))
+        return
     for meta in chunk_metas:
         path = os.path.join(directory, meta.file)
         with np.load(path, allow_pickle=False) as archive:
@@ -353,7 +445,9 @@ def _job_blocks(jobs: Iterable[Job], chunk_rows: int) -> Iterator[ColumnBlock]:
 
 
 def write_store(directory, source, chunk_rows: int = DEFAULT_CHUNK_ROWS,
-                name: Optional[str] = None, machines: Optional[int] = None) -> ChunkedTraceStore:
+                name: Optional[str] = None, machines: Optional[int] = None,
+                format_version: int = DEFAULT_FORMAT_VERSION) -> ChunkedTraceStore:
     """Functional alias for :meth:`ChunkedTraceStore.write`."""
     return ChunkedTraceStore.write(directory, source, chunk_rows=chunk_rows,
-                                   name=name, machines=machines)
+                                   name=name, machines=machines,
+                                   format_version=format_version)

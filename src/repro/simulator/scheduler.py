@@ -110,8 +110,20 @@ class FifoScheduler(_JobQueueMixin, Scheduler):
         self._register(sim_job)
 
     def next_task(self, kind: str, now_s: float) -> Optional[Tuple[SimJob, SimTask]]:
-        for sim_job in self._jobs:  # jobs were added in submission order
-            if self._has_ready_task(sim_job, kind):
+        # Inlined _has_ready_task: this probe runs once per freed slot per
+        # event, so the per-job dict lookups are the dispatch loop's hottest
+        # line.
+        if kind == "map":
+            queues = self._map_queues
+            for sim_job in self._jobs:  # jobs were added in submission order
+                if queues[sim_job.job_id]:
+                    return self._pop_task(sim_job, kind)
+            return None
+        if kind != "reduce":
+            raise SchedulingError("unknown task kind %r" % (kind,))
+        queues = self._reduce_queues
+        for sim_job in self._jobs:
+            if queues[sim_job.job_id] and sim_job.map_stage_done:
                 return self._pop_task(sim_job, kind)
         return None
 

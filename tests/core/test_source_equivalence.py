@@ -128,9 +128,20 @@ class TestCoreStatisticEquivalence:
     def test_naming(self, cc_e_reps, representation):
         baseline = analyze_naming(cc_e_reps["trace"])
         naming = analyze_naming(cc_e_reps[representation])
+        # Job-count shares are integer-weighted: exact for every chunking.
         assert naming.by_jobs.shares == baseline.by_jobs.shares
-        assert naming.by_bytes.shares == baseline.by_bytes.shares
-        assert naming.framework_shares == baseline.framework_shares
+        # Byte-weighted shares group per chunk before summing, so a different
+        # chunking (store vs in-memory chunk width) may differ in the last ulp.
+        assert [word for word, _ in naming.by_bytes.shares] == \
+            [word for word, _ in baseline.by_bytes.shares]
+        assert [share for _, share in naming.by_bytes.shares] == pytest.approx(
+            [share for _, share in baseline.by_bytes.shares], rel=SUM_REL)
+        assert set(naming.framework_shares) == set(baseline.framework_shares)
+        for weighting, shares in baseline.framework_shares.items():
+            mine = naming.framework_shares[weighting]
+            assert set(mine) == set(shares)
+            for framework, share in shares.items():
+                assert mine[framework] == pytest.approx(share, rel=SUM_REL)
 
     def test_clustering(self, cc_b_reps, representation):
         baseline = cluster_jobs(cc_b_reps["trace"], max_k=6, seed=0)

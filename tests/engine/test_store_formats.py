@@ -1,0 +1,190 @@
+"""Store format v2 (raw per-column .npy) and v1/v2 interoperability tests."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine import ChunkedTraceStore, Predicate, TraceSource, execute, Query
+from repro.errors import TraceFormatError
+from repro.traces import Job, Trace
+
+
+def _jobs(n):
+    for index in range(n):
+        yield Job(job_id="f%05d" % index, submit_time_s=index * 100.0, duration_s=40.0,
+                  input_bytes=1e6 * (index + 1), shuffle_bytes=0.0, output_bytes=1e3,
+                  map_task_seconds=9.0, reduce_task_seconds=0.0,
+                  name="select row %d" % index,
+                  input_path="/in/%d" % (index % 11), output_path="/out/%d" % (index % 5))
+
+
+@pytest.fixture(scope="module")
+def both_formats(tmp_path_factory):
+    base = tmp_path_factory.mktemp("formats")
+    v1 = ChunkedTraceStore.write(base / "v1.store", _jobs(500), chunk_rows=64,
+                                 format_version=1)
+    v2 = ChunkedTraceStore.write(base / "v2.store", _jobs(500), chunk_rows=64,
+                                 format_version=2)
+    return v1, v2
+
+
+class TestFormatV2:
+    def test_default_write_is_v2(self, tmp_path):
+        store = ChunkedTraceStore.write(tmp_path / "s", _jobs(10), chunk_rows=4)
+        assert store.format_version == 2
+        assert store.info()["format_version"] == 2
+        files = os.listdir(tmp_path / "s")
+        assert any(name.endswith(".submit_time_s.npy") for name in files)
+        assert not any(name.endswith(".npz") for name in files)
+
+    def test_v2_reads_are_memory_mapped(self, both_formats):
+        _v1, v2 = both_formats
+        block = v2.read_chunk(0, columns=["input_bytes"])
+        assert isinstance(block.column("input_bytes"), np.memmap)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="format version"):
+            ChunkedTraceStore.write(tmp_path / "s", _jobs(4), format_version=3)
+
+    def test_empty_store_roundtrip(self, tmp_path):
+        store = ChunkedTraceStore.write(tmp_path / "empty", iter([]), chunk_rows=8)
+        reopened = ChunkedTraceStore(tmp_path / "empty")
+        assert reopened.n_jobs == 0
+        assert list(reopened.iter_jobs()) == []
+        assert store.format_version == 2
+
+    def test_v2_backfills_late_columns(self, tmp_path):
+        """A string column first seen mid-stream is padded into earlier chunks."""
+        jobs = [Job(job_id="a", submit_time_s=0.0, duration_s=1.0, input_bytes=1.0,
+                    shuffle_bytes=0.0, output_bytes=1.0, map_task_seconds=1.0,
+                    reduce_task_seconds=0.0),
+                Job(job_id="b", submit_time_s=1.0, duration_s=1.0, input_bytes=1.0,
+                    shuffle_bytes=0.0, output_bytes=1.0, map_task_seconds=1.0,
+                    reduce_task_seconds=0.0, name="late name")]
+        store = ChunkedTraceStore.write(tmp_path / "late", iter(jobs), chunk_rows=1)
+        assert "name" in store.columns
+        first = store.read_chunk(0, columns=["name"])
+        assert first.column("name")[0] == ""
+        second = store.read_chunk(1, columns=["name"])
+        assert second.column("name")[0] == "late name"
+
+
+class TestV1V2Equivalence:
+    def test_manifest_versions(self, both_formats):
+        v1, v2 = both_formats
+        assert (v1.format_version, v2.format_version) == (1, 2)
+        assert v1.columns == v2.columns
+        assert v1.chunk_rows() == v2.chunk_rows()
+
+    def test_chunks_identical(self, both_formats):
+        v1, v2 = both_formats
+        for index in range(v1.n_chunks):
+            a = v1.read_chunk(index)
+            b = v2.read_chunk(index)
+            assert sorted(a.columns) == sorted(b.columns)
+            for name in a.columns:
+                left = np.asarray(a.column(name))
+                right = np.asarray(b.column(name))
+                equal_nan = left.dtype.kind == "f"
+                assert np.array_equal(left, right, equal_nan=equal_nan), name
+
+    def test_zone_maps_identical(self, both_formats):
+        v1, v2 = both_formats
+        for index in range(v1.n_chunks):
+            for column in ("submit_time_s", "input_bytes"):
+                assert v1.chunk_zone(index, column) == v2.chunk_zone(index, column)
+
+    def test_round_trip_jobs_identical(self, both_formats):
+        v1, v2 = both_formats
+        jobs_v1 = [job.to_dict() for job in v1.iter_jobs()]
+        jobs_v2 = [job.to_dict() for job in v2.iter_jobs()]
+        assert jobs_v1 == jobs_v2
+
+    def test_query_results_identical(self, both_formats):
+        v1, v2 = both_formats
+        query = (Query().filter("input_bytes", ">", 2e8)
+                 .aggregate(n=("count", "input_bytes"), total=("sum", "input_bytes")))
+        a = execute(v1, query)
+        b = execute(v2, query)
+        assert a.aggregates == b.aggregates
+        assert a.chunks_skipped == b.chunks_skipped
+
+    def test_v2_to_v1_rewrite_round_trip(self, both_formats, tmp_path):
+        """repro engine convert --format v1 semantics: v2 -> v1 -> same data."""
+        _v1, v2 = both_formats
+        back = ChunkedTraceStore.write(tmp_path / "back", v2.load_columnar(),
+                                       chunk_rows=64, format_version=1)
+        assert back.format_version == 1
+        assert [j.to_dict() for j in back.iter_jobs()] == \
+            [j.to_dict() for j in v2.iter_jobs()]
+
+
+class TestZoneMapSkippingThroughTraceSource:
+    def test_submit_hour_predicate_skips_chunks(self, both_formats, monkeypatch):
+        """Derived submit_hour predicates prune chunks via submit_time_s zones."""
+        _v1, store = both_formats
+        reads = []
+        original = ChunkedTraceStore.read_chunk
+
+        def counting(self, index, columns=None):
+            reads.append(index)
+            return original(self, index, columns=columns)
+
+        monkeypatch.setattr(ChunkedTraceStore, "read_chunk", counting)
+        source = TraceSource.wrap(store)
+        # 500 jobs, 100 s apart: hours 0..13; keep the first two hours only.
+        blocks = list(source.iter_chunks(columns=["submit_time_s"],
+                                         predicates=[Predicate("submit_hour", "<", 2.0)]))
+        rows = sum(block.n_rows for block in blocks)
+        assert rows == 72  # submit < 7200 s -> indices 0..71
+        assert 0 < len(reads) < store.n_chunks  # later chunks were never read
+
+    def test_submit_hour_zone_derived(self, both_formats):
+        v1, v2 = both_formats
+        for store in (v1, v2):
+            zone = store.chunk_zone(0, "submit_hour")
+            time_zone = store.chunk_zone(0, "submit_time_s")
+            assert zone == [np.floor(time_zone[0] / 3600.0),
+                            np.floor(time_zone[1] / 3600.0)]
+
+    def test_predicate_rows_match_unfiltered_scan(self, both_formats):
+        _v1, store = both_formats
+        source = TraceSource.wrap(store)
+        predicate = Predicate("input_bytes", ">=", 4.9e8)
+        filtered = np.concatenate([
+            block.column("input_bytes")
+            for block in source.iter_chunks(columns=["input_bytes"],
+                                            predicates=[predicate])])
+        full = np.concatenate([
+            block.column("input_bytes")
+            for block in source.iter_chunks(columns=["input_bytes"])])
+        assert np.array_equal(filtered, full[full >= 4.9e8])
+
+    def test_materialized_source_applies_row_filter(self, both_formats):
+        _v1, store = both_formats
+        source = TraceSource.wrap(store.load_columnar())
+        predicate = Predicate("submit_hour", "<", 1.0)
+        rows = sum(block.n_rows
+                   for block in source.iter_chunks(columns=["submit_time_s"],
+                                                   predicates=[predicate]))
+        assert rows == 36  # submit < 3600 s
+
+
+class TestConvertCli:
+    def test_convert_format_flags(self, tmp_path):
+        from repro.cli import main
+        from repro.traces.io import write_trace
+
+        trace = Trace(list(_jobs(30)), name="cli")
+        path = tmp_path / "trace.jsonl"
+        write_trace(trace, str(path))
+        v1_dir = tmp_path / "v1.store"
+        v2_dir = tmp_path / "v2.store"
+        assert main(["engine", "convert", "--trace", str(path),
+                     "--output", str(v1_dir), "--format", "v1"]) == 0
+        assert main(["engine", "convert", "--trace", str(path),
+                     "--output", str(v2_dir), "--format", "v2"]) == 0
+        assert ChunkedTraceStore(v1_dir).format_version == 1
+        assert ChunkedTraceStore(v2_dir).format_version == 2
+        assert main(["engine", "info", "--store", str(v2_dir)]) == 0

@@ -44,6 +44,20 @@ because both children share ~2 s of fixed non-scan cost (the Figure-7
 utilization replay, Table-2 clustering, report rendering) that compresses
 the ratio, and single-core container timings jitter by ±20%.
 
+**Incremental lane** (the checkpointed-ingest contract): a second v2 store is
+seeded with the first 90% of the jobs and characterized once with
+``checkpoint_to=`` (the "yesterday" run); the remaining 10% are then
+*appended* via the store appender, and the suite is re-run twice in fresh
+subprocesses — a **cold full rescan** and an **incremental resume** from the
+checkpoint (both without the replay-simulated Figure-7 utilization column, so
+the comparison measures the scan pipeline, not the simulator).  Enforced:
+every experiment's rows **bit-identical** between the two (the resumable
+consumers restore exact states — sketch bins, path statistics, per-hour
+aggregates — and the non-resumable Table-2 sample re-gathers either way), and
+the incremental wall clock below ``--max-incremental-ratio`` (default 0.35×)
+of the cold rescan.  ``--incremental-only`` runs just this lane (the CI docs
+job uses it with ``--smoke``).
+
 ``--output`` (default: ``BENCH_characterize.json`` at the repo root, so the
 perf trajectory is tracked across PRs) writes the measured numbers as JSON —
 also uploaded as a CI artifact by the ``bench-characterize-smoke`` job.
@@ -52,6 +66,7 @@ also uploaded as a CI artifact by the ``bench-characterize-smoke`` job.
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import os
 import shutil
@@ -136,36 +151,57 @@ def peak_rss_mb():
 from repro.engine import ChunkedTraceStore
 from repro.bench.suite import CHARACTERIZATION_EXPERIMENT_IDS, run_suite
 from repro.core.datasizes import analyze_data_sizes
+from repro.core.sharedscan import run_characterization_scan
 
 store_path, mode, processes = sys.argv[1], sys.argv[2], int(sys.argv[3])
+checkpoint_path = sys.argv[4] if len(sys.argv) > 4 else ""
 start = time.perf_counter()
 store = ChunkedTraceStore(store_path)
-source = store.to_trace() if mode == "materialized" else store
-results = run_suite(traces={store.name: source},
-                    experiments=list(CHARACTERIZATION_EXPERIMENT_IDS),
-                    include_ablations=False, include_simulation=True,
-                    shared_scan=(mode != "per-analysis"),
-                    processes=processes or None)
-payload = {
-    "rows": {result.experiment_id: result.rows for result in results},
-    "wall_s": time.perf_counter() - start,
-}
-if mode in ("per-analysis", "materialized"):
-    sizes = analyze_data_sizes(source)
-    payload["figure1_medians"] = sizes.medians
-    payload["figure1_below_gb"] = sizes.fraction_below_gb
-    payload["map_only_fraction"] = sizes.map_only_fraction
+if mode in ("checkpoint", "cold", "incremental"):
+    # The incremental lane: one explicit shared scan (optionally resumed
+    # from / saved to a checkpoint), its bundle handed to the suite.  No
+    # simulated Figure-7 utilization, so the lane times the scan pipeline.
+    bundle = run_characterization_scan(
+        store, experiments=list(CHARACTERIZATION_EXPERIMENT_IDS), seed=0,
+        resume_from=(checkpoint_path if mode == "incremental" else None),
+        checkpoint_to=(checkpoint_path if mode == "checkpoint" else None))
+    results = run_suite(traces={store.name: store},
+                        experiments=list(CHARACTERIZATION_EXPERIMENT_IDS),
+                        include_ablations=False, include_simulation=False,
+                        analyses={store.name: bundle})
+    payload = {
+        "rows": {result.experiment_id: result.rows for result in results},
+        "wall_s": time.perf_counter() - start,
+        "resume": bundle.resume,
+    }
+else:
+    source = store.to_trace() if mode == "materialized" else store
+    results = run_suite(traces={store.name: source},
+                        experiments=list(CHARACTERIZATION_EXPERIMENT_IDS),
+                        include_ablations=False, include_simulation=True,
+                        shared_scan=(mode != "per-analysis"),
+                        processes=processes or None)
+    payload = {
+        "rows": {result.experiment_id: result.rows for result in results},
+        "wall_s": time.perf_counter() - start,
+    }
+    if mode in ("per-analysis", "materialized"):
+        sizes = analyze_data_sizes(source)
+        payload["figure1_medians"] = sizes.medians
+        payload["figure1_below_gb"] = sizes.fraction_below_gb
+        payload["map_only_fraction"] = sizes.map_only_fraction
 payload["rss_mb"] = peak_rss_mb()
 print(json.dumps(payload))
 """
 
 
-def _run_child(store_path: str, mode: str, processes: int = 0) -> dict:
+def _run_child(store_path: str, mode: str, processes: int = 0,
+               checkpoint_path: str = "") -> dict:
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(__file__), "..", "src")
     env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
     output = subprocess.run([sys.executable, "-c", _CHILD_SNIPPET, store_path, mode,
-                             str(processes)],
+                             str(processes), checkpoint_path],
                             capture_output=True, text=True, env=env)
     if output.returncode != 0:
         raise RuntimeError("characterize child (%s) failed:\n%s" % (mode, output.stderr))
@@ -210,84 +246,194 @@ def _check_equivalence(streamed: dict, full: dict) -> list:
     return failures
 
 
+def _run_incremental_lane(n_jobs: int, chunk_rows: int, store_dir: str,
+                          check_ratio: bool, max_ratio: float,
+                          append_fraction: float = 0.1):
+    """The checkpointed-ingest lane: seed 90%, checkpoint, append 10%, resume.
+
+    Returns ``(failures, payload)``.  Every experiment's rows must be
+    bit-identical between the cold full rescan and the incremental resume of
+    the grown store; the resume must finish in under ``max_ratio`` of the
+    cold wall clock (when ``check_ratio``).
+    """
+    inc_path = os.path.join(store_dir, "store-incremental")
+    checkpoint_path = os.path.join(store_dir, "incremental.ck.json")
+    base_jobs = int(n_jobs * (1.0 - append_fraction))
+    print("\n== incremental lane: append %d%% of chunks, resume from checkpoint =="
+          % round(append_fraction * 100))
+
+    start = time.perf_counter()
+    # One deterministic generator sliced twice: the seeded prefix and the
+    # appended tail are exactly the full trace's jobs.
+    base_store = ChunkedTraceStore.write(
+        inc_path, itertools.islice(synthetic_characterize_jobs(n_jobs), base_jobs),
+        chunk_rows=chunk_rows, name="FB-2010")
+    print("wrote incremental base  (%d chunks, %d jobs) in %.1f s"
+          % (base_store.n_chunks, base_store.n_jobs, time.perf_counter() - start))
+
+    print("characterizing base store + saving checkpoint...")
+    baseline = _run_child(inc_path, "checkpoint", checkpoint_path=checkpoint_path)
+
+    start = time.perf_counter()
+    grown = ChunkedTraceStore.open_append(inc_path).append(
+        itertools.islice(synthetic_characterize_jobs(n_jobs), base_jobs, None))
+    append_s = time.perf_counter() - start
+    print("appended %d jobs in %d chunks in %.1f s (sorted=%s)"
+          % (grown.n_jobs - base_jobs, grown.n_chunks - base_store.n_chunks,
+             append_s, grown.sorted_by_submit_time))
+
+    print("characterizing grown store cold (full rescan)...")
+    cold = _run_child(inc_path, "cold")
+    print("characterizing grown store incrementally (resume from checkpoint)...")
+    incremental = _run_child(inc_path, "incremental", checkpoint_path=checkpoint_path)
+
+    failures = []
+    for experiment_id, cold_rows in cold["rows"].items():
+        resumed_rows = incremental["rows"].get(experiment_id)
+        if resumed_rows != cold_rows:
+            failures.append("incremental rows mismatch on %r:\n  cold:        %r\n"
+                            "  incremental: %r"
+                            % (experiment_id, cold_rows, resumed_rows))
+    resume = incremental.get("resume") or {}
+    if not resume.get("resumed"):
+        failures.append("incremental child resumed no consumers: %r" % (resume,))
+
+    ratio = (incremental["wall_s"] / cold["wall_s"]
+             if cold["wall_s"] else float("inf"))
+    header = "%-14s %12s %12s" % ("lane", "wall s", "peak RSS MB")
+    print("\n" + header)
+    print("-" * len(header))
+    for name, result in (("checkpoint", baseline), ("cold-rescan", cold),
+                         ("incremental", incremental)):
+        print("%-14s %12.1f %12.1f" % (name, result["wall_s"], result["rss_mb"]))
+    print("\nincremental/cold wall ratio after appending %d%% of chunks: "
+          "%.3f (target < %.2f)" % (round(append_fraction * 100), ratio, max_ratio))
+    print("resumed: %s" % ", ".join(resume.get("resumed", [])))
+    print("full rescan: %s" % ", ".join(sorted(resume.get("rescanned", {}))))
+    if check_ratio and ratio >= max_ratio:
+        failures.append("incremental/cold wall ratio %.3f not below %.2f"
+                        % (ratio, max_ratio))
+
+    payload = {
+        "append_fraction": append_fraction,
+        "base_jobs": base_jobs,
+        "appended_jobs": n_jobs - base_jobs,
+        "append_wall_s": append_s,
+        "lanes": {
+            "checkpoint": {"wall_s": baseline["wall_s"], "rss_mb": baseline["rss_mb"]},
+            "cold_rescan": {"wall_s": cold["wall_s"], "rss_mb": cold["rss_mb"]},
+            "incremental": {"wall_s": incremental["wall_s"],
+                            "rss_mb": incremental["rss_mb"]},
+        },
+        "ratio_incremental_vs_cold": ratio,
+        "resumed": resume.get("resumed", []),
+        "rescanned": resume.get("rescanned", {}),
+    }
+    return failures, payload
+
+
 def run_benchmark(n_jobs: int, chunk_rows: int, keep_store: str = "",
                   check_rss: bool = True, check_speedup: bool = True,
                   min_speedup: float = 2.5, processes: int = 0,
-                  output: str = DEFAULT_OUTPUT) -> int:
+                  output: str = DEFAULT_OUTPUT,
+                  check_incremental: bool = True,
+                  max_incremental_ratio: float = 0.35,
+                  incremental_only: bool = False) -> int:
     print("== out-of-core characterization benchmark: %d jobs ==" % n_jobs)
     store_dir = keep_store or tempfile.mkdtemp(prefix="bench_characterize_")
-    v1_path = os.path.join(store_dir, "store-v1")
-    v2_path = os.path.join(store_dir, "store-v2")
+    failures = []
+    payload = {
+        "benchmark": "characterize",
+        "n_jobs": n_jobs,
+        "chunk_rows": chunk_rows,
+    }
 
-    start = time.perf_counter()
-    v1_store = ChunkedTraceStore.write(v1_path, synthetic_characterize_jobs(n_jobs),
-                                       chunk_rows=chunk_rows, name="FB-2010",
-                                       format_version=1)
-    v1_mb = v1_store.info()["on_disk_bytes"] / 1e6
-    print("wrote v1 (.npz) store   (%d chunks, %7.1f MB) in %.1f s"
-          % (v1_store.n_chunks, v1_mb, time.perf_counter() - start))
-    start = time.perf_counter()
-    # Re-run the deterministic generator rather than materializing the v1
-    # store: identical jobs, chunk-bounded memory during setup.
-    v2_store = ChunkedTraceStore.write(v2_path, synthetic_characterize_jobs(n_jobs),
-                                       chunk_rows=chunk_rows, name="FB-2010",
-                                       format_version=2)
-    v2_mb = v2_store.info()["on_disk_bytes"] / 1e6
-    print("wrote v2 (.npy) store   (%d chunks, %7.1f MB) in %.1f s\n"
-          % (v2_store.n_chunks, v2_mb, time.perf_counter() - start))
+    if not incremental_only:
+        v1_path = os.path.join(store_dir, "store-v1")
+        v2_path = os.path.join(store_dir, "store-v2")
 
-    print("characterizing per-analysis (one scan per experiment, v1 store)...")
-    streamed = _run_child(v1_path, "per-analysis")
-    print("characterizing shared scan (one decoded pass, v2 store)...")
-    shared = _run_child(v2_path, "shared")
-    shared_parallel = None
-    if processes:
-        print("characterizing shared scan with %d worker processes..." % processes)
-        shared_parallel = _run_child(v2_path, "shared", processes=processes)
-    print("characterizing materialized (store -> Trace -> suite)...")
-    full = _run_child(v1_path, "materialized")
+        start = time.perf_counter()
+        v1_store = ChunkedTraceStore.write(v1_path, synthetic_characterize_jobs(n_jobs),
+                                           chunk_rows=chunk_rows, name="FB-2010",
+                                           format_version=1)
+        v1_mb = v1_store.info()["on_disk_bytes"] / 1e6
+        print("wrote v1 (.npz) store   (%d chunks, %7.1f MB) in %.1f s"
+              % (v1_store.n_chunks, v1_mb, time.perf_counter() - start))
+        start = time.perf_counter()
+        # Re-run the deterministic generator rather than materializing the v1
+        # store: identical jobs, chunk-bounded memory during setup.
+        v2_store = ChunkedTraceStore.write(v2_path, synthetic_characterize_jobs(n_jobs),
+                                           chunk_rows=chunk_rows, name="FB-2010",
+                                           format_version=2)
+        v2_mb = v2_store.info()["on_disk_bytes"] / 1e6
+        print("wrote v2 (.npy) store   (%d chunks, %7.1f MB) in %.1f s\n"
+              % (v2_store.n_chunks, v2_mb, time.perf_counter() - start))
 
-    named = [("per-analysis", streamed), ("shared", shared)]
-    if shared_parallel is not None:
-        named.append(("shared-p%d" % processes, shared_parallel))
-    named.append(("materialized", full))
-    header = "%-14s %12s %12s" % ("path", "wall s", "peak RSS MB")
-    print("\n" + header)
-    print("-" * len(header))
-    for name, result in named:
-        print("%-14s %12.1f %12.1f" % (name, result["wall_s"], result["rss_mb"]))
+        print("characterizing per-analysis (one scan per experiment, v1 store)...")
+        streamed = _run_child(v1_path, "per-analysis")
+        print("characterizing shared scan (one decoded pass, v2 store)...")
+        shared = _run_child(v2_path, "shared")
+        shared_parallel = None
+        if processes:
+            print("characterizing shared scan with %d worker processes..." % processes)
+            shared_parallel = _run_child(v2_path, "shared", processes=processes)
+        print("characterizing materialized (store -> Trace -> suite)...")
+        full = _run_child(v1_path, "materialized")
 
-    failures = _check_shared_equals_streamed(shared, streamed, "shared")
-    if shared_parallel is not None:
-        failures += _check_shared_equals_streamed(shared_parallel, shared,
-                                                  "shared-p%d" % processes)
-    failures += _check_equivalence(streamed, full)
+        named = [("per-analysis", streamed), ("shared", shared)]
+        if shared_parallel is not None:
+            named.append(("shared-p%d" % processes, shared_parallel))
+        named.append(("materialized", full))
+        header = "%-14s %12s %12s" % ("path", "wall s", "peak RSS MB")
+        print("\n" + header)
+        print("-" * len(header))
+        for name, result in named:
+            print("%-14s %12.1f %12.1f" % (name, result["wall_s"], result["rss_mb"]))
 
-    ratio = shared["rss_mb"] / full["rss_mb"] if full["rss_mb"] else float("inf")
-    speedup = streamed["wall_s"] / shared["wall_s"] if shared["wall_s"] else float("inf")
-    print("\nshared/materialized peak-RSS ratio:  %.3f (target <= 1/3)" % ratio)
-    print("shared-scan speedup vs per-analysis: %.2fx (target >= %.1fx)"
-          % (speedup, min_speedup))
-    if check_rss and ratio > 1.0 / 3.0:
-        failures.append("peak RSS ratio %.3f exceeds 1/3" % ratio)
-    if check_speedup and speedup < min_speedup:
-        failures.append("shared-scan speedup %.2fx below %.1fx" % (speedup, min_speedup))
+        failures += _check_shared_equals_streamed(shared, streamed, "shared")
+        if shared_parallel is not None:
+            failures += _check_shared_equals_streamed(shared_parallel, shared,
+                                                      "shared-p%d" % processes)
+        failures += _check_equivalence(streamed, full)
+
+        ratio = shared["rss_mb"] / full["rss_mb"] if full["rss_mb"] else float("inf")
+        speedup = streamed["wall_s"] / shared["wall_s"] if shared["wall_s"] else float("inf")
+        print("\nshared/materialized peak-RSS ratio:  %.3f (target <= 1/3)" % ratio)
+        print("shared-scan speedup vs per-analysis: %.2fx (target >= %.1fx)"
+              % (speedup, min_speedup))
+        if check_rss and ratio > 1.0 / 3.0:
+            failures.append("peak RSS ratio %.3f exceeds 1/3" % ratio)
+        if check_speedup and speedup < min_speedup:
+            failures.append("shared-scan speedup %.2fx below %.1fx" % (speedup, min_speedup))
+
+        payload["store_disk_mb"] = {"v1": v1_mb, "v2": v2_mb}
+        payload["paths"] = {
+            name.replace("-", "_"): {"wall_s": result["wall_s"],
+                                     "rss_mb": result["rss_mb"]}
+            for name, result in named
+        }
+        payload["speedup_shared_vs_per_analysis"] = speedup
+        payload["rss_ratio_shared_vs_materialized"] = ratio
+
+    incremental_failures, incremental_payload = _run_incremental_lane(
+        n_jobs, chunk_rows, store_dir,
+        check_ratio=check_incremental, max_ratio=max_incremental_ratio)
+    failures += incremental_failures
+    payload["incremental"] = incremental_payload
+    payload["failures"] = failures
 
     if output:
-        payload = {
-            "benchmark": "characterize",
-            "n_jobs": n_jobs,
-            "chunk_rows": chunk_rows,
-            "store_disk_mb": {"v1": v1_mb, "v2": v2_mb},
-            "paths": {
-                name.replace("-", "_"): {"wall_s": result["wall_s"],
-                                         "rss_mb": result["rss_mb"]}
-                for name, result in named
-            },
-            "speedup_shared_vs_per_analysis": speedup,
-            "rss_ratio_shared_vs_materialized": ratio,
-            "failures": failures,
-        }
+        if incremental_only and os.path.isfile(output):
+            # Merge into an existing full-benchmark JSON instead of dropping
+            # its speedup/RSS history.
+            try:
+                with open(output, "r", encoding="utf-8") as handle:
+                    previous = json.load(handle)
+                previous["incremental"] = incremental_payload
+                previous["failures"] = failures
+                payload = previous
+            except (IOError, ValueError):
+                pass
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
@@ -326,15 +472,26 @@ def main(argv=None):
                              "consumer-optimized) per-analysis path")
     parser.add_argument("--skip-speed-check", action="store_true",
                         help="report but do not enforce the speedup bar")
+    parser.add_argument("--incremental-only", action="store_true",
+                        help="run only the append-10%%-and-resume lane (row "
+                             "equality always enforced; used by the CI docs job)")
+    parser.add_argument("--max-incremental-ratio", type=float, default=0.35,
+                        help="required incremental/cold wall-clock ratio bound")
+    parser.add_argument("--skip-incremental-check", action="store_true",
+                        help="report but do not enforce the incremental ratio bar")
     args = parser.parse_args(argv)
     n_jobs = 50_000 if args.smoke else args.jobs
     chunk_rows = min(args.chunk_rows, 8192) if args.smoke else args.chunk_rows
     check_rss = not (args.smoke or args.skip_rss_check)
     check_speedup = not (args.smoke or args.skip_speed_check)
+    check_incremental = not (args.smoke or args.skip_incremental_check)
     return run_benchmark(n_jobs, chunk_rows, keep_store=args.keep_store,
                          check_rss=check_rss, check_speedup=check_speedup,
                          min_speedup=args.min_speedup, processes=args.processes,
-                         output=args.output)
+                         output=args.output,
+                         check_incremental=check_incremental,
+                         max_incremental_ratio=args.max_incremental_ratio,
+                         incremental_only=args.incremental_only)
 
 
 if __name__ == "__main__":

@@ -6,7 +6,10 @@ Verifies that:
    in README.md;
 2. the doc files README.md links to exist;
 3. the docs-bearing modules listed in tests/test_doctests.py actually carry
-   doctests (so the CI doctest step cannot silently test nothing).
+   doctests (so the CI doctest step cannot silently test nothing);
+4. the shell blocks of docs/cookbook.md actually run: they are extracted in
+   order and executed in one scratch directory against a tiny generated
+   fixture (skip with ``--skip-cookbook`` for a fast link-only check).
 
 Run with::
 
@@ -15,15 +18,20 @@ Run with::
 
 from __future__ import annotations
 
+import argparse
 import doctest
 import importlib
 import os
 import re
+import subprocess
 import sys
+import tempfile
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 sys.path.insert(0, os.path.join(REPO_ROOT, "tests"))
+
+COOKBOOK_PATH = os.path.join(REPO_ROOT, "docs", "cookbook.md")
 
 
 def _subcommands():
@@ -77,7 +85,58 @@ def check_doctest_modules():
     return problems
 
 
-def main() -> int:
+def cookbook_shell_blocks():
+    """The ```bash blocks of docs/cookbook.md, in document order."""
+    if not os.path.isfile(COOKBOOK_PATH):
+        return None
+    with open(COOKBOOK_PATH, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return re.findall(r"```bash\n(.*?)```", text, flags=re.DOTALL)
+
+
+def run_cookbook_smoke():
+    """Execute every cookbook shell block, in order, in one scratch dir.
+
+    The blocks are concatenated into a single ``bash -e`` script so a later
+    recipe can use the files an earlier one created — exactly how an
+    operator would paste them.  ``python`` resolves to the interpreter
+    running this check via a PATH shim, and ``PYTHONPATH`` points at the
+    checkout's ``src``.
+    """
+    blocks = cookbook_shell_blocks()
+    if blocks is None:
+        return ["docs/cookbook.md is missing"]
+    if len(blocks) < 5:
+        return ["docs/cookbook.md has only %d shell block(s); expected the "
+                "recipe set" % len(blocks)]
+    script = "set -euo pipefail\n" + "\n".join(blocks)
+    with tempfile.TemporaryDirectory(prefix="cookbook_smoke_") as scratch:
+        shim_dir = os.path.join(scratch, "bin")
+        os.makedirs(shim_dir)
+        for alias in ("python", "python3"):
+            shim = os.path.join(shim_dir, alias)
+            with open(shim, "w", encoding="utf-8") as handle:
+                handle.write('#!/bin/sh\nexec "%s" "$@"\n' % sys.executable)
+            os.chmod(shim, 0o755)
+        env = dict(os.environ)
+        env["PATH"] = shim_dir + os.pathsep + env.get("PATH", "")
+        env["PYTHONPATH"] = (os.path.join(REPO_ROOT, "src") + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        result = subprocess.run(["bash", "-c", script], cwd=scratch, env=env,
+                                capture_output=True, text=True)
+        if result.returncode != 0:
+            tail = "\n".join((result.stdout + "\n" + result.stderr).splitlines()[-25:])
+            return ["cookbook smoke failed (exit %d); last output:\n%s"
+                    % (result.returncode, tail)]
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="documentation consistency checks")
+    parser.add_argument("--skip-cookbook", action="store_true",
+                        help="skip executing the docs/cookbook.md shell blocks")
+    args = parser.parse_args(argv)
+
     readme_path = os.path.join(REPO_ROOT, "README.md")
     if not os.path.isfile(readme_path):
         print("FAIL: README.md is missing")
@@ -88,13 +147,17 @@ def main() -> int:
     problems = (check_readme_covers_cli(readme_text)
                 + check_linked_docs_exist(readme_text)
                 + check_doctest_modules())
+    cookbook_note = "cookbook skipped"
+    if not args.skip_cookbook:
+        problems += run_cookbook_smoke()
+        cookbook_note = "%d cookbook blocks ran" % len(cookbook_shell_blocks() or [])
     if problems:
         print("documentation checks FAILED:")
         for problem in problems:
             print("  - %s" % problem)
         return 1
     print("documentation checks OK: %d CLI subcommands documented, links valid, "
-          "doctests present" % len(_subcommands()))
+          "doctests present, %s" % (len(_subcommands()), cookbook_note))
     return 0
 
 

@@ -71,7 +71,9 @@ def run_suite(seed: int = 0, scale: Optional[float] = None,
               include_simulation: bool = True,
               experiments: Optional[List[str]] = None,
               shared_scan: bool = True,
-              processes: Optional[int] = None) -> List[ExperimentResult]:
+              processes: Optional[int] = None,
+              analyses: Optional[Dict[str, CharacterizationAnalyses]] = None
+              ) -> List[ExperimentResult]:
     """Run the full benchmark suite.
 
     Args:
@@ -93,6 +95,10 @@ def run_suite(seed: int = 0, scale: Optional[float] = None,
         processes: fan the shared scan of store-backed traces out over this
             many worker processes (``None`` = serial; implies nothing for
             materialized traces).
+        analyses: precomputed shared-scan bundles keyed by workload name —
+            e.g. from :func:`run_characterization_scan` with
+            ``resume_from=``/``checkpoint_to=`` (the incremental path) — used
+            instead of running the suite's own scan.
 
     Returns:
         A list of experiment results in report order.
@@ -115,8 +121,7 @@ def run_suite(seed: int = 0, scale: Optional[float] = None,
 
     characterization = [experiment_id for experiment_id in CHARACTERIZATION_EXPERIMENT_IDS
                         if wanted(experiment_id)]
-    analyses: Optional[Dict[str, CharacterizationAnalyses]] = None
-    if shared_scan and characterization:
+    if analyses is None and shared_scan and characterization:
         executor = ParallelExecutor(processes=processes) if processes else None
         analyses = {
             name: run_characterization_scan(trace, experiments=characterization,

@@ -20,9 +20,17 @@ main workflows:
 * ``bench`` — run the benchmark suite and print the report; ``--store``
   reproduces Table 1, Figures 1-10 and Table 2 directly from chunked
   columnar store(s) without materializing jobs;
-* ``engine`` — columnar trace engine: convert a trace to the chunked on-disk
-  columnar store, inspect a store, and run filtered/grouped aggregate and
-  top-k queries over it (optionally in parallel).
+* ``engine`` — columnar trace engine: convert a trace (or re-encode an
+  existing store) to the chunked on-disk columnar store, **append** fresh
+  jobs to a v2 store (``ingest``, crash-safe), inspect a store (``info
+  --sizes`` breaks the disk footprint down per column), and run
+  filtered/grouped aggregate and top-k queries over it (optionally in
+  parallel).
+
+``characterize --store`` supports **checkpointed incremental runs**:
+``--checkpoint PATH`` persists the scan's fold states; after an ``engine
+ingest``, ``--resume PATH`` folds only the appended chunks (bit-identical to
+a full rescan, which non-resumable analyses transparently fall back to).
 """
 
 from __future__ import annotations
@@ -85,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     character.add_argument("--processes", type=int, default=None, metavar="N",
                            help="fan the shared scan of a --store source out "
                                 "over N worker processes")
+    character.add_argument("--checkpoint", metavar="PATH",
+                           help="save a characterization checkpoint (JSON + "
+                                ".npz) after the scan — --store sources only")
+    character.add_argument("--resume", metavar="PATH",
+                           help="resume from a checkpoint of an earlier scan: "
+                                "resumable analyses fold only the chunks "
+                                "appended since (ingest), the rest rescan — "
+                                "--store sources only")
 
     synthesize = subparsers.add_parser("synthesize", help="SWIM-style scaled synthesis")
     synth_source = synthesize.add_mutually_exclusive_group(required=True)
@@ -176,6 +192,9 @@ def build_parser() -> argparse.ArgumentParser:
     convert_source.add_argument("--workload", choices=registered_names(),
                                 help="generate and convert a paper workload")
     convert_source.add_argument("--trace", help="trace file (.csv/.jsonl[.gz]); streamed lazily")
+    convert_source.add_argument("--store", help="existing store directory "
+                                                "(v1<->v2 re-encoding, streamed chunk "
+                                                "by chunk)")
     convert.add_argument("--scale", type=float, default=None)
     convert.add_argument("--seed", type=int, default=0)
     convert.add_argument("--output", required=True, help="store directory to create")
@@ -185,8 +204,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="store layout: v2 (default) raw per-column .npy "
                               "read via mmap; v1 legacy compressed .npz")
 
+    ingest = engine_actions.add_parser(
+        "ingest", help="append fresh jobs to an existing v2 store "
+                       "(crash-safe manifest swap; zone maps extended)")
+    ingest.add_argument("--store", required=True, help="store directory to append to")
+    ingest_source = ingest.add_mutually_exclusive_group(required=True)
+    ingest_source.add_argument("--trace", help="trace file with the new jobs; streamed lazily")
+    ingest_source.add_argument("--workload", choices=registered_names(),
+                               help="generate and append a paper workload")
+    ingest.add_argument("--scale", type=float, default=None)
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--chunk-rows", type=int, default=None,
+                        help="rows per appended chunk (default: the store's "
+                             "own chunk_rows)")
+
     info = engine_actions.add_parser("info", help="summarize a chunked columnar store")
     info.add_argument("--store", required=True, help="store directory")
+    info.add_argument("--sizes", action="store_true",
+                      help="also print the per-column on-disk size breakdown "
+                           "(v1: compressed member sizes; v2: raw .npy sizes)")
 
     query = engine_actions.add_parser("query",
                                       help="filtered aggregate / group-by / top-k over a store")
@@ -231,9 +267,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "characterize":
+        if (args.checkpoint or args.resume) and not args.store:
+            parser.error("--checkpoint/--resume need a --store source "
+                         "(checkpoints record a chunk watermark)")
         trace = _load_source(args)
         report = characterize(trace, cluster=not args.no_cluster,
-                              processes=args.processes)
+                              processes=args.processes,
+                              resume_from=args.resume,
+                              checkpoint_to=args.checkpoint)
         print(report.render())
         return 0
 
@@ -469,6 +510,8 @@ def _run_engine(parser, args) -> int:
     if args.engine_command == "convert":
         if args.workload:
             source = load_workload(args.workload, seed=args.seed, scale=args.scale)
+        elif args.store:
+            source = ChunkedTraceStore(args.store)  # store->store re-encode
         else:
             source = iter_trace(args.trace)  # lazy: bounded by --chunk-rows
         store = ChunkedTraceStore.write(args.output, source, chunk_rows=args.chunk_rows,
@@ -478,12 +521,39 @@ def _run_engine(parser, args) -> int:
               % (store.n_jobs, store.n_chunks, args.output, store.format_version))
         return 0
 
+    if args.engine_command == "ingest":
+        appender = ChunkedTraceStore.open_append(args.store)
+        before_jobs = appender.store.n_jobs
+        before_chunks = appender.store.n_chunks
+        if args.workload:
+            source = load_workload(args.workload, seed=args.seed, scale=args.scale)
+        else:
+            source = iter_trace(args.trace)  # lazy: bounded by chunk rows
+        store = appender.append(source, chunk_rows=args.chunk_rows)
+        print("appended %d jobs in %d chunks to %s "
+              "(now %d jobs, %d chunks, sorted_by_submit_time=%s, "
+              "manifest_sequence=%d)"
+              % (store.n_jobs - before_jobs, store.n_chunks - before_chunks,
+                 args.store, store.n_jobs, store.n_chunks,
+                 store.sorted_by_submit_time, store.manifest_sequence))
+        return 0
+
     if args.engine_command == "info":
-        info = ChunkedTraceStore(args.store).info()
-        for key in ("directory", "name", "machines", "format_version", "n_jobs",
+        store = ChunkedTraceStore(args.store)
+        info = store.info()
+        for key in ("directory", "name", "machines", "format_version",
+                    "manifest_sequence", "sorted_by_submit_time", "n_jobs",
                     "n_chunks", "on_disk_bytes", "submit_time_range"):
             print("%-18s %s" % (key, info[key]))
         print("%-18s %s" % ("columns", ", ".join(info["columns"])))
+        if args.sizes:
+            sizes = store.column_sizes()
+            total = sum(sizes.values()) or 1
+            print("\nper-column on-disk bytes (format v%d%s):"
+                  % (store.format_version,
+                     ", compressed" if store.format_version == 1 else ", raw .npy"))
+            for column, size in sorted(sizes.items(), key=lambda item: -item[1]):
+                print("  %-20s %12d  (%5.1f%%)" % (column, size, 100.0 * size / total))
         return 0
 
     if args.engine_command == "query":

@@ -126,6 +126,8 @@ class PathStatsConsumer(ChunkConsumer):
     exactly.
     """
 
+    resumable = True
+
     def __init__(self, kind: str, name: Optional[str] = None):
         if kind not in ("input", "output"):
             raise AnalysisError("kind must be 'input' or 'output'")
@@ -141,6 +143,17 @@ class PathStatsConsumer(ChunkConsumer):
             "arrays": ("maxima", "counts"),
             "fill": {"maxima": 0.0, "counts": 0},
         }
+
+    def snapshot(self, state) -> Dict[str, object]:
+        return {"known_paths": state["known_paths"],
+                "maxima": state["maxima"], "counts": state["counts"]}
+
+    def restore(self, payload: Dict[str, object]):
+        state = self.make_state()
+        state["known_paths"] = np.asarray(payload["known_paths"], dtype=np.str_)
+        state["maxima"] = np.asarray(payload["maxima"], dtype=float).copy()
+        state["counts"] = np.asarray(payload["counts"], dtype=np.int64).copy()
+        return state
 
     def fold(self, state, chunk: ScanChunk):
         sizes = np.nan_to_num(chunk.column(self.columns[1]), nan=0.0)
@@ -370,6 +383,12 @@ class ReaccessConsumer(ChunkConsumer):
     """
 
     ordered = True
+    #: Resumable *when the appended data follows the old data in time* (the
+    #: store's sorted flag survives the append) — the per-path carry arrays
+    #: are exactly the walk's state after the checkpointed prefix.  When new
+    #: data interleaves in time, the shared scan falls back to a full rescan
+    #: for this consumer (and says so).
+    resumable = True
 
     def __init__(self, has_input: bool, has_output: bool, name: str = "reaccess"):
         self.name = name
@@ -395,6 +414,34 @@ class ReaccessConsumer(ChunkConsumer):
             "input_input": [], "output_input": [],  # lists of per-chunk arrays
             "jobs_with_paths": 0, "input_hits": 0, "output_hits": 0, "any_hits": 0,
         }
+
+    def snapshot(self, state) -> Dict[str, object]:
+        return {
+            "known_paths": state["known_paths"],
+            "read_t": state["read_t"], "write_t": state["write_t"],
+            # Interval lists concatenate once here; finalize concatenates
+            # anyway, so the restored single-array form folds on identically.
+            "input_input": (np.concatenate(state["input_input"])
+                            if state["input_input"] else np.zeros(0)),
+            "output_input": (np.concatenate(state["output_input"])
+                             if state["output_input"] else np.zeros(0)),
+            "jobs_with_paths": int(state["jobs_with_paths"]),
+            "input_hits": int(state["input_hits"]),
+            "output_hits": int(state["output_hits"]),
+            "any_hits": int(state["any_hits"]),
+        }
+
+    def restore(self, payload: Dict[str, object]):
+        state = self.make_state()
+        state["known_paths"] = np.asarray(payload["known_paths"], dtype=np.str_)
+        state["read_t"] = np.asarray(payload["read_t"], dtype=float).copy()
+        state["write_t"] = np.asarray(payload["write_t"], dtype=float).copy()
+        for key in ("input_input", "output_input"):
+            intervals = np.asarray(payload[key], dtype=float)
+            state[key] = [intervals] if intervals.size else []
+        for key in ("jobs_with_paths", "input_hits", "output_hits", "any_hits"):
+            state[key] = int(payload[key])
+        return state
 
     def fold(self, state, chunk: ScanChunk):
         if not self.has_input:

@@ -47,14 +47,23 @@ class WorkloadCharacterizer:
             clustering step.
         processes: fan the shared scan of a store-backed trace out over this
             many worker processes (``None`` = serial).
+        resume_from: a :class:`~repro.engine.pipeline.Checkpoint` (or its
+            path) from an earlier run over the same store: resumable analyses
+            fold only the chunks appended since, the rest rescan, and the
+            report's notes say which did what.  Store-backed traces only.
+        checkpoint_to: save a checkpoint covering the whole store after the
+            scan (JSON at the path, arrays at ``<path>.npz``).
     """
 
     def __init__(self, max_k: int = 12, seed: int = 0, cluster: bool = True,
-                 processes: Optional[int] = None):
+                 processes: Optional[int] = None, resume_from=None,
+                 checkpoint_to: Optional[str] = None):
         self.max_k = int(max_k)
         self.seed = int(seed)
         self.cluster = bool(cluster)
         self.processes = processes
+        self.resume_from = resume_from
+        self.checkpoint_to = checkpoint_to
 
     def characterize(self, trace) -> WorkloadReport:
         """Characterize one trace and return its :class:`WorkloadReport`.
@@ -73,9 +82,20 @@ class WorkloadCharacterizer:
         executor = ParallelExecutor(processes=self.processes) if self.processes else None
         analyses = run_characterization_scan(
             source, experiments=None, seed=self.seed, cluster_sample_cap=None,
-            include_features=self.cluster, executor=executor)
+            include_features=self.cluster, executor=executor,
+            resume_from=self.resume_from, checkpoint_to=self.checkpoint_to)
 
         report = WorkloadReport(workload=source.name, summary=analyses.value("summary"))
+        if analyses.resume is not None:
+            resume = analyses.resume
+            report.notes.append(
+                "resumed %d analysis fold(s) from checkpoint over %d appended "
+                "chunk(s): %s" % (len(resume["resumed"]), resume["new_chunks"],
+                                  ", ".join(resume["resumed"]) or "(none)"))
+            for name, reason in sorted(resume["rescanned"].items()):
+                report.notes.append("full rescan for %s: %s" % (name, reason))
+        if analyses.checkpoint_path is not None:
+            report.notes.append("checkpoint saved to %s" % analyses.checkpoint_path)
 
         # §4.1 per-job data sizes (Figure 1).
         report.data_sizes = analyses.value("data_sizes")
@@ -132,7 +152,9 @@ class WorkloadCharacterizer:
 
 
 def characterize(trace, max_k: int = 12, seed: int = 0, cluster: bool = True,
-                 processes: Optional[int] = None) -> WorkloadReport:
+                 processes: Optional[int] = None, resume_from=None,
+                 checkpoint_to: Optional[str] = None) -> WorkloadReport:
     """Convenience wrapper: run :class:`WorkloadCharacterizer` on one trace."""
     return WorkloadCharacterizer(max_k=max_k, seed=seed, cluster=cluster,
-                                 processes=processes).characterize(trace)
+                                 processes=processes, resume_from=resume_from,
+                                 checkpoint_to=checkpoint_to).characterize(trace)

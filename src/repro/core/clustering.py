@@ -21,7 +21,7 @@ one chunk for arbitrarily large stores.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,12 +56,23 @@ class FeatureMatrixConsumer(ChunkConsumer):
     """
 
     columns = tuple(NUMERIC_DIMENSIONS)
+    resumable = True
 
     def __init__(self, name: str = "features"):
         self.name = name
 
     def make_state(self):
         return []  # [(chunk index, (rows, 6) batch)]
+
+    def snapshot(self, state) -> Dict[str, object]:
+        # The assembled prefix matrix; restored as a single pseudo-batch at
+        # index -1 so appended chunks (global indices >= watermark) sort
+        # after it and ``finalize`` stacks rows in the original order.
+        return {"matrix": self.finalize(state)}
+
+    def restore(self, payload):
+        matrix = np.asarray(payload["matrix"], dtype=float)
+        return [(-1, matrix.copy())] if matrix.size else []
 
     def fold(self, state, chunk: ScanChunk):
         batch = np.column_stack([

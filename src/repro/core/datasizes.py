@@ -111,6 +111,7 @@ class DataSizeConsumer(ChunkConsumer):
     """
 
     columns = SIZE_DIMENSIONS + ("reduce_task_seconds",)
+    resumable = True
 
     def __init__(self, name: str = "data_sizes", workload: str = "trace"):
         self.name = name
@@ -119,6 +120,34 @@ class DataSizeConsumer(ChunkConsumer):
     def make_state(self):
         return {"sketches": {dimension: HistogramSketch() for dimension in SIZE_DIMENSIONS},
                 "n_rows": 0, "n_map_only": 0}
+
+    def snapshot(self, state) -> Dict[str, object]:
+        payload: Dict[str, object] = {"n_rows": int(state["n_rows"]),
+                                      "n_map_only": int(state["n_map_only"])}
+        for dimension in SIZE_DIMENSIONS:
+            sketch = state["sketches"][dimension]
+            payload["%s.counts" % dimension] = sketch.counts
+            payload["%s.zero_count" % dimension] = int(sketch.zero_count)
+            payload["%s.n" % dimension] = int(sketch.n)
+            payload["%s.low" % dimension] = sketch.low
+            payload["%s.high" % dimension] = sketch.high
+        return payload
+
+    def restore(self, payload: Dict[str, object]):
+        state = self.make_state()
+        state["n_rows"] = int(payload["n_rows"])
+        state["n_map_only"] = int(payload["n_map_only"])
+        for dimension in SIZE_DIMENSIONS:
+            sketch = state["sketches"][dimension]
+            sketch.counts = np.asarray(payload["%s.counts" % dimension],
+                                       dtype=np.int64).copy()
+            sketch.zero_count = int(payload["%s.zero_count" % dimension])
+            sketch.n = int(payload["%s.n" % dimension])
+            low = payload["%s.low" % dimension]
+            high = payload["%s.high" % dimension]
+            sketch.low = None if low is None else float(low)
+            sketch.high = None if high is None else float(high)
+        return state
 
     def fold(self, state, chunk: ScanChunk):
         state["n_rows"] += chunk.n_rows

@@ -204,6 +204,8 @@ class NamingConsumer(ChunkConsumer):
     caveat as every chunk-folded sum in the engine.
     """
 
+    resumable = True
+
     def __init__(self, has_framework: bool, workload: str = "trace",
                  top_n: int = 10, name: str = "naming"):
         self.name = name
@@ -281,6 +283,28 @@ class NamingConsumer(ChunkConsumer):
                 a["framework_totals"][weighting][framework] += total
         a["n_named"] += b["n_named"]
         return a
+
+    def snapshot(self, state) -> Dict[str, object]:
+        # Plain word/framework -> float dictionaries: they ride the JSON side
+        # of the checkpoint (floats round-trip exactly).  The first-word memo
+        # cache is derived data and is simply rebuilt on resume.
+        return {
+            "n_named": int(state["n_named"]),
+            "word_totals": {weighting: dict(state["word_totals"][weighting])
+                            for weighting in WEIGHTINGS},
+            "framework_totals": {weighting: dict(state["framework_totals"][weighting])
+                                 for weighting in WEIGHTINGS},
+        }
+
+    def restore(self, payload: Dict[str, object]):
+        state = self.make_state()
+        state["n_named"] = int(payload["n_named"])
+        for key in ("word_totals", "framework_totals"):
+            for weighting in WEIGHTINGS:
+                state[key][weighting].update(
+                    {label: float(total)
+                     for label, total in payload[key].get(weighting, {}).items()})
+        return state
 
     def finalize(self, state) -> NamingAnalysis:
         if state["n_named"] == 0:

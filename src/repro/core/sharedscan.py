@@ -22,15 +22,34 @@ Materialized sources (job-list :class:`~repro.traces.trace.Trace`, in-memory
 for them the same fields are filled through the standalone entry points, so
 the exact whole-column paths (sorting-based CDFs, exact medians) are
 preserved bit-for-bit.
+
+Store-backed scans are additionally **checkpointable**: ``checkpoint_to=``
+persists every resumable consumer's fold state (JSON + ``.npz``) together
+with the store's chunk watermark, and after appending chunks
+(:func:`repro.engine.store.append_store` / ``repro engine ingest``)
+``resume_from=`` folds only the new chunks into the restored states —
+bit-identical to a cold full rescan.  Consumers that cannot resume (the
+Table-2 row sample, whose seeded indices are drawn over the total row count;
+the ordered re-access walk when appended data interleaves in time) fall back
+to a full rescan, recorded with reasons on
+:attr:`CharacterizationAnalyses.resume`.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..engine.pipeline import GatherConsumer, ScanPipeline, SummaryConsumer
+from ..engine.pipeline import (
+    Checkpoint,
+    ChunkConsumer,
+    GatherConsumer,
+    PipelineResult,
+    ScanPipeline,
+    SummaryConsumer,
+)
 from ..engine.source import TraceSource
 from ..errors import AnalysisError
 from .access import (
@@ -94,6 +113,12 @@ class CharacterizationAnalyses:
         self.workload = workload
         self._results: Dict[str, object] = {}
         self._errors: Dict[str, AnalysisError] = {}
+        #: Checkpoint-resume report, or ``None`` for a plain full scan:
+        #: ``{"chunk_watermark", "new_chunks", "resumed": [consumer names],
+        #: "rescanned": {consumer name: reason}}``.
+        self.resume: Optional[Dict[str, object]] = None
+        #: Where the post-scan checkpoint was saved, when one was requested.
+        self.checkpoint_path: Optional[str] = None
 
     def set(self, key: str, value) -> None:
         self._results[key] = value
@@ -157,7 +182,9 @@ def run_characterization_scan(trace, experiments: Optional[Sequence[str]] = None
                               seed: int = 0,
                               cluster_sample_cap: Optional[int] = DEFAULT_CLUSTER_SAMPLE_CAP,
                               include_features: bool = False,
-                              executor=None) -> CharacterizationAnalyses:
+                              executor=None,
+                              resume_from=None,
+                              checkpoint_to: Optional[str] = None) -> CharacterizationAnalyses:
     """Compute every requested characterization analysis in one shared scan.
 
     Args:
@@ -174,6 +201,15 @@ def run_characterization_scan(trace, experiments: Optional[Sequence[str]] = None
         executor: optional :class:`~repro.engine.parallel.ParallelExecutor`
             fanning the chunk scan across worker processes for store-backed
             sources.
+        resume_from: a :class:`~repro.engine.pipeline.Checkpoint` (or a path
+            to one) from an earlier scan of the same store.  Consumers that
+            declared ``resumable`` restore their fold states and fold **only
+            the chunks appended since the checkpoint**; the rest run a full
+            rescan, and the bundle's :attr:`CharacterizationAnalyses.resume`
+            report says which did what and why.  Results are bit-identical to
+            a cold full rescan.  Requires a store-backed source.
+        checkpoint_to: save a fresh checkpoint (JSON at this path, arrays at
+            ``<path>.npz``) covering the whole store after the scan.
     """
     source = TraceSource.wrap(trace)
     needed = _needed_keys(experiments, include_features)
@@ -181,8 +217,14 @@ def run_characterization_scan(trace, experiments: Optional[Sequence[str]] = None
     if not needed:
         return analyses
     if source.is_streaming:
-        _scan_streaming(source, needed, analyses, seed, cluster_sample_cap, executor)
+        _scan_streaming(source, needed, analyses, seed, cluster_sample_cap, executor,
+                        resume_from=resume_from, checkpoint_to=checkpoint_to)
     else:
+        if resume_from is not None or checkpoint_to is not None:
+            raise AnalysisError(
+                "characterization checkpoints require a store-backed source; "
+                "%r is materialized (there is no chunk watermark to resume from)"
+                % (source.name,))
         _scan_materialized(source, needed, analyses, seed, cluster_sample_cap)
     return analyses
 
@@ -192,8 +234,9 @@ def run_characterization_scan(trace, experiments: Optional[Sequence[str]] = None
 # ---------------------------------------------------------------------------
 def _scan_streaming(source: TraceSource, needed: List[str],
                     analyses: CharacterizationAnalyses, seed: int,
-                    cluster_sample_cap: Optional[int], executor) -> None:
-    pipeline = ScanPipeline(source, executor=executor)
+                    cluster_sample_cap: Optional[int], executor,
+                    resume_from=None, checkpoint_to: Optional[str] = None) -> None:
+    consumers: List[ChunkConsumer] = []
     wants_hourly = "hourly" in needed
     wants_summary = "summary" in needed or wants_hourly
     wants_input_stats = "input_ranks" in needed or "input_profile" in needed
@@ -201,22 +244,22 @@ def _scan_streaming(source: TraceSource, needed: List[str],
     wants_reaccess = "reaccess_intervals" in needed or "reaccess_fractions" in needed
 
     if wants_summary:
-        pipeline.add(SummaryConsumer(trace_name=source.name, machines=source.machines))
+        consumers.append(SummaryConsumer(trace_name=source.name, machines=source.machines))
     if "data_sizes" in needed:
-        pipeline.add(DataSizeConsumer(workload=source.name))
+        consumers.append(DataSizeConsumer(workload=source.name))
     if wants_input_stats:
-        pipeline.add(PathStatsConsumer("input"))
+        consumers.append(PathStatsConsumer("input"))
     if wants_output_stats:
-        pipeline.add(PathStatsConsumer("output"))
+        consumers.append(PathStatsConsumer("output"))
     if wants_reaccess:
-        pipeline.add(ReaccessConsumer(has_input=source.has_column("input_path"),
-                                      has_output=source.has_column("output_path")))
+        consumers.append(ReaccessConsumer(has_input=source.has_column("input_path"),
+                                          has_output=source.has_column("output_path")))
     if wants_hourly:
-        pipeline.add(HourlyTotalsConsumer(HOURLY_DIMENSION_SPECS))
+        consumers.append(HourlyTotalsConsumer(HOURLY_DIMENSION_SPECS))
     if "naming" in needed:
         if source.has_column("name") and not source.is_empty():
-            pipeline.add(NamingConsumer(has_framework=source.has_column("framework"),
-                                        workload=source.name))
+            consumers.append(NamingConsumer(has_framework=source.has_column("framework"),
+                                            workload=source.name))
         else:
             analyses.set_error("naming", AnalysisError(
                 "trace %r records no job names; naming analysis unavailable"
@@ -227,13 +270,14 @@ def _scan_streaming(source: TraceSource, needed: List[str],
         if sample_indices is None:
             analyses.set("cluster_sample", None)  # cluster the full source
         else:
-            pipeline.add(GatherConsumer(sample_indices, name="cluster_sample",
-                                        trace_name=source.name,
-                                        machines=source.machines))
+            consumers.append(GatherConsumer(sample_indices, name="cluster_sample",
+                                            trace_name=source.name,
+                                            machines=source.machines))
     if "features" in needed:
-        pipeline.add(FeatureMatrixConsumer())
+        consumers.append(FeatureMatrixConsumer())
 
-    scan = pipeline.run()
+    scan = _execute_scan(source, consumers, executor, analyses,
+                         resume_from, checkpoint_to)
 
     def adopt(key: str, consumer_name: str) -> bool:
         """Copy one consumer's result/error onto an analysis key."""
@@ -273,6 +317,92 @@ def _scan_streaming(source: TraceSource, needed: List[str],
         adopt("cluster_sample", "cluster_sample")
     if "features" in needed:
         adopt("features", "features")
+
+
+def _merge_scan_results(target: PipelineResult, part: PipelineResult) -> None:
+    target.results.update(part.results)
+    target.errors.update(part.errors)
+    target.final_states.update(part.final_states)
+    target.chunks_scanned += part.chunks_scanned
+    target.rows_scanned += part.rows_scanned
+
+
+def _execute_scan(source: TraceSource, consumers: List[ChunkConsumer], executor,
+                  analyses: CharacterizationAnalyses, resume_from,
+                  checkpoint_to: Optional[str]) -> PipelineResult:
+    """Run the shared scan, resuming from a checkpoint when one is given.
+
+    With ``resume_from``, consumers split into a **resumed** lane (restored
+    states folding only the appended chunks) and a **rescan** lane (full scan
+    from chunk 0) — both over the same store handle, results merged.  The
+    split and the per-consumer reasons are recorded on
+    ``analyses.resume`` so callers can report what actually happened.
+    """
+    checkpoint: Optional[Checkpoint] = None
+    if resume_from is not None:
+        checkpoint = (Checkpoint.load(os.fspath(resume_from))
+                      if not isinstance(resume_from, Checkpoint) else resume_from)
+        checkpoint.validate(source.backing)
+
+    resumed: List[ChunkConsumer] = []
+    rescan: List[ChunkConsumer] = []
+    reasons: Dict[str, str] = {}
+    initial_states: Dict[str, object] = {}
+    if checkpoint is None:
+        rescan = list(consumers)
+    else:
+        store = source.backing
+        for consumer in consumers:
+            if not consumer.resumable:
+                rescan.append(consumer)
+                reasons[consumer.name] = ("not resumable: result is defined over "
+                                          "the total row count")
+            elif consumer.name not in checkpoint.consumers:
+                rescan.append(consumer)
+                reasons[consumer.name] = "no state in the checkpoint"
+            elif consumer.ordered and not store.sorted_by_submit_time:
+                rescan.append(consumer)
+                reasons[consumer.name] = ("ordered fold cannot resume: appended "
+                                          "data interleaves in time (store is no "
+                                          "longer sorted by submit time)")
+            else:
+                try:
+                    initial_states[consumer.name] = consumer.restore(
+                        checkpoint.consumers[consumer.name])
+                    resumed.append(consumer)
+                except AnalysisError as exc:
+                    rescan.append(consumer)
+                    reasons[consumer.name] = "checkpoint state unreadable: %s" % exc
+
+    merged = PipelineResult()
+    if resumed:
+        pipeline = ScanPipeline(source, executor=executor)
+        for consumer in resumed:
+            pipeline.add(consumer)
+        floor = (checkpoint.last_submit_time
+                 if checkpoint.last_submit_time is not None else -np.inf)
+        _merge_scan_results(merged, pipeline.run(
+            start_chunk=checkpoint.chunk_watermark,
+            initial_states=initial_states, order_floor=floor))
+    if rescan:
+        pipeline = ScanPipeline(source, executor=executor)
+        for consumer in rescan:
+            pipeline.add(consumer)
+        _merge_scan_results(merged, pipeline.run())
+
+    if checkpoint is not None:
+        analyses.resume = {
+            "chunk_watermark": checkpoint.chunk_watermark,
+            "new_chunks": checkpoint.new_chunks(source.backing),
+            "resumed": [consumer.name for consumer in resumed],
+            "rescanned": reasons,
+        }
+    if checkpoint_to:
+        fresh = Checkpoint.capture(source.backing, consumers, merged.final_states,
+                                   merged.errors, meta={"workload": source.name})
+        fresh.save(os.fspath(checkpoint_to))
+        analyses.checkpoint_path = os.fspath(checkpoint_to)
+    return merged
 
 
 def _adopt_path_stats(analyses: CharacterizationAnalyses, scan, needed: List[str],

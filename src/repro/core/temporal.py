@@ -152,6 +152,14 @@ class HourlyTotalsConsumer(ChunkConsumer):
     standalone :meth:`TraceSource.hourly_groups` query, chunk for chunk.
     """
 
+    resumable = True
+
+    #: Aggregate-state fields serialized per op by :meth:`snapshot` (the
+    #: mergeable scalar states; sketch-backed ops are not checkpointable).
+    _SNAPSHOT_FIELDS = {"count": ("count",), "sum": ("total",),
+                        "min": ("value",), "max": ("value",),
+                        "mean": ("total", "count")}
+
     def __init__(self, aggregate_specs: Dict[str, tuple], name: str = "hourly"):
         from ..engine.operators import Query
 
@@ -166,6 +174,46 @@ class HourlyTotalsConsumer(ChunkConsumer):
 
     def make_state(self):
         return {}
+
+    def snapshot(self, state) -> Dict[str, object]:
+        for label, (op, _column) in self.specs.items():
+            if op not in self._SNAPSHOT_FIELDS:
+                raise AnalysisError(
+                    "hourly aggregate %r (op %r) has no serializable state"
+                    % (label, op))
+        keys = list(state)
+        # The None key pools jobs with no recorded submit time; encode it as
+        # NaN in the hour array (hours themselves are always finite).
+        payload: Dict[str, object] = {
+            "hours": np.array([np.nan if key is None else float(key)
+                               for key in keys], dtype=float)}
+        for label, (op, _column) in self.specs.items():
+            for field in self._SNAPSHOT_FIELDS[op]:
+                values = [getattr(state[key][label], field) for key in keys]
+                payload["%s.%s" % (label, field)] = np.array(
+                    [np.nan if value is None else float(value) for value in values],
+                    dtype=float)
+        return payload
+
+    def restore(self, payload: Dict[str, object]):
+        from ..engine.aggregates import make_aggregate
+
+        state = self.make_state()
+        hours = np.asarray(payload["hours"], dtype=float)
+        for position, hour in enumerate(hours.tolist()):
+            key = None if hour != hour else float(hour)  # NaN != NaN
+            group = state[key] = {}
+            for label, (op, _column) in self.specs.items():
+                aggregate = make_aggregate(op)
+                for field in self._SNAPSHOT_FIELDS[op]:
+                    value = float(np.asarray(payload["%s.%s" % (label, field)])[position])
+                    if value != value:
+                        value = None
+                    if field == "count":
+                        value = int(value) if value is not None else 0
+                    setattr(aggregate, field, value)
+                group[label] = aggregate
+        return state
 
     def fold(self, state, chunk: ScanChunk):
         from ..engine.operators import _update_groups

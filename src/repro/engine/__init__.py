@@ -72,6 +72,7 @@ from .columnar import (
 from .operators import PREDICATE_OPS, Predicate, Query, QueryResult, execute
 from .parallel import ParallelExecutor, get_worker_store
 from .pipeline import (
+    Checkpoint,
     ChunkConsumer,
     GatherConsumer,
     PipelineResult,
@@ -85,12 +86,15 @@ from .store import (
     DEFAULT_FORMAT_VERSION,
     SUPPORTED_FORMAT_VERSIONS,
     ChunkedTraceStore,
+    StoreAppender,
+    append_store,
     write_store,
 )
 
 __all__ = [
     "ColumnarTrace",
     "ColumnBlock",
+    "Checkpoint",
     "ChunkConsumer",
     "GatherConsumer",
     "PipelineResult",
@@ -105,6 +109,8 @@ __all__ = [
     "STRING_COLUMNS",
     "DEFAULT_CHUNK_ROWS",
     "ChunkedTraceStore",
+    "StoreAppender",
+    "append_store",
     "write_store",
     "Predicate",
     "Query",

@@ -32,10 +32,29 @@ is isolated: the failing consumer is dropped from the rest of the scan and
 its error is reported per-consumer in the :class:`PipelineResult`, while all
 other consumers complete normally — mirroring how the paper omits a workload
 from individual figures when a dimension is missing.
+
+**Checkpoint / resume.**  Consumers whose fold state is serializable declare
+``resumable = True`` and implement ``snapshot(state)`` / ``restore(payload)``
+— the capability flag that lets :class:`Checkpoint` persist a scan's fold
+states next to the store (JSON for scalars and dictionaries, ``.npz`` for
+arrays) together with the **chunk watermark** (how many chunks the states
+cover).  After appending chunks to the store, ``run(start_chunk=W,
+initial_states=...)`` folds only the new chunks into the restored states;
+because the restored state is exactly the state the cold scan had after chunk
+``W-1``, the incremental result is bit-identical to a cold full rescan.
+Ordered consumers additionally need the appended data to *follow* the old
+data in submit time (the store's ``sorted_by_submit_time`` flag survives the
+append); otherwise they must fall back to a full rescan.  Consumers that
+cannot resume at all keep the default ``resumable = False`` — e.g.
+:class:`GatherConsumer`, whose row sample is defined over the total row
+count and therefore changes whenever the store grows.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import uuid
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -46,7 +65,7 @@ from .columnar import ColumnBlock, ColumnarTrace
 from .source import TraceSource
 
 __all__ = ["ScanChunk", "ChunkConsumer", "PipelineResult", "ScanPipeline",
-           "SummaryConsumer", "GatherConsumer", "fold_consumer"]
+           "Checkpoint", "SummaryConsumer", "GatherConsumer", "fold_consumer"]
 
 
 class ScanChunk:
@@ -107,6 +126,12 @@ class ChunkConsumer:
     columns: Optional[Tuple[str, ...]] = ()
     #: True when fold correctness depends on submit-time chunk order.
     ordered: bool = False
+    #: Capability flag: True when :meth:`snapshot`/:meth:`restore` are
+    #: implemented, i.e. the fold state can be checkpointed and the scan
+    #: resumed over appended chunks only.  Consumers whose result depends on
+    #: the *total* row count (row sampling) stay False and fall back to a
+    #: full rescan.
+    resumable: bool = False
 
     def make_state(self):
         raise NotImplementedError
@@ -121,6 +146,24 @@ class ChunkConsumer:
     def finalize(self, state):
         return state
 
+    # -- checkpoint capability (resumable consumers override both) ----------
+    def snapshot(self, state) -> Dict[str, object]:
+        """Serialize a fold state into a flat payload dictionary.
+
+        Values must be JSON-representable scalars/lists/dicts or NumPy
+        arrays; :class:`Checkpoint` routes arrays into the ``.npz`` side car
+        and everything else into the JSON file.  ``restore(snapshot(state))``
+        must reproduce the state *exactly* — the incremental == full-rescan
+        equality contract depends on it.
+        """
+        raise AnalysisError("consumer %r does not support state snapshots"
+                            % (self.name,))
+
+    def restore(self, payload: Dict[str, object]):
+        """Rebuild a fold state from a :meth:`snapshot` payload."""
+        raise AnalysisError("consumer %r does not support state snapshots"
+                            % (self.name,))
+
 
 class PipelineResult:
     """Per-consumer results of one shared scan.
@@ -131,6 +174,8 @@ class PipelineResult:
         errors: consumer name -> the :class:`AnalysisError` that removed the
             consumer from the scan (missing columns, unsorted store, ...).
         chunks_scanned / rows_scanned: scan counters (the decoded pass).
+        final_states: consumer name -> the *unfinalized* fold state after the
+            scan — what :meth:`Checkpoint.capture` snapshots.
     """
 
     def __init__(self):
@@ -138,6 +183,7 @@ class PipelineResult:
         self.errors: Dict[str, AnalysisError] = {}
         self.chunks_scanned = 0
         self.rows_scanned = 0
+        self.final_states: Dict[str, object] = {}
 
     def value(self, name: str):
         """The result of one consumer; re-raises its recorded error."""
@@ -160,12 +206,17 @@ _UNSORTED_MESSAGE = (
 
 
 class _OrderCheck:
-    """Verifies non-decreasing submit times as chunks stream."""
+    """Verifies non-decreasing submit times as chunks stream.
+
+    ``floor`` seeds the check when resuming: the last submit time the
+    checkpointed prefix saw, so an appended chunk that dips below it is
+    caught exactly like an out-of-order chunk in a cold scan.
+    """
 
     __slots__ = ("previous_end", "source_name")
 
-    def __init__(self, source_name: str):
-        self.previous_end = -np.inf
+    def __init__(self, source_name: str, floor: float = -np.inf):
+        self.previous_end = floor
         self.source_name = source_name
 
     def check(self, block: ColumnBlock) -> None:
@@ -179,7 +230,8 @@ class _OrderCheck:
 
 def _fold_lane(source_name: str, blocks, consumers: List[ChunkConsumer],
                states: Dict[str, object], errors: Dict[str, AnalysisError],
-               check_order: bool, counters: Optional[Dict[str, int]] = None) -> None:
+               check_order: bool, counters: Optional[Dict[str, int]] = None,
+               order_floor: float = -np.inf) -> None:
     """Fold a stream of :class:`ScanChunk` through one lane of consumers.
 
     ``consumers``/``states`` are mutated in place: a consumer whose fold
@@ -187,7 +239,7 @@ def _fold_lane(source_name: str, blocks, consumers: List[ChunkConsumer],
     order violation (``check_order``) drops every ordered consumer in the
     lane the same way.
     """
-    order = _OrderCheck(source_name) if check_order else None
+    order = _OrderCheck(source_name, floor=order_floor) if check_order else None
     for chunk in blocks:
         if counters is not None:
             counters["chunks"] += 1
@@ -225,16 +277,19 @@ def _scan_worker(task):
     """
     from .parallel import get_worker_store
 
-    consumers, chunk_indices, start_rows, columns, check_order = task
+    (consumers, chunk_indices, start_rows, columns, check_order,
+     initial_states, order_floor) = task
     store = get_worker_store()
     states = {consumer.name: consumer.make_state() for consumer in consumers}
+    if initial_states:
+        states.update(initial_states)
     errors: Dict[str, AnalysisError] = {}
     counters = {"chunks": 0, "rows": 0}
     blocks = (
         ScanChunk(store.read_chunk(index, columns=columns), index, start)
         for index, start in zip(chunk_indices, start_rows))
     _fold_lane(store.name, blocks, list(consumers), states, errors,
-               check_order, counters)
+               check_order, counters, order_floor=order_floor)
     return states, errors, counters["rows"]
 
 
@@ -283,8 +338,23 @@ class ScanPipeline:
         return union
 
     # -- execution ---------------------------------------------------------
-    def run(self) -> PipelineResult:
-        """Execute the shared scan and finalize every consumer."""
+    def run(self, start_chunk: int = 0,
+            initial_states: Optional[Dict[str, object]] = None,
+            order_floor: float = -np.inf) -> PipelineResult:
+        """Execute the shared scan and finalize every consumer.
+
+        Args:
+            start_chunk: first chunk index to fold (0 = the whole source).
+                Non-zero values resume a checkpointed scan over a
+                store-backed source: only chunks ``start_chunk..`` are read,
+                with global chunk indices and row offsets preserved.
+            initial_states: restored fold states (consumer name -> state)
+                seeding the resumed consumers; consumers not listed start
+                from :meth:`ChunkConsumer.make_state` as usual.
+            order_floor: last submit time of the already-folded prefix — the
+                ordered lane's order check starts from it.
+        """
+        initial_states = initial_states or {}
         result = PipelineResult()
         runnable: List[ChunkConsumer] = []
         for consumer in self._consumers:
@@ -298,13 +368,20 @@ class ScanPipeline:
                 runnable.append(consumer)
         if not runnable:
             return result
+        if start_chunk and not self.source.is_streaming:
+            raise AnalysisError("resuming from chunk %d requires a store-backed "
+                                "source, got materialized %r"
+                                % (start_chunk, self.source.name))
 
         states: Dict[str, object] = {}
-        if self._parallel_plan_applies(runnable):
-            self._run_parallel(runnable, states, result)
+        if self._parallel_plan_applies(start_chunk):
+            self._run_parallel(runnable, states, result, start_chunk,
+                               initial_states, order_floor)
         else:
-            self._run_serial(runnable, states, result)
+            self._run_serial(runnable, states, result, start_chunk,
+                             initial_states, order_floor)
 
+        result.final_states = dict(states)
         for consumer in self._consumers:
             if consumer.name not in states:
                 continue
@@ -315,58 +392,79 @@ class ScanPipeline:
         return result
 
     def _run_serial(self, runnable: List[ChunkConsumer], states: Dict[str, object],
-                    result: PipelineResult) -> None:
+                    result: PipelineResult, start_chunk: int,
+                    initial_states: Dict[str, object], order_floor: float) -> None:
         lane = list(runnable)
         for consumer in lane:
-            states[consumer.name] = consumer.make_state()
+            states[consumer.name] = initial_states.get(consumer.name)
+            if states[consumer.name] is None:
+                states[consumer.name] = consumer.make_state()
         check_order = any(consumer.ordered for consumer in lane)
         counters = {"chunks": 0, "rows": 0}
-        start_row = 0
-        index = 0
+
+        if start_chunk:
+            store = self.source.backing
+            start_row = int(sum(store.chunk_rows()[:start_chunk]))
+            block_iter = store.iter_chunks(
+                columns=self.columns(lane),
+                chunk_indices=range(start_chunk, store.n_chunks))
+        else:
+            start_row = 0
+            block_iter = self.source.iter_chunks(columns=self.columns(lane))
+        index = start_chunk
 
         def chunks():
             nonlocal start_row, index
-            for block in self.source.iter_chunks(columns=self.columns(lane)):
+            for block in block_iter:
                 yield ScanChunk(block, index, start_row)
                 start_row += block.n_rows
                 index += 1
 
         _fold_lane(self.source.name, chunks(), lane, states, result.errors,
-                   check_order, counters)
+                   check_order, counters, order_floor=order_floor)
         result.chunks_scanned = counters["chunks"]
         result.rows_scanned = counters["rows"]
 
-    def _parallel_plan_applies(self, runnable: List[ChunkConsumer]) -> bool:
+    def _parallel_plan_applies(self, start_chunk: int) -> bool:
         if self.executor is None or not self.source.is_streaming:
             return False
         store = self.source.backing
-        n_workers = self.executor.effective_workers(store.n_chunks)
-        return n_workers > 1 and store.n_chunks > 1
+        remaining = store.n_chunks - start_chunk
+        n_workers = self.executor.effective_workers(max(remaining, 1))
+        return n_workers > 1 and remaining > 1
 
     def _run_parallel(self, runnable: List[ChunkConsumer], states: Dict[str, object],
-                      result: PipelineResult) -> None:
+                      result: PipelineResult, start_chunk: int,
+                      initial_states: Dict[str, object], order_floor: float) -> None:
         store = self.source.backing
         chunk_rows = store.chunk_rows()
         offsets = np.concatenate(([0], np.cumsum(chunk_rows)))[:-1].tolist()
         n_chunks = store.n_chunks
+        scan_indices = list(range(start_chunk, n_chunks))
 
         ordered = [consumer for consumer in runnable if consumer.ordered]
         unordered = [consumer for consumer in runnable if not consumer.ordered]
 
         tasks = []
         if ordered:
-            # One sequential lane sees every chunk in submit-time order.
-            tasks.append((ordered, list(range(n_chunks)), offsets,
-                          self.columns(ordered), True))
+            # One sequential lane sees every chunk in submit-time order;
+            # restored ordered states ride along in the task payload (the
+            # lane is a single worker, so the state ships exactly once).
+            ordered_initial = {consumer.name: initial_states[consumer.name]
+                               for consumer in ordered
+                               if consumer.name in initial_states}
+            tasks.append((ordered, scan_indices,
+                          [offsets[i] for i in scan_indices],
+                          self.columns(ordered), True, ordered_initial, order_floor))
         range_tasks = 0
         if unordered:
-            n_workers = self.executor.effective_workers(n_chunks)
-            per_worker = -(-n_chunks // n_workers)
+            n_workers = self.executor.effective_workers(max(len(scan_indices), 1))
+            per_worker = -(-len(scan_indices) // n_workers) if scan_indices else 1
             columns = self.columns(unordered)
-            for start in range(0, n_chunks, per_worker):
-                indices = list(range(start, min(n_chunks, start + per_worker)))
+            for start in range(0, len(scan_indices), per_worker):
+                indices = scan_indices[start:start + per_worker]
                 tasks.append((unordered, indices, [offsets[i] for i in indices],
-                              columns, False))
+                              columns, False, None, -np.inf))
                 range_tasks += 1
 
         partials = self.executor.map(_scan_worker, tasks,
@@ -378,7 +476,10 @@ class ScanPipeline:
             states.update(lane_states)
             result.errors.update(lane_errors)
         for consumer in unordered:
-            merged = None
+            # Restored unordered states never cross the process boundary:
+            # workers fold fresh partials over the new chunk ranges and the
+            # restored prefix state seeds the in-order merge here.
+            merged = initial_states.get(consumer.name)
             error: Optional[AnalysisError] = None
             for lane_states, lane_errors, _rows in range_partials:
                 if consumer.name in lane_errors:
@@ -390,7 +491,7 @@ class ScanPipeline:
                 result.errors[consumer.name] = error
             else:
                 states[consumer.name] = merged
-        result.chunks_scanned = n_chunks
+        result.chunks_scanned = len(scan_indices)
         result.rows_scanned = sum(rows for _states, _errors, rows in range_partials) \
             if range_tasks else (partials[0][2] if partials else 0)
 
@@ -409,6 +510,229 @@ def fold_consumer(source, consumer: ChunkConsumer, executor=None):
 
 
 # ---------------------------------------------------------------------------
+# Checkpoints: persisted fold states + chunk watermark
+# ---------------------------------------------------------------------------
+def _json_default(value):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    raise TypeError("checkpoint payload value %r is not JSON-serializable" % (value,))
+
+
+class Checkpoint:
+    """Fold states of a shared scan, persisted next to the store as JSON+npz.
+
+    :meth:`save` writes two files: ``<path>`` (JSON — the chunk/row
+    watermark, manifest sequence, sortedness and every scalar/dict payload
+    field) and ``<path>.npz`` (the NumPy array payload fields, keyed
+    ``<consumer>::<field>``).  JSON floats round-trip exactly (``repr``
+    serialization) and npz arrays are bit-preserving, so a restored state is
+    *identical* to the state at capture time — the foundation of the
+    incremental == full-rescan equality contract.
+
+    The **chunk watermark** records how many chunks (and rows) of the store
+    the states cover; :meth:`validate` re-checks it against the live manifest
+    before a resume, so a store that was rewritten (rather than appended to)
+    is rejected loudly instead of producing silently wrong statistics.
+    """
+
+    CHECKPOINT_VERSION = 1
+
+    def __init__(self, store_directory: str, chunk_watermark: int,
+                 row_watermark: int, manifest_sequence: int,
+                 sorted_by_submit_time: bool, last_submit_time: Optional[float],
+                 consumers: Dict[str, Dict[str, object]],
+                 meta: Optional[Dict[str, object]] = None,
+                 store_uid: Optional[str] = None):
+        self.store_directory = str(store_directory)
+        self.chunk_watermark = int(chunk_watermark)
+        self.row_watermark = int(row_watermark)
+        self.manifest_sequence = int(manifest_sequence)
+        self.sorted_by_submit_time = bool(sorted_by_submit_time)
+        self.last_submit_time = last_submit_time
+        #: The store's random identity (``manifest["store_uid"]``) at capture
+        #: time; a rewrite mints a new one, so resume against it is rejected.
+        self.store_uid = store_uid
+        #: consumer name -> snapshot payload (see :meth:`ChunkConsumer.snapshot`).
+        self.consumers = consumers
+        self.meta = dict(meta or {})
+
+    @classmethod
+    def capture(cls, store, consumers: Sequence[ChunkConsumer],
+                final_states: Dict[str, object],
+                errors: Optional[Dict[str, AnalysisError]] = None,
+                meta: Optional[Dict[str, object]] = None) -> "Checkpoint":
+        """Snapshot every resumable consumer's state after a completed scan.
+
+        Consumers that are not resumable, errored during the scan, or whose
+        snapshot itself raises are simply left out — a later resume gives
+        them a full rescan instead.
+        """
+        errors = errors or {}
+        payloads: Dict[str, Dict[str, object]] = {}
+        for consumer in consumers:
+            if not consumer.resumable or consumer.name in errors:
+                continue
+            if consumer.name not in final_states:
+                continue
+            try:
+                payloads[consumer.name] = consumer.snapshot(final_states[consumer.name])
+            except AnalysisError:
+                continue
+        last_submit: Optional[float] = None
+        for index in range(store.n_chunks):
+            zone = store.chunk_zone(index, "submit_time_s")
+            if zone is not None:
+                last_submit = zone[1] if last_submit is None else max(last_submit, zone[1])
+        return cls(store_directory=store.directory,
+                   chunk_watermark=store.n_chunks,
+                   row_watermark=store.n_jobs,
+                   manifest_sequence=getattr(store, "manifest_sequence", 0),
+                   sorted_by_submit_time=store.sorted_by_submit_time,
+                   last_submit_time=last_submit,
+                   consumers=payloads, meta=meta,
+                   store_uid=getattr(store, "store_uid", None))
+
+    def validate(self, store) -> None:
+        """Check that ``store`` is this checkpoint's store, grown append-only.
+
+        Raises:
+            AnalysisError: when the store is a different store entirely (the
+                manifest ``store_uid`` minted at write time does not match),
+                the store shrank, the checkpointed chunk prefix changed row
+                counts (a rewrite, not an append), or the manifest sequence
+                went backwards.
+        """
+        store_uid = getattr(store, "store_uid", None)
+        if self.store_uid is not None and store_uid != self.store_uid:
+            raise AnalysisError(
+                "checkpoint belongs to a different store (store_uid %s, %s has "
+                "%s); the store was rewritten or replaced — run a full scan "
+                "instead of resuming"
+                % (self.store_uid, store.directory, store_uid))
+        if store.n_chunks < self.chunk_watermark:
+            raise AnalysisError(
+                "checkpoint covers %d chunks but store %s now has only %d; "
+                "the store was rewritten — run a full scan instead of resuming"
+                % (self.chunk_watermark, store.directory, store.n_chunks))
+        prefix_rows = int(sum(store.chunk_rows()[:self.chunk_watermark]))
+        if prefix_rows != self.row_watermark:
+            raise AnalysisError(
+                "checkpointed chunk prefix of %s changed (%d rows recorded, "
+                "%d on disk); the store was rewritten — run a full scan "
+                "instead of resuming"
+                % (store.directory, self.row_watermark, prefix_rows))
+        if getattr(store, "manifest_sequence", 0) < self.manifest_sequence:
+            raise AnalysisError(
+                "store %s manifest sequence went backwards (checkpoint saw %d); "
+                "the store was rewritten — run a full scan instead of resuming"
+                % (store.directory, self.manifest_sequence))
+
+    def new_chunks(self, store) -> int:
+        """How many chunks the store gained since this checkpoint."""
+        return store.n_chunks - self.chunk_watermark
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write ``<path>`` (JSON) and ``<path>.npz`` (array payload fields).
+
+        Both files are written to temporaries and atomically renamed into
+        place (arrays first), and both carry the same freshly minted save
+        token; :meth:`load` refuses a pair whose tokens disagree.  So
+        rolling a checkpoint forward over an existing one can never leave a
+        *silently* mismatched JSON/npz pair: a crash between the two renames
+        is detected at load time instead of double-counting chunks.
+        """
+        save_token = uuid.uuid4().hex
+        arrays: Dict[str, np.ndarray] = {
+            "__save_token__": np.array([save_token])}
+        consumer_docs: Dict[str, Dict[str, object]] = {}
+        for name, payload in self.consumers.items():
+            scalars: Dict[str, object] = {}
+            array_fields: List[str] = []
+            for field, value in payload.items():
+                if isinstance(value, np.ndarray):
+                    arrays["%s::%s" % (name, field)] = value
+                    array_fields.append(field)
+                else:
+                    scalars[field] = value
+            consumer_docs[name] = {"scalars": scalars, "arrays": array_fields}
+        document = {
+            "checkpoint_version": self.CHECKPOINT_VERSION,
+            "save_token": save_token,
+            "store_directory": self.store_directory,
+            "store_uid": self.store_uid,
+            "chunk_watermark": self.chunk_watermark,
+            "row_watermark": self.row_watermark,
+            "manifest_sequence": self.manifest_sequence,
+            "sorted_by_submit_time": self.sorted_by_submit_time,
+            "last_submit_time": self.last_submit_time,
+            "meta": self.meta,
+            "consumers": consumer_docs,
+        }
+        array_path = path + ".npz"
+        array_temporary = array_path + ".tmp"
+        # np.savez appends ".npz" to paths without the suffix: write to a
+        # real file handle so the temporary name is exactly what we rename.
+        with open(array_temporary, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        temporary = path + ".tmp"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            # No sort_keys: dictionary payloads (e.g. the naming consumer's
+            # word totals) rely on insertion order surviving the round trip —
+            # stable sorts downstream break ties by it.
+            json.dump(document, handle, indent=2, default=_json_default)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(array_temporary, array_path)
+        os.replace(temporary, path)
+
+    @classmethod
+    def load(cls, path: str) -> "Checkpoint":
+        """Read a checkpoint written by :meth:`save`."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (IOError, json.JSONDecodeError) as exc:
+            raise AnalysisError("cannot read checkpoint %s: %s" % (path, exc))
+        if document.get("checkpoint_version") != cls.CHECKPOINT_VERSION:
+            raise AnalysisError("unsupported checkpoint version %r in %s"
+                                % (document.get("checkpoint_version"), path))
+        consumers: Dict[str, Dict[str, object]] = {}
+        array_path = path + ".npz"
+        try:
+            with np.load(array_path, allow_pickle=False) as archive:
+                token = str(archive["__save_token__"][0]) \
+                    if "__save_token__" in archive.files else None
+                if token != document.get("save_token"):
+                    raise AnalysisError(
+                        "checkpoint files out of sync: %s and %s come from "
+                        "different saves (an interrupted overwrite?); rerun "
+                        "with --checkpoint to rewrite both" % (path, array_path))
+                for name, doc in document.get("consumers", {}).items():
+                    payload = dict(doc.get("scalars", {}))
+                    for field in doc.get("arrays", []):
+                        payload[field] = np.array(archive["%s::%s" % (name, field)])
+                    consumers[name] = payload
+        except (IOError, KeyError, ValueError) as exc:
+            raise AnalysisError("cannot read checkpoint arrays %s: %s"
+                                % (array_path, exc))
+        return cls(store_directory=document["store_directory"],
+                   chunk_watermark=document["chunk_watermark"],
+                   row_watermark=document["row_watermark"],
+                   manifest_sequence=document.get("manifest_sequence", 0),
+                   sorted_by_submit_time=document.get("sorted_by_submit_time", False),
+                   last_submit_time=document.get("last_submit_time"),
+                   consumers=consumers,
+                   meta=document.get("meta") or {},
+                   store_uid=document.get("store_uid"))
+
+
+# ---------------------------------------------------------------------------
 # Generic consumers
 # ---------------------------------------------------------------------------
 class SummaryConsumer(ChunkConsumer):
@@ -420,6 +744,7 @@ class SummaryConsumer(ChunkConsumer):
     """
 
     columns = ("submit_time_s", "finish_time_s", "total_bytes", "total_task_seconds")
+    resumable = True
 
     def __init__(self, name: str = "summary", trace_name: str = "trace",
                  machines: Optional[int] = None):
@@ -430,6 +755,22 @@ class SummaryConsumer(ChunkConsumer):
     def make_state(self):
         return {"n_jobs": 0, "start": MinState(), "end": MaxState(),
                 "bytes": SumState(), "task_seconds": SumState()}
+
+    def snapshot(self, state) -> Dict[str, object]:
+        return {"n_jobs": int(state["n_jobs"]),
+                "start": state["start"].value,
+                "end": state["end"].value,
+                "bytes": state["bytes"].total,
+                "task_seconds": state["task_seconds"].total}
+
+    def restore(self, payload: Dict[str, object]):
+        state = self.make_state()
+        state["n_jobs"] = int(payload["n_jobs"])
+        state["start"].value = None if payload["start"] is None else float(payload["start"])
+        state["end"].value = None if payload["end"] is None else float(payload["end"])
+        state["bytes"].total = float(payload["bytes"])
+        state["task_seconds"].total = float(payload["task_seconds"])
+        return state
 
     def fold(self, state, chunk: ScanChunk):
         state["n_jobs"] += chunk.n_rows
@@ -473,6 +814,11 @@ class GatherConsumer(ChunkConsumer):
     contributes the selected rows inside its global row range; partials are
     re-assembled in chunk order, so the gathered :class:`ColumnarTrace` is
     identical to a standalone gather for every chunking and worker count.
+
+    Deliberately **not resumable**: the gathered indices (the Table-2 seeded
+    subsample) are drawn over the *total* row count, so appending chunks
+    changes which rows are selected — a checkpointed gather state would be
+    wrong, not just stale.  Resumed scans give this consumer a full rescan.
     """
 
     def __init__(self, indices: Sequence[int], name: str = "gather",

@@ -32,12 +32,25 @@ readers in :mod:`repro.traces.io` — so a trace can be converted to columnar
 form without ever holding more than one chunk of jobs in memory.  Readers are
 equally lazy: :meth:`ChunkedTraceStore.iter_chunks` loads one chunk (and only
 the requested columns) at a time.
+
+**Appending.**  v2 stores are *appendable*: :meth:`ChunkedTraceStore.open_append`
+(the ``repro engine ingest`` CLI) adds new chunks — with zone maps — to an
+existing store without rewriting the old ones.  The append is crash-safe: new
+chunk files land on disk first, then the updated manifest is written to a
+temporary file, fsynced, and atomically swapped over ``manifest.json`` with
+``os.replace``.  A reader (or a crash) mid-append therefore always sees a
+coherent store — either the old manifest or the new one, never a torn state;
+orphaned chunk files from an interrupted append are simply unreferenced.
+Every committed append bumps the manifest's ``manifest_sequence`` counter, so
+downstream consumers (the characterization :class:`~repro.engine.pipeline.Checkpoint`)
+can tell "the store grew" apart from "the store was rewritten".
 """
 
 from __future__ import annotations
 
 import json
 import os
+import uuid
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -57,8 +70,8 @@ from .columnar import (
     _buffers_to_arrays,
 )
 
-__all__ = ["ChunkedTraceStore", "write_store", "SUPPORTED_FORMAT_VERSIONS",
-           "DEFAULT_FORMAT_VERSION"]
+__all__ = ["ChunkedTraceStore", "StoreAppender", "write_store", "append_store",
+           "SUPPORTED_FORMAT_VERSIONS", "DEFAULT_FORMAT_VERSION"]
 
 MANIFEST_NAME = "manifest.json"
 #: Manifest versions this reader understands.
@@ -130,6 +143,14 @@ class ChunkedTraceStore:
         self.machines: Optional[int] = manifest.get("machines")
         self.columns: List[str] = list(manifest["columns"])
         self.sorted_by_submit_time: bool = bool(manifest.get("sorted_by_submit_time", False))
+        #: Rows-per-chunk the writer targeted (appends default to the same).
+        self.chunk_rows_target: int = int(manifest.get("chunk_rows", DEFAULT_CHUNK_ROWS))
+        #: Bumped by one on every committed append; 0 for a freshly written store.
+        self.manifest_sequence: int = int(manifest.get("manifest_sequence", 0))
+        #: Random identity minted at write time and preserved across appends —
+        #: how a checkpoint tells "this store, grown" apart from "a different
+        #: (or rewritten) store of the same shape".  None for pre-ingest stores.
+        self.store_uid: Optional[str] = manifest.get("store_uid")
         self._chunks: List[_ChunkMeta] = [_ChunkMeta.from_json(c) for c in manifest["chunks"]]
 
     # -- metadata ----------------------------------------------------------
@@ -202,6 +223,8 @@ class ChunkedTraceStore:
             "name": self.name,
             "machines": self.machines,
             "format_version": self.format_version,
+            "manifest_sequence": self.manifest_sequence,
+            "sorted_by_submit_time": self.sorted_by_submit_time,
             "n_jobs": self.n_jobs,
             "n_chunks": self.n_chunks,
             "columns": self.columns,
@@ -209,6 +232,38 @@ class ChunkedTraceStore:
             "submit_time_range": [min(z[0] for z in submit_zones),
                                   max(z[1] for z in submit_zones)] if submit_zones else None,
         }
+
+    def column_sizes(self) -> Dict[str, int]:
+        """On-disk bytes per stored column (``repro engine info --sizes``).
+
+        v2 stores sum the per-column ``.npy`` file sizes.  v1 ``.npz`` chunks
+        are zip archives, so the per-member *compressed* sizes are read from
+        the zip directory — which is what makes the v1-vs-v2 disk trade-off
+        (compression vs. mmap-ability) observable per column.
+        """
+        sizes: Dict[str, int] = {column: 0 for column in self.columns}
+        if self.format_version == 2:
+            for chunk in self._chunks:
+                for column in self.columns:
+                    path = os.path.join(self.directory, "%s.%s.npy" % (chunk.file, column))
+                    if os.path.isfile(path):
+                        sizes[column] += os.path.getsize(path)
+            return sizes
+        import zipfile
+
+        for chunk in self._chunks:
+            path = os.path.join(self.directory, chunk.file)
+            try:
+                with zipfile.ZipFile(path) as archive:
+                    for member in archive.infolist():
+                        column = member.filename[:-4] if member.filename.endswith(".npy") \
+                            else member.filename
+                        if column in sizes:
+                            sizes[column] += member.compress_size
+            except (IOError, zipfile.BadZipFile) as exc:
+                raise TraceFormatError("%s: cannot read chunk %s: %s"
+                                       % (self.directory, chunk.file, exc))
+        return sizes
 
     # -- lazy readers ------------------------------------------------------
     def read_chunk(self, index: int, columns: Optional[Sequence[str]] = None) -> ColumnBlock:
@@ -309,6 +364,11 @@ class ChunkedTraceStore:
         be converted with bounded memory.  ``format_version`` selects the
         on-disk layout: 2 (default) writes raw per-column ``.npy`` files read
         back via mmap; 1 writes the legacy compressed ``.npz`` chunks.
+
+        A :class:`ChunkedTraceStore` source converts store→store (the
+        ``engine convert --store`` v1↔v2 path): chunks stream through one at
+        a time at the source's chunk boundaries, and the sorted-by-submit-time
+        flag carries over from the source manifest.
         """
         if chunk_rows <= 0:
             raise TraceFormatError("chunk_rows must be positive, got %r" % (chunk_rows,))
@@ -316,6 +376,16 @@ class ChunkedTraceStore:
             raise TraceFormatError("unsupported store format version %r (supported: %s)"
                                    % (format_version,
                                       ", ".join(str(v) for v in SUPPORTED_FORMAT_VERSIONS)))
+        if isinstance(source, ChunkedTraceStore):
+            if os.path.abspath(str(directory)) == os.path.abspath(source.directory):
+                raise TraceFormatError("cannot convert store %s onto itself"
+                                       % (source.directory,))
+            os.makedirs(directory, exist_ok=True)
+            return cls._write_blocks(directory, source.iter_chunks(),
+                                     source.chunk_rows_target,
+                                     name or source.name,
+                                     machines if machines is not None else source.machines,
+                                     source.sorted_by_submit_time, format_version)
         os.makedirs(directory, exist_ok=True)
         sorted_hint = False
         if isinstance(source, ColumnarTrace):
@@ -343,10 +413,21 @@ class ChunkedTraceStore:
                       format_version: int) -> "ChunkedTraceStore":
         chunk_metas: List[_ChunkMeta] = []
         column_names: Optional[List[str]] = None
+        # Sources without a sortedness guarantee (raw job iterables) are
+        # *verified* while streaming through, so an actually-sorted iterable
+        # still earns the manifest flag the ordered analyses and the
+        # checkpoint-resume eligibility check read.
+        verified_sorted = True
+        previous_end = -np.inf
         for index, block in enumerate(blocks):
             if block.n_rows == 0 and index > 0:
                 continue
             columns = dict(block.columns)
+            times = columns.get("submit_time_s")
+            if times is not None and times.size:
+                if times[0] < previous_end or np.any(times[:-1] > times[1:]):
+                    verified_sorted = False
+                previous_end = max(previous_end, float(times[-1]))
             if column_names is None:
                 column_names = sorted(columns)
             elif sorted(columns) != column_names:
@@ -369,19 +450,154 @@ class ChunkedTraceStore:
         _backfill_missing_columns(str(directory), chunk_metas, column_names, format_version)
         manifest = {
             "format_version": format_version,
+            "manifest_sequence": 0,
+            "store_uid": uuid.uuid4().hex,
             "name": name,
             "machines": machines,
             "n_jobs": sum(meta.rows for meta in chunk_metas),
             "chunk_rows": chunk_rows,
-            "sorted_by_submit_time": sorted_hint,
+            "sorted_by_submit_time": sorted_hint or verified_sorted,
             "columns": column_names,
             "chunks": [meta.to_json() for meta in chunk_metas],
         }
-        manifest_path = os.path.join(str(directory), MANIFEST_NAME)
-        with open(manifest_path, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        _swap_manifest(str(directory), manifest)
         return cls(directory)
+
+    # -- appender ----------------------------------------------------------
+    @classmethod
+    def open_append(cls, directory) -> "StoreAppender":
+        """Open an existing v2 store for appending (``repro engine ingest``).
+
+        Raises:
+            TraceFormatError: for a v1 store — compressed ``.npz`` chunks are
+                immutable archives; convert to v2 first with
+                ``repro engine convert --store <dir> --output <new> --format v2``.
+        """
+        return StoreAppender(cls(directory))
+
+
+def _swap_manifest(directory: str, manifest: Dict) -> None:
+    """Write the manifest crash-safely: temp file, fsync, atomic rename.
+
+    ``os.replace`` is atomic on POSIX, so a concurrent reader (or a crash at
+    any point) sees either the previous manifest or the new one — never a
+    partially written file.
+    """
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    temporary = manifest_path + ".tmp"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, manifest_path)
+
+
+class StoreAppender:
+    """Appends chunks to an existing v2 store (see :meth:`ChunkedTraceStore.open_append`).
+
+    One :meth:`append` call writes the new chunk files (with zone maps), keeps
+    the column set coherent (new columns are backfilled into old chunks, old
+    columns are filled into new chunks), re-derives the
+    ``sorted_by_submit_time`` flag across the append boundary, bumps
+    ``manifest_sequence``, and commits with an atomic manifest swap.
+    """
+
+    def __init__(self, store: ChunkedTraceStore):
+        if store.format_version != 2:
+            raise TraceFormatError(
+                "%s is a format-v1 (compressed .npz) store; appending requires "
+                "format v2 — convert it first: repro engine convert --store %s "
+                "--output <new-dir> --format v2"
+                % (store.directory, store.directory))
+        self.store = store
+
+    def append(self, source, chunk_rows: Optional[int] = None) -> ChunkedTraceStore:
+        """Append jobs/chunks from ``source`` and commit; returns the fresh handle.
+
+        ``source`` may be a :class:`~repro.traces.trace.Trace`,
+        :class:`~repro.engine.columnar.ColumnarTrace`, another
+        :class:`ChunkedTraceStore`, or any job iterable (consumed streamingly,
+        at most ``chunk_rows`` jobs buffered).  ``chunk_rows`` defaults to the
+        store's own ``chunk_rows`` manifest entry.  An empty source is a
+        no-op: nothing is written and the manifest (and its sequence number)
+        stays untouched.
+        """
+        store = self.store
+        rows_per_chunk = (store.chunk_rows_target if chunk_rows is None
+                          else int(chunk_rows))
+        if rows_per_chunk <= 0:
+            raise TraceFormatError("chunk_rows must be positive, got %r" % (chunk_rows,))
+        blocks = _source_blocks(source, rows_per_chunk)
+
+        # The append stays sorted only if the old store was sorted, every new
+        # chunk is internally sorted, and the first new time does not precede
+        # the last old one (times are verified, not trusted from hints).
+        still_sorted = store.sorted_by_submit_time
+        previous_end = -np.inf
+        for index in range(store.n_chunks):
+            zone = store.chunk_zone(index, "submit_time_s")
+            if zone is not None:
+                previous_end = max(previous_end, zone[1])
+
+        new_metas: List[_ChunkMeta] = []
+        new_columns: set = set()
+        next_index = store.n_chunks
+        for block in blocks:
+            if block.n_rows == 0:
+                continue
+            columns = dict(block.columns)
+            times = columns.get("submit_time_s")
+            if times is not None and times.size:
+                if times[0] < previous_end or np.any(times[:-1] > times[1:]):
+                    still_sorted = False
+                previous_end = max(previous_end, float(times[-1]))
+            file_name = _write_chunk(store.directory, next_index, columns,
+                                     format_version=2)
+            new_columns.update(columns)
+            new_metas.append(_ChunkMeta(file=file_name, rows=block.n_rows,
+                                        zones=_zone_maps(columns)))
+            next_index += 1
+        if not new_metas:
+            return store
+
+        all_metas = store._chunks + new_metas
+        column_names = sorted(set(store.columns) | new_columns)
+        # Fill the gaps both ways: old chunks missing a newly appeared column,
+        # new chunks missing a column only the old data recorded.
+        _backfill_missing_columns(store.directory, all_metas, column_names, 2)
+
+        manifest = {
+            "format_version": 2,
+            "manifest_sequence": store.manifest_sequence + 1,
+            "store_uid": store.store_uid or uuid.uuid4().hex,
+            "name": store.name,
+            "machines": store.machines,
+            "n_jobs": sum(meta.rows for meta in all_metas),
+            "chunk_rows": store.chunk_rows_target,
+            "sorted_by_submit_time": still_sorted,
+            "columns": column_names,
+            "chunks": [meta.to_json() for meta in all_metas],
+        }
+        _swap_manifest(store.directory, manifest)
+        self.store = ChunkedTraceStore(store.directory)
+        return self.store
+
+
+def _source_blocks(source, chunk_rows: int) -> Iterator[ColumnBlock]:
+    """Stream any supported source as column blocks of at most ``chunk_rows``."""
+    if isinstance(source, ChunkedTraceStore):
+        return source.iter_chunks()
+    if isinstance(source, ColumnarTrace):
+        return source.iter_chunks(chunk_rows=chunk_rows)
+    if isinstance(source, Trace):
+        return _job_blocks(iter(source.jobs), chunk_rows)
+    return _job_blocks(source, chunk_rows)
+
+
+def append_store(directory, source, chunk_rows: Optional[int] = None) -> ChunkedTraceStore:
+    """Functional alias: append ``source`` to the v2 store at ``directory``."""
+    return ChunkedTraceStore.open_append(directory).append(source, chunk_rows=chunk_rows)
 
 
 def _write_chunk(directory: str, index: int, columns: Dict[str, np.ndarray],

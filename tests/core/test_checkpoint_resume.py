@@ -1,0 +1,299 @@
+"""Checkpointed characterization: incremental resume == cold full rescan.
+
+The acceptance contract of the incremental pipeline: after appending chunks
+to a store, ``run_characterization_scan(resume_from=checkpoint)`` must
+reproduce every analysis — and every suite table/figure row — **bit-identical**
+to a cold full rescan of the grown store, while folding only the appended
+chunks for the resumable consumers.  Non-resumable consumers (the Table-2
+row sample) and ordered consumers facing time-interleaved appends fall back
+to a full rescan, and the bundle says so.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import CHARACTERIZATION_EXPERIMENT_IDS, run_suite
+from repro.core import characterize, run_characterization_scan
+from repro.core.sharedscan import _ALL_KEYS
+from repro.engine import Checkpoint, ChunkedTraceStore, ParallelExecutor, append_store
+from repro.errors import AnalysisError
+from repro.traces import Trace
+
+
+@pytest.fixture(scope="module")
+def split_trace(cc_e_trace):
+    """The CC-e jobs split 80/20 at a submit-time boundary."""
+    jobs = cc_e_trace.jobs
+    cut = int(len(jobs) * 0.8)
+    return (Trace(jobs[:cut], name=cc_e_trace.name, machines=cc_e_trace.machines),
+            Trace(jobs[cut:], name=cc_e_trace.name, machines=cc_e_trace.machines))
+
+
+@pytest.fixture(scope="module")
+def grown_store(split_trace, tmp_path_factory):
+    """A store seeded with 80% of the jobs, checkpointed, then appended to."""
+    base, fresh = split_trace
+    directory = tmp_path_factory.mktemp("ckresume") / "cc-e.store"
+    checkpoint_path = str(tmp_path_factory.mktemp("ckresume-ck") / "scan.ck.json")
+    ChunkedTraceStore.write(directory, base, chunk_rows=1024, name=base.name)
+    run_characterization_scan(ChunkedTraceStore(directory),
+                              checkpoint_to=checkpoint_path)
+    store = append_store(directory, fresh)
+    return store, checkpoint_path
+
+
+#: Sample cap below CC-e's job count, so the Table-2 gather consumer exists
+#: and its non-resumable full-rescan fallback is exercised.
+SAMPLE_CAP = 500
+
+
+@pytest.fixture(scope="module")
+def bundles(grown_store):
+    store, checkpoint_path = grown_store
+    return {
+        "cold": run_characterization_scan(store, cluster_sample_cap=SAMPLE_CAP),
+        "resumed": run_characterization_scan(store, resume_from=checkpoint_path,
+                                             cluster_sample_cap=SAMPLE_CAP),
+        "resumed_parallel": run_characterization_scan(
+            store, resume_from=checkpoint_path, cluster_sample_cap=SAMPLE_CAP,
+            executor=ParallelExecutor(processes=2)),
+    }
+
+
+class TestIncrementalEqualsCold:
+    """Serial incremental resume is bit-identical to a cold full rescan."""
+
+    def test_summary(self, bundles):
+        assert bundles["resumed"].value("summary") == bundles["cold"].value("summary")
+
+    def test_data_sizes(self, bundles):
+        cold, mine = bundles["cold"].value("data_sizes"), bundles["resumed"].value("data_sizes")
+        assert mine.medians == cold.medians
+        assert mine.fraction_below_gb == cold.fraction_below_gb
+        assert mine.map_only_fraction == cold.map_only_fraction
+
+    def test_ranks_and_profiles(self, bundles):
+        for key in ("input_ranks", "output_ranks"):
+            cold, mine = bundles["cold"].value(key), bundles["resumed"].value(key)
+            assert np.array_equal(mine.frequencies, cold.frequencies)
+            assert mine.slope == cold.slope
+        for key in ("input_profile", "output_profile"):
+            cold, mine = bundles["cold"].value(key), bundles["resumed"].value(key)
+            assert np.array_equal(mine.file_sizes, cold.file_sizes)
+            assert mine.jobs_below_gb_fraction == cold.jobs_below_gb_fraction
+            assert mine.bytes_below_gb_fraction == cold.bytes_below_gb_fraction
+
+    def test_reaccess(self, bundles):
+        cold = bundles["cold"].value("reaccess_intervals")
+        mine = bundles["resumed"].value("reaccess_intervals")
+        assert mine.fraction_within_6h == cold.fraction_within_6h
+        for attr in ("input_input", "output_input"):
+            a, b = getattr(cold, attr), getattr(mine, attr)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert np.array_equal(b.values, a.values)
+        assert bundles["resumed"].value("reaccess_fractions") == \
+            bundles["cold"].value("reaccess_fractions")
+
+    def test_hourly(self, bundles):
+        cold, mine = bundles["cold"].value("hourly"), bundles["resumed"].value("hourly")
+        assert np.array_equal(mine.jobs_per_hour, cold.jobs_per_hour)
+        assert np.array_equal(mine.bytes_per_hour, cold.bytes_per_hour)
+        assert np.array_equal(mine.task_seconds_per_hour, cold.task_seconds_per_hour)
+
+    def test_naming(self, bundles):
+        cold, mine = bundles["cold"].value("naming"), bundles["resumed"].value("naming")
+        assert mine.by_jobs.shares == cold.by_jobs.shares
+        assert mine.by_bytes.shares == cold.by_bytes.shares
+        assert mine.by_task_seconds.shares == cold.by_task_seconds.shares
+        assert mine.framework_shares == cold.framework_shares
+
+    def test_cluster_sample(self, bundles):
+        cold = bundles["cold"].get("cluster_sample")
+        mine = bundles["resumed"].get("cluster_sample")
+        assert cold is not None and mine is not None
+        for column, values in cold.block.columns.items():
+            assert np.array_equal(mine.block.columns[column], values), column
+
+
+class TestParallelResumeClose:
+    """The parallel resumed lane matches up to float merge order (as every
+    parallel scan does — the same tolerance the shared-scan tests pin)."""
+
+    def test_counts_exact_floats_close(self, bundles):
+        cold = bundles["cold"].value("summary")
+        mine = bundles["resumed_parallel"].value("summary")
+        assert mine.n_jobs == cold.n_jobs
+        assert mine.bytes_moved == pytest.approx(cold.bytes_moved, rel=1e-12)
+        naming_cold = bundles["cold"].value("naming")
+        naming_mine = bundles["resumed_parallel"].value("naming")
+        assert naming_mine.by_jobs.shares == naming_cold.by_jobs.shares
+        for (word, share), (ref_word, ref_share) in zip(
+                naming_mine.by_bytes.shares, naming_cold.by_bytes.shares):
+            assert word == ref_word
+            assert share == pytest.approx(ref_share, rel=1e-12)
+        hourly_cold = bundles["cold"].value("hourly")
+        hourly_mine = bundles["resumed_parallel"].value("hourly")
+        assert np.array_equal(hourly_mine.jobs_per_hour, hourly_cold.jobs_per_hour)
+        assert np.allclose(hourly_mine.bytes_per_hour, hourly_cold.bytes_per_hour,
+                           rtol=1e-9)
+
+    def test_dictionary_and_sample_stats_exact(self, bundles):
+        assert bundles["resumed_parallel"].value("reaccess_fractions") == \
+            bundles["cold"].value("reaccess_fractions")
+        cold = bundles["cold"].get("cluster_sample")
+        mine = bundles["resumed_parallel"].get("cluster_sample")
+        for column, values in cold.block.columns.items():
+            assert np.array_equal(mine.block.columns[column], values), column
+
+
+class TestSuiteRowsIdentical:
+    def test_resumed_suite_rows_bit_identical(self, grown_store, bundles):
+        store, _checkpoint_path = grown_store
+
+        def rows(bundle):
+            results = run_suite(
+                traces={store.name: store},
+                experiments=list(CHARACTERIZATION_EXPERIMENT_IDS),
+                include_ablations=False, include_simulation=False,
+                analyses={store.name: bundle})
+            return {result.experiment_id: (result.rows, result.headers)
+                    for result in results}
+
+        assert rows(bundles["resumed"]) == rows(bundles["cold"])
+
+
+class TestResumeReporting:
+    def test_resumed_and_rescanned_sets(self, bundles):
+        resume = bundles["resumed"].resume
+        assert resume is not None
+        assert resume["new_chunks"] >= 1
+        for name in ("summary", "data_sizes", "path_stats_input", "hourly",
+                     "naming", "reaccess"):
+            assert name in resume["resumed"], name
+        assert "cluster_sample" in resume["rescanned"]
+        assert "not resumable" in resume["rescanned"]["cluster_sample"]
+
+    def test_cold_scan_has_no_resume_info(self, bundles):
+        assert bundles["cold"].resume is None
+
+    def test_checkpoint_files_written(self, grown_store):
+        _store, checkpoint_path = grown_store
+        assert os.path.isfile(checkpoint_path)
+        assert os.path.isfile(checkpoint_path + ".npz")
+        checkpoint = Checkpoint.load(checkpoint_path)
+        assert checkpoint.chunk_watermark >= 1
+        assert "summary" in checkpoint.consumers
+
+
+class TestOrderedFallback:
+    def test_interleaved_append_rescans_the_ordered_walk(self, split_trace,
+                                                         tmp_path_factory):
+        base, fresh = split_trace
+        directory = tmp_path_factory.mktemp("interleave") / "store"
+        checkpoint_path = str(directory) + ".ck.json"
+        ChunkedTraceStore.write(directory, fresh, chunk_rows=1024, name="cc-e")
+        run_characterization_scan(ChunkedTraceStore(directory),
+                                  checkpoint_to=checkpoint_path)
+        # base jobs come *before* the stored ones: the append interleaves
+        store = append_store(directory, base)
+        assert not store.sorted_by_submit_time
+        resumed = run_characterization_scan(store, resume_from=checkpoint_path)
+        assert "reaccess" in resumed.resume["rescanned"]
+        assert "interleaves in time" in resumed.resume["rescanned"]["reaccess"]
+        # the fallback full rescan then fails exactly like a cold scan would
+        cold = run_characterization_scan(store)
+        assert isinstance(resumed.error("reaccess_intervals"), AnalysisError)
+        assert isinstance(cold.error("reaccess_intervals"), AnalysisError)
+        # unordered analyses still resume and still match the cold scan
+        assert "summary" in resumed.resume["resumed"]
+        assert resumed.value("summary") == cold.value("summary")
+
+
+class TestCheckpointValidation:
+    def test_rewritten_store_rejected(self, split_trace, tmp_path):
+        base, _fresh = split_trace
+        directory = tmp_path / "rewrite"
+        checkpoint_path = str(tmp_path / "rw.ck.json")
+        ChunkedTraceStore.write(directory, base, chunk_rows=1024, name="cc-e")
+        run_characterization_scan(ChunkedTraceStore(directory),
+                                  checkpoint_to=checkpoint_path)
+        # a rewrite (different chunking) is not an append: prefix rows change
+        ChunkedTraceStore.write(directory, base, chunk_rows=700, name="cc-e")
+        with pytest.raises(AnalysisError, match="rewritten"):
+            run_characterization_scan(ChunkedTraceStore(directory),
+                                      resume_from=checkpoint_path)
+
+    def test_materialized_source_rejected(self, split_trace, tmp_path):
+        base, _fresh = split_trace
+        with pytest.raises(AnalysisError, match="store-backed"):
+            run_characterization_scan(base, checkpoint_to=str(tmp_path / "x.json"))
+
+    def test_missing_checkpoint_file(self, split_trace, tmp_path):
+        base, _fresh = split_trace
+        directory = tmp_path / "missing"
+        ChunkedTraceStore.write(directory, base, chunk_rows=1024)
+        with pytest.raises(AnalysisError, match="cannot read checkpoint"):
+            run_characterization_scan(ChunkedTraceStore(directory),
+                                      resume_from=str(tmp_path / "nope.json"))
+
+    def test_same_shape_rewrite_rejected_by_store_uid(self, split_trace, tmp_path):
+        """A byte-different store of identical shape must not pass validate."""
+        base, _fresh = split_trace
+        directory = tmp_path / "sameshape"
+        checkpoint_path = str(tmp_path / "ss.ck.json")
+        ChunkedTraceStore.write(directory, base, chunk_rows=1024, name="cc-e")
+        run_characterization_scan(ChunkedTraceStore(directory),
+                                  checkpoint_to=checkpoint_path)
+        # regenerate with the SAME chunking and job count: chunk/row
+        # watermarks and manifest_sequence all match the checkpoint
+        ChunkedTraceStore.write(directory, base, chunk_rows=1024, name="cc-e")
+        with pytest.raises(AnalysisError, match="different store"):
+            run_characterization_scan(ChunkedTraceStore(directory),
+                                      resume_from=checkpoint_path)
+
+    def test_mismatched_json_npz_pair_rejected(self, split_trace, tmp_path):
+        """A torn roll-forward (new npz, old JSON) is detected at load."""
+        base, _fresh = split_trace
+        directory = tmp_path / "torn"
+        old_path = str(tmp_path / "old.ck.json")
+        new_path = str(tmp_path / "new.ck.json")
+        store = ChunkedTraceStore.write(directory, base, chunk_rows=1024)
+        run_characterization_scan(store, checkpoint_to=old_path)
+        run_characterization_scan(store, checkpoint_to=new_path)
+        os.replace(new_path + ".npz", old_path + ".npz")  # simulate the crash
+        with pytest.raises(AnalysisError, match="out of sync"):
+            Checkpoint.load(old_path)
+
+
+class TestCharacterizeResume:
+    def test_report_matches_cold_and_notes_say_so(self, grown_store):
+        store, checkpoint_path = grown_store
+        cold = characterize(store, max_k=4)
+        resumed = characterize(store, max_k=4, resume_from=checkpoint_path)
+        assert resumed.summary == cold.summary
+        assert resumed.access.fractions == cold.access.fractions
+        assert resumed.clustering.k == cold.clustering.k
+        assert any("resumed" in note for note in resumed.notes)
+
+    def test_cli_checkpoint_requires_store(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["characterize", "--workload", "CC-e", "--checkpoint", "x.json"])
+
+
+class TestAllKeysCovered:
+    def test_every_analysis_key_is_exercised(self, bundles):
+        """Every shared-scan key either resumed or was explicitly rescanned."""
+        resume = bundles["resumed"].resume
+        handled = set(resume["resumed"]) | set(resume["rescanned"])
+        # analysis keys map onto consumer names; the consumers the suite
+        # registers for a full default scan:
+        expected = {"summary", "data_sizes", "path_stats_input",
+                    "path_stats_output", "reaccess", "hourly", "naming",
+                    "cluster_sample"}
+        assert expected <= handled
+        assert set(_ALL_KEYS) >= {"summary", "data_sizes"}  # sanity

@@ -1,4 +1,4 @@
-"""Run the usage doctests embedded in the docs-bearing modules.
+"""Run the usage doctests embedded in the docs-bearing modules and docs files.
 
 The CI docs job runs the same set via ``python -m pytest tests/test_doctests.py``;
 keeping the doctests inside the tier-1 suite means the examples in the module
@@ -8,6 +8,7 @@ silently.
 
 import doctest
 import importlib
+import os
 
 import pytest
 
@@ -21,6 +22,13 @@ DOCS_BEARING_MODULES = [
     "repro.simulator.sweep",
 ]
 
+#: Markdown documents whose ``>>>`` examples are runnable doctests.
+DOCS_BEARING_FILES = [
+    "docs/pipeline.md",
+]
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
 
 @pytest.mark.parametrize("module_name", DOCS_BEARING_MODULES)
 def test_module_doctests(module_name):
@@ -28,3 +36,12 @@ def test_module_doctests(module_name):
     result = doctest.testmod(module, verbose=False)
     assert result.attempted > 0, "%s advertises doctests but has none" % module_name
     assert result.failed == 0, "%d doctest failure(s) in %s" % (result.failed, module_name)
+
+
+@pytest.mark.parametrize("relative_path", DOCS_BEARING_FILES)
+def test_docs_file_doctests(relative_path):
+    result = doctest.testfile(os.path.join(REPO_ROOT, relative_path),
+                              module_relative=False, verbose=False)
+    assert result.attempted > 0, "%s advertises doctests but has none" % relative_path
+    assert result.failed == 0, "%d doctest failure(s) in %s" % (result.failed,
+                                                                relative_path)

@@ -24,6 +24,11 @@ a hash of the hourly utilization column.  The digests must match **exactly**
 order), and the streamed peak RSS must be at most one third of the
 materialized peak RSS — that pair of checks is this subsystem's acceptance
 bar.
+
+``--output`` (default: ``BENCH_replay.json`` at the repo root, the same
+convention as ``BENCH_characterize.json``) records the measured numbers as
+JSON so the perf trajectory is tracked across PRs; ``--smoke`` runs a small
+trace with the RSS bar reported but not enforced (metric equality always is).
 """
 
 from __future__ import annotations
@@ -43,6 +48,9 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.engine import ChunkedTraceStore
 from repro.traces import Job
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_replay.json")
 
 
 # ---------------------------------------------------------------------------
@@ -150,7 +158,7 @@ def _run_child(snippet: str, store_path: str) -> dict:
 
 # ---------------------------------------------------------------------------
 def run_benchmark(n_jobs: int, chunk_rows: int, keep_store: str = "",
-                  check_rss: bool = True) -> int:
+                  check_rss: bool = True, output: str = DEFAULT_OUTPUT) -> int:
     print("== streaming replay benchmark: %d jobs ==" % n_jobs)
     store_dir = keep_store or tempfile.mkdtemp(prefix="bench_replay_")
     store_path = os.path.join(store_dir, "store")
@@ -187,6 +195,28 @@ def run_benchmark(n_jobs: int, chunk_rows: int, keep_store: str = "",
     if check_rss and ratio > 1.0 / 3.0:
         failures.append("peak RSS ratio %.3f exceeds 1/3" % ratio)
 
+    if output:
+        payload = {
+            "benchmark": "replay",
+            "n_jobs": n_jobs,
+            "chunk_rows": chunk_rows,
+            "store_disk_mb": disk_mb,
+            "paths": {
+                "streamed": {"wall_s": streamed["wall_s"],
+                             "rss_mb": streamed["rss_mb"]},
+                "materialized": {"wall_s": full["wall_s"],
+                                 "rss_mb": full["rss_mb"]},
+            },
+            "rss_ratio_streamed_vs_materialized": ratio,
+            "metrics_bit_identical": not any("mismatch" in failure
+                                             for failure in failures),
+            "failures": failures,
+        }
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print("wrote results JSON to %s" % output)
+
     if not keep_store:
         shutil.rmtree(store_dir, ignore_errors=True)
 
@@ -205,14 +235,23 @@ def main(argv=None):
                         help="rows per on-disk chunk")
     parser.add_argument("--keep-store", default="",
                         help="write the store here and keep it")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="write the measured numbers as JSON here "
+                             "(default: BENCH_replay.json at the repo root)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke: 50k jobs, small chunks, no RSS bar "
+                             "(metric equality still enforced)")
     parser.add_argument("--skip-rss-check", action="store_true",
                         help="report but do not enforce the 1/3 peak-RSS bar "
                              "(for small --jobs smokes where the interpreter "
                              "baseline dominates; metric equality is always "
                              "enforced)")
     args = parser.parse_args(argv)
-    return run_benchmark(args.jobs, args.chunk_rows, keep_store=args.keep_store,
-                         check_rss=not args.skip_rss_check)
+    n_jobs = 50_000 if args.smoke else args.jobs
+    chunk_rows = min(args.chunk_rows, 8192) if args.smoke else args.chunk_rows
+    return run_benchmark(n_jobs, chunk_rows, keep_store=args.keep_store,
+                         check_rss=not (args.smoke or args.skip_rss_check),
+                         output=args.output)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,299 @@
+"""Service daemon benchmark: cache-hit latency and sustained req/s under load.
+
+Run directly (not collected by pytest — the workload is deliberately large)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --jobs 200000
+
+The benchmark writes a synthetic FB-2010-shaped chunked store (the same
+generator as ``bench_characterize.py``) into a catalog, starts the
+trace-analytics daemon in-process (:class:`~repro.service.server.ServiceThread`)
+and measures, through real HTTP requests:
+
+1. **Cache lane** — ``--cold-requests`` full characterizations with distinct
+   seeds (each a forced miss: a shared scan + suite build), then the same
+   requests replayed as cache hits.  Enforced: the cache-hit p50 latency is at
+   least ``--min-hit-speedup`` (default 10×) below the cold p50, and every
+   hit's body is bit-identical to its cold response.
+2. **Throughput lane** — ``--clients`` threads issue engine queries drawn
+   from a small spec pool for ``--duration`` seconds while an appender thread
+   commits a batch of jobs every ``--append-interval`` seconds; each append
+   invalidates the store's cache entries, so the lane exercises the
+   miss -> hit -> invalidate -> miss cycle under concurrency.  Recorded:
+   sustained req/s, client-observed p50/p99 latency, appends landed, errors
+   (enforced: zero).
+
+Server-side counters (scans started, batched admissions, cache hit/miss,
+invalidations) are scraped from ``/metrics`` at the end.  ``--output``
+(default: ``BENCH_service.json`` at the repo root, the same convention as
+``BENCH_characterize.json``) records everything as JSON; ``--smoke`` shrinks
+the store and the duration for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_characterize import synthetic_characterize_jobs
+
+from repro.engine import ChunkedTraceStore
+from repro.service import ServiceClient, ServiceThread
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_service.json")
+
+QUERY_POOL = [
+    {"agg": ["count", "sum:input_bytes"]},
+    {"where": ["input_bytes > 1e9"], "agg": ["count"]},
+    {"where": ["map_task_seconds <= 60"], "agg": ["count", "mean:duration_s"]},
+    {"group_by": "name"},
+    {"top_k": "input_bytes:5"},
+    {"agg": ["p50:duration_s", "p99:duration_s"]},
+]
+
+
+def _percentile_ms(samples, q) -> float:
+    return float(np.percentile(np.array(samples, dtype=float), q) * 1000.0)
+
+
+def _timed(call):
+    start = time.perf_counter()
+    result = call()
+    return result, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# Lane 1: cold characterization vs cache hit
+# ---------------------------------------------------------------------------
+def run_cache_lane(client: ServiceClient, cold_requests: int) -> dict:
+    print("== cache lane: %d cold characterizations, then replayed as hits =="
+          % cold_requests)
+    cold_times, hit_times = [], []
+    mismatches = 0
+    cold_bodies = {}
+    for seed in range(cold_requests):
+        response, elapsed = _timed(
+            lambda s=seed: client.characterize("bench", seed=s))
+        assert response.cache == "miss", response.cache
+        cold_times.append(elapsed)
+        cold_bodies[seed] = response.data
+        print("  cold seed=%d: %.2f s" % (seed, elapsed))
+    for seed in range(cold_requests):
+        response, elapsed = _timed(
+            lambda s=seed: client.characterize("bench", seed=s))
+        assert response.cache == "hit", response.cache
+        hit_times.append(elapsed)
+        if response.data != cold_bodies[seed]:
+            mismatches += 1
+    lane = {
+        "cold_requests": cold_requests,
+        "cold_p50_ms": _percentile_ms(cold_times, 50),
+        "cold_p99_ms": _percentile_ms(cold_times, 99),
+        "hit_p50_ms": _percentile_ms(hit_times, 50),
+        "hit_p99_ms": _percentile_ms(hit_times, 99),
+        "bit_identical_hits": mismatches == 0,
+    }
+    lane["speedup_p50"] = (lane["cold_p50_ms"] / lane["hit_p50_ms"]
+                           if lane["hit_p50_ms"] else float("inf"))
+    print("cold p50 %.1f ms / hit p50 %.2f ms -> %.0fx; bit-identical: %s"
+          % (lane["cold_p50_ms"], lane["hit_p50_ms"], lane["speedup_p50"],
+             lane["bit_identical_hits"]))
+    return lane
+
+
+# ---------------------------------------------------------------------------
+# Lane 2: concurrent query clients with appends in flight
+# ---------------------------------------------------------------------------
+def run_throughput_lane(port: int, clients: int, duration_s: float,
+                        append_interval_s: float, append_batch: int,
+                        n_jobs: int) -> dict:
+    print("\n== throughput lane: %d clients for %.0f s, append every %.1f s =="
+          % (clients, duration_s, append_interval_s))
+    stop = threading.Event()
+    latencies = [[] for _ in range(clients)]
+    errors = [0] * (clients + 1)  # last slot: the appender
+    appends = {"count": 0}
+
+    def client_loop(index: int) -> None:
+        client = ServiceClient(port=port, timeout=60.0)
+        rng = np.random.default_rng(index)
+        while not stop.is_set():
+            spec = QUERY_POOL[int(rng.integers(len(QUERY_POOL)))]
+            try:
+                _, elapsed = _timed(lambda: client.query("bench", **spec))
+                latencies[index].append(elapsed)
+            except Exception:
+                errors[index] += 1
+
+    def append_loop() -> None:
+        client = ServiceClient(port=port, timeout=60.0)
+        # A lazily-generated stream of fresh jobs to commit batch by batch.
+        source = synthetic_characterize_jobs(
+            append_batch * 64, horizon_days=1.0, seed=77)
+        while not stop.is_set():
+            if stop.wait(append_interval_s):
+                return
+            batch = [next(source).to_dict() for _ in range(append_batch)]
+            try:
+                client.append("bench", batch)
+                appends["count"] += 1
+            except Exception:
+                errors[clients] += 1
+
+    threads = [threading.Thread(target=client_loop, args=(index,))
+               for index in range(clients)]
+    threads.append(threading.Thread(target=append_loop))
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(duration_s)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    flat = [sample for bucket in latencies for sample in bucket]
+    lane = {
+        "clients": clients,
+        "duration_s": round(elapsed, 2),
+        "requests": len(flat),
+        "requests_per_s": round(len(flat) / elapsed, 1),
+        "p50_ms": _percentile_ms(flat, 50) if flat else None,
+        "p99_ms": _percentile_ms(flat, 99) if flat else None,
+        "appends_in_flight": appends["count"],
+        "append_batch_jobs": append_batch,
+        "errors": sum(errors),
+    }
+    print("%d requests in %.1f s -> %.0f req/s; p50 %.1f ms, p99 %.1f ms; "
+          "%d appends, %d errors"
+          % (lane["requests"], elapsed, lane["requests_per_s"],
+             lane["p50_ms"] or -1, lane["p99_ms"] or -1,
+             lane["appends_in_flight"], lane["errors"]))
+    return lane
+
+
+# ---------------------------------------------------------------------------
+def run_benchmark(n_jobs: int, chunk_rows: int, cold_requests: int,
+                  clients: int, duration_s: float, append_interval_s: float,
+                  append_batch: int, min_hit_speedup: float,
+                  output: str = DEFAULT_OUTPUT) -> int:
+    print("== trace-analytics service benchmark: %d-job store ==" % n_jobs)
+    catalog_dir = tempfile.mkdtemp(prefix="bench_service_")
+    failures = []
+    try:
+        start = time.perf_counter()
+        store = ChunkedTraceStore.write(
+            os.path.join(catalog_dir, "bench"),
+            synthetic_characterize_jobs(n_jobs), chunk_rows=chunk_rows,
+            name="FB-2010")
+        print("wrote store (%d chunks, %.1f MB) in %.1f s\n"
+              % (store.n_chunks, store.info()["on_disk_bytes"] / 1e6,
+                 time.perf_counter() - start))
+
+        with open(os.devnull, "w") as sink:
+            with ServiceThread(catalog_dir, workers=4, batch_window_s=0.02,
+                               cache_entries=512, log_stream=sink) as thread:
+                client = ServiceClient(port=thread.port, timeout=600.0)
+                cache_lane = run_cache_lane(client, cold_requests)
+                throughput_lane = run_throughput_lane(
+                    thread.port, clients, duration_s, append_interval_s,
+                    append_batch, n_jobs)
+                server = {
+                    name: client.metric(name) for name in (
+                        "repro_requests_total",
+                        "repro_scans_started_total",
+                        "repro_cache_hits_total",
+                        "repro_cache_misses_total",
+                        "repro_cache_invalidations_total",
+                        "repro_appends_observed_total",
+                    )
+                }
+
+        if not cache_lane["bit_identical_hits"]:
+            failures.append("cache hits were not bit-identical to cold responses")
+        if cache_lane["speedup_p50"] < min_hit_speedup:
+            failures.append("cache-hit p50 speedup %.1fx below %.0fx"
+                            % (cache_lane["speedup_p50"], min_hit_speedup))
+        if throughput_lane["errors"]:
+            failures.append("%d client errors under load"
+                            % throughput_lane["errors"])
+        if not throughput_lane["appends_in_flight"]:
+            failures.append("no appends landed during the throughput lane")
+
+        payload = {
+            "benchmark": "service",
+            "n_jobs": n_jobs,
+            "chunk_rows": chunk_rows,
+            "cache": cache_lane,
+            "throughput": throughput_lane,
+            "server_counters": server,
+            "failures": failures,
+        }
+        if output:
+            with open(output, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print("\nwrote results JSON to %s" % output)
+    finally:
+        shutil.rmtree(catalog_dir, ignore_errors=True)
+
+    if failures:
+        print("\nFAIL:\n" + "\n".join(failures))
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=200_000,
+                        help="synthetic store size (default 200k)")
+    parser.add_argument("--chunk-rows", type=int, default=65536,
+                        help="rows per on-disk chunk")
+    parser.add_argument("--cold-requests", type=int, default=5,
+                        help="distinct-seed characterizations in the cache lane")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent query clients in the throughput lane")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="throughput lane length in seconds")
+    parser.add_argument("--append-interval", type=float, default=2.0,
+                        help="seconds between appends during the throughput lane")
+    parser.add_argument("--append-batch", type=int, default=500,
+                        help="jobs per append batch")
+    parser.add_argument("--min-hit-speedup", type=float, default=10.0,
+                        help="required cold/hit p50 latency ratio")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="write the measured numbers as JSON here "
+                             "(default: BENCH_service.json at the repo root)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke: 20k-job store, 2 cold requests, "
+                             "4 clients for 3 s (all bars still enforced)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_benchmark(20_000, 8192, cold_requests=2, clients=4,
+                             duration_s=3.0, append_interval_s=1.0,
+                             append_batch=200,
+                             min_hit_speedup=args.min_hit_speedup,
+                             output=args.output)
+    return run_benchmark(args.jobs, args.chunk_rows,
+                         cold_requests=args.cold_requests,
+                         clients=args.clients, duration_s=args.duration,
+                         append_interval_s=args.append_interval,
+                         append_batch=args.append_batch,
+                         min_hit_speedup=args.min_hit_speedup,
+                         output=args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

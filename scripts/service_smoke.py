@@ -1,0 +1,91 @@
+"""CI smoke test for the trace-analytics daemon.
+
+Starts the service on a freshly written two-store catalog and drives the
+load-bearing behaviours end to end through real HTTP:
+
+* health + store listing;
+* characterize: cold miss, then a cache hit bit-identical to the cold bytes;
+* engine query against the second store (per-store caches);
+* append through the API: the manifest sequence bumps, only that store's
+  cache entries are invalidated, and the re-run sees the appended rows;
+* /metrics exports the scan/cache counters the run just exercised.
+
+Exit code 0 on success, 1 with a message on any violated expectation.
+
+Run with::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.engine import ChunkedTraceStore
+from repro.service import ServiceClient, ServiceThread
+from repro.traces import load_workload
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit("service smoke FAILED: %s" % message)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="service_smoke_") as catalog:
+        fb = load_workload("FB-2010", seed=0, scale=0.002)
+        cc = load_workload("CC-b", seed=1, scale=0.01)
+        ChunkedTraceStore.write(os.path.join(catalog, "fb"), fb, chunk_rows=512)
+        ChunkedTraceStore.write(os.path.join(catalog, "cc"), cc, chunk_rows=512)
+
+        with ServiceThread(catalog, batch_window_s=0.02) as thread:
+            client = ServiceClient(port=thread.port, timeout=120.0)
+
+            health = client.healthz()
+            check(health["status"] == "ok", "healthz not ok: %r" % health)
+            check(health["stores"] == ["cc", "fb"],
+                  "unexpected store listing: %r" % health["stores"])
+
+            cold = client.characterize("fb", experiments=["table1", "figure1"])
+            check(cold.cache == "miss", "first characterize was %r" % cold.cache)
+            warm = client.characterize("fb", experiments=["table1", "figure1"])
+            check(warm.cache == "hit", "repeat characterize was %r" % warm.cache)
+            check(warm.data == cold.data, "cache hit was not bit-identical")
+
+            queried = client.query("cc", agg=["count", "p99:duration_s"])
+            check(queried.cache == "miss", "cc query was %r" % queried.cache)
+            n_cc = queried.json()["aggregates"]["count"]
+            check(n_cc == len(cc), "cc count %r != %d" % (n_cc, len(cc)))
+
+            appended = client.append("fb", cc.jobs[:25])
+            check(appended["manifest_sequence"] == 1,
+                  "append did not bump the sequence: %r" % appended)
+            fresh = client.characterize("fb", experiments=["table1", "figure1"])
+            check(fresh.cache == "miss", "append did not invalidate fb")
+            body = fresh.json()
+            check(body["manifest_sequence"] == 1 and
+                  body["n_jobs"] == len(fb) + 25,
+                  "re-characterize did not see the append: %r"
+                  % {k: body[k] for k in ("manifest_sequence", "n_jobs")})
+            check(client.query("cc", agg=["count", "p99:duration_s"]).cache
+                  == "hit", "append to fb invalidated cc")
+
+            check(client.metric("repro_scans_started_total") == 2,
+                  "expected exactly 2 scans (cold + post-append)")
+            check(client.metric("repro_cache_hits_total") >= 2,
+                  "cache hits not visible in /metrics")
+            check(client.metric("repro_cache_invalidations_total") >= 1,
+                  "invalidation not visible in /metrics")
+
+    print("service smoke OK: cold/hit bit-identical, append invalidated "
+          "one store, 2 scans for 3 characterizations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

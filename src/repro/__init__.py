@@ -62,7 +62,7 @@ from .traces import Job, Trace, load_workload, load_all_paper_workloads, PAPER_W
 from .core import WorkloadCharacterizer, characterize
 from .engine import ChunkedTraceStore, ColumnarTrace, ParallelExecutor, Query, execute
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

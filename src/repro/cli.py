@@ -23,9 +23,14 @@ main workflows:
 * ``engine`` — columnar trace engine: convert a trace (or re-encode an
   existing store) to the chunked on-disk columnar store, **append** fresh
   jobs to a v2 store (``ingest``, crash-safe), inspect a store (``info
-  --sizes`` breaks the disk footprint down per column), and run
-  filtered/grouped aggregate and top-k queries over it (optionally in
-  parallel).
+  --sizes`` breaks the disk footprint down per column; ``info --json``
+  emits the machine-readable metadata the service catalog consumes), and
+  run filtered/grouped aggregate and top-k queries over it (optionally in
+  parallel);
+* ``serve`` — run the trace-analytics daemon: an HTTP server over a catalog
+  of named stores with shared-scan admission, append-aware result caching,
+  background feed ingest and workload-drift subscriptions (see
+  ``docs/service.md``).
 
 ``characterize --store`` supports **checkpointed incremental runs**:
 ``--checkpoint PATH`` persists the scan's fold states; after an ``engine
@@ -42,7 +47,7 @@ from typing import Optional, Sequence
 
 from . import __version__
 from .bench.suite import CHARACTERIZATION_EXPERIMENT_IDS, EXPERIMENT_IDS, render_suite, run_suite
-from .engine import ChunkedTraceStore, ParallelExecutor, Query, execute, parse_aggregate_spec
+from .engine import ChunkedTraceStore, ParallelExecutor, Query, execute
 from .errors import ReproError
 from .core.characterization import characterize
 from .core.evolution import compare_evolution
@@ -223,6 +228,9 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--sizes", action="store_true",
                       help="also print the per-column on-disk size breakdown "
                            "(v1: compressed member sizes; v2: raw .npy sizes)")
+    info.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON (store uid, manifest "
+                           "sequence, columns, sizes) instead of the table")
 
     query = engine_actions.add_parser("query",
                                       help="filtered aggregate / group-by / top-k over a store")
@@ -239,6 +247,34 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--columns", nargs="*", help="projection for top-k/limit output")
     query.add_argument("--parallel", type=int, default=None, metavar="N",
                        help="fan the scan out over N worker processes")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the trace-analytics service daemon over a store catalog")
+    serve.add_argument("--catalog", required=True,
+                       help="catalog directory: each subdirectory holding a "
+                            "manifest.json is served as a named store")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (0 picks an ephemeral port; see "
+                            "--ready-file)")
+    serve.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="worker threads for scans/queries/replays")
+    serve.add_argument("--batch-window-ms", type=float, default=50.0,
+                       help="admission window: characterization requests for "
+                            "the same store arriving within it share one scan")
+    serve.add_argument("--cache-entries", type=int, default=256,
+                       help="result-cache capacity in entries")
+    serve.add_argument("--feed", action="append", default=[], metavar="STORE=PATH",
+                       help="tail a JSONL trace feed into a named store "
+                            "(repeatable); offsets persist across restarts")
+    serve.add_argument("--poll-interval", type=float, default=1.0,
+                       help="feed poll interval in seconds")
+    serve.add_argument("--no-checkpoints", action="store_true",
+                       help="disable the per-store characterization "
+                            "checkpoints under <catalog>/.service/")
+    serve.add_argument("--ready-file", metavar="PATH",
+                       help="write {host, port, pid} JSON here once the "
+                            "socket is bound (for scripts using --port 0)")
     return parser
 
 
@@ -256,10 +292,22 @@ def _load_source(args) -> "object":
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library failures (any :class:`~repro.errors.ReproError` — bad traces,
+    impossible analyses, malformed stores) print one error line to stderr and
+    exit 1 instead of dumping a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(parser, args)
+    except ReproError as exc:
+        print("error: %s" % (exc,), file=sys.stderr)
+        return 1
 
+
+def _dispatch(parser, args) -> int:
     if args.command == "generate":
         trace = load_workload(args.workload, seed=args.seed, scale=args.scale)
         write_trace(trace, args.output)
@@ -321,6 +369,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "engine":
         return _run_engine(parser, args)
+
+    if args.command == "serve":
+        return _run_serve(parser, args)
 
     if args.command == "bench":
         traces = None
@@ -449,61 +500,23 @@ def _run_replay_sweep(parser, args) -> int:
 # ---------------------------------------------------------------------------
 # engine subcommand
 # ---------------------------------------------------------------------------
-def _parse_where(text: str):
-    """Parse a ``--where`` clause: ``column OP value`` (whitespace optional)."""
-    from .engine.operators import PREDICATE_OPS
-
-    stripped = text.strip()
-    for op in ("<=", ">=", "==", "!=", "<", ">"):
-        if op in stripped:
-            column, value = stripped.split(op, 1)
-            return column.strip(), op, value.strip()
-    if stripped.endswith("finite"):
-        return stripped[: -len("finite")].strip(), "finite", None
-    raise ReproError("cannot parse --where %r (use 'column OP value', OP in %s)"
-                     % (text, ", ".join(PREDICATE_OPS)))
-
-
 def _build_engine_query(args) -> Query:
-    query = Query()
-    for clause in args.where:
-        column, op, value = _parse_where(clause)
-        if op != "finite":
-            try:
-                value = float(value)
-            except ValueError:
-                pass  # string comparison (e.g. framework == hive)
-        query = query.filter(column, op, value)
-    if (args.top_k or args.limit is not None) and (args.agg or args.group_by):
-        raise ReproError("--top-k/--limit return rows and cannot be combined "
-                         "with --agg or --group-by")
-    if args.top_k:
-        column, _, k = args.top_k.rpartition(":")
-        try:
-            top_k = int(k)
-        except ValueError:
-            column = ""
-        if not column:
-            raise ReproError("--top-k must look like column:K, got %r" % (args.top_k,))
-        query = query.top(column, top_k)
-        if args.columns:
-            query = query.project(args.columns)
-        return query
-    if args.limit is not None:
-        query = query.limit(args.limit)
-        if args.columns:
-            query = query.project(args.columns)
-        return query
-    specs = args.agg or ["count"]
-    for spec in specs:
-        label, op, column = parse_aggregate_spec(spec)
-        if op == "count" and column == "submit_time_s":
-            query = query.count(label)
-        else:
-            query = query.aggregate(**{label: (op, column)})
-    if args.group_by:
-        query = query.group_by(args.group_by)
-    return query
+    """Build the engine Query from the CLI flags.
+
+    Delegates to :func:`repro.service.requests.build_query` — the service's
+    ``query`` endpoint consumes the same spec, so clause syntax and
+    validation are identical on both surfaces.
+    """
+    from .service.requests import build_query
+
+    return build_query({
+        "where": list(args.where),
+        "agg": list(args.agg),
+        "group_by": args.group_by,
+        "top_k": args.top_k,
+        "limit": args.limit,
+        "columns": args.columns,
+    })
 
 
 def _run_engine(parser, args) -> int:
@@ -539,11 +552,19 @@ def _run_engine(parser, args) -> int:
         return 0
 
     if args.engine_command == "info":
+        import json as json_module
+
         store = ChunkedTraceStore(args.store)
         info = store.info()
-        for key in ("directory", "name", "machines", "format_version",
-                    "manifest_sequence", "sorted_by_submit_time", "n_jobs",
-                    "n_chunks", "on_disk_bytes", "submit_time_range"):
+        if args.json:
+            if args.sizes:
+                info["column_sizes"] = store.column_sizes()
+            print(json_module.dumps(info, indent=2, sort_keys=True))
+            return 0
+        for key in ("directory", "name", "store_uid", "machines",
+                    "format_version", "manifest_sequence",
+                    "sorted_by_submit_time", "n_jobs", "n_chunks",
+                    "on_disk_bytes", "submit_time_range"):
             print("%-18s %s" % (key, info[key]))
         print("%-18s %s" % ("columns", ", ".join(info["columns"])))
         if args.sizes:
@@ -581,6 +602,50 @@ def _run_engine(parser, args) -> int:
 
     parser.error("unknown engine command %r" % (args.engine_command,))
     return 2
+
+
+# ---------------------------------------------------------------------------
+# serve subcommand
+# ---------------------------------------------------------------------------
+def _run_serve(parser, args) -> int:
+    import asyncio
+    import signal
+
+    from .service.server import TraceAnalyticsService
+
+    feeds = {}
+    for item in args.feed:
+        store_name, separator, feed_path = item.partition("=")
+        if not separator or not store_name or not feed_path:
+            parser.error("--feed must look like STORE=PATH, got %r" % (item,))
+        feeds[store_name] = feed_path
+
+    async def amain() -> int:
+        service = TraceAnalyticsService(
+            args.catalog, host=args.host, port=args.port, workers=args.workers,
+            batch_window_s=args.batch_window_ms / 1000.0,
+            cache_entries=args.cache_entries, feeds=feeds,
+            poll_interval_s=args.poll_interval,
+            checkpoints=not args.no_checkpoints)
+        await service.start(ready_file=args.ready_file)
+        print("serving catalog %s at %s (%d stores%s)"
+              % (service.catalog.directory, service.address,
+                 len(service.catalog),
+                 ", %d feeds" % len(service.tailers) if service.tailers else ""),
+              file=sys.stderr, flush=True)
+        loop = asyncio.get_running_loop()
+        for signal_number in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signal_number, service.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without loop signal handlers
+        await service.run_until_stopped()
+        return 0
+
+    try:
+        return asyncio.run(amain())
+    except KeyboardInterrupt:
+        return 0
 
 
 def _render_value(value):

@@ -22,8 +22,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine.source import TraceSource
 from ..errors import AnalysisError
-from ..traces.trace import Trace
 from ..units import GB
 from .burstiness import analyze_burstiness
 from .datasizes import analyze_data_sizes
@@ -71,7 +71,7 @@ class WorkloadFeatures:
         return np.array([self.values[name] for name in FEATURE_NAMES], dtype=float)
 
 
-def workload_features(trace: Trace, small_job_threshold_bytes: float = 10 * GB) -> WorkloadFeatures:
+def workload_features(trace, small_job_threshold_bytes: float = 10 * GB) -> WorkloadFeatures:
     """Condense a trace into the scalar features used for workload comparison.
 
     The features deliberately mirror the quantities the paper's summary
@@ -79,24 +79,34 @@ def workload_features(trace: Trace, small_job_threshold_bytes: float = 10 * GB) 
     the map-only share, burstiness, diurnality, the bytes-compute correlation,
     and the share of query-like frameworks (0 when the trace records no names).
 
+    Accepts any :class:`TraceSource`-wrappable representation; store-backed
+    sources are scanned chunk by chunk (the service daemon's workload-drift
+    subscriptions recompute this on every append).
+
     Raises:
         AnalysisError: for an empty trace.
     """
-    if trace.is_empty():
+    source = TraceSource.wrap(trace)
+    if source.is_empty():
         raise AnalysisError("cannot compute features of an empty trace")
 
-    sizes = analyze_data_sizes(trace)
-    burstiness = analyze_burstiness(trace, drop_zero_hours=True)
-    dims = hourly_dimensions(trace)
+    sizes = analyze_data_sizes(source)
+    burstiness = analyze_burstiness(source, drop_zero_hours=True)
+    dims = hourly_dimensions(source)
     correlations = dimension_correlations(dims) if dims.n_hours >= 2 else None
     diurnal = diurnal_strength(dims.task_seconds_per_hour)
 
-    small_fraction = float(np.mean([
-        1.0 if job.total_bytes <= small_job_threshold_bytes else 0.0 for job in trace
-    ]))
+    small_jobs = 0
+    for block in source.iter_chunks(columns=["total_bytes"]):
+        if block.n_rows:
+            # The derived total_bytes column treats unrecorded sizes as 0,
+            # exactly like Job.total_bytes.
+            small_jobs += int(np.count_nonzero(
+                block.column("total_bytes") <= small_job_threshold_bytes))
+    small_fraction = small_jobs / len(source)
 
     try:
-        naming = analyze_naming(trace)
+        naming = analyze_naming(source)
         framework_share = naming.framework_share("jobs")
     except AnalysisError:
         framework_share = 0.0
@@ -112,7 +122,7 @@ def workload_features(trace: Trace, small_job_threshold_bytes: float = 10 * GB) 
         "bytes_compute_correlation": correlations.bytes_task_seconds if correlations else 0.0,
         "framework_share": framework_share,
     }
-    return WorkloadFeatures(workload=trace.name, values=values)
+    return WorkloadFeatures(workload=source.name, values=values)
 
 
 def cdf_distance(values_a: Sequence[float], values_b: Sequence[float]) -> float:

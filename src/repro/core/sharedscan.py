@@ -119,6 +119,11 @@ class CharacterizationAnalyses:
         self.resume: Optional[Dict[str, object]] = None
         #: Where the post-scan checkpoint was saved, when one was requested.
         self.checkpoint_path: Optional[str] = None
+        #: Chunks/rows actually decoded by the shared scan (0 for materialized
+        #: sources, which have no decode cost to meter).  The service daemon's
+        #: ``/metrics`` endpoint reads these.
+        self.chunks_scanned: int = 0
+        self.rows_scanned: int = 0
 
     def set(self, key: str, value) -> None:
         self._results[key] = value
@@ -278,6 +283,8 @@ def _scan_streaming(source: TraceSource, needed: List[str],
 
     scan = _execute_scan(source, consumers, executor, analyses,
                          resume_from, checkpoint_to)
+    analyses.chunks_scanned = scan.chunks_scanned
+    analyses.rows_scanned = scan.rows_scanned
 
     def adopt(key: str, consumer_name: str) -> bool:
         """Copy one consumer's result/error onto an analysis key."""

@@ -62,6 +62,7 @@ from .aggregates import (
     make_aggregate,
     parse_aggregate_spec,
 )
+from .catalog import CatalogEntry, StoreCatalog
 from .columnar import (
     DEFAULT_CHUNK_ROWS,
     NUMERIC_COLUMNS,
@@ -92,6 +93,8 @@ from .store import (
 )
 
 __all__ = [
+    "CatalogEntry",
+    "StoreCatalog",
     "ColumnarTrace",
     "ColumnBlock",
     "Checkpoint",

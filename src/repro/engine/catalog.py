@@ -1,0 +1,118 @@
+"""Store catalog: named :class:`ChunkedTraceStore` directories under one root.
+
+The service daemon (:mod:`repro.service`) serves *named* stores; a catalog is
+simply a directory whose immediate subdirectories each contain a store
+``manifest.json``::
+
+    catalog/
+      fb2010/manifest.json + chunks...
+      cc-b/manifest.json + chunks...
+      .service/            <- ignored (no manifest): daemon scratch state
+
+Entries are discovered lazily and re-discovered on :meth:`refresh`, so stores
+dropped into (or deleted from) the catalog directory while the daemon runs are
+picked up without a restart.  :meth:`CatalogEntry.open` returns a fresh
+:class:`ChunkedTraceStore` handle whenever the manifest changed on disk
+(detected via mtime + size), and the *previous* handle keeps working — v2
+appends never rewrite committed chunk files, so an in-flight scan on an old
+handle completes against the manifest it opened with while new requests see
+the grown store.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from ..errors import TraceFormatError
+from .store import MANIFEST_NAME, ChunkedTraceStore
+
+__all__ = ["CatalogEntry", "StoreCatalog"]
+
+
+class CatalogEntry:
+    """One named store in a catalog; caches the open handle per manifest state."""
+
+    def __init__(self, name: str, directory: str):
+        self.name = name
+        self.directory = directory
+        self._handle: Optional[ChunkedTraceStore] = None
+        self._manifest_state: Optional[tuple] = None
+
+    def _current_manifest_state(self) -> Optional[tuple]:
+        try:
+            stat = os.stat(os.path.join(self.directory, MANIFEST_NAME))
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def open(self) -> ChunkedTraceStore:
+        """A :class:`ChunkedTraceStore` handle on the current manifest.
+
+        Re-opens only when the manifest file changed since the cached handle
+        was created.  Raises :class:`TraceFormatError` when the directory no
+        longer holds a readable store.
+        """
+        state = self._current_manifest_state()
+        if self._handle is None or state != self._manifest_state:
+            self._handle = ChunkedTraceStore(self.directory)
+            self._manifest_state = state
+        return self._handle
+
+    def info(self) -> Dict:
+        """The store's machine-readable metadata plus its catalog name."""
+        info = self.open().info()
+        info["catalog_name"] = self.name
+        return info
+
+
+class StoreCatalog:
+    """Directory of named stores (see module docs for the on-disk layout)."""
+
+    def __init__(self, directory):
+        self.directory = str(directory)
+        if not os.path.isdir(self.directory):
+            raise TraceFormatError("catalog directory %s does not exist"
+                                   % (self.directory,))
+        self._entries: Dict[str, CatalogEntry] = {}
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Rescan the catalog directory for store subdirectories."""
+        found: Dict[str, CatalogEntry] = {}
+        for name in sorted(os.listdir(self.directory)):
+            directory = os.path.join(self.directory, name)
+            if not os.path.isfile(os.path.join(directory, MANIFEST_NAME)):
+                continue
+            found[name] = self._entries.get(name) or CatalogEntry(name, directory)
+        self._entries = found
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def entry(self, name: str) -> CatalogEntry:
+        """The entry for ``name``; rescans once before failing.
+
+        Raises:
+            TraceFormatError: when no store of that name exists.
+        """
+        if name not in self._entries:
+            self.refresh()
+        if name not in self._entries:
+            raise TraceFormatError(
+                "catalog %s has no store named %r (have: %s)"
+                % (self.directory, name, ", ".join(self.names()) or "<none>"))
+        return self._entries[name]
+
+    def open(self, name: str) -> ChunkedTraceStore:
+        return self.entry(name).open()
+
+    def info(self) -> List[Dict]:
+        """Machine-readable metadata for every store in the catalog."""
+        return [self._entries[name].info() for name in self.names()]

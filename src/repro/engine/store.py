@@ -221,6 +221,7 @@ class ChunkedTraceStore:
         return {
             "directory": self.directory,
             "name": self.name,
+            "store_uid": self.store_uid,
             "machines": self.machines,
             "format_version": self.format_version,
             "manifest_sequence": self.manifest_sequence,

@@ -1,0 +1,60 @@
+"""Trace-analytics service: a multi-tenant daemon over a store catalog.
+
+The subsystem behind ``repro serve`` — the ROADMAP's "interactive analytical
+processing" goal made concrete.  A long-lived asyncio HTTP daemon
+(:class:`~repro.service.server.TraceAnalyticsService`) serves named
+:class:`~repro.engine.store.ChunkedTraceStore` directories from a
+:class:`~repro.engine.catalog.StoreCatalog`:
+
+* **Shared-scan admission** (:mod:`repro.service.admission`): concurrent
+  characterization requests for the same store within a batch window merge
+  into **one** :class:`~repro.engine.pipeline.ScanPipeline` pass — N clients,
+  one decode — run in a worker pool so the event loop stays responsive.
+* **Append-aware result caching** (:mod:`repro.service.cache`): responses are
+  cached as serialized bytes keyed ``(store_uid, manifest_sequence, request
+  fingerprint)``; a committed append bumps the sequence and invalidates
+  exactly that store's entries, while in-flight requests complete against the
+  manifest they were admitted on.
+* **Background ingest** (:mod:`repro.service.ingest`): feed tailers follow
+  growing JSONL trace files into their stores via the crash-safe append path,
+  resuming from persisted byte offsets across daemon restarts.
+* **Workload-drift subscriptions** (:mod:`repro.service.drift`): each append
+  re-runs the §7 cross-workload comparison against a subscription baseline
+  and records threshold-crossing notifications.
+* **Observability** (:mod:`repro.service.metrics`): per-endpoint request
+  counters and latency sketches, scan/row/byte counters, Prometheus-format
+  ``/metrics``, and structured JSON request logs.
+
+Everything is stdlib + numpy; the HTTP layer is ~200 lines of asyncio stream
+handling, not a framework.
+"""
+
+from .admission import SharedScanAdmission
+from .cache import ResultCache
+from .client import ServiceClient, ServiceError, ServiceResponse
+from .drift import DriftMonitor, DriftSubscription
+from .ingest import FeedTailer
+from .metrics import ServiceMetrics
+from .requests import build_query, fingerprint, normalize_characterize, \
+    normalize_query, normalize_replay, parse_where
+from .server import ServiceThread, TraceAnalyticsService
+
+__all__ = [
+    "TraceAnalyticsService",
+    "ServiceThread",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceResponse",
+    "SharedScanAdmission",
+    "ResultCache",
+    "ServiceMetrics",
+    "DriftMonitor",
+    "DriftSubscription",
+    "FeedTailer",
+    "normalize_characterize",
+    "normalize_query",
+    "normalize_replay",
+    "build_query",
+    "parse_where",
+    "fingerprint",
+]

@@ -1,0 +1,151 @@
+"""Shared-scan admission: concurrent characterization requests ride one scan.
+
+The scan is the expensive part of a characterization request — decoding every
+chunk of the store.  The admission scheduler exploits the shared-scan pipeline
+(:func:`repro.core.sharedscan.run_characterization_scan`): requests arriving
+within one **batch window** for the same ``(store_uid, manifest_sequence,
+seed)`` are merged into a single batch whose experiment set is the union of
+the requests', and exactly one pipeline pass computes the union's consumer
+bundle.  Every rider then builds its own response from the shared
+:class:`~repro.core.sharedscan.CharacterizationAnalyses`.
+
+The batch key pins the manifest sequence, so a request admitted before an
+append and one admitted after it can never share a scan: the earlier batch
+completes against the old manifest (old chunks are never rewritten), the
+later one scans the grown store.  The seed is in the key because the Table-2
+subsample is seed-dependent.
+
+Scans run in a worker pool (the event loop stays responsive) and are
+**checkpointed** per ``(store name, seed)`` under the service state directory:
+a later scan of the same store resumes its resumable consumers from the
+checkpoint and folds only the appended chunks — the incremental
+characterization path of PR 5, now applied automatically between requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from ..core.sharedscan import CharacterizationAnalyses, run_characterization_scan
+from ..engine.store import ChunkedTraceStore
+from ..errors import AnalysisError
+from .metrics import ServiceMetrics
+
+__all__ = ["SharedScanAdmission"]
+
+BatchKey = Tuple[str, int, int]
+
+
+class _ScanBatch:
+    """One pending shared scan: union of experiments + a shared future."""
+
+    def __init__(self, future: "asyncio.Future"):
+        self.experiments: Set[str] = set()
+        self.future = future
+        self.riders = 0
+        self.closed = False
+
+
+class SharedScanAdmission:
+    """Batches characterization scans per (store uid, sequence, seed)."""
+
+    def __init__(self, pool, metrics: ServiceMetrics,
+                 batch_window_s: float = 0.05,
+                 checkpoint_dir: Optional[str] = None):
+        self._pool = pool
+        self.metrics = metrics
+        self.batch_window_s = batch_window_s
+        self.checkpoint_dir = checkpoint_dir
+        self._batches: Dict[BatchKey, _ScanBatch] = {}
+        self._checkpoint_locks: Dict[str, threading.Lock] = {}
+        self._lock = threading.Lock()
+
+    async def characterized(self, name: str, store: ChunkedTraceStore,
+                            experiments: Sequence[str],
+                            seed: int) -> CharacterizationAnalyses:
+        """The shared-scan bundle covering ``experiments`` for this store.
+
+        Joins the open batch for the store's current manifest when one exists
+        (widening its experiment union); otherwise opens a new batch that runs
+        after the batch window elapses.
+        """
+        loop = asyncio.get_running_loop()
+        key: BatchKey = (store.store_uid or store.directory,
+                         store.manifest_sequence, int(seed))
+        batch = self._batches.get(key)
+        if batch is not None and not batch.closed:
+            batch.experiments.update(experiments)
+            batch.riders += 1
+            self.metrics.increment("repro_scan_requests_batched_total")
+            return await asyncio.shield(batch.future)
+        batch = _ScanBatch(loop.create_future())
+        batch.experiments.update(experiments)
+        batch.riders = 1
+        self._batches[key] = batch
+        asyncio.ensure_future(self._run_batch(key, batch, name, store, seed))
+        return await asyncio.shield(batch.future)
+
+    async def _run_batch(self, key: BatchKey, batch: _ScanBatch, name: str,
+                         store: ChunkedTraceStore, seed: int) -> None:
+        try:
+            if self.batch_window_s > 0:
+                await asyncio.sleep(self.batch_window_s)
+        finally:
+            batch.closed = True
+            self._batches.pop(key, None)
+        loop = asyncio.get_running_loop()
+        experiments = sorted(batch.experiments)
+        try:
+            bundle = await loop.run_in_executor(
+                self._pool, self._scan, name, store, experiments, seed)
+        except Exception as exc:  # noqa: BLE001 - delivered to every rider
+            if not batch.future.cancelled():
+                batch.future.set_exception(exc)
+            return
+        if not batch.future.cancelled():
+            batch.future.set_result(bundle)
+
+    # -- blocking side (worker pool) ---------------------------------------
+    def _checkpoint_path(self, name: str, seed: int) -> Optional[str]:
+        if self.checkpoint_dir is None:
+            return None
+        return os.path.join(self.checkpoint_dir,
+                            "%s-seed%d.checkpoint.json" % (name, int(seed)))
+
+    def _scan(self, name: str, store: ChunkedTraceStore,
+              experiments: Sequence[str], seed: int) -> CharacterizationAnalyses:
+        self.metrics.increment("repro_scans_started_total", store=name)
+        checkpoint = self._checkpoint_path(name, seed)
+        if checkpoint is None:
+            bundle = run_characterization_scan(store, experiments=experiments,
+                                               seed=seed)
+        else:
+            with self._lock:
+                lock = self._checkpoint_locks.setdefault(name, threading.Lock())
+            with lock:
+                resume = checkpoint if os.path.isfile(checkpoint) else None
+                try:
+                    bundle = run_characterization_scan(
+                        store, experiments=experiments, seed=seed,
+                        resume_from=resume, checkpoint_to=checkpoint)
+                except AnalysisError:
+                    if resume is None:
+                        raise
+                    # Unreadable or mismatched checkpoint (store rewritten,
+                    # torn file): fall back to a full scan and re-checkpoint.
+                    bundle = run_characterization_scan(
+                        store, experiments=experiments, seed=seed,
+                        checkpoint_to=checkpoint)
+        if bundle.resume is not None and bundle.resume.get("resumed"):
+            self.metrics.increment("repro_scans_resumed_total", store=name)
+        self.metrics.increment("repro_chunks_scanned_total", bundle.chunks_scanned)
+        self.metrics.increment("repro_rows_scanned_total", bundle.rows_scanned)
+        if store.n_chunks:
+            info = store.info()
+            self.metrics.increment(
+                "repro_bytes_scanned_total",
+                info["on_disk_bytes"] * bundle.chunks_scanned / store.n_chunks)
+        return bundle

@@ -1,0 +1,142 @@
+"""Workload-drift subscriptions: re-compare features on append, notify on drift.
+
+A subscription snapshots the store's :func:`~repro.core.comparison.workload_features`
+vector as its **baseline**.  Whenever the daemon observes the store at a new
+manifest sequence (an append landed — via the feed tailer, the ``append``
+endpoint, or an external ``repro engine ingest``), the features are recomputed
+over the grown store and compared to the baseline with
+:func:`~repro.core.comparison.workload_distance` (raw feature vectors — a
+per-subscription absolute scale, so thresholds mean the same thing on every
+check).
+
+A notification is recorded on each **upward threshold crossing** — the
+distance moved from below the threshold to at-or-above it — not on every
+check above the threshold, so a persistently drifted workload produces one
+notification until it recovers and crosses again.  Notifications accumulate
+until a client drains them via ``GET /v1/notifications``.
+
+This is §7 of the paper made operational: workload evolution is the reason
+the paper argues for continuous re-characterization, and the drift distance
+is exactly the cross-workload comparison metric of ``core/comparison.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..core.comparison import WorkloadFeatures, workload_distance, workload_features
+from ..errors import AnalysisError
+
+__all__ = ["DriftSubscription", "DriftMonitor"]
+
+
+class DriftSubscription:
+    """One threshold watch on one store."""
+
+    def __init__(self, subscription_id: int, store_name: str, threshold: float,
+                 baseline: WorkloadFeatures, baseline_sequence: int):
+        self.subscription_id = subscription_id
+        self.store_name = store_name
+        self.threshold = threshold
+        self.baseline = baseline
+        self.baseline_sequence = baseline_sequence
+        self.last_distance = 0.0
+        self.last_checked_sequence = baseline_sequence
+        self.fired = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "subscription_id": self.subscription_id,
+            "store": self.store_name,
+            "threshold": self.threshold,
+            "baseline_sequence": self.baseline_sequence,
+            "baseline_features": dict(self.baseline.values),
+            "last_distance": self.last_distance,
+            "last_checked_sequence": self.last_checked_sequence,
+            "fired": self.fired,
+        }
+
+
+class DriftMonitor:
+    """Holds subscriptions and notifications; checks run in worker threads."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._subscriptions: Dict[int, DriftSubscription] = {}
+        self._notifications: List[Dict] = []
+        self._next_id = 1
+
+    # -- subscriptions -----------------------------------------------------
+    def subscribe(self, store_name: str, store, threshold: float) -> DriftSubscription:
+        """Create a subscription with the store's current features as baseline.
+
+        Raises:
+            AnalysisError: for a non-positive threshold or an empty store.
+        """
+        if not (isinstance(threshold, (int, float)) and threshold > 0):
+            raise AnalysisError("drift threshold must be a positive number, got %r"
+                                % (threshold,))
+        baseline = workload_features(store)
+        with self._lock:
+            subscription = DriftSubscription(
+                self._next_id, store_name, float(threshold), baseline,
+                store.manifest_sequence)
+            self._subscriptions[subscription.subscription_id] = subscription
+            self._next_id += 1
+        return subscription
+
+    def subscriptions(self, store_name: Optional[str] = None) -> List[DriftSubscription]:
+        with self._lock:
+            subs = list(self._subscriptions.values())
+        if store_name is not None:
+            subs = [sub for sub in subs if sub.store_name == store_name]
+        return subs
+
+    def has_subscriptions(self, store_name: str) -> bool:
+        with self._lock:
+            return any(sub.store_name == store_name
+                       for sub in self._subscriptions.values())
+
+    # -- checks (blocking; call from a worker thread) ----------------------
+    def check_store(self, store_name: str, store) -> List[Dict]:
+        """Recompute features once and update every subscription on the store.
+
+        Returns the notifications recorded by this check.
+        """
+        subs = self.subscriptions(store_name)
+        subs = [sub for sub in subs
+                if sub.last_checked_sequence != store.manifest_sequence]
+        if not subs:
+            return []
+        current = workload_features(store)
+        fired: List[Dict] = []
+        with self._lock:
+            for sub in subs:
+                distance = workload_distance(sub.baseline, current)
+                crossed = (sub.last_distance < sub.threshold <= distance)
+                sub.last_distance = distance
+                sub.last_checked_sequence = store.manifest_sequence
+                if crossed:
+                    sub.fired += 1
+                    notification = {
+                        "subscription_id": sub.subscription_id,
+                        "store": store_name,
+                        "distance": distance,
+                        "threshold": sub.threshold,
+                        "manifest_sequence": store.manifest_sequence,
+                        "n_jobs": len(store),
+                        "time": time.time(),
+                    }
+                    self._notifications.append(notification)
+                    fired.append(notification)
+        return fired
+
+    # -- notifications -----------------------------------------------------
+    def notifications(self, clear: bool = False) -> List[Dict]:
+        with self._lock:
+            pending = list(self._notifications)
+            if clear:
+                self._notifications.clear()
+        return pending

@@ -1,0 +1,120 @@
+"""Background feed tailing: append fresh jobs to catalog stores as they land.
+
+A **feed** is a growing JSONL trace file (the schema of
+:func:`repro.traces.io.iter_jsonl` — one job record per line) that some
+external producer appends to.  The :class:`FeedTailer` polls the file, parses
+every *complete* line beyond its persisted byte offset, and commits the new
+jobs to the target store with the crash-safe
+:func:`~repro.engine.store.append_store` path; the offset is persisted to the
+service state directory after each commit, so a daemon restart resumes
+exactly where the previous run left off.  The ordering is
+append-then-offset: a crash between the two re-appends the same lines on
+restart (at-least-once ingest) — producers that need exactly-once semantics
+should write idempotent job ids.
+
+A line that has been started but not yet terminated with a newline is left
+for the next poll — partial JSON is never parsed.  Malformed complete lines
+raise :class:`~repro.errors.TraceFormatError`; the tailer records the error,
+skips that poll, and retries later (the producer may still be writing).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from ..engine.store import append_store
+from ..errors import ReproError
+from ..traces.schema import Job
+
+__all__ = ["FeedTailer"]
+
+
+class FeedTailer:
+    """Tails one JSONL feed file into one named store."""
+
+    def __init__(self, store_name: str, feed_path: str, store_directory: str,
+                 state_dir: str):
+        self.store_name = store_name
+        self.feed_path = feed_path
+        self.store_directory = store_directory
+        self.offset_path = os.path.join(
+            state_dir, "feed-%s.offset" % (store_name,))
+        self.offset = self._load_offset()
+        self.appended_jobs = 0
+        self.polls = 0
+        self.last_error: Optional[str] = None
+
+    def _load_offset(self) -> int:
+        try:
+            with open(self.offset_path, "r", encoding="utf-8") as handle:
+                return max(0, int(json.load(handle)["offset"]))
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return 0
+
+    def _save_offset(self) -> None:
+        temporary = self.offset_path + ".tmp"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump({"offset": self.offset, "feed": self.feed_path}, handle)
+        os.replace(temporary, self.offset_path)
+
+    def poll(self) -> int:
+        """Read complete new lines, append their jobs, persist the offset.
+
+        Returns the number of jobs appended (0 when the feed has not grown).
+        Blocking — call from a worker thread.
+        """
+        self.polls += 1
+        try:
+            size = os.path.getsize(self.feed_path)
+        except OSError:
+            return 0  # feed not created yet
+        if size <= self.offset:
+            return 0
+        with open(self.feed_path, "rb") as handle:
+            handle.seek(self.offset)
+            payload = handle.read(size - self.offset)
+        # Only parse up to the last newline: a partially written trailing
+        # line stays in the feed for the next poll.
+        cut = payload.rfind(b"\n")
+        if cut < 0:
+            return 0
+        complete, consumed = payload[: cut + 1], cut + 1
+        try:
+            jobs = self._parse_jobs(complete)
+        except ReproError as exc:
+            self.last_error = str(exc)
+            return 0
+        if jobs:
+            append_store(self.store_directory, jobs)
+            self.appended_jobs += len(jobs)
+        self.offset += consumed
+        self._save_offset()
+        self.last_error = None
+        return len(jobs)
+
+    @staticmethod
+    def _parse_jobs(payload: bytes) -> List[Job]:
+        jobs: List[Job] = []
+        for line in payload.decode("utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                from ..errors import TraceFormatError
+                raise TraceFormatError("feed line is not valid JSON: %s" % (exc,))
+            jobs.append(Job.from_dict(record))
+        return jobs
+
+    def status(self) -> Dict:
+        return {
+            "store": self.store_name,
+            "feed": self.feed_path,
+            "offset": self.offset,
+            "appended_jobs": self.appended_jobs,
+            "polls": self.polls,
+            "last_error": self.last_error,
+        }

@@ -1,0 +1,196 @@
+"""Request specs: normalization, fingerprints, and the JSON→Query builder.
+
+Every cacheable service request is normalized into a canonical spec dict
+(defaults filled in, lists deduplicated/ordered) before anything else happens.
+The canonical spec has two jobs:
+
+* it is the unit of **equality** — two requests that mean the same thing
+  normalize to the same spec, hash to the same :func:`fingerprint`, and
+  therefore share one cache entry and one in-flight computation;
+* it is the unit of **validation** — unknown fields, unknown experiment ids
+  and malformed clauses are rejected here with :class:`AnalysisError` before
+  any scan is admitted.
+
+The cache key is ``(store_uid, manifest_sequence, fingerprint)``: the
+fingerprint deliberately excludes store identity (that is the key's job) and
+includes everything that changes the bytes of the response — the experiment
+list, the seed (the Table-2 subsample is seed-dependent), and the
+series/top-k/aggregate shapes.
+
+:func:`build_query` turns the ``query`` spec into an engine
+:class:`~repro.engine.operators.Query`; the ``repro engine query`` CLI builds
+the same spec from its flags and calls the same function, so the two surfaces
+cannot drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional, Tuple
+
+from ..bench.suite import CHARACTERIZATION_EXPERIMENT_IDS
+from ..engine import Query, parse_aggregate_spec
+from ..errors import AnalysisError, SimulationError
+from ..simulator.sweep import Scenario
+
+__all__ = ["normalize_characterize", "normalize_query", "normalize_replay",
+           "build_query", "parse_where", "fingerprint"]
+
+
+def fingerprint(kind: str, spec: Dict) -> str:
+    """sha256 of the canonical JSON encoding of one normalized request spec."""
+    canonical = json.dumps({"kind": kind, "spec": spec},
+                           sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _reject_unknown(body: Dict, allowed: Tuple[str, ...], kind: str) -> None:
+    if not isinstance(body, dict):
+        raise AnalysisError("%s request body must be a JSON object, got %s"
+                            % (kind, type(body).__name__))
+    unknown = sorted(set(body) - set(allowed))
+    if unknown:
+        raise AnalysisError("unknown %s request fields %s (allowed: %s)"
+                            % (kind, unknown, ", ".join(allowed)))
+
+
+def normalize_characterize(body: Optional[Dict]) -> Dict:
+    """Canonical characterization spec: ``{experiments, seed, series}``.
+
+    ``experiments`` defaults to the full characterization set and is
+    re-ordered into suite (report) order, so ``["figure1", "table1"]`` and
+    ``["table1", "figure1"]`` are the same request.
+    """
+    body = body or {}
+    _reject_unknown(body, ("experiments", "seed", "series"), "characterize")
+    experiments = body.get("experiments")
+    if experiments is None:
+        experiments = list(CHARACTERIZATION_EXPERIMENT_IDS)
+    else:
+        if isinstance(experiments, str):
+            experiments = [experiments]
+        unknown = sorted(set(experiments) - set(CHARACTERIZATION_EXPERIMENT_IDS))
+        if unknown:
+            raise AnalysisError(
+                "unknown characterization experiments %s (known: %s)"
+                % (unknown, ", ".join(CHARACTERIZATION_EXPERIMENT_IDS)))
+        experiments = [experiment for experiment in CHARACTERIZATION_EXPERIMENT_IDS
+                       if experiment in set(experiments)]
+        if not experiments:
+            raise AnalysisError("characterize request selects no experiments")
+    try:
+        seed = int(body.get("seed", 0))
+    except (TypeError, ValueError):
+        raise AnalysisError("characterize seed must be an integer, got %r"
+                            % (body.get("seed"),))
+    return {"experiments": experiments, "seed": seed,
+            "series": bool(body.get("series", False))}
+
+
+def normalize_query(body: Optional[Dict]) -> Dict:
+    """Canonical engine-query spec (validated by building the Query once)."""
+    body = body or {}
+    _reject_unknown(body, ("where", "agg", "group_by", "top_k", "limit",
+                           "columns"), "query")
+    where = body.get("where") or []
+    if isinstance(where, str):
+        where = [where]
+    agg = body.get("agg") or []
+    if isinstance(agg, str):
+        agg = [agg]
+    limit = body.get("limit")
+    if limit is not None:
+        try:
+            limit = int(limit)
+        except (TypeError, ValueError):
+            raise AnalysisError("query limit must be an integer, got %r" % (limit,))
+    spec = {
+        "where": [str(clause) for clause in where],
+        "agg": [str(item) for item in agg],
+        "group_by": body.get("group_by"),
+        "top_k": body.get("top_k"),
+        "limit": limit,
+        "columns": list(body["columns"]) if body.get("columns") else None,
+    }
+    build_query(spec)  # validate clauses before the spec is admitted/cached
+    return spec
+
+
+def normalize_replay(body: Optional[Dict]) -> Dict:
+    """Canonical replay spec: a full :class:`Scenario` dict (defaults filled)."""
+    body = body or {}
+    if "scenario" in body:
+        _reject_unknown(body, ("scenario",), "replay")
+        body = body["scenario"]
+    try:
+        scenario = Scenario.from_dict(dict(body, name=body.get("name", "service")))
+    except TypeError as exc:
+        raise SimulationError("bad replay scenario: %s" % (exc,))
+    return scenario.to_dict()
+
+
+def parse_where(text: str) -> Tuple[str, str, Optional[str]]:
+    """Parse a ``where`` clause: ``column OP value`` (whitespace optional)."""
+    from ..engine.operators import PREDICATE_OPS
+
+    stripped = text.strip()
+    for op in ("<=", ">=", "==", "!=", "<", ">"):
+        if op in stripped:
+            column, value = stripped.split(op, 1)
+            return column.strip(), op, value.strip()
+    if stripped.endswith("finite"):
+        return stripped[: -len("finite")].strip(), "finite", None
+    raise AnalysisError("cannot parse where clause %r (use 'column OP value', "
+                        "OP in %s)" % (text, ", ".join(PREDICATE_OPS)))
+
+
+def build_query(spec: Dict) -> Query:
+    """Build an engine :class:`Query` from a normalized query spec.
+
+    The ``repro engine query`` CLI and the service's ``query`` endpoint both
+    call this, so clause syntax and validation are identical on both surfaces.
+    """
+    query = Query()
+    for clause in spec.get("where") or []:
+        column, op, value = parse_where(clause)
+        if op != "finite":
+            try:
+                value = float(value)
+            except ValueError:
+                pass  # string comparison (e.g. framework == hive)
+        query = query.filter(column, op, value)
+    top_k = spec.get("top_k")
+    limit = spec.get("limit")
+    agg = spec.get("agg") or []
+    group_by = spec.get("group_by")
+    columns = spec.get("columns")
+    if (top_k or limit is not None) and (agg or group_by):
+        raise AnalysisError("top_k/limit return rows and cannot be combined "
+                            "with agg or group_by")
+    if top_k:
+        column, _, k = str(top_k).rpartition(":")
+        try:
+            count = int(k)
+        except ValueError:
+            column = ""
+        if not column:
+            raise AnalysisError("top_k must look like column:K, got %r" % (top_k,))
+        query = query.top(column, count)
+        if columns:
+            query = query.project(columns)
+        return query
+    if limit is not None:
+        query = query.limit(limit)
+        if columns:
+            query = query.project(columns)
+        return query
+    for item in agg or ["count"]:
+        label, op, column = parse_aggregate_spec(item)
+        if op == "count" and column == "submit_time_s":
+            query = query.count(label)
+        else:
+            query = query.aggregate(**{label: (op, column)})
+    if group_by:
+        query = query.group_by(group_by)
+    return query

@@ -78,17 +78,17 @@ class TestEngineCli:
         biggest = max(trace, key=lambda job: job.input_bytes)
         assert biggest.job_id in out
 
-    def test_row_flags_reject_aggregate_flags(self, store_dir):
-        from repro.errors import ReproError
-        with pytest.raises(ReproError):
-            main(["engine", "query", "--store", str(store_dir),
-                  "--top-k", "duration_s:2", "--agg", "count"])
-        with pytest.raises(ReproError):
-            main(["engine", "query", "--store", str(store_dir),
-                  "--limit", "3", "--group-by", "framework"])
-        with pytest.raises(ReproError):
-            main(["engine", "query", "--store", str(store_dir),
-                  "--top-k", "duration_s:notanumber"])
+    def test_row_flags_reject_aggregate_flags(self, store_dir, capsys):
+        # Analysis errors exit nonzero with a one-line message, no traceback.
+        assert main(["engine", "query", "--store", str(store_dir),
+                     "--top-k", "duration_s:2", "--agg", "count"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["engine", "query", "--store", str(store_dir),
+                     "--limit", "3", "--group-by", "framework"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["engine", "query", "--store", str(store_dir),
+                     "--top-k", "duration_s:notanumber"]) == 1
+        assert "error:" in capsys.readouterr().err
 
     def test_query_parallel_matches_serial(self, store_dir, capsys):
         assert main(["engine", "query", "--store", str(store_dir), "--agg", "count"]) == 0

@@ -1,0 +1,56 @@
+"""Fixtures for the service-daemon tests.
+
+A catalog with two small stores ("fb" and "cc") is rebuilt per test from
+session-cached traces, so mutation tests (appends, invalidation) never leak
+into each other while trace synthesis still happens only once.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine import ChunkedTraceStore
+from repro.traces import Trace, load_workload
+
+
+@pytest.fixture(scope="session")
+def fb_service_trace() -> Trace:
+    """A heavily down-scaled FB-2010 trace (~a few hundred jobs)."""
+    return load_workload("FB-2010", seed=0, scale=0.002)
+
+
+@pytest.fixture(scope="session")
+def cc_service_trace() -> Trace:
+    """A down-scaled CC-b trace with a very different workload mixture."""
+    return load_workload("CC-b", seed=1, scale=0.01)
+
+
+@pytest.fixture()
+def catalog_dir(tmp_path, fb_service_trace, cc_service_trace) -> str:
+    catalog = tmp_path / "catalog"
+    catalog.mkdir()
+    ChunkedTraceStore.write(str(catalog / "fb"), fb_service_trace,
+                            chunk_rows=512)
+    ChunkedTraceStore.write(str(catalog / "cc"), cc_service_trace,
+                            chunk_rows=512)
+    return str(catalog)
+
+
+@pytest.fixture()
+def service(catalog_dir):
+    """A running daemon on the two-store catalog (quiet logs, short window)."""
+    from repro.service import ServiceThread
+
+    with open(os.devnull, "w") as sink:
+        with ServiceThread(catalog_dir, batch_window_s=0.02,
+                           log_stream=sink) as thread:
+            yield thread
+
+
+@pytest.fixture()
+def client(service):
+    from repro.service import ServiceClient
+
+    return ServiceClient(port=service.port)

@@ -1,0 +1,115 @@
+"""Store catalog + the machine-readable CLI surfaces (`engine info --json`)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.engine import ChunkedTraceStore, StoreCatalog, append_store
+from repro.engine.catalog import CatalogEntry
+from repro.errors import TraceFormatError
+
+
+class TestStoreCatalog:
+    def test_discovers_named_stores(self, catalog_dir):
+        catalog = StoreCatalog(catalog_dir)
+        assert catalog.names() == ["cc", "fb"]
+        assert len(catalog) == 2
+        assert "fb" in catalog and "nope" not in catalog
+
+    def test_missing_catalog_directory_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="does not exist"):
+            StoreCatalog(str(tmp_path / "nowhere"))
+
+    def test_unknown_store_name_lists_known_names(self, catalog_dir):
+        catalog = StoreCatalog(catalog_dir)
+        with pytest.raises(TraceFormatError, match="has no store named"):
+            catalog.entry("nope")
+        with pytest.raises(TraceFormatError, match="cc, fb"):
+            catalog.entry("nope")
+
+    def test_state_directory_is_not_a_store(self, catalog_dir):
+        os.makedirs(os.path.join(catalog_dir, ".service"), exist_ok=True)
+        assert StoreCatalog(catalog_dir).names() == ["cc", "fb"]
+
+    def test_refresh_picks_up_new_stores(self, catalog_dir, fb_service_trace):
+        catalog = StoreCatalog(catalog_dir)
+        ChunkedTraceStore.write(os.path.join(catalog_dir, "late"),
+                                fb_service_trace, chunk_rows=512)
+        # entry() rescans once before failing, so no explicit refresh needed.
+        assert catalog.entry("late").name == "late"
+        assert "late" in catalog.names()
+
+    def test_entry_caches_handle_until_manifest_moves(self, catalog_dir,
+                                                      cc_service_trace):
+        entry = StoreCatalog(catalog_dir).entry("fb")
+        first = entry.open()
+        assert entry.open() is first  # unchanged manifest: same handle
+        append_store(entry.directory, cc_service_trace.jobs[:10])
+        fresh = entry.open()
+        assert fresh is not first
+        assert fresh.manifest_sequence == first.manifest_sequence + 1
+        # The old handle still reads the manifest it opened with.
+        assert len(first) == len(fresh) - 10
+
+    def test_info_carries_catalog_name_and_identity(self, catalog_dir):
+        infos = StoreCatalog(catalog_dir).info()
+        assert [info["catalog_name"] for info in infos] == ["cc", "fb"]
+        for info in infos:
+            assert info["store_uid"]
+            assert info["manifest_sequence"] == 0
+            assert info["n_jobs"] > 0
+
+    def test_entry_open_reports_unreadable_store(self, tmp_path):
+        directory = tmp_path / "broken"
+        directory.mkdir()
+        (directory / "manifest.json").write_text("{not json")
+        entry = CatalogEntry("broken", str(directory))
+        with pytest.raises(TraceFormatError):
+            entry.open()
+
+
+class TestEngineInfoJson:
+    def test_json_flag_emits_machine_readable_metadata(self, catalog_dir, capsys):
+        store_dir = os.path.join(catalog_dir, "fb")
+        assert main(["engine", "info", "--store", store_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["store_uid"]
+        assert payload["manifest_sequence"] == 0
+        assert payload["n_jobs"] > 0
+        assert "submit_time_s" in payload["columns"]
+        assert "column_sizes" not in payload
+
+    def test_json_with_sizes_includes_per_column_bytes(self, catalog_dir, capsys):
+        store_dir = os.path.join(catalog_dir, "fb")
+        assert main(["engine", "info", "--store", store_dir, "--json",
+                     "--sizes"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["column_sizes"]["submit_time_s"] > 0
+
+    def test_table_output_shows_store_uid(self, catalog_dir, capsys):
+        store_dir = os.path.join(catalog_dir, "fb")
+        assert main(["engine", "info", "--store", store_dir]) == 0
+        assert "store_uid" in capsys.readouterr().out
+
+
+class TestCliErrorExitCodes:
+    def test_repro_error_exits_nonzero_without_traceback(self, tmp_path, capsys):
+        missing = str(tmp_path / "no-such-store")
+        assert main(["engine", "info", "--store", missing]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_serve_requires_existing_catalog(self, tmp_path, capsys):
+        assert main(["serve", "--catalog", str(tmp_path / "nowhere")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_successful_commands_still_exit_zero(self, catalog_dir, capsys):
+        store_dir = os.path.join(catalog_dir, "cc")
+        assert main(["engine", "query", "--store", store_dir,
+                     "--agg", "count"]) == 0
+        assert "count" in capsys.readouterr().out

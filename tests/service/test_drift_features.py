@@ -1,0 +1,83 @@
+"""Drift monitor semantics + workload features over stores vs. traces."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.comparison import (FEATURE_NAMES, workload_distance,
+                                   workload_features)
+from repro.engine import ChunkedTraceStore, append_store
+from repro.errors import AnalysisError
+from repro.service import DriftMonitor
+from repro.traces import Trace
+
+
+class TestWorkloadFeaturesOnStores:
+    def test_store_features_match_trace_features(self, catalog_dir,
+                                                 fb_service_trace):
+        """The streaming (store) path must agree with the in-memory path."""
+        store = ChunkedTraceStore(os.path.join(catalog_dir, "fb"))
+        from_trace = workload_features(fb_service_trace)
+        from_store = workload_features(store)
+        assert set(from_store.values) == set(FEATURE_NAMES)
+        # Sketch-backed medians may differ slightly between the in-memory and
+        # chunked representations; everything else is exact.
+        for name in FEATURE_NAMES:
+            assert from_store.values[name] == \
+                pytest.approx(from_trace.values[name], rel=0.05, abs=0.05)
+        # Far below any realistic drift threshold (the tests use 0.5).
+        assert workload_distance(from_trace, from_store) < 0.1
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(AnalysisError):
+            workload_features(Trace(jobs=[], name="empty"))
+
+
+class TestDriftMonitor:
+    def _grown(self, catalog_dir, jobs):
+        directory = os.path.join(catalog_dir, "fb")
+        return append_store(directory, jobs)
+
+    def test_fires_once_per_upward_crossing(self, catalog_dir,
+                                            cc_service_trace):
+        store = ChunkedTraceStore(os.path.join(catalog_dir, "fb"))
+        monitor = DriftMonitor()
+        subscription = monitor.subscribe("fb", store, threshold=0.5)
+        assert subscription.last_distance == 0.0
+        grown = self._grown(catalog_dir, cc_service_trace.jobs[:200])
+        fired = monitor.check_store("fb", grown)
+        assert len(fired) == 1
+        assert fired[0]["distance"] >= 0.5
+        assert fired[0]["manifest_sequence"] == grown.manifest_sequence
+        # Same sequence again: the check is skipped, nothing re-fires.
+        assert monitor.check_store("fb", grown) == []
+        # Still drifted at the next sequence: no *new* crossing, no re-fire.
+        grown = self._grown(catalog_dir, cc_service_trace.jobs[200:210])
+        assert monitor.check_store("fb", grown) == []
+        assert subscription.fired == 1
+        assert monitor.notifications() and len(monitor.notifications()) == 1
+
+    def test_below_threshold_appends_do_not_fire(self, catalog_dir,
+                                                 fb_service_trace):
+        store = ChunkedTraceStore(os.path.join(catalog_dir, "fb"))
+        monitor = DriftMonitor()
+        monitor.subscribe("fb", store, threshold=10.0)
+        # More of the same workload: the feature vector barely moves.
+        grown = self._grown(catalog_dir, fb_service_trace.jobs[:100])
+        assert monitor.check_store("fb", grown) == []
+        assert monitor.notifications() == []
+
+    def test_invalid_threshold_rejected(self, catalog_dir):
+        store = ChunkedTraceStore(os.path.join(catalog_dir, "fb"))
+        monitor = DriftMonitor()
+        for bad in (0, -1, "big", None):
+            with pytest.raises(AnalysisError):
+                monitor.subscribe("fb", store, bad)
+
+    def test_check_without_subscriptions_is_cheap_noop(self, catalog_dir):
+        store = ChunkedTraceStore(os.path.join(catalog_dir, "fb"))
+        monitor = DriftMonitor()
+        assert monitor.has_subscriptions("fb") is False
+        assert monitor.check_store("fb", store) == []

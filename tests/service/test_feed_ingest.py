@@ -1,0 +1,107 @@
+"""Feed tailing: offsets, partial lines, malformed input, daemon integration."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.engine import ChunkedTraceStore
+from repro.service import FeedTailer, ServiceClient, ServiceThread
+
+
+def _feed_line(job) -> bytes:
+    return (json.dumps(job.to_dict()) + "\n").encode("utf-8")
+
+
+class TestFeedTailer:
+    def _tailer(self, tmp_path, catalog_dir):
+        feed = tmp_path / "feed.jsonl"
+        feed.touch()
+        state = tmp_path / "state"
+        state.mkdir()
+        return FeedTailer("fb", str(feed), os.path.join(catalog_dir, "fb"),
+                          str(state)), feed
+
+    def test_appends_complete_lines_and_persists_offset(self, tmp_path,
+                                                        catalog_dir,
+                                                        cc_service_trace):
+        tailer, feed = self._tailer(tmp_path, catalog_dir)
+        store_dir = os.path.join(catalog_dir, "fb")
+        n_before = len(ChunkedTraceStore(store_dir))
+        jobs = cc_service_trace.jobs[:3]
+        with open(feed, "ab") as handle:
+            for job in jobs:
+                handle.write(_feed_line(job))
+        assert tailer.poll() == 3
+        assert len(ChunkedTraceStore(store_dir)) == n_before + 3
+        assert tailer.poll() == 0  # nothing new
+        # A restarted tailer resumes from the persisted offset.
+        resumed = FeedTailer("fb", str(feed), store_dir,
+                             os.path.dirname(tailer.offset_path))
+        assert resumed.offset == tailer.offset
+        assert resumed.poll() == 0
+
+    def test_partial_trailing_line_waits_for_its_newline(self, tmp_path,
+                                                         catalog_dir,
+                                                         cc_service_trace):
+        tailer, feed = self._tailer(tmp_path, catalog_dir)
+        complete = _feed_line(cc_service_trace.jobs[0])
+        partial = _feed_line(cc_service_trace.jobs[1])
+        with open(feed, "ab") as handle:
+            handle.write(complete + partial[:10])  # producer mid-write
+        assert tailer.poll() == 1
+        offset_after_first = tailer.offset
+        assert offset_after_first == len(complete)
+        with open(feed, "ab") as handle:
+            handle.write(partial[10:])
+        assert tailer.poll() == 1
+        assert tailer.offset == len(complete) + len(partial)
+
+    def test_malformed_line_recorded_not_consumed(self, tmp_path, catalog_dir):
+        tailer, feed = self._tailer(tmp_path, catalog_dir)
+        with open(feed, "ab") as handle:
+            handle.write(b"{broken json\n")
+        assert tailer.poll() == 0
+        assert "not valid JSON" in tailer.last_error
+        assert tailer.offset == 0  # nothing consumed; retried next poll
+        status = tailer.status()
+        assert status["store"] == "fb" and status["polls"] == 1
+
+    def test_missing_feed_file_is_not_an_error(self, tmp_path, catalog_dir):
+        tailer = FeedTailer("fb", str(tmp_path / "never-created.jsonl"),
+                            os.path.join(catalog_dir, "fb"), str(tmp_path))
+        assert tailer.poll() == 0
+        assert tailer.last_error is None
+
+
+class TestDaemonFeedLoop:
+    def test_feed_appends_reach_the_store_and_invalidate(self, catalog_dir,
+                                                         tmp_path,
+                                                         cc_service_trace):
+        feed = tmp_path / "fb-feed.jsonl"
+        feed.touch()
+        with open(os.devnull, "w") as sink:
+            with ServiceThread(catalog_dir, batch_window_s=0.02,
+                               poll_interval_s=0.05,
+                               feeds={"fb": str(feed)},
+                               log_stream=sink) as thread:
+                client = ServiceClient(port=thread.port)
+                n_before = client.store_info("fb")["n_jobs"]
+                assert client.query("fb", agg=["count"]).cache == "miss"
+                assert client.query("fb", agg=["count"]).cache == "hit"
+                with open(feed, "ab") as handle:
+                    for job in cc_service_trace.jobs[:5]:
+                        handle.write(_feed_line(job))
+                deadline = time.time() + 15
+                while time.time() < deadline:
+                    feeds = client.get("/v1/feeds").json()["feeds"]
+                    if feeds[0]["appended_jobs"] == 5:
+                        break
+                    time.sleep(0.05)
+                assert feeds[0]["appended_jobs"] == 5
+                fresh = client.query("fb", agg=["count"])
+                assert fresh.cache == "miss"  # tailer append invalidated fb
+                info = client.store_info("fb")
+                assert info["n_jobs"] == n_before + 5
+                assert info["manifest_sequence"] == 1

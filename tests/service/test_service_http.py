@@ -1,0 +1,250 @@
+"""End-to-end daemon tests: HTTP endpoints, shared-scan admission, caching,
+append invalidation, and drift notifications — through a real socket."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.engine import append_store
+from repro.service import ServiceClient, ServiceError, ServiceThread
+
+
+def _wait_for(predicate, timeout_s=15.0, interval_s=0.05):
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+class TestBasicEndpoints:
+    def test_healthz_and_store_listing(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["stores"] == ["cc", "fb"]
+        stores = client.stores()["stores"]
+        assert [store["catalog_name"] for store in stores] == ["cc", "fb"]
+        assert all(store["store_uid"] for store in stores)
+
+    def test_store_info_endpoint(self, client):
+        info = client.store_info("fb")
+        assert info["catalog_name"] == "fb"
+        assert info["manifest_sequence"] == 0
+        assert info["n_jobs"] > 0
+
+    def test_unknown_store_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.store_info("nope")
+        assert excinfo.value.status == 404
+        assert excinfo.value.body["type"] == "unknown_store"
+
+    def test_unknown_route_is_404_and_bad_body_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.get("/v1/bogus")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client.post("/v1/stores/fb/query", {"where": ["input_bytes !!! 3"]})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.post("/v1/stores/fb/characterize", {"bogus_field": 1})
+        assert excinfo.value.status == 400
+
+    def test_metrics_endpoint_is_prometheus_text(self, client):
+        client.healthz()
+        text = client.metrics_text()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_service_uptime_seconds" in text
+        assert "repro_cache_entries" in text
+
+
+class TestCachedEndpoints:
+    def test_characterize_hit_is_bit_identical(self, client):
+        cold = client.characterize("fb", experiments=["table1", "figure1"])
+        assert cold.cache == "miss"
+        body = cold.json()
+        assert body["manifest_sequence"] == 0
+        assert [r["experiment_id"] for r in body["results"]] == \
+            ["table1", "figure1"]
+        warm = client.characterize("fb", experiments=["figure1", "table1"])
+        assert warm.cache == "hit"
+        assert warm.data == cold.data  # byte-for-byte, not merely equal JSON
+
+    def test_query_endpoint_caches_and_reports_stats(self, client):
+        spec = {"where": ["input_bytes > 1e9"], "agg": ["count", "sum:input_bytes"]}
+        cold = client.query("fb", **spec)
+        assert cold.cache == "miss"
+        body = cold.json()
+        assert body["aggregates"]["count"] >= 0
+        assert body["stats"]["rows_scanned"] > 0
+        warm = client.query("fb", **spec)
+        assert warm.cache == "hit"
+        assert warm.data == cold.data
+
+    def test_query_group_by_and_rows_shapes(self, client):
+        groups = client.query("fb", group_by="workload").json()["groups"]
+        assert sum(value["count"] for value in groups.values()) == \
+            client.store_info("fb")["n_jobs"]
+        rows = client.query("fb", top_k="input_bytes:3").json()["rows"]
+        assert len(rows) == 3
+        assert rows[0]["input_bytes"] >= rows[1]["input_bytes"]
+
+    def test_replay_endpoint_caches(self, client):
+        cold = client.replay("cc", scheduler="fifo", cache="none", nodes=20)
+        assert cold.cache == "miss"
+        summary = cold.json()["summary"]
+        assert summary["jobs"] > 0
+        warm = client.replay("cc", scheduler="fifo", cache="none", nodes=20)
+        assert warm.cache == "hit"
+        assert warm.data == cold.data
+
+    def test_caches_are_per_store(self, client):
+        assert client.query("fb", agg=["count"]).cache == "miss"
+        assert client.query("cc", agg=["count"]).cache == "miss"
+        assert client.query("fb", agg=["count"]).cache == "hit"
+        assert client.query("cc", agg=["count"]).cache == "hit"
+
+
+class TestAppendInvalidation:
+    def test_append_endpoint_invalidates_only_that_store(self, client,
+                                                         cc_service_trace):
+        assert client.characterize("fb", experiments=["figure1"]).cache == "miss"
+        assert client.characterize("cc", experiments=["figure1"]).cache == "miss"
+        appended = client.append("fb", cc_service_trace.jobs[:50])
+        assert appended["appended"] == 50
+        assert appended["manifest_sequence"] == 1
+        fresh = client.characterize("fb", experiments=["figure1"])
+        assert fresh.cache == "miss"  # fb entries dropped by the append
+        assert fresh.json()["manifest_sequence"] == 1
+        assert client.characterize("cc", experiments=["figure1"]).cache == "hit"
+
+    def test_external_ingest_is_observed_lazily(self, service, client,
+                                                cc_service_trace):
+        assert client.query("fb", agg=["count"]).cache == "miss"
+        assert client.query("fb", agg=["count"]).cache == "hit"
+        # Simulate `repro engine ingest` run outside the daemon: the store
+        # directory changes on disk with no endpoint involved.
+        directory = os.path.join(service.service.catalog.directory, "fb")
+        append_store(directory, cc_service_trace.jobs[:25])
+        fresh = client.query("fb", agg=["count"])
+        assert fresh.cache == "miss"
+        assert fresh.json()["manifest_sequence"] == 1
+        assert client.metric("repro_appends_observed_total") == 1
+        assert client.metric("repro_cache_invalidations_total") >= 1
+
+    def test_drift_subscription_fires_on_threshold(self, client,
+                                                   cc_service_trace):
+        subscription = client.subscribe_drift("fb", threshold=0.5)["subscription"]
+        assert subscription["store"] == "fb"
+        assert set(subscription["baseline_features"])  # non-empty vector
+        listing = client.get("/v1/stores/fb/drift").json()["subscriptions"]
+        assert [sub["subscription_id"] for sub in listing] == \
+            [subscription["subscription_id"]]
+        # A slug of CC-b jobs shifts the FB-2010 feature vector well past 0.5.
+        client.append("fb", cc_service_trace.jobs[:200])
+        assert _wait_for(lambda: client.notifications()["notifications"])
+        notes = client.notifications(clear=True)["notifications"]
+        assert notes[0]["store"] == "fb"
+        assert notes[0]["distance"] >= 0.5
+        assert notes[0]["subscription_id"] == subscription["subscription_id"]
+        assert client.notifications()["notifications"] == []  # drained
+
+    def test_bad_drift_threshold_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.subscribe_drift("fb", threshold=-1)
+        assert excinfo.value.status == 400
+
+
+class TestSharedScanAdmission:
+    @pytest.fixture()
+    def windowed_service(self, catalog_dir):
+        # A generous batch window so concurrent requests reliably land in the
+        # same admission batch.
+        with open(os.devnull, "w") as sink:
+            with ServiceThread(catalog_dir, batch_window_s=0.5,
+                               log_stream=sink) as thread:
+                yield thread
+
+    def _fire_concurrently(self, port, specs):
+        client = ServiceClient(port=port)
+        results = [None] * len(specs)
+
+        def run(index, spec):
+            results[index] = client.characterize("fb", **spec)
+
+        threads = [threading.Thread(target=run, args=(i, spec))
+                   for i, spec in enumerate(specs)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return client, results
+
+    def test_identical_concurrent_requests_share_one_scan(self, windowed_service):
+        client, results = self._fire_concurrently(
+            windowed_service.port,
+            [{"experiments": ["figure1"]}, {"experiments": ["figure1"]}])
+        assert client.metric("repro_scans_started_total") == 1
+        states = sorted(response.cache for response in results)
+        assert states == ["coalesced", "miss"]
+        assert results[0].data == results[1].data
+
+    def test_different_experiments_batch_onto_one_scan(self, windowed_service):
+        client, results = self._fire_concurrently(
+            windowed_service.port,
+            [{"experiments": ["figure1"]}, {"experiments": ["figure2"]},
+             {"experiments": ["figure1", "figure2"]}])
+        # Three distinct fingerprints -> three cache misses, but the admission
+        # layer merged them into ONE decode of the store.
+        assert client.metric("repro_scans_started_total") == 1
+        ids = [[r["experiment_id"] for r in response.json()["results"]]
+               for response in results]
+        assert ids == [["figure1"], ["figure2"], ["figure1", "figure2"]]
+
+    def test_requests_admitted_before_append_use_old_manifest(
+            self, windowed_service, cc_service_trace):
+        client = ServiceClient(port=windowed_service.port)
+        n_before = client.store_info("fb")["n_jobs"]
+        holder = {}
+
+        def characterize():
+            holder["response"] = client.characterize(
+                "fb", experiments=["figure1"])
+
+        worker = threading.Thread(target=characterize)
+        worker.start()
+        time.sleep(0.15)  # inside the 0.5 s batch window: scan not started yet
+        client.append("fb", cc_service_trace.jobs[:50])
+        worker.join()
+        body = holder["response"].json()
+        # The request was admitted at sequence 0 and completes against it,
+        # even though the append committed before the scan ran.
+        assert body["manifest_sequence"] == 0
+        assert body["n_jobs"] == n_before
+        fresh = client.characterize("fb", experiments=["figure1"])
+        assert fresh.json()["manifest_sequence"] == 1
+        assert fresh.json()["n_jobs"] == n_before + 50
+
+
+class TestStructuredLogs:
+    def test_each_request_emits_one_json_line(self, catalog_dir, tmp_path):
+        log_path = tmp_path / "requests.log"
+        with open(log_path, "w") as sink:
+            with ServiceThread(catalog_dir, batch_window_s=0.02,
+                               log_stream=sink) as thread:
+                client = ServiceClient(port=thread.port)
+                client.healthz()
+                client.query("fb", agg=["count"])
+        records = [json.loads(line) for line in
+                   log_path.read_text().splitlines()]
+        requests = [r for r in records if r["event"] == "request"]
+        assert len(requests) == 2
+        assert requests[0]["path"] == "/healthz"
+        assert requests[0]["status"] == 200
+        assert requests[1]["cache"] == "miss"
+        assert requests[1]["duration_ms"] >= 0

@@ -67,6 +67,18 @@ class DriftMonitor:
         self._subscriptions: Dict[int, DriftSubscription] = {}
         self._notifications: List[Dict] = []
         self._next_id = 1
+        # Serializes check_store per store: checks are scheduled from both
+        # the event loop and feed-poll threads, and overlapping checks would
+        # duplicate the full-store feature scan and could apply an older
+        # sequence's results last.
+        self._check_locks: Dict[str, threading.Lock] = {}
+
+    def _check_lock(self, store_name: str) -> threading.Lock:
+        with self._lock:
+            lock = self._check_locks.get(store_name)
+            if lock is None:
+                lock = self._check_locks[store_name] = threading.Lock()
+            return lock
 
     # -- subscriptions -----------------------------------------------------
     def subscribe(self, store_name: str, store, threshold: float) -> DriftSubscription:
@@ -103,17 +115,29 @@ class DriftMonitor:
     def check_store(self, store_name: str, store) -> List[Dict]:
         """Recompute features once and update every subscription on the store.
 
+        Checks for the same store are serialized (one feature scan at a
+        time), and a check never moves a subscription's state backwards: a
+        subscription already checked at a newer manifest sequence is left
+        alone, so a stale check can neither duplicate nor suppress a
+        threshold-crossing notification.
+
         Returns the notifications recorded by this check.
         """
+        with self._check_lock(store_name):
+            return self._check_store_locked(store_name, store)
+
+    def _check_store_locked(self, store_name: str, store) -> List[Dict]:
         subs = self.subscriptions(store_name)
         subs = [sub for sub in subs
-                if sub.last_checked_sequence != store.manifest_sequence]
+                if sub.last_checked_sequence < store.manifest_sequence]
         if not subs:
             return []
         current = workload_features(store)
         fired: List[Dict] = []
         with self._lock:
             for sub in subs:
+                if sub.last_checked_sequence >= store.manifest_sequence:
+                    continue  # a newer check finished while we scanned
                 distance = workload_distance(sub.baseline, current)
                 crossed = (sub.last_distance < sub.threshold <= distance)
                 sub.last_distance = distance

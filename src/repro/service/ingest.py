@@ -16,16 +16,26 @@ A line that has been started but not yet terminated with a newline is left
 for the next poll — partial JSON is never parsed.  Malformed complete lines
 raise :class:`~repro.errors.TraceFormatError`; the tailer records the error,
 skips that poll, and retries later (the producer may still be writing).
+
+Appends are serialized through ``append_lock`` — the daemon passes its
+per-process append I/O lock so a feed poll and a concurrent
+``POST /append`` to the same store never race the
+read-manifest → write-manifest swap (each would otherwise write chunk
+files with the same indices and the last manifest swap would silently win).
+The lock only covers appends issued *by this daemon*: an externally-run
+``repro engine ingest`` against a store the daemon may append to is unsafe
+while the daemon is running.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Dict, List, Optional
 
 from ..engine.store import append_store
-from ..errors import ReproError
+from ..errors import ReproError, TraceFormatError
 from ..traces.schema import Job
 
 __all__ = ["FeedTailer"]
@@ -35,10 +45,15 @@ class FeedTailer:
     """Tails one JSONL feed file into one named store."""
 
     def __init__(self, store_name: str, feed_path: str, store_directory: str,
-                 state_dir: str):
+                 state_dir: str,
+                 append_lock: Optional[threading.Lock] = None):
         self.store_name = store_name
         self.feed_path = feed_path
         self.store_directory = store_directory
+        # Shared with the daemon's append endpoint so the two append paths
+        # never swap the same manifest concurrently.
+        self.append_lock = append_lock if append_lock is not None \
+            else threading.Lock()
         self.offset_path = os.path.join(
             state_dir, "feed-%s.offset" % (store_name,))
         self.offset = self._load_offset()
@@ -87,7 +102,8 @@ class FeedTailer:
             self.last_error = str(exc)
             return 0
         if jobs:
-            append_store(self.store_directory, jobs)
+            with self.append_lock:
+                append_store(self.store_directory, jobs)
             self.appended_jobs += len(jobs)
         self.offset += consumed
         self._save_offset()
@@ -96,15 +112,18 @@ class FeedTailer:
 
     @staticmethod
     def _parse_jobs(payload: bytes) -> List[Job]:
+        try:
+            text = payload.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError("feed contains invalid UTF-8: %s" % (exc,))
         jobs: List[Job] = []
-        for line in payload.decode("utf-8").splitlines():
+        for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                from ..errors import TraceFormatError
                 raise TraceFormatError("feed line is not valid JSON: %s" % (exc,))
             jobs.append(Job.from_dict(record))
         return jobs

@@ -42,7 +42,9 @@ sequence moved when a request re-opens the store).  All three funnel through
 one path: drop the store's stale cache entries, bump the append counters, and
 schedule the workload-drift check.  Requests already running keep their old
 store handle and complete against the old manifest (committed chunks are
-never rewritten).
+never rewritten).  Daemon-driven appends (endpoint + feed tailer) share one
+append I/O lock; an *external* ``engine ingest`` is only safe against stores
+the daemon itself never appends to — it cannot take that lock.
 
 Every request emits one structured JSON log line (method, path, status,
 duration, cache disposition) to the configured stream.
@@ -155,14 +157,15 @@ class TraceAnalyticsService:
                                              batch_window_s=batch_window_s,
                                              checkpoint_dir=checkpoint_dir)
         self.poll_interval_s = poll_interval_s
+        self._append_lock = threading.Lock()
+        self._append_io_lock = threading.Lock()
         self.tailers: List[FeedTailer] = []
         for store_name, feed_path in sorted((feeds or {}).items()):
             entry = self.catalog.entry(store_name)
             self.tailers.append(FeedTailer(store_name, feed_path,
-                                           entry.directory, self.state_dir))
+                                           entry.directory, self.state_dir,
+                                           append_lock=self._append_io_lock))
         self.log_stream = log_stream if log_stream is not None else sys.stdout
-        self._append_lock = threading.Lock()
-        self._append_io_lock = threading.Lock()
         self._last_sequence: Dict[str, int] = {}
         self._inflight: Dict[tuple, "asyncio.Future"] = {}
         self._server: Optional[asyncio.AbstractServer] = None
@@ -180,6 +183,7 @@ class TraceAnalyticsService:
         self.port = self._server.sockets[0].getsockname()[1]
         if self.tailers:
             self._feed_task = asyncio.ensure_future(self._feed_loop())
+            self._feed_task.add_done_callback(self._on_feed_task_done)
         if ready_file:
             payload = {"host": self.host, "port": self.port, "pid": os.getpid()}
             temporary = ready_file + ".tmp"
@@ -217,16 +221,35 @@ class TraceAnalyticsService:
         loop = asyncio.get_running_loop()
         while True:
             for tailer in self.tailers:
+                # One bad poll (malformed feed, I/O error persisting the
+                # offset, corrupted store) must not kill tailing for every
+                # feed: record it on the tailer and retry next interval.
                 try:
                     appended = await loop.run_in_executor(self._pool, tailer.poll)
+                    if appended:
+                        self.metrics.increment("repro_feed_jobs_appended_total",
+                                               appended, store=tailer.store_name)
+                        self._observe_store(tailer.store_name)
                 except ReproError as exc:
                     tailer.last_error = str(exc)
-                    appended = 0
-                if appended:
-                    self.metrics.increment("repro_feed_jobs_appended_total",
-                                           appended, store=tailer.store_name)
-                    self._observe_store(tailer.store_name)
+                except Exception as exc:  # noqa: BLE001 - keep the loop alive
+                    tailer.last_error = "%s: %s" % (type(exc).__name__, exc)
+                    self._log({"event": "feed_error",
+                               "store": tailer.store_name,
+                               "error": tailer.last_error})
             await asyncio.sleep(self.poll_interval_s)
+
+    def _on_feed_task_done(self, task: "asyncio.Task") -> None:
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            # The loop above swallows per-poll failures, so getting here
+            # means something unexpected; make it visible instead of letting
+            # the never-awaited task hide it while /v1/feeds reports stale
+            # status forever.
+            self._log({"event": "feed_loop_died",
+                       "error": "%s: %s" % (type(exc).__name__, exc)})
 
     # ------------------------------------------------------------------
     # append observation: invalidation + drift
@@ -305,7 +328,13 @@ class TraceAnalyticsService:
                     break
                 name, _, value = line.decode("latin-1").partition(":")
                 headers[name.strip().lower()] = value.strip()
-            length = int(headers.get("content-length", "0") or "0")
+            raw_length = headers.get("content-length", "").strip()
+            try:
+                length = int(raw_length) if raw_length else 0
+            except ValueError:
+                raise _HTTPError(400, "invalid Content-Length: %r" % raw_length)
+            if length < 0:
+                raise _HTTPError(400, "negative Content-Length: %d" % length)
             if length > MAX_BODY_BYTES:
                 await self._write_response(writer, 413, b'{"error":"body too large"}')
                 status = 413
@@ -588,20 +617,31 @@ class TraceAnalyticsService:
         if not isinstance(body, dict) or not isinstance(body.get("jobs"), list):
             raise _HTTPError(400, 'append request body must be {"jobs": [...]}')
         entry = self.catalog.entry(name)
-        jobs = [Job.from_dict(record) for record in body["jobs"]]
+        records = body["jobs"]
         loop = asyncio.get_running_loop()
 
-        def do_append() -> ChunkedTraceStore:
+        def do_append() -> int:
+            # Parse off the event loop too: a 64MB body of job records would
+            # otherwise stall every other connection.
+            jobs = []
+            for index, record in enumerate(records):
+                if not isinstance(record, dict):
+                    raise _HTTPError(
+                        400, "jobs[%d] must be an object, got %s"
+                        % (index, type(record).__name__))
+                jobs.append(Job.from_dict(record))
             # One manifest swap at a time per daemon: concurrent appends to
-            # the same store would race read-manifest -> write-manifest.
+            # the same store (endpoint or feed tailer) would race
+            # read-manifest -> write-manifest.
             with self._append_io_lock:
-                return append_store(entry.directory, jobs)
+                append_store(entry.directory, jobs)
+            return len(jobs)
 
-        store = await loop.run_in_executor(self._pool, do_append)
+        appended = await loop.run_in_executor(self._pool, do_append)
         store = self._observe_store(name)
         return 200, canonical_json({
             "store": name,
-            "appended": len(jobs),
+            "appended": appended,
             "n_jobs": len(store),
             "manifest_sequence": store.manifest_sequence,
         }), "application/json", "-"

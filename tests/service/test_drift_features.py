@@ -81,3 +81,21 @@ class TestDriftMonitor:
         monitor = DriftMonitor()
         assert monitor.has_subscriptions("fb") is False
         assert monitor.check_store("fb", store) == []
+
+    def test_stale_check_never_regresses_state(self, catalog_dir,
+                                               cc_service_trace):
+        """A check against an older store handle, arriving after a newer
+        sequence has already been checked, must not move the subscription
+        backwards (which would duplicate threshold-crossing notifications)."""
+        store = ChunkedTraceStore(os.path.join(catalog_dir, "fb"))
+        monitor = DriftMonitor()
+        subscription = monitor.subscribe("fb", store, threshold=0.5)
+        older = self._grown(catalog_dir, cc_service_trace.jobs[:200])
+        newer = self._grown(catalog_dir, cc_service_trace.jobs[200:210])
+        assert len(monitor.check_store("fb", newer)) == 1
+        distance_after_newer = subscription.last_distance
+        # The slower, older-sequence check finishes last: a no-op.
+        assert monitor.check_store("fb", older) == []
+        assert subscription.last_checked_sequence == newer.manifest_sequence
+        assert subscription.last_distance == distance_after_newer
+        assert subscription.fired == 1

@@ -74,6 +74,45 @@ class TestFeedTailer:
         assert tailer.poll() == 0
         assert tailer.last_error is None
 
+    def test_invalid_utf8_recorded_not_fatal(self, tmp_path, catalog_dir):
+        tailer, feed = self._tailer(tmp_path, catalog_dir)
+        with open(feed, "ab") as handle:
+            handle.write(b"\xff\xfe not utf-8 \xff\n")
+        assert tailer.poll() == 0
+        assert "UTF-8" in tailer.last_error
+        assert tailer.offset == 0  # nothing consumed
+
+    def test_append_runs_under_the_shared_lock(self, tmp_path, catalog_dir,
+                                               cc_service_trace):
+        """The daemon's append I/O lock must cover feed-tailer appends too —
+        otherwise a tailed store receiving POST /append races the manifest
+        swap and silently loses one append."""
+        import threading
+
+        class RecordingLock:
+            def __init__(self):
+                self.entered = 0
+                self._lock = threading.Lock()
+
+            def __enter__(self):
+                self.entered += 1
+                return self._lock.__enter__()
+
+            def __exit__(self, *exc_info):
+                return self._lock.__exit__(*exc_info)
+
+        feed = tmp_path / "feed.jsonl"
+        feed.touch()
+        state = tmp_path / "state"
+        state.mkdir()
+        lock = RecordingLock()
+        tailer = FeedTailer("fb", str(feed), os.path.join(catalog_dir, "fb"),
+                            str(state), append_lock=lock)
+        with open(feed, "ab") as handle:
+            handle.write(_feed_line(cc_service_trace.jobs[0]))
+        assert tailer.poll() == 1
+        assert lock.entered == 1
+
 
 class TestDaemonFeedLoop:
     def test_feed_appends_reach_the_store_and_invalidate(self, catalog_dir,
@@ -86,6 +125,9 @@ class TestDaemonFeedLoop:
                                poll_interval_s=0.05,
                                feeds={"fb": str(feed)},
                                log_stream=sink) as thread:
+                # Daemon-driven appends (endpoint + tailer) share one lock.
+                assert thread.service.tailers[0].append_lock \
+                    is thread.service._append_io_lock
                 client = ServiceClient(port=thread.port)
                 n_before = client.store_info("fb")["n_jobs"]
                 assert client.query("fb", agg=["count"]).cache == "miss"
@@ -105,3 +147,37 @@ class TestDaemonFeedLoop:
                 info = client.store_info("fb")
                 assert info["n_jobs"] == n_before + 5
                 assert info["manifest_sequence"] == 1
+
+    def test_feed_loop_survives_invalid_utf8(self, catalog_dir, tmp_path,
+                                             cc_service_trace):
+        """A feed line with invalid UTF-8 must not kill the feed task — the
+        error is reported via /v1/feeds and tailing resumes once the
+        producer fixes the feed."""
+        feed = tmp_path / "fb-feed.jsonl"
+        feed.write_bytes(b"\xff\xfe broken \xff\n")
+        with open(os.devnull, "w") as sink:
+            with ServiceThread(catalog_dir, batch_window_s=0.02,
+                               poll_interval_s=0.05,
+                               feeds={"fb": str(feed)},
+                               log_stream=sink) as thread:
+                client = ServiceClient(port=thread.port)
+                deadline = time.time() + 15
+                feeds = []
+                while time.time() < deadline:
+                    feeds = client.get("/v1/feeds").json()["feeds"]
+                    if feeds[0]["last_error"]:
+                        break
+                    time.sleep(0.05)
+                assert "UTF-8" in feeds[0]["last_error"]
+                # The producer rewrites the feed with valid lines: the loop
+                # is still alive and picks them up.
+                with open(feed, "wb") as handle:
+                    for job in cc_service_trace.jobs[:2]:
+                        handle.write(_feed_line(job))
+                deadline = time.time() + 15
+                while time.time() < deadline:
+                    feeds = client.get("/v1/feeds").json()["feeds"]
+                    if feeds[0]["appended_jobs"] == 2:
+                        break
+                    time.sleep(0.05)
+                assert feeds[0]["appended_jobs"] == 2

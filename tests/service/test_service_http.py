@@ -55,6 +55,31 @@ class TestBasicEndpoints:
             client.post("/v1/stores/fb/characterize", {"bogus_field": 1})
         assert excinfo.value.status == 400
 
+    def test_malformed_content_length_is_400(self, service):
+        import socket
+
+        def raw_request(headers):
+            with socket.create_connection(("127.0.0.1", service.port),
+                                          timeout=10) as sock:
+                sock.sendall(("GET /healthz HTTP/1.1\r\n%s\r\n\r\n"
+                              % headers).encode("latin-1"))
+                response = b""
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    response += chunk
+            return response.split(b" ", 2)[1]
+
+        assert raw_request("Content-Length: banana") == b"400"
+        assert raw_request("Content-Length: -5") == b"400"
+
+    def test_append_with_non_dict_job_record_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.post("/v1/stores/fb/append", {"jobs": [["not", "a", "dict"]]})
+        assert excinfo.value.status == 400
+        assert "jobs[0]" in excinfo.value.body["error"]
+
     def test_metrics_endpoint_is_prometheus_text(self, client):
         client.healthz()
         text = client.metrics_text()

@@ -1,4 +1,4 @@
-"""Streaming replay benchmark: store-streamed vs. materialized, at 1M jobs.
+"""Replay engine benchmark: legacy loop vs vectorized engine vs sharding.
 
 Run directly (not collected by pytest — the workload is deliberately large)::
 
@@ -6,29 +6,36 @@ Run directly (not collected by pytest — the workload is deliberately large)::
 
 The benchmark writes a synthetic interactive-heavy trace of ``--jobs`` jobs
 straight to a chunked columnar store (the writer consumes a generator, so
-this parent process never materializes the job list), then replays it twice
-in fresh subprocesses so peak-RSS numbers are clean:
+this parent process never materializes the job list), then replays it in
+fresh subprocesses — one lane per engine path, so peak-RSS numbers are clean:
 
-1. **streamed**     — :class:`StreamingReplayer` pulling jobs chunk by chunk
-   from the store with bounded submission look-ahead, metrics kept only as
-   mergeable accumulators;
-2. **materialized** — the store fully converted to an in-memory job-list
-   :class:`Trace` and replayed by the classic :class:`WorkloadReplayer`
-   (per-job outcomes and utilization samples retained, as before the
-   streaming refactor).
+1. **legacy**          — the pre-vectorization event loop
+   (:func:`~repro.simulator.legacy.legacy_replay_jobs`), one closure-backed
+   event per task transition; the ground-truth lane and the old cost.
+2. **streamed**        — the vectorized :class:`StreamingReplayer`: column-fed
+   job preparation, tuple-heap completions grouped per (job, stage, instant),
+   and bisect bulk admission under full saturation.
+3. **sharded-exact**   — :class:`ShardedReplayer` threading one engine across
+   time-window boundaries; must cost about the same as streamed and digest
+   identically.
+4. **sharded-windowed**— :class:`ShardedReplayer` replaying windows on
+   parallel worker processes (the throughput lane; cross-boundary contention
+   is approximated, so only conservation laws are checked).
+5. **materialized**    — store fully converted to an in-memory ``Trace`` and
+   replayed by :class:`WorkloadReplayer` with per-job outcomes retained (the
+   peak-RSS yardstick for the streamed lane).
 
-Both children print a metrics digest: the accumulator summary, exact
-byte-level SHA-256 hashes of the wait/completion percentile-sketch bins, and
-a hash of the hourly utilization column.  The digests must match **exactly**
-(the two paths share one event loop, so every float folds in the same
-order), and the streamed peak RSS must be at most one third of the
-materialized peak RSS — that pair of checks is this subsystem's acceptance
-bar.
+Lanes 1/2/3/5 must produce **bit-identical** metric digests
+(:meth:`SimulationMetrics.digest`: counts, float sums in fold order,
+extremes, sketch bins, hourly utilization bins).  At full scale the streamed
+lane must beat the committed pre-vectorization baseline (160.1 s for 1M
+jobs) by at least 3x, and the streamed peak RSS must stay at most one third
+of the materialized peak RSS.
 
-``--output`` (default: ``BENCH_replay.json`` at the repo root, the same
-convention as ``BENCH_characterize.json``) records the measured numbers as
-JSON so the perf trajectory is tracked across PRs; ``--smoke`` runs a small
-trace with the RSS bar reported but not enforced (metric equality always is).
+``--output`` (default: ``BENCH_replay.json`` at the repo root) records the
+measured numbers as JSON so the perf trajectory is tracked across PRs;
+``--smoke`` runs a small trace with digest equality (including the sharded
+lane) enforced but the RSS and speed bars only reported.
 """
 
 from __future__ import annotations
@@ -51,6 +58,13 @@ from repro.traces import Job
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_replay.json")
+
+# Committed wall-clock of the pre-vectorization streamed lane at 1M jobs
+# (BENCH_replay.json as of PR 6); the vectorized engine's acceptance bar is
+# at least a 3x win over this on a full-scale run.
+BASELINE_WALL_S = 160.1
+SPEEDUP_BAR = 3.0
+DIGEST_LANES = ("legacy", "streamed", "sharded-exact", "materialized")
 
 
 # ---------------------------------------------------------------------------
@@ -90,8 +104,8 @@ def synthetic_replay_jobs(n_jobs: int, horizon_days: float = 30.0, seed: int = 2
 # ---------------------------------------------------------------------------
 # Replay children (fresh subprocesses for clean VmHWM peak-RSS numbers)
 # ---------------------------------------------------------------------------
-_RSS_HELPER = """
-import hashlib, json, resource, time
+_CHILD_SNIPPET = """
+import json, resource, sys, time
 
 def peak_rss_mb():
     try:
@@ -103,63 +117,55 @@ def peak_rss_mb():
         pass
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
-def sketch_hash(sketch):
-    digest = hashlib.sha256()
-    digest.update(sketch.counts.tobytes())
-    digest.update(str(sketch.zero_count).encode())
-    digest.update(str(sketch.n).encode())
-    digest.update(repr(sketch.low).encode())
-    digest.update(repr(sketch.high).encode())
-    return digest.hexdigest()
-
-def digest(metrics, wall_s):
-    import numpy as np
-    hourly = metrics.hourly_active_slots()
-    return {
-        "summary": metrics.summary(),
-        "wait_sketch": sketch_hash(metrics.wait.sketch),
-        "completion_sketch": sketch_hash(metrics.completion.sketch),
-        "hourly_hash": hashlib.sha256(hourly.tobytes()).hexdigest(),
-        "busy_slot_seconds": repr(metrics.utilization.busy_slot_seconds),
-        "wall_s": wall_s,
-        "rss_mb": peak_rss_mb(),
-    }
-"""
-
-_STREAM_SNIPPET = _RSS_HELPER + """
-import sys
-from repro.simulator import StreamingReplayer
-start = time.perf_counter()
-metrics = StreamingReplayer().replay_store(sys.argv[1])
-print(json.dumps(digest(metrics, time.perf_counter() - start)))
-"""
-
-_FULL_SNIPPET = _RSS_HELPER + """
-import sys
+store_path, lane, shards = sys.argv[1], sys.argv[2], int(sys.argv[3])
 from repro.engine import ChunkedTraceStore
-from repro.simulator import WorkloadReplayer
+from repro.simulator import (ShardedReplayer, StreamingReplayer,
+                             WorkloadReplayer, legacy_replay_jobs)
+
 start = time.perf_counter()
-trace = ChunkedTraceStore(sys.argv[1]).to_trace()
-metrics = WorkloadReplayer().replay(trace)
-print(json.dumps(digest(metrics, time.perf_counter() - start)))
+if lane == "legacy":
+    store = ChunkedTraceStore(store_path)
+    metrics = legacy_replay_jobs(StreamingReplayer(), store.iter_jobs())
+elif lane == "streamed":
+    metrics = StreamingReplayer().replay_store(store_path)
+elif lane == "sharded-exact":
+    metrics = ShardedReplayer(shards=shards,
+                              mode="exact").replay_store(store_path)
+elif lane == "sharded-windowed":
+    metrics = ShardedReplayer(shards=shards,
+                              mode="windowed").replay_store(store_path)
+elif lane == "materialized":
+    trace = ChunkedTraceStore(store_path).to_trace()
+    metrics = WorkloadReplayer().replay(trace)
+else:
+    raise SystemExit("unknown lane %r" % lane)
+wall = time.perf_counter() - start
+print(json.dumps({
+    "summary": metrics.summary(),
+    "digest": metrics.digest(),
+    "wall_s": wall,
+    "rss_mb": peak_rss_mb(),
+}))
 """
 
 
-def _run_child(snippet: str, store_path: str) -> dict:
+def _run_child(store_path: str, lane: str, shards: int) -> dict:
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(__file__), "..", "src")
     env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
-    output = subprocess.run([sys.executable, "-c", snippet, store_path],
-                            capture_output=True, text=True, env=env)
+    output = subprocess.run(
+        [sys.executable, "-c", _CHILD_SNIPPET, store_path, lane, str(shards)],
+        capture_output=True, text=True, env=env)
     if output.returncode != 0:
-        raise RuntimeError("replay child failed:\n%s" % output.stderr)
+        raise RuntimeError("replay child %r failed:\n%s" % (lane, output.stderr))
     return json.loads(output.stdout)
 
 
 # ---------------------------------------------------------------------------
-def run_benchmark(n_jobs: int, chunk_rows: int, keep_store: str = "",
-                  check_rss: bool = True, output: str = DEFAULT_OUTPUT) -> int:
-    print("== streaming replay benchmark: %d jobs ==" % n_jobs)
+def run_benchmark(n_jobs: int, chunk_rows: int, shards: int,
+                  keep_store: str = "", enforce_bars: bool = True,
+                  output: str = DEFAULT_OUTPUT) -> int:
+    print("== replay engine benchmark: %d jobs, %d shards ==" % (n_jobs, shards))
     store_dir = keep_store or tempfile.mkdtemp(prefix="bench_replay_")
     store_path = os.path.join(store_dir, "store")
 
@@ -170,46 +176,78 @@ def run_benchmark(n_jobs: int, chunk_rows: int, keep_store: str = "",
     print("wrote chunked store (%d chunks, %.1f MB) in %.1f s\n"
           % (store.n_chunks, disk_mb, time.perf_counter() - start))
 
-    print("replaying streamed (store -> StreamingReplayer)...")
-    streamed = _run_child(_STREAM_SNIPPET, store_path)
-    print("replaying materialized (store -> Trace -> WorkloadReplayer)...")
-    full = _run_child(_FULL_SNIPPET, store_path)
+    lanes = ("legacy", "streamed", "sharded-exact", "sharded-windowed",
+             "materialized")
+    results = {}
+    for lane in lanes:
+        print("replaying %s..." % lane)
+        results[lane] = _run_child(store_path, lane, shards)
 
-    header = "%-14s %12s %12s" % ("path", "wall s", "peak RSS MB")
+    header = "%-18s %12s %12s" % ("lane", "wall s", "peak RSS MB")
     print("\n" + header)
     print("-" * len(header))
-    for name, result in (("streamed", streamed), ("materialized", full)):
-        print("%-14s %12.1f %12.1f" % (name, result["wall_s"], result["rss_mb"]))
+    for lane in lanes:
+        print("%-18s %12.1f %12.1f" % (lane, results[lane]["wall_s"],
+                                       results[lane]["rss_mb"]))
 
     failures = []
-    for key in ("summary", "wait_sketch", "completion_sketch",
-                "hourly_hash", "busy_slot_seconds"):
-        if streamed[key] != full[key]:
-            failures.append("metrics mismatch on %r:\n  streamed:     %r\n"
-                            "  materialized: %r" % (key, streamed[key], full[key]))
-    ratio = streamed["rss_mb"] / full["rss_mb"] if full["rss_mb"] else float("inf")
-    print("\nstreamed/materialized peak-RSS ratio: %.3f (target <= 1/3)" % ratio)
-    print("percentile sketches bit-equal: %s" % (
-        streamed["wait_sketch"] == full["wait_sketch"]
-        and streamed["completion_sketch"] == full["completion_sketch"]))
-    if check_rss and ratio > 1.0 / 3.0:
-        failures.append("peak RSS ratio %.3f exceeds 1/3" % ratio)
+    reference = results["legacy"]["digest"]
+    for lane in DIGEST_LANES[1:]:
+        if results[lane]["digest"] != reference:
+            keys = [key for key in reference
+                    if results[lane]["digest"].get(key) != reference[key]]
+            failures.append("digest mismatch legacy vs %s on keys %s"
+                            % (lane, keys))
+    digests_identical = not failures
+
+    windowed = results["sharded-windowed"]["summary"]
+    serial = results["streamed"]["summary"]
+    for key in ("jobs", "finished_jobs"):
+        if windowed[key] != serial[key]:
+            failures.append("windowed lane lost jobs: %s %r != %r"
+                            % (key, windowed[key], serial[key]))
+
+    legacy_wall = results["legacy"]["wall_s"]
+    streamed_wall = results["streamed"]["wall_s"]
+    speedup_measured = legacy_wall / streamed_wall if streamed_wall else float("inf")
+    speedup_committed = BASELINE_WALL_S / streamed_wall if streamed_wall else float("inf")
+    rss_ratio = (results["streamed"]["rss_mb"] / results["materialized"]["rss_mb"]
+                 if results["materialized"]["rss_mb"] else float("inf"))
+    print("\nvectorized vs legacy (this run):   %.2fx" % speedup_measured)
+    if n_jobs >= 1_000_000:
+        print("vectorized vs committed baseline:  %.2fx (bar >= %.1fx)"
+              % (speedup_committed, SPEEDUP_BAR))
+    print("streamed/materialized peak-RSS ratio: %.3f (target <= 1/3)" % rss_ratio)
+    print("digests bit-identical across engines: %s" % digests_identical)
+
+    if enforce_bars:
+        if speedup_measured < SPEEDUP_BAR:
+            failures.append("vectorized speedup %.2fx below the %.1fx bar "
+                            "(legacy %.1f s, streamed %.1f s)"
+                            % (speedup_measured, SPEEDUP_BAR, legacy_wall,
+                               streamed_wall))
+        if n_jobs >= 1_000_000 and speedup_committed < SPEEDUP_BAR:
+            failures.append("streamed wall %.1f s misses the committed "
+                            "baseline bar (%.1f s / %.1f)"
+                            % (streamed_wall, BASELINE_WALL_S, SPEEDUP_BAR))
+        if rss_ratio > 1.0 / 3.0:
+            failures.append("peak RSS ratio %.3f exceeds 1/3" % rss_ratio)
 
     if output:
         payload = {
             "benchmark": "replay",
             "n_jobs": n_jobs,
             "chunk_rows": chunk_rows,
+            "shards": shards,
             "store_disk_mb": disk_mb,
-            "paths": {
-                "streamed": {"wall_s": streamed["wall_s"],
-                             "rss_mb": streamed["rss_mb"]},
-                "materialized": {"wall_s": full["wall_s"],
-                                 "rss_mb": full["rss_mb"]},
-            },
-            "rss_ratio_streamed_vs_materialized": ratio,
-            "metrics_bit_identical": not any("mismatch" in failure
-                                             for failure in failures),
+            "lanes": {lane: {"wall_s": results[lane]["wall_s"],
+                             "rss_mb": results[lane]["rss_mb"]}
+                      for lane in lanes},
+            "speedup_vectorized_vs_legacy": speedup_measured,
+            "speedup_vectorized_vs_committed_baseline": speedup_committed,
+            "committed_baseline_wall_s": BASELINE_WALL_S,
+            "rss_ratio_streamed_vs_materialized": rss_ratio,
+            "digests_bit_identical": digests_identical,
             "failures": failures,
         }
         with open(output, "w", encoding="utf-8") as handle:
@@ -233,24 +271,28 @@ def main(argv=None):
                         help="synthetic trace size (default 1M)")
     parser.add_argument("--chunk-rows", type=int, default=65536,
                         help="rows per on-disk chunk")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard count for the sharded lanes")
     parser.add_argument("--keep-store", default="",
                         help="write the store here and keep it")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help="write the measured numbers as JSON here "
                              "(default: BENCH_replay.json at the repo root)")
     parser.add_argument("--smoke", action="store_true",
-                        help="CI smoke: 50k jobs, small chunks, no RSS bar "
-                             "(metric equality still enforced)")
+                        help="CI smoke: 50k jobs, small chunks; digest "
+                             "equality (sharded lane included) enforced, "
+                             "RSS/speed bars reported only")
     parser.add_argument("--skip-rss-check", action="store_true",
-                        help="report but do not enforce the 1/3 peak-RSS bar "
-                             "(for small --jobs smokes where the interpreter "
-                             "baseline dominates; metric equality is always "
-                             "enforced)")
+                        help="report but do not enforce the RSS and speedup "
+                             "bars (for small --jobs runs where interpreter "
+                             "baseline and warmup dominate; digest equality "
+                             "is always enforced)")
     args = parser.parse_args(argv)
     n_jobs = 50_000 if args.smoke else args.jobs
     chunk_rows = min(args.chunk_rows, 8192) if args.smoke else args.chunk_rows
-    return run_benchmark(n_jobs, chunk_rows, keep_store=args.keep_store,
-                         check_rss=not (args.smoke or args.skip_rss_check),
+    return run_benchmark(n_jobs, chunk_rows, args.shards,
+                         keep_store=args.keep_store,
+                         enforce_bars=not (args.smoke or args.skip_rss_check),
                          output=args.output)
 
 

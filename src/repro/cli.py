@@ -139,6 +139,15 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--streaming", action="store_true",
                         help="stream a --trace file lazily instead of materializing it "
                              "(--store always streams)")
+    replay.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="split a --store replay into N time-window "
+                             "shards (0/1 = unsharded)")
+    replay.add_argument("--shard-mode", choices=["exact", "windowed"],
+                        default="exact",
+                        help="exact: one engine threaded across boundaries, "
+                             "bit-identical to unsharded; windowed: windows "
+                             "replay in parallel worker processes, "
+                             "cross-boundary contention approximated")
     replay.add_argument("--lookahead", type=int, default=None,
                         help="bound on submissions queued ahead of simulated time")
     replay.add_argument("--sweep", metavar="SPEC.json",
@@ -426,6 +435,8 @@ def _replay_scenario(args) -> Scenario:
         cache_gb=args.cache_gb,
         nodes=args.nodes,
         max_jobs=args.max_jobs,
+        shards=args.shards,
+        shard_mode=args.shard_mode,
         **({"lookahead": args.lookahead} if args.lookahead is not None else {}),
     )
 
@@ -434,10 +445,22 @@ def _run_replay(parser, args) -> int:
     if args.sweep:
         return _run_replay_sweep(parser, args)
 
+    if args.shards and args.shards > 1 and not args.store:
+        parser.error("--shards needs --store: time-window sharding splits a "
+                     "sorted chunked store (build one with 'repro engine "
+                     "convert')")
     scenario = _replay_scenario(args)
     if args.store:
-        metrics = scenario.build_replayer().replay_store(args.store)
+        replayer = scenario.build_replayer()
+        if scenario.shards > 1:
+            # The sweep runner pins shard workers to 1 process (its own pool
+            # does the fan-out); a single CLI replay gets the cores itself.
+            replayer.processes = args.processes
+        metrics = replayer.replay_store(args.store)
         source_label = "store %s (streamed)" % args.store
+        if scenario.shards > 1:
+            source_label += ", %d %s shards" % (scenario.shards,
+                                                scenario.shard_mode)
     elif args.trace and args.streaming:
         metrics = scenario.build_replayer().replay_path(args.trace)
         source_label = "trace %s (streamed)" % args.trace
@@ -470,10 +493,10 @@ def _run_replay_sweep(parser, args) -> int:
     # Scenario identity (scheduler/cache/cluster) lives in the spec file;
     # rejecting the single-replay flags here beats silently ignoring them.
     if (args.scheduler != "fifo" or args.cache != "none"
-            or args.cache_gb != 1024.0 or args.nodes != 100):
-        parser.error("--scheduler/--cache/--cache-gb/--nodes apply to single "
-                     "replays; with --sweep, define them per scenario in the "
-                     "spec file")
+            or args.cache_gb != 1024.0 or args.nodes != 100 or args.shards):
+        parser.error("--scheduler/--cache/--cache-gb/--nodes/--shards apply "
+                     "to single replays; with --sweep, define them per "
+                     "scenario in the spec file")
     scenarios = load_sweep_spec(args.sweep)
     for scenario in scenarios:
         if args.max_jobs is not None:

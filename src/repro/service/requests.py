@@ -32,6 +32,7 @@ from typing import Dict, Optional, Tuple
 from ..bench.suite import CHARACTERIZATION_EXPERIMENT_IDS
 from ..engine import Query, parse_aggregate_spec
 from ..errors import AnalysisError, SimulationError
+from ..simulator.sharded import SHARD_MODES
 from ..simulator.sweep import Scenario
 
 __all__ = ["normalize_characterize", "normalize_query", "normalize_replay",
@@ -127,6 +128,14 @@ def normalize_replay(body: Optional[Dict]) -> Dict:
         scenario = Scenario.from_dict(dict(body, name=body.get("name", "service")))
     except TypeError as exc:
         raise SimulationError("bad replay scenario: %s" % (exc,))
+    # Shard fields are validated here, not at build time, so a bad request
+    # comes back as a 400 instead of failing inside the replay executor.
+    if not isinstance(scenario.shards, int) or scenario.shards < 0:
+        raise SimulationError("shards must be a non-negative integer, got %r"
+                              % (scenario.shards,))
+    if scenario.shard_mode not in SHARD_MODES:
+        raise SimulationError("unknown shard_mode %r (choose from %s)"
+                              % (scenario.shard_mode, "/".join(SHARD_MODES)))
     return scenario.to_dict()
 
 

@@ -600,12 +600,17 @@ class TraceAnalyticsService:
         def build() -> bytes:
             scenario = Scenario.from_dict(dict(spec))
             metrics = scenario.build_replayer().replay_store(store)
+            # shards/shard_mode travel inside the scenario dict; surfacing the
+            # digest lets clients check exact-mode shard counts agree without
+            # re-replaying (exact digests are shard-count invariant).
             return canonical_json({
                 "store": name,
                 "store_uid": store.store_uid,
                 "manifest_sequence": store.manifest_sequence,
                 "scenario": scenario.to_dict(),
+                "shards": scenario.shards,
                 "summary": metrics.summary(),
+                "digest": metrics.digest(),
             })
 
         return await loop.run_in_executor(self._pool, build)

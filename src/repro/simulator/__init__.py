@@ -10,6 +10,10 @@ the paper's storage and scheduling recommendations:
   any sorted job iterator) with bounded memory, keeping only mergeable
   metric accumulators — this is what lets multi-million-job production
   traces replay without materializing them;
+* :class:`ShardedReplayer` splits a sorted store into per-time-window shards —
+  ``mode="exact"`` threads one engine across the boundaries for bit-identical
+  digests, ``mode="windowed"`` replays windows in parallel worker processes
+  and merges the metrics;
 * :class:`ScenarioSweep` fans a grid of (scheduler × cache × cluster)
   replays out over worker processes and merges the results into one
   comparison report.
@@ -60,6 +64,8 @@ from .metrics import (
     UtilizationAccumulator,
 )
 from .replay import StreamingReplayer, WorkloadReplayer, replay, replay_store
+from .legacy import legacy_replay_jobs
+from .sharded import SHARD_MODES, ShardHandoff, ShardedReplayer
 from .sweep import (
     Scenario,
     ScenarioOutcome,
@@ -131,6 +137,11 @@ __all__ = [
     "StreamingReplayer",
     "replay",
     "replay_store",
+    # sharded replay + the legacy differential reference
+    "SHARD_MODES",
+    "ShardHandoff",
+    "ShardedReplayer",
+    "legacy_replay_jobs",
     # scenario sweeps
     "Scenario",
     "ScenarioOutcome",

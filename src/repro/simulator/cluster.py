@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from ..errors import SimulationError
 
-__all__ = ["ClusterConfig", "Node", "Cluster"]
+__all__ = ["ClusterConfig", "Node", "Cluster", "SlotLedger"]
 
 
 @dataclass(frozen=True)
@@ -99,6 +99,63 @@ class Node:
             self.busy_reduce_slots -= 1
         else:
             raise SimulationError("unknown slot kind %r" % (kind,))
+
+
+class SlotLedger:
+    """Aggregate busy/free slot counters without per-node placement.
+
+    The vectorized replay engine tracks slot occupancy with two integers per
+    slot kind.  This is exact for every recorded metric: the rotating-cursor
+    node placement in :class:`Cluster` spreads tasks across nodes, but nothing
+    the replayer measures (wait times, completion times, active-slot counts)
+    observes *which* node ran a task — only how many slots of each kind are
+    busy.  :class:`Cluster` remains the authoritative model when per-node
+    occupancy matters (e.g. future locality experiments).
+    """
+
+    __slots__ = ("map_capacity", "reduce_capacity", "busy_map", "busy_reduce")
+
+    def __init__(self, config: ClusterConfig):
+        self.map_capacity = config.total_map_slots
+        self.reduce_capacity = config.total_reduce_slots
+        self.busy_map = 0
+        self.busy_reduce = 0
+
+    def free_slots(self, kind: str) -> int:
+        if kind == "map":
+            return self.map_capacity - self.busy_map
+        if kind == "reduce":
+            return self.reduce_capacity - self.busy_reduce
+        raise SimulationError("unknown slot kind %r" % (kind,))
+
+    def acquire(self, kind: str, count: int = 1) -> None:
+        """Occupy ``count`` slots of ``kind``."""
+        if kind == "map":
+            self.busy_map += count
+            if self.busy_map > self.map_capacity:
+                raise SimulationError("acquired more map slots than exist")
+        elif kind == "reduce":
+            self.busy_reduce += count
+            if self.busy_reduce > self.reduce_capacity:
+                raise SimulationError("acquired more reduce slots than exist")
+        else:
+            raise SimulationError("unknown slot kind %r" % (kind,))
+
+    def release(self, kind: str, count: int = 1) -> None:
+        """Release ``count`` slots of ``kind``."""
+        if kind == "map":
+            self.busy_map -= count
+            if self.busy_map < 0:
+                raise SimulationError("released a map slot that was not acquired")
+        elif kind == "reduce":
+            self.busy_reduce -= count
+            if self.busy_reduce < 0:
+                raise SimulationError("released a reduce slot that was not acquired")
+        else:
+            raise SimulationError("unknown slot kind %r" % (kind,))
+
+    def total_busy_slots(self) -> int:
+        return self.busy_map + self.busy_reduce
 
 
 class Cluster:

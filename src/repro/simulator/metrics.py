@@ -517,6 +517,70 @@ class SimulationMetrics:
             raise SimulationError("no finished small jobs below the threshold")
         return float(np.mean(small))
 
+    def digest(self) -> Dict[str, object]:
+        """Canonical bit-exact fingerprint of every published replay metric.
+
+        Two replays of the same jobs produce equal digests **iff** their
+        event sequences folded the same values in the same order: the digest
+        covers the exact counters, the ``repr`` (shortest round-trip form) of
+        every float sum/extreme, SHA-256 hashes of the percentile-sketch bin
+        counts and the hourly utilization bins, and the cache counters.  It
+        deliberately excludes observation *counts* and the retained raw
+        sample/outcome lists — those differ in granularity (not content)
+        between the vectorized engine and the legacy reference loop, which
+        records one utilization sample per task transition instead of one per
+        simulated instant.
+
+        JSON round-trips losslessly (floats are ``repr`` strings), so the
+        replay benchmark compares digests across subprocess boundaries and CI
+        compares sharded lanes against the serial one.
+        """
+        import hashlib
+
+        self.finalize()
+
+        def sketch_digest(accumulator: MetricAccumulator) -> Dict[str, object]:
+            sketch = accumulator.sketch
+            return {
+                "count": accumulator.count,
+                "total": repr(accumulator.total),
+                "minimum": repr(accumulator.minimum),
+                "maximum": repr(accumulator.maximum),
+                "bins_sha256": hashlib.sha256(
+                    np.ascontiguousarray(sketch.counts).tobytes()).hexdigest(),
+                "zero_count": sketch.zero_count,
+                "n": sketch.n,
+                "low": repr(sketch.low),
+                "high": repr(sketch.high),
+            }
+
+        utilization = self.utilization
+        hourly = np.array(utilization.hourly_slot_seconds, dtype=float)
+        digest: Dict[str, object] = {
+            "jobs_submitted": self.jobs_submitted,
+            "finished_jobs": self.finished_jobs,
+            "horizon_s": repr(self.horizon_s),
+            "total_slots": self.total_slots,
+            "wait": sketch_digest(self.wait),
+            "completion": sketch_digest(self.completion),
+            "busy_slot_seconds": repr(utilization.busy_slot_seconds),
+            "utilization_first_s": repr(utilization.first_time_s),
+            "utilization_last_s": repr(utilization.last_time_s),
+            "hourly_bins": len(utilization.hourly_slot_seconds),
+            "hourly_sha256": hashlib.sha256(hourly.tobytes()).hexdigest(),
+        }
+        if self.cache_stats is not None:
+            stats = self.cache_stats
+            digest["cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "bytes_from_cache": repr(stats.bytes_from_cache),
+                "bytes_from_disk": repr(stats.bytes_from_disk),
+                "evictions": stats.evictions,
+                "admissions_rejected": stats.admissions_rejected,
+            }
+        return digest
+
     def summary(self) -> Dict[str, float]:
         """Accumulator-based scalar summary (identical for streamed and
         materialized replays of the same jobs)."""

@@ -8,8 +8,8 @@ with per-job wait and completion summaries, slot-occupancy over time (the
 Figure-7 utilization column), and cache hit statistics (the §4.2/§4.3 policy
 comparisons).
 
-Both replayers share one lazy event loop (:meth:`WorkloadReplayer.replay_jobs`)
-that pulls jobs from an iterator in arrival-time order with a bounded
+Both replayers share one vectorized event engine (:class:`_ReplayEngine`)
+that pulls jobs from the source in arrival-time order with a bounded
 submission look-ahead, so the event sequence — and therefore every metric,
 bit for bit — is identical whether the jobs came from an in-memory
 :class:`~repro.traces.trace.Trace`, a lazy trace-file reader, or a chunked
@@ -21,6 +21,26 @@ on-disk store:
   fit in RAM: consumes a :class:`~repro.engine.store.ChunkedTraceStore`
   (one chunk resident at a time) or any sorted job iterator, and keeps only
   the mergeable metric accumulators, never a per-job list.
+
+The engine replaced the original one-Python-object-per-event loop, which is
+preserved verbatim in :mod:`repro.simulator.legacy` as the semantic reference
+the differential equivalence suite pins this engine against.  The invariants
+both implementations share are documented there; the performance-relevant
+differences here are:
+
+* completion events live in a plain ``heapq`` of tuples instead of an
+  ``EventQueue`` of closure objects, and tasks of one job dispatched at the
+  same instant to the same stage share **one** heap entry (their completion
+  events are adjacent in the legacy event order, so processing them as a
+  group is order-preserving);
+* under the default configuration (FIFO scheduling, no task transform) jobs
+  are decomposed straight from the store's column arrays with NumPy — no
+  ``Job``/``SimJob``/``SimTask`` objects exist at all — and slot accounting
+  is two integers per slot kind (:class:`~repro.simulator.cluster.SlotLedger`);
+* when every slot of both kinds is busy, no arrival can dispatch until the
+  next completion, so all buffered arrivals before that completion are
+  admitted in one :func:`bisect.bisect_left` batch instead of one loop
+  iteration per job.
 
 Usage — the streamed run reproduces the materialized run exactly::
 
@@ -42,25 +62,695 @@ Usage — the streamed run reproduces the materialized run exactly::
 
 from __future__ import annotations
 
-import itertools
-from typing import Callable, Dict, Iterable, Iterator, Optional
+from bisect import bisect_left
+from collections import deque
+from heapq import heappop, heappush
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from ..errors import SimulationError
 from ..traces.schema import Job
 from ..traces.trace import Trace
 from .cache import CachePolicy, NoCache
-from .cluster import Cluster, ClusterConfig
-from .events import EventQueue
+from .cluster import ClusterConfig, SlotLedger
 from .hdfs import Hdfs, HdfsConfig
 from .metrics import JobOutcome, SimulationMetrics
 from .scheduler import FifoScheduler, Scheduler
-from .tasks import SimJob, SimTask, split_job
+from .tasks import (DEFAULT_SECONDS_PER_TASK, MAX_TASKS_PER_STAGE, SimJob,
+                    split_job)
 
 __all__ = ["WorkloadReplayer", "StreamingReplayer", "replay", "replay_store"]
 
 #: Default bound on submission look-ahead: at most this many jobs are split
 #: into tasks and queued for submission ahead of simulated time.
 DEFAULT_LOOKAHEAD = 4096
+
+_INF = float("inf")
+
+_ORDER_ERROR = (
+    "job %s submitted at %.3f after a job submitted at %.3f: "
+    "streaming replay needs jobs in arrival-time order (sort "
+    "the trace or rebuild the store with 'repro engine convert')")
+
+#: Store columns the column-fed fast path needs (strings may be absent).
+_FAST_NUMERIC = ("submit_time_s", "map_task_seconds", "reduce_task_seconds",
+                 "map_tasks", "reduce_tasks", "input_bytes", "shuffle_bytes",
+                 "output_bytes")
+_FAST_STRINGS = ("job_id", "input_path", "output_path")
+
+
+class _PreparedJob:
+    """Fast-path job record: scalar stage parameters, no task objects.
+
+    Exists only inside the engine's FIFO fast mode; one instance replaces a
+    ``SimJob`` plus up to 1024 ``SimTask`` objects.  ``maps_queued`` counts
+    not-yet-dispatched map tasks, ``maps_remaining`` not-yet-completed ones
+    (likewise for reduces); ``order`` is the admission index used to keep the
+    reduce-ready heap in FIFO order.
+    """
+
+    __slots__ = ("job_id", "submit_time_s", "n_map", "map_duration_s",
+                 "n_reduce", "reduce_duration_s", "maps_queued",
+                 "maps_remaining", "reduces_queued", "reduces_remaining",
+                 "start_time_s", "order", "input_path", "input_bytes",
+                 "output_path", "output_bytes", "total_bytes")
+
+    def __init__(self, job_id, submit_time_s, n_map, map_duration_s,
+                 n_reduce, reduce_duration_s, input_path, input_bytes,
+                 output_path, output_bytes, total_bytes):
+        self.job_id = job_id
+        self.submit_time_s = submit_time_s
+        self.n_map = n_map
+        self.map_duration_s = map_duration_s
+        self.n_reduce = n_reduce
+        self.reduce_duration_s = reduce_duration_s
+        self.maps_queued = n_map
+        self.maps_remaining = n_map
+        self.reduces_queued = n_reduce
+        self.reduces_remaining = n_reduce
+        self.start_time_s = None
+        self.order = 0
+        self.input_path = input_path
+        self.input_bytes = input_bytes
+        self.output_path = output_path
+        self.output_bytes = output_bytes
+        self.total_bytes = total_bytes
+
+
+def _stage_params(total_seconds: float, recorded_count) -> Tuple[int, float]:
+    """Scalar mirror of :func:`repro.simulator.tasks._stage_tasks`."""
+    if total_seconds <= 0:
+        return 0, 0.0
+    if recorded_count and recorded_count > 0:
+        n_tasks = int(recorded_count)
+    else:
+        n_tasks = max(1, int(round(total_seconds / DEFAULT_SECONDS_PER_TASK)))
+    n_tasks = min(n_tasks, MAX_TASKS_PER_STAGE)
+    return n_tasks, total_seconds / n_tasks
+
+
+def _vector_stage(seconds: np.ndarray, counts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized mirror of :func:`repro.simulator.tasks._stage_tasks`.
+
+    ``np.rint`` matches Python's banker's rounding in ``int(round(x))`` and
+    the element-wise division produces the same IEEE quotient as the scalar
+    path, so per-task durations are bit-identical to ``split_job``.
+    """
+    n_tasks = np.where(counts > 0.0, counts,
+                       np.maximum(1.0, np.rint(seconds / DEFAULT_SECONDS_PER_TASK)))
+    np.minimum(n_tasks, float(MAX_TASKS_PER_STAGE), out=n_tasks)
+    n_tasks = np.where(seconds > 0.0, n_tasks, 0.0)
+    durations = np.divide(seconds, n_tasks, out=np.zeros_like(n_tasks),
+                          where=n_tasks > 0.0)
+    return n_tasks.astype(np.int64), durations
+
+
+def _nan_to_zero(array: np.ndarray) -> np.ndarray:
+    return np.where(np.isnan(array), 0.0, array)
+
+
+class _ReplayEngine:
+    """The replay event loop: tuple heap, batched admission, vectorized prep.
+
+    One engine instance runs one replay (or, via ``feed_boundary`` +
+    repeated :meth:`run` calls, one exact sharded replay — see
+    :class:`~repro.simulator.sharded.ShardedReplayer`).  The engine reads its
+    configuration from the owning :class:`WorkloadReplayer` and mutates that
+    replayer's scheduler/cache/HDFS state exactly as the legacy loop did.
+
+    Two modes, chosen at construction:
+
+    * **fast** (``FifoScheduler`` of exactly that type, untouched, and no
+      task transform): jobs become :class:`_PreparedJob` records — from NumPy
+      columns when fed by a store — and FIFO dispatch runs over an internal
+      deque/heap without consulting the scheduler object.  FIFO's picks never
+      read its running-task counters, so dispatching a job's whole queued run
+      in one step is pick-for-pick identical to the one-slot-at-a-time loop.
+    * **object**: jobs go through :func:`split_job` + the task transform into
+      real ``SimJob``/``SimTask`` objects and dispatch via
+      :meth:`Scheduler.drain`, replaying each completion's scheduler hooks
+      one task at a time in legacy order (fair/capacity picks are sensitive
+      to their running counters, so the per-task interleaving matters).
+
+    Utilization is observed once per simulated instant with activity (the
+    final busy count), instead of once per task transition as the legacy loop
+    does.  All intermediate legacy observations at one instant close
+    zero-length segments, which add exactly nothing to any accumulator bin,
+    so ``busy_slot_seconds`` and the hourly bins are bit-identical; only the
+    retained raw-sample *list* is shorter (its step function is unchanged).
+    """
+
+    def __init__(self, replayer: "WorkloadReplayer"):
+        self.replayer = replayer
+        config = replayer.cluster_config
+        self.scheduler = replayer.scheduler
+        self.cache = replayer.cache
+        self.hdfs = replayer.hdfs
+        self.transform = replayer.task_transform
+        self.lookahead = replayer.lookahead
+        self.slots = SlotLedger(config)
+        self.metrics = SimulationMetrics(total_slots=config.total_slots,
+                                         keep_outcomes=replayer.keep_outcomes)
+        self.now = 0.0
+        self.last_submit = -_INF
+        self.feed_boundary = _INF
+        self.fast = (type(self.scheduler) is FifoScheduler
+                     and self.transform is None
+                     and not self.scheduler._jobs)
+        # Serving a job's input through an empty NoCache + retain_files=False
+        # HDFS is a fixed float-op sequence on the counters; skip the path
+        # string, the HdfsFile allocation and both dict probes per job.
+        self._fast_io = (type(self.cache) is NoCache
+                         and type(self.hdfs) is Hdfs
+                         and not self.hdfs.config.retain_files
+                         and not self.hdfs._files
+                         and not self.cache._contents)
+        self._has_task_finished = hasattr(self.scheduler, "task_finished")
+        self._has_task_released = hasattr(self.scheduler, "task_released")
+        self._seq = 0
+        self._order = 0
+        self._active = 0
+        self._primed = False
+        self._heap: List[tuple] = []
+        # Buffered (not yet admitted) submissions: parallel lists + cursor.
+        self._buf_times: List[float] = []
+        self._buf_jobs: List[object] = []
+        self._buf_head = 0
+        self._budget = replayer.max_simulated_jobs
+        # Fast-mode FIFO structures: map-ready jobs in admission order, and a
+        # reduce-ready min-heap keyed by admission order (a job enters it when
+        # its map stage completes, so plain FIFO list order would not do).
+        self._map_ready: deque = deque()
+        self._reduce_ready: List[tuple] = []
+        # Job source (exactly one of the two is attached).
+        self._jobs_iter: Optional[Iterator[Job]] = None
+        self._pending_job: Optional[Job] = None
+        self._blocks: Optional[Iterator] = None
+        self._cols: Optional[dict] = None
+        self._row = 0
+        self._n_rows = 0
+        self._exhausted = True
+
+    # -- job sources -------------------------------------------------------
+    def attach_jobs(self, jobs: Iterable[Job]) -> None:
+        self._jobs_iter = iter(jobs)
+        self._exhausted = False
+
+    def attach_blocks(self, blocks: Iterable) -> None:
+        """Feed the engine store chunks (``ColumnBlock``); fast mode only."""
+        self._blocks = iter(blocks)
+        self._exhausted = False
+
+    def _load_block(self, block) -> None:
+        cols = block.columns
+        n_rows = block.n_rows
+
+        def numeric(name: str) -> np.ndarray:
+            array = cols.get(name)
+            if array is None:  # column never recorded: every job reads None
+                return np.zeros(n_rows, dtype=float)
+            return _nan_to_zero(np.asarray(array, dtype=float))
+
+        input_bytes = numeric("input_bytes")
+        shuffle_bytes = numeric("shuffle_bytes")
+        output_bytes = numeric("output_bytes")
+        self._cols = {
+            "submit": np.asarray(cols["submit_time_s"], dtype=float),
+            "map_sec": numeric("map_task_seconds"),
+            "red_sec": numeric("reduce_task_seconds"),
+            "map_cnt": numeric("map_tasks"),
+            "red_cnt": numeric("reduce_tasks"),
+            "input_bytes": input_bytes,
+            "output_bytes": output_bytes,
+            # Same add order as Job.total_bytes: (input + shuffle) + output.
+            "total_bytes": input_bytes + shuffle_bytes + output_bytes,
+            "job_id": cols["job_id"],
+            "input_path": cols.get("input_path"),
+            "output_path": cols.get("output_path"),
+        }
+        self._row = 0
+        self._n_rows = n_rows
+
+    # -- look-ahead refill -------------------------------------------------
+    def _refill(self) -> None:
+        """Top the buffered-submission window up to ``lookahead`` jobs.
+
+        Stops early at ``feed_boundary`` (exclusive, raw submit time) without
+        marking the source exhausted — the sharded driver advances the
+        boundary and calls back in.
+        """
+        head = self._buf_head
+        if head and head == len(self._buf_times):
+            del self._buf_times[:]
+            del self._buf_jobs[:]
+            self._buf_head = head = 0
+        boundary = self.feed_boundary
+        while not self._exhausted:
+            buffered = len(self._buf_times) - head
+            need = self.lookahead - buffered
+            if need <= 0:
+                return
+            if self._budget is not None and self._budget <= 0:
+                self._exhausted = True
+                return
+            if self._blocks is not None:
+                if self._cols is None or self._row >= self._n_rows:
+                    block = next(self._blocks, None)
+                    if block is None:
+                        self._exhausted = True
+                        return
+                    if block.n_rows == 0:
+                        continue
+                    self._load_block(block)
+                lo = self._row
+                hi = min(self._n_rows, lo + need)
+                if self._budget is not None:
+                    hi = min(hi, lo + self._budget)
+                if boundary != _INF:
+                    cut = lo + int(np.searchsorted(
+                        self._cols["submit"][lo:hi], boundary, side="left"))
+                    if cut == lo:
+                        return  # held at the shard boundary, not exhausted
+                    hi = min(hi, cut)
+                self._prep_rows(lo, hi)
+                self._row = hi
+                if self._budget is not None:
+                    self._budget -= hi - lo
+            else:
+                job = self._pending_job
+                self._pending_job = None
+                if job is None:
+                    job = next(self._jobs_iter, None)
+                    if job is None:
+                        self._exhausted = True
+                        return
+                if boundary != _INF and job.submit_time_s >= boundary:
+                    self._pending_job = job
+                    return
+                self._prep_job(job)
+                if self._budget is not None:
+                    self._budget -= 1
+
+    def _prep_job(self, job: Job) -> None:
+        """Decompose one ``Job`` object and buffer its submission."""
+        submit = job.submit_time_s
+        if submit < self.last_submit:
+            raise SimulationError(_ORDER_ERROR % (job.job_id, submit, self.last_submit))
+        self.last_submit = submit
+        if self.fast:
+            map_seconds = float(job.map_task_seconds or 0.0)
+            reduce_seconds = float(job.reduce_task_seconds or 0.0)
+            if map_seconds < 0 or reduce_seconds < 0:
+                raise SimulationError("job %s has negative task time" % job.job_id)
+            n_map, map_duration = _stage_params(map_seconds, job.map_tasks)
+            n_reduce, reduce_duration = _stage_params(reduce_seconds, job.reduce_tasks)
+            if n_map == 0 and n_reduce == 0:
+                # Zero-compute jobs still occupy a slot for a moment (split_job).
+                n_map, map_duration = 1, 1.0
+            entry: object = _PreparedJob(
+                job.job_id, submit, n_map, map_duration, n_reduce,
+                reduce_duration, job.input_path, float(job.input_bytes or 0.0),
+                job.output_path, job.output_bytes, job.total_bytes)
+        else:
+            sim_job = split_job(job)
+            if self.transform is not None:
+                self.transform(sim_job)
+            entry = sim_job
+        self.metrics.record_submission()
+        self._buf_times.append(max(0.0, submit))
+        self._buf_jobs.append(entry)
+
+    def _prep_rows(self, lo: int, hi: int) -> None:
+        """Vectorized decomposition of store rows ``[lo, hi)`` (fast mode)."""
+        cols = self._cols
+        submits = cols["submit"][lo:hi]
+        if submits[0] < self.last_submit:
+            raise SimulationError(_ORDER_ERROR % (
+                str(cols["job_id"][lo]), float(submits[0]), self.last_submit))
+        if submits.shape[0] > 1:
+            bad = np.flatnonzero(submits[1:] < submits[:-1])
+            if bad.size:
+                index = int(bad[0])
+                raise SimulationError(_ORDER_ERROR % (
+                    str(cols["job_id"][lo + index + 1]),
+                    float(submits[index + 1]), float(submits[index])))
+        self.last_submit = float(submits[-1])
+        map_seconds = cols["map_sec"][lo:hi]
+        reduce_seconds = cols["red_sec"][lo:hi]
+        if (map_seconds < 0).any() or (reduce_seconds < 0).any():
+            bad = np.flatnonzero((map_seconds < 0) | (reduce_seconds < 0))[0]
+            raise SimulationError("job %s has negative task time"
+                                  % str(cols["job_id"][lo + int(bad)]))
+        n_map, map_duration = _vector_stage(map_seconds, cols["map_cnt"][lo:hi])
+        n_reduce, reduce_duration = _vector_stage(reduce_seconds, cols["red_cnt"][lo:hi])
+        empty = (n_map == 0) & (n_reduce == 0)
+        if empty.any():
+            n_map = np.where(empty, 1, n_map)
+            map_duration = np.where(empty, 1.0, map_duration)
+        # Python-land lists: .tolist() converts to native float/int/str once,
+        # instead of one NumPy-scalar box per attribute access later.
+        effective = np.maximum(submits, 0.0).tolist()
+        raw_submit = submits.tolist()
+        job_ids = cols["job_id"][lo:hi].tolist()
+        n_map = n_map.tolist()
+        map_duration = map_duration.tolist()
+        n_reduce = n_reduce.tolist()
+        reduce_duration = reduce_duration.tolist()
+        input_bytes = cols["input_bytes"][lo:hi].tolist()
+        output_bytes = cols["output_bytes"][lo:hi].tolist()
+        total_bytes = cols["total_bytes"][lo:hi].tolist()
+        input_paths = cols["input_path"]
+        input_paths = (input_paths[lo:hi].tolist() if input_paths is not None else None)
+        output_paths = cols["output_path"]
+        output_paths = (output_paths[lo:hi].tolist() if output_paths is not None else None)
+        buf_times = self._buf_times
+        buf_jobs = self._buf_jobs
+        for index in range(hi - lo):
+            buf_times.append(effective[index])
+            buf_jobs.append(_PreparedJob(
+                job_ids[index], raw_submit[index], n_map[index],
+                map_duration[index], n_reduce[index], reduce_duration[index],
+                input_paths[index] if input_paths is not None else None,
+                input_bytes[index],
+                output_paths[index] if output_paths is not None else None,
+                output_bytes[index], total_bytes[index]))
+        self.metrics.jobs_submitted += hi - lo
+
+    # -- storage side effects ---------------------------------------------
+    def _serve_input(self, job_id: str, input_path, size: float) -> None:
+        """Route a job's input read through HDFS + cache (legacy op order)."""
+        if self._fast_io:
+            hdfs = self.hdfs
+            hdfs.bytes_written += size
+            hdfs.bytes_written -= size
+            hdfs.bytes_read += size
+            stats = self.cache.stats
+            stats.misses += 1
+            stats.bytes_from_disk += size
+            stats.admissions_rejected += 1
+            return
+        path = input_path or ("/implicit/%s" % job_id)
+        self.hdfs.read(path, self.now, size)
+        self.cache.access(path, size, self.now)
+
+    def _write_output(self, output_path, output_bytes) -> None:
+        if not output_path or not (output_bytes or 0.0):
+            return
+        self.hdfs.create(output_path, float(output_bytes), self.now, overwrite=True)
+        self.cache.invalidate(output_path)
+
+    # -- admission and dispatch -------------------------------------------
+    def _admit(self, entry) -> None:
+        if self.fast:
+            record: _PreparedJob = entry
+            record.order = self._order
+            self._order += 1
+            self._active += 1
+            self._serve_input(record.job_id, record.input_path, record.input_bytes)
+            if record.n_map:
+                self._map_ready.append(record)
+            elif record.reduces_queued:
+                heappush(self._reduce_ready, (record.order, record))
+        else:
+            sim_job: SimJob = entry
+            self._active += 1
+            self.scheduler.add_job(sim_job)
+            job = sim_job.job
+            self._serve_input(job.job_id, job.input_path,
+                              float(job.input_bytes or 0.0))
+
+    def _dispatch_fast(self) -> bool:
+        """FIFO dispatch over the internal ready structures, one heap entry
+        per (job, stage, instant) group of tasks."""
+        slots = self.slots
+        heap = self._heap
+        now = self.now
+        dispatched = False
+        free = slots.map_capacity - slots.busy_map
+        if free > 0 and self._map_ready:
+            ready = self._map_ready
+            while free > 0 and ready:
+                record = ready[0]
+                take = record.maps_queued
+                if take > free:
+                    record.maps_queued = take - free
+                    take = free
+                else:
+                    record.maps_queued = 0
+                    ready.popleft()
+                if record.start_time_s is None:
+                    record.start_time_s = now
+                heappush(heap, (now + record.map_duration_s, self._seq,
+                                record, "map", take))
+                self._seq += 1
+                free -= take
+            slots.busy_map = slots.map_capacity - free
+            dispatched = True
+        free = slots.reduce_capacity - slots.busy_reduce
+        if free > 0 and self._reduce_ready:
+            ready = self._reduce_ready
+            while free > 0 and ready:
+                record = ready[0][1]
+                take = record.reduces_queued
+                if take > free:
+                    record.reduces_queued = take - free
+                    take = free
+                else:
+                    record.reduces_queued = 0
+                    heappop(ready)
+                if record.start_time_s is None:
+                    record.start_time_s = now
+                heappush(heap, (now + record.reduce_duration_s, self._seq,
+                                record, "reduce", take))
+                self._seq += 1
+                free -= take
+            slots.busy_reduce = slots.reduce_capacity - free
+            dispatched = True
+        return dispatched
+
+    def _dispatch_obj(self, kind: str) -> bool:
+        slots = self.slots
+        free = slots.free_slots(kind)
+        if free <= 0:
+            return False
+        picks = self.scheduler.drain(kind, self.now, free)
+        if not picks:
+            return False
+        slots.acquire(kind, len(picks))
+        now = self.now
+        heap = self._heap
+        group_job = None
+        group_time = 0.0
+        group_tasks: Optional[list] = None
+        for sim_job, task in picks:
+            if sim_job.start_time_s is None:
+                sim_job.start_time_s = now
+            task.start_time_s = now
+            completion = now + task.duration_s
+            if group_tasks is not None and group_job is sim_job and group_time == completion:
+                group_tasks.append(task)
+                continue
+            if group_tasks is not None:
+                heappush(heap, (group_time, self._seq, group_job, kind, group_tasks))
+                self._seq += 1
+            group_job, group_time, group_tasks = sim_job, completion, [task]
+        heappush(heap, (group_time, self._seq, group_job, kind, group_tasks))
+        self._seq += 1
+        return True
+
+    # -- event processing --------------------------------------------------
+    def _finish_fast(self, record: _PreparedJob) -> None:
+        self._active -= 1
+        self._write_output(record.output_path, record.output_bytes)
+        now = self.now
+        submit = record.submit_time_s
+        start = record.start_time_s
+        wait = start - submit
+        if wait < 0.0:
+            wait = 0.0
+        self.metrics.record_job(JobOutcome(
+            job_id=record.job_id, submit_time_s=submit, start_time_s=start,
+            finish_time_s=now, wait_time_s=wait, completion_time_s=now - submit,
+            total_bytes=record.total_bytes,
+            n_tasks=record.n_map + record.n_reduce))
+
+    def _finish_obj(self, sim_job: SimJob) -> None:
+        sim_job.finish_time_s = self.now
+        self.scheduler.job_finished(sim_job)
+        self._active -= 1
+        job = sim_job.job
+        self._write_output(job.output_path, job.output_bytes)
+        self.metrics.record_job(JobOutcome(
+            job_id=sim_job.job_id, submit_time_s=sim_job.submit_time_s,
+            start_time_s=sim_job.start_time_s, finish_time_s=sim_job.finish_time_s,
+            wait_time_s=sim_job.wait_time_s,
+            completion_time_s=sim_job.completion_time_s,
+            total_bytes=job.total_bytes,
+            n_tasks=len(sim_job.map_tasks) + len(sim_job.reduce_tasks)))
+
+    def _pop_completion(self) -> None:
+        time_s, _seq, owner, kind, payload = heappop(self._heap)
+        self.now = time_s
+        slots = self.slots
+        if self.fast:
+            record: _PreparedJob = owner
+            if kind == "map":
+                slots.busy_map -= payload
+                record.maps_remaining -= payload
+                if record.maps_remaining == 0 and record.reduces_queued:
+                    heappush(self._reduce_ready, (record.order, record))
+            else:
+                slots.busy_reduce -= payload
+                record.reduces_remaining -= payload
+            if record.maps_remaining == 0 and record.reduces_remaining == 0:
+                self._finish_fast(record)
+            self._dispatch_fast()
+        else:
+            sim_job: SimJob = owner
+            scheduler = self.scheduler
+            # Legacy per-task completion order: release, scheduler hooks,
+            # progress decrement, finish check, dispatch both kinds — the
+            # interleaving matters for count-sensitive schedulers.
+            for task in payload:
+                task.finish_time_s = time_s
+                slots.release(kind)
+                if self._has_task_finished:
+                    scheduler.task_finished(sim_job)
+                if self._has_task_released:
+                    scheduler.task_released(sim_job, kind)
+                if kind == "map":
+                    sim_job.maps_remaining -= 1
+                else:
+                    sim_job.reduces_remaining -= 1
+                if sim_job.done:
+                    self._finish_obj(sim_job)
+                self._dispatch_obj("map")
+                self._dispatch_obj("reduce")
+        self.metrics.record_utilization(time_s, slots.busy_map + slots.busy_reduce)
+
+    def _admit_next(self, until_s: float = _INF) -> None:
+        head = self._buf_head
+        self.now = self._buf_times[head]
+        entry = self._buf_jobs[head]
+        self._buf_head = head + 1
+        self._admit(entry)
+        if self.fast:
+            dispatched = self._dispatch_fast()
+        else:
+            dispatched_map = self._dispatch_obj("map")
+            dispatched_reduce = self._dispatch_obj("reduce")
+            dispatched = dispatched_map or dispatched_reduce
+        slots = self.slots
+        if dispatched:
+            self.metrics.record_utilization(self.now,
+                                            slots.busy_map + slots.busy_reduce)
+        elif (slots.busy_map == slots.map_capacity
+              and slots.busy_reduce == slots.reduce_capacity):
+            self._bulk_admit(until_s)
+
+    def _bulk_admit(self, until_s: float = _INF) -> None:
+        """Admit every buffered arrival preceding the next completion.
+
+        Only legal when both slot kinds are fully busy: no arrival can
+        dispatch anything (and the legacy loop records no utilization sample
+        for dispatch-free submissions), so admissions before the next
+        completion are pure buffer/scheduler/cache bookkeeping and one
+        ``bisect`` replaces one main-loop iteration per job.  Ties with the
+        completion stay with the completion (``bisect_left``), matching the
+        completions-before-submissions event order; a sharded driver's
+        ``until_s`` caps the sweep the same way (arrivals at the boundary
+        belong to the next shard).
+        """
+        if not self._heap:
+            return
+        next_completion = self._heap[0][0]
+        if next_completion > until_s:
+            next_completion = until_s
+        while True:
+            times = self._buf_times
+            head = self._buf_head
+            cut = bisect_left(times, next_completion, head, len(times))
+            if cut > head:
+                jobs = self._buf_jobs
+                for index in range(head, cut):
+                    self.now = times[index]
+                    self._admit(jobs[index])
+                self._buf_head = cut
+            if cut < len(times):
+                return
+            self._refill()
+            if self._buf_head >= len(self._buf_times):
+                return
+
+    # -- driving -----------------------------------------------------------
+    def prime(self) -> None:
+        """Fill the look-ahead window and take the initial idle observation."""
+        if not self._primed:
+            self._primed = True
+            self._refill()
+            self.metrics.record_utilization(0.0, 0)
+        else:
+            self._refill()
+
+    def require_jobs(self) -> None:
+        if self.metrics.jobs_submitted == 0:
+            raise SimulationError("cannot replay an empty job stream")
+
+    def run(self, until_s: float = _INF) -> None:
+        """Process events until the source is dry and every completion at or
+        before ``until_s`` has fired.
+
+        With the default ``until_s`` this drains the replay completely.  A
+        sharded driver passes the shard boundary: submissions at or past it
+        stay buffered and completions after it stay queued (the next shard's
+        earliest submission is at or after the boundary and completions win
+        ties, so processing completions up to the boundary first is exactly
+        the serial event order).
+        """
+        heap = self._heap
+        while True:
+            if self._buf_head >= len(self._buf_times):
+                self._refill()
+                if self._buf_head >= len(self._buf_times):
+                    while heap and heap[0][0] <= until_s:
+                        self._pop_completion()
+                    return
+            next_submit = self._buf_times[self._buf_head]
+            if next_submit >= until_s:
+                while heap and heap[0][0] <= until_s:
+                    self._pop_completion()
+                return
+            if heap and heap[0][0] <= next_submit:
+                self._pop_completion()
+            else:
+                self._admit_next(until_s)
+
+    def snapshot(self, shard_index: int, boundary_s: float) -> dict:
+        """Hand-off state at a shard boundary (for ShardHandoff reporting)."""
+        in_flight = 0
+        for item in self._heap:
+            payload = item[4]
+            in_flight += payload if self.fast else len(payload)
+        return {
+            "shard_index": shard_index,
+            "boundary_s": boundary_s,
+            "clock_s": self.now,
+            "jobs_submitted": self.metrics.jobs_submitted,
+            "active_jobs": self._active,
+            "in_flight_tasks": in_flight,
+            "pending_completion_events": len(self._heap),
+            "busy_map_slots": self.slots.busy_map,
+            "busy_reduce_slots": self.slots.busy_reduce,
+        }
+
+    def finish(self) -> SimulationMetrics:
+        metrics = self.metrics
+        metrics.horizon_s = self.now
+        metrics.cache_stats = self.cache.stats
+        metrics.record_utilization(self.now, self.slots.total_busy_slots())
+        metrics.finalize()
+        return metrics
 
 
 class WorkloadReplayer:
@@ -78,7 +768,8 @@ class WorkloadReplayer:
         task_transform: optional callable applied to each :class:`SimJob`
             right after it is split into tasks and before it is submitted.
             Used to perturb task durations, e.g. by the straggler-injection
-            model in :mod:`repro.simulator.stragglers`.
+            model in :mod:`repro.simulator.stragglers`.  Setting a transform
+            disables the vectorized fast path (tasks must exist as objects).
         lookahead: bound on how many submissions may be queued ahead of
             simulated time (default :data:`DEFAULT_LOOKAHEAD`).  Replay
             memory is O(lookahead + active jobs), independent of trace size.
@@ -120,9 +811,8 @@ class WorkloadReplayer:
     def replay_jobs(self, jobs: Iterable[Job]) -> SimulationMetrics:
         """Replay jobs pulled lazily from an iterable, in arrival-time order.
 
-        At most ``lookahead`` jobs are split into tasks and queued for
-        submission ahead of the simulation clock; each fired submission pulls
-        one more job from the iterator, so memory stays bounded no matter how
+        At most ``lookahead`` jobs are decomposed and queued for submission
+        ahead of the simulation clock, so memory stays bounded no matter how
         many jobs the source yields.
 
         Raises:
@@ -130,121 +820,20 @@ class WorkloadReplayer:
                 out of arrival-time order (sort the trace, or convert it with
                 ``repro engine convert``, first).
         """
-        job_iter: Iterator[Job] = iter(jobs)
-        if self.max_simulated_jobs is not None:
-            job_iter = itertools.islice(job_iter, self.max_simulated_jobs)
-
-        queue = EventQueue()
-        cluster = Cluster(self.cluster_config)
-        metrics = SimulationMetrics(total_slots=self.cluster_config.total_slots,
-                                    keep_outcomes=self.keep_outcomes)
-        active_jobs: Dict[str, SimJob] = {}
-        last_submit = [float("-inf")]
-
-        def record_utilization():
-            metrics.record_utilization(queue.now, cluster.total_busy_slots())
-
-        def pull_next_job() -> bool:
-            """Schedule the next job's submission; False when the source is dry."""
-            job = next(job_iter, None)
-            if job is None:
-                return False
-            if job.submit_time_s < last_submit[0]:
-                raise SimulationError(
-                    "job %s submitted at %.3f after a job submitted at %.3f: "
-                    "streaming replay needs jobs in arrival-time order (sort "
-                    "the trace or rebuild the store with 'repro engine convert')"
-                    % (job.job_id, job.submit_time_s, last_submit[0]))
-            last_submit[0] = job.submit_time_s
-            sim_job = split_job(job)
-            if self.task_transform is not None:
-                self.task_transform(sim_job)
-            metrics.record_submission()
-            queue.schedule(max(0.0, job.submit_time_s), on_submit(sim_job), priority=1)
-            return True
-
-        def on_submit(sim_job: SimJob):
-            def handler():
-                active_jobs[sim_job.job_id] = sim_job
-                self.scheduler.add_job(sim_job)
-                self._serve_input(sim_job, queue.now)
-                dispatch("map")
-                dispatch("reduce")
-                # This submission fired: top the look-ahead window back up.
-                pull_next_job()
-            return handler
-
-        def dispatch(kind: str):
-            """Hand free slots of ``kind`` to the scheduler until it runs dry."""
-            while cluster.free_slots(kind) > 0:
-                picked = self.scheduler.next_task(kind, queue.now)
-                if picked is None:
-                    return
-                sim_job, task = picked
-                node = cluster.acquire_slot(kind)
-                if node is None:  # pragma: no cover - free_slots() guarded above
-                    return
-                if sim_job.start_time_s is None:
-                    sim_job.start_time_s = queue.now
-                task.start_time_s = queue.now
-                record_utilization()
-                queue.schedule_after(task.duration_s, on_task_done(sim_job, task, node, kind))
-
-        def on_task_done(sim_job: SimJob, task: SimTask, node, kind: str):
-            def handler():
-                task.finish_time_s = queue.now
-                cluster.release_slot(node, kind)
-                if hasattr(self.scheduler, "task_finished"):
-                    self.scheduler.task_finished(sim_job)
-                if hasattr(self.scheduler, "task_released"):
-                    self.scheduler.task_released(sim_job, kind)
-                if kind == "map":
-                    sim_job.maps_remaining -= 1
-                else:
-                    sim_job.reduces_remaining -= 1
-                record_utilization()
-                if sim_job.done:
-                    finish_job(sim_job)
-                dispatch("map")
-                dispatch("reduce")
-            return handler
-
-        def finish_job(sim_job: SimJob):
-            sim_job.finish_time_s = queue.now
-            self.scheduler.job_finished(sim_job)
-            active_jobs.pop(sim_job.job_id, None)
-            self._write_output(sim_job, queue.now)
-            metrics.record_job(
-                JobOutcome(
-                    job_id=sim_job.job_id,
-                    submit_time_s=sim_job.submit_time_s,
-                    start_time_s=sim_job.start_time_s,
-                    finish_time_s=sim_job.finish_time_s,
-                    wait_time_s=sim_job.wait_time_s,
-                    completion_time_s=sim_job.completion_time_s,
-                    total_bytes=sim_job.job.total_bytes,
-                    n_tasks=len(sim_job.map_tasks) + len(sim_job.reduce_tasks),
-                )
-            )
-
-        # Prime the look-ahead window, then let each fired submission refill it.
-        for _ in range(self.lookahead):
-            if not pull_next_job():
-                break
-        if metrics.jobs_submitted == 0:
-            raise SimulationError("cannot replay an empty job stream")
-
-        record_utilization()
-        queue.run()
-        metrics.horizon_s = queue.now
-        metrics.cache_stats = self.cache.stats
-        record_utilization()
-        metrics.finalize()
-        return metrics
+        engine = _ReplayEngine(self)
+        engine.attach_jobs(jobs)
+        engine.prime()
+        engine.require_jobs()
+        engine.run()
+        return engine.finish()
 
     # ------------------------------------------------------------------
     def _serve_input(self, sim_job: SimJob, now_s: float) -> None:
-        """Route the job's input read through HDFS and the cache policy."""
+        """Route the job's input read through HDFS and the cache policy.
+
+        Kept for the legacy reference loop (:mod:`repro.simulator.legacy`);
+        the engine inlines the same operation sequence.
+        """
         job = sim_job.job
         path = job.input_path or ("/implicit/%s" % job.job_id)
         size = float(job.input_bytes or 0.0)
@@ -308,16 +897,60 @@ class StreamingReplayer(WorkloadReplayer):
         """Replay a :class:`~repro.engine.store.ChunkedTraceStore` (or its
         directory path), streaming one chunk of jobs at a time.
 
+        Under the default FIFO/no-transform configuration the jobs are
+        decomposed directly from the store's column arrays (no ``Job``
+        objects); otherwise the chunks are materialized row by row.  Both
+        feeds produce the identical event sequence.
+
         Raises:
             SimulationError: when the store is not sorted by submission time
                 (rebuild it with ``repro engine convert`` from a sorted
                 source) or is empty.
         """
+        metrics = self._replay_store_window(store, None, None, empty_ok=False)
+        assert metrics is not None
+        return metrics
+
+    def _replay_store_window(self, store, window_lo: Optional[float],
+                             window_hi: Optional[float],
+                             empty_ok: bool) -> Optional[SimulationMetrics]:
+        """Replay one time window ``[window_lo, window_hi)`` of a store.
+
+        ``None`` bounds are open; chunks whose submit-time zone is disjoint
+        from the window are never read.  Returns ``None`` instead of raising
+        when the window holds no jobs and ``empty_ok`` is set (the windowed
+        sharding driver skips empty windows).
+        """
         from ..engine.store import ChunkedTraceStore
 
         if not isinstance(store, ChunkedTraceStore):
             store = ChunkedTraceStore(store)
-        return self.replay_jobs(store.iter_jobs())
+        indices = list(range(store.n_chunks))
+        if window_lo is not None or window_hi is not None:
+            indices = [
+                index for index in indices
+                if _zone_overlaps(store.chunk_zone(index, "submit_time_s"),
+                                  window_lo, window_hi)
+            ]
+        engine = _ReplayEngine(self)
+        if engine.fast:
+            wanted = [name for name in _FAST_NUMERIC + _FAST_STRINGS
+                      if name in store.columns]
+            blocks = store.iter_chunks(columns=wanted, chunk_indices=indices)
+            if window_lo is not None or window_hi is not None:
+                blocks = _window_blocks(blocks, window_lo, window_hi)
+            engine.attach_blocks(blocks)
+        else:
+            jobs: Iterator[Job] = _iter_store_jobs(store, indices)
+            if window_lo is not None or window_hi is not None:
+                jobs = _window_jobs(jobs, window_lo, window_hi)
+            engine.attach_jobs(jobs)
+        engine.prime()
+        if empty_ok and engine.metrics.jobs_submitted == 0:
+            return None
+        engine.require_jobs()
+        engine.run()
+        return engine.finish()
 
     def replay_path(self, path) -> SimulationMetrics:
         """Replay a trace file (.csv/.jsonl, optionally .gz) without
@@ -330,6 +963,49 @@ class StreamingReplayer(WorkloadReplayer):
         from ..traces.io import iter_trace
 
         return self.replay_jobs(iter_trace(path))
+
+
+def _zone_overlaps(zone, window_lo: Optional[float], window_hi: Optional[float]) -> bool:
+    if zone is None:
+        return True  # unknown zone: never skip
+    if window_hi is not None and zone[0] >= window_hi:
+        return False
+    if window_lo is not None and zone[1] < window_lo:
+        return False
+    return True
+
+
+def _window_blocks(blocks, window_lo: Optional[float], window_hi: Optional[float]):
+    """Slice each block to rows with ``window_lo <= submit < window_hi``.
+
+    Blocks from a sorted store are internally sorted, so the window is a
+    contiguous row range found with two binary searches.
+    """
+    for block in blocks:
+        submits = block.column("submit_time_s")
+        lo = 0 if window_lo is None else int(np.searchsorted(submits, window_lo, side="left"))
+        hi = submits.shape[0] if window_hi is None else int(
+            np.searchsorted(submits, window_hi, side="left"))
+        if hi > lo:
+            yield block if (lo == 0 and hi == submits.shape[0]) else block.slice(lo, hi)
+
+
+def _window_jobs(jobs: Iterator[Job], window_lo: Optional[float],
+                 window_hi: Optional[float]) -> Iterator[Job]:
+    for job in jobs:
+        if window_lo is not None and job.submit_time_s < window_lo:
+            continue
+        if window_hi is not None and job.submit_time_s >= window_hi:
+            continue
+        yield job
+
+
+def _iter_store_jobs(store, indices) -> Iterator[Job]:
+    from ..engine.columnar import _block_to_jobs
+
+    for block in store.iter_chunks(chunk_indices=indices):
+        for job in _block_to_jobs(block):
+            yield job
 
 
 def replay(trace: Trace, cluster_config: Optional[ClusterConfig] = None,

@@ -44,6 +44,24 @@ class Scheduler:
     def job_finished(self, sim_job: SimJob) -> None:
         """Notification that a job has completed (default: no-op)."""
 
+    def drain(self, kind: str, now_s: float, max_tasks: int) -> List[Tuple[SimJob, SimTask]]:
+        """Pick up to ``max_tasks`` tasks of ``kind``, in dispatch order.
+
+        The default implementation calls :meth:`next_task` repeatedly, so the
+        picks — and their order — are identical to a caller looping one slot
+        at a time.  Policies whose choices do not depend on their own running
+        counters (FIFO) may override this with a batched pop; count-sensitive
+        policies (fair, capacity) must not, because the caller replays slot
+        effects one task at a time between picks.
+        """
+        picks: List[Tuple[SimJob, SimTask]] = []
+        while len(picks) < max_tasks:
+            picked = self.next_task(kind, now_s)
+            if picked is None:
+                break
+            picks.append(picked)
+        return picks
+
     def pending_jobs(self) -> int:
         """Number of jobs that still have unscheduled tasks."""
         raise NotImplementedError
@@ -126,6 +144,34 @@ class FifoScheduler(_JobQueueMixin, Scheduler):
             if queues[sim_job.job_id] and sim_job.map_stage_done:
                 return self._pop_task(sim_job, kind)
         return None
+
+    def drain(self, kind: str, now_s: float, max_tasks: int) -> List[Tuple[SimJob, SimTask]]:
+        """Batched pop: whole per-job runs at a time.
+
+        FIFO picks never read the running-task counters, so popping a job's
+        contiguous run of queued tasks yields exactly the picks (and order)
+        of the one-at-a-time loop — this is what lets the vectorized replay
+        engine dispatch a stage in one step.
+        """
+        if kind == "map":
+            queues = self._map_queues
+        elif kind == "reduce":
+            queues = self._reduce_queues
+        else:
+            raise SchedulingError("unknown task kind %r" % (kind,))
+        picks: List[Tuple[SimJob, SimTask]] = []
+        for sim_job in self._jobs:
+            if len(picks) >= max_tasks:
+                break
+            queue = queues[sim_job.job_id]
+            if not queue or (kind == "reduce" and not sim_job.map_stage_done):
+                continue
+            take = min(max_tasks - len(picks), len(queue))
+            for _ in range(take):
+                picks.append((sim_job, queue.popleft()))
+            self._running_tasks[sim_job.job_id] = (
+                self._running_tasks.get(sim_job.job_id, 0) + take)
+        return picks
 
 
 class FairScheduler(_JobQueueMixin, Scheduler):

@@ -96,6 +96,10 @@ class Scenario:
         nodes / map_slots_per_node / reduce_slots_per_node: cluster sizing.
         max_jobs: optional cap on replayed jobs.
         lookahead: streaming submission look-ahead.
+        shards: time-window shard count for the replay (0 or 1 = unsharded).
+        shard_mode: ``"exact"`` (bit-identical, single engine) or
+            ``"windowed"`` (parallel windows, approximate contention); see
+            :class:`~repro.simulator.sharded.ShardedReplayer`.
     """
 
     name: str
@@ -109,6 +113,8 @@ class Scenario:
     reduce_slots_per_node: int = 2
     max_jobs: Optional[int] = None
     lookahead: int = DEFAULT_LOOKAHEAD
+    shards: int = 0
+    shard_mode: str = "exact"
 
     # -- factories ---------------------------------------------------------
     def cluster_config(self) -> ClusterConfig:
@@ -145,7 +151,23 @@ class Scenario:
                               % (self.cache, ", ".join(CACHE_NAMES)))
 
     def build_replayer(self) -> StreamingReplayer:
-        """Instantiate a fresh bounded-memory replayer for this scenario."""
+        """Instantiate a fresh bounded-memory replayer for this scenario.
+
+        ``shards > 1`` returns a :class:`ShardedReplayer`; windowed shards
+        inside a sweep cell run serially (``processes=1``) so the sweep's own
+        process fan-out stays the only pool.
+        """
+        if self.shards and self.shards > 1:
+            from .sharded import ShardedReplayer
+
+            return ShardedReplayer(cluster_config=self.cluster_config(),
+                                   scheduler=self.build_scheduler(),
+                                   cache=self.build_cache(),
+                                   max_simulated_jobs=self.max_jobs,
+                                   lookahead=self.lookahead,
+                                   shards=self.shards,
+                                   mode=self.shard_mode,
+                                   processes=1)
         return StreamingReplayer(cluster_config=self.cluster_config(),
                                  scheduler=self.build_scheduler(),
                                  cache=self.build_cache(),
@@ -166,6 +188,8 @@ class Scenario:
             "reduce_slots_per_node": self.reduce_slots_per_node,
             "max_jobs": self.max_jobs,
             "lookahead": self.lookahead,
+            "shards": self.shards,
+            "shard_mode": self.shard_mode,
         }
 
     @classmethod

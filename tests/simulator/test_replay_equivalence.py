@@ -1,0 +1,317 @@
+"""Differential replay equivalence: the vectorized engine vs the legacy loop.
+
+The vectorized engine in :mod:`repro.simulator.replay` replaced the original
+closure-per-event loop (preserved verbatim in :mod:`repro.simulator.legacy`).
+These tests pin the new engine — and both sharded disciplines built on it —
+to the old semantics *bit for bit* via :meth:`SimulationMetrics.digest`,
+which covers every published number: job counts, float metric sums in fold
+order, min/max extremes, log-histogram sketch bins, hourly utilization bins,
+busy-slot seconds, and cache statistics.
+
+Grids cover scheduler × cache × lookahead (the three axes that change event
+interleaving), shard boundaries dropped mid-burst and exactly on an arrival
+tie, and duplicate-submit-time tie-breaking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import ChunkedTraceStore
+from repro.errors import SimulationError
+from repro.simulator import (
+    CapacityScheduler,
+    ClusterConfig,
+    FairScheduler,
+    FifoScheduler,
+    LfuCache,
+    LruCache,
+    NoCache,
+    ShardedReplayer,
+    StreamingReplayer,
+    WorkloadReplayer,
+    legacy_replay_jobs,
+)
+from repro.traces import Job, Trace, load_workload
+from repro.units import GB
+
+
+# ---------------------------------------------------------------------------
+# fixtures and factories
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def trace():
+    """~540 jobs of the smallest Cloudera workload: bursts, idle gaps, and a
+    long tail of large jobs — enough contention to queue on every scheduler."""
+    return load_workload("CC-e", seed=11, scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def store(trace, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("equiv") / "cc-e.store"
+    return ChunkedTraceStore.write(directory, trace, chunk_rows=64)
+
+
+def make_scheduler(name):
+    if name == "fifo":
+        return FifoScheduler()
+    if name == "fair":
+        return FairScheduler()
+    config = ClusterConfig()
+    return CapacityScheduler(total_map_slots=config.total_map_slots,
+                             total_reduce_slots=config.total_reduce_slots)
+
+
+def make_cache(name):
+    if name == "none":
+        return NoCache()
+    if name == "lru":
+        return LruCache(capacity_bytes=GB)
+    return LfuCache(capacity_bytes=GB)
+
+
+def job(job_id, submit, map_s=60.0, reduce_s=0.0, input_b=1e9, output_b=1e8):
+    return Job(job_id=job_id, submit_time_s=submit, duration_s=map_s + reduce_s,
+               input_bytes=input_b, shuffle_bytes=0.0, output_bytes=output_b,
+               map_task_seconds=map_s, reduce_task_seconds=reduce_s,
+               input_path="/in/%s" % job_id, output_path="/out/%s" % job_id)
+
+
+# ---------------------------------------------------------------------------
+# vectorized engine == legacy event loop
+# ---------------------------------------------------------------------------
+class TestVectorizedMatchesLegacy:
+    """The tentpole bar: every digest bit matches the pre-vectorization loop
+    across the axes that change event interleaving."""
+
+    @pytest.mark.parametrize("scheduler", ["fifo", "fair", "capacity"])
+    @pytest.mark.parametrize("cache", ["none", "lru"])
+    def test_scheduler_cache_grid(self, trace, scheduler, cache):
+        new = WorkloadReplayer(scheduler=make_scheduler(scheduler),
+                               cache=make_cache(cache)).replay_jobs(trace.jobs)
+        old = legacy_replay_jobs(
+            WorkloadReplayer(scheduler=make_scheduler(scheduler),
+                             cache=make_cache(cache)), trace.jobs)
+        assert new.digest() == old.digest()
+
+    @pytest.mark.parametrize("lookahead", [1, 7, 4096])
+    def test_lookahead_grid(self, trace, lookahead):
+        new = WorkloadReplayer(lookahead=lookahead).replay_jobs(trace.jobs)
+        old = legacy_replay_jobs(WorkloadReplayer(lookahead=lookahead),
+                                 trace.jobs)
+        assert new.digest() == old.digest()
+
+    def test_lfu_cache_and_fair(self, trace):
+        new = WorkloadReplayer(scheduler=FairScheduler(),
+                               cache=make_cache("lfu")).replay_jobs(trace.jobs)
+        old = legacy_replay_jobs(
+            WorkloadReplayer(scheduler=FairScheduler(), cache=make_cache("lfu")),
+            trace.jobs)
+        assert new.digest() == old.digest()
+
+    def test_outcomes_match_in_finish_order(self, trace):
+        """record_job folds happen in job-finish event order on both paths."""
+        new = WorkloadReplayer().replay(trace)
+        old = legacy_replay_jobs(WorkloadReplayer(), trace.jobs)
+        assert [outcome.job_id for outcome in new.outcomes] == \
+            [outcome.job_id for outcome in old.outcomes]
+        assert [outcome.finish_time_s for outcome in new.outcomes] == \
+            [outcome.finish_time_s for outcome in old.outcomes]
+
+    def test_negative_submit_clamped_like_legacy(self):
+        jobs = [job("early", -5.0), job("later", 2.0)]
+        new = WorkloadReplayer().replay_jobs(jobs)
+        old = legacy_replay_jobs(WorkloadReplayer(), jobs)
+        assert new.digest() == old.digest()
+
+    def test_unsorted_stream_rejected_with_same_message(self):
+        jobs = [job("a", 10.0), job("b", 3.0)]
+        with pytest.raises(SimulationError) as new_err:
+            WorkloadReplayer().replay_jobs(jobs)
+        with pytest.raises(SimulationError) as old_err:
+            legacy_replay_jobs(WorkloadReplayer(), jobs)
+        assert str(new_err.value) == str(old_err.value)
+
+
+# ---------------------------------------------------------------------------
+# sharded replay == serial replay
+# ---------------------------------------------------------------------------
+class TestExactShardingMatchesSerial:
+    """Exact mode threads one engine across boundaries: digests must be
+    invariant to the shard count and to where the boundaries land."""
+
+    @pytest.fixture(scope="class")
+    def serial_digest(self, store):
+        return StreamingReplayer().replay_store(store).digest()
+
+    @pytest.mark.parametrize("shards", [1, 2, 7])
+    def test_shard_counts(self, store, serial_digest, shards):
+        sharded = ShardedReplayer(shards=shards, mode="exact")
+        assert sharded.replay_store(store).digest() == serial_digest
+        assert len(sharded.handoffs) == max(0, shards - 1)
+
+    def test_boundary_mid_burst(self, store):
+        """A boundary dropped inside a dense burst (in-flight tasks and busy
+        slots crossing it) must not perturb the digest.
+
+        A two-node cluster keeps a standing queue, so the mid-trace boundary
+        is guaranteed to cross active jobs and queued completions.
+        """
+        config = ClusterConfig(n_nodes=2, map_slots_per_node=2,
+                               reduce_slots_per_node=1)
+        times = store.read_chunk(store.n_chunks // 2).column("submit_time_s")
+        burst = float(np.median(times)) + 0.5  # mid-chunk, mid-activity
+        serial = StreamingReplayer(
+            cluster_config=config).replay_store(store).digest()
+        sharded = ShardedReplayer(cluster_config=config, shards=2,
+                                  mode="exact", boundaries=[burst])
+        assert sharded.replay_store(store).digest() == serial
+        handoff = sharded.handoffs[0]
+        assert handoff.boundary_s == burst
+        # The interesting case actually happened: work crossed the boundary.
+        assert handoff.active_jobs > 0
+        assert handoff.pending_completion_events > 0
+        assert handoff.busy_map_slots > 0 or handoff.busy_reduce_slots > 0
+
+    def test_boundary_exactly_on_arrival_tie(self, tmp_path):
+        """Jobs submitted exactly at a boundary belong to the next shard, and
+        an arrival tie sitting on the boundary never splits across shards."""
+        jobs = [job("a", 0.0), job("b", 10.0), job("c", 10.0, reduce_s=30.0),
+                job("d", 10.0), job("e", 25.0)]
+        store = ChunkedTraceStore.write(tmp_path / "tie.store",
+                                        Trace(jobs, name="tie"), chunk_rows=2)
+        serial = StreamingReplayer().replay_store(store).digest()
+        sharded = ShardedReplayer(shards=2, mode="exact", boundaries=[10.0])
+        assert sharded.replay_store(store).digest() == serial
+        # All of the 10.0 tie went to shard 1: only "a" fed before the cut.
+        assert sharded.handoffs[0].jobs_submitted == 1
+
+    def test_scheduler_and_cache_state_cross_boundaries(self, store):
+        def build(**kwargs):
+            return kwargs.get("cls", StreamingReplayer)(
+                scheduler=FairScheduler(), cache=LruCache(capacity_bytes=GB),
+                **{k: v for k, v in kwargs.items() if k != "cls"})
+        serial = build().replay_store(store).digest()
+        sharded = ShardedReplayer(scheduler=FairScheduler(),
+                                  cache=LruCache(capacity_bytes=GB),
+                                  shards=3, mode="exact")
+        assert sharded.replay_store(store).digest() == serial
+
+    def test_explicit_boundaries_validated(self):
+        with pytest.raises(SimulationError):
+            ShardedReplayer(shards=3, boundaries=[5.0])  # needs 2
+        with pytest.raises(SimulationError):
+            ShardedReplayer(shards=3, boundaries=[9.0, 5.0])  # not increasing
+        with pytest.raises(SimulationError):
+            ShardedReplayer(shards=0)
+        with pytest.raises(SimulationError):
+            ShardedReplayer(mode="bogus")
+
+    def test_replay_jobs_needs_boundaries(self, trace):
+        with pytest.raises(SimulationError):
+            ShardedReplayer(shards=2).replay_jobs(trace.jobs)
+        serial = WorkloadReplayer().replay_jobs(trace.jobs).digest()
+        submits = [j.submit_time_s for j in trace.jobs]
+        cut = submits[len(submits) // 2] + 0.25
+        sharded = ShardedReplayer(shards=2, boundaries=[cut])
+        assert sharded.replay_jobs(trace.jobs).digest() == serial
+
+
+class TestWindowedSharding:
+    """Windowed mode trades cross-boundary contention for parallelism: exact
+    counts and conservation laws hold; float sums may differ."""
+
+    def test_jobs_conserved_and_merged(self, store, trace):
+        sharded = ShardedReplayer(shards=4, mode="windowed", processes=2)
+        metrics = sharded.replay_store(store)
+        assert metrics.jobs_submitted == len(trace.jobs)
+        assert metrics.finished_jobs == len(trace.jobs)
+        assert len(sharded.handoffs) == 4
+        serial = StreamingReplayer().replay_store(store)
+        # Sketch bins count jobs, so totals are conserved even though
+        # individual completions shift without cross-window queueing.
+        assert metrics.completion.count == serial.completion.count
+        assert metrics.wait.count == serial.wait.count
+
+    def test_empty_windows_skipped(self, tmp_path):
+        jobs = [job("a", 0.0), job("b", 1.0), job("c", 100.0)]
+        store = ChunkedTraceStore.write(tmp_path / "gap.store",
+                                        Trace(jobs, name="gap"), chunk_rows=2)
+        sharded = ShardedReplayer(shards=4, mode="windowed", processes=1,
+                                  boundaries=[10.0, 20.0, 99.0])
+        metrics = sharded.replay_store(store)
+        assert metrics.jobs_submitted == 3
+        # Two interior windows ([10,20) and [20,99)) held no jobs.
+        assert len(sharded.handoffs) == 2
+
+    def test_windowed_needs_store(self, trace):
+        with pytest.raises(SimulationError):
+            ShardedReplayer(shards=2, mode="windowed").replay_jobs(trace.jobs)
+
+
+# ---------------------------------------------------------------------------
+# duplicate-submit-time tie-breaking (look-ahead regression)
+# ---------------------------------------------------------------------------
+class TestSubmitTimeTies:
+    """Jobs sharing a submit time are admitted in input order, regardless of
+    the look-ahead window size — pinned against the legacy loop, which gets
+    this from event-queue FIFO tie-breaking."""
+
+    @pytest.fixture()
+    def tie_jobs(self):
+        # Twelve jobs across three tie groups on a small cluster, so the
+        # admission order is visible in wait times and finish order.
+        jobs = [job("t0-%d" % i, 0.0, map_s=40.0 + i) for i in range(4)]
+        jobs += [job("t1-%d" % i, 30.0, map_s=25.0 + i) for i in range(4)]
+        jobs += [job("t2-%d" % i, 30.0 + 1e-9, map_s=10.0) for i in range(4)]
+        return jobs
+
+    @pytest.mark.parametrize("lookahead", [1, 2, 3, 4096])
+    def test_ties_break_in_input_order(self, tie_jobs, lookahead):
+        config = ClusterConfig(n_nodes=1, map_slots_per_node=2,
+                               reduce_slots_per_node=1)
+        new = WorkloadReplayer(cluster_config=config,
+                               lookahead=lookahead).replay_jobs(tie_jobs)
+        old = legacy_replay_jobs(
+            WorkloadReplayer(cluster_config=config, lookahead=lookahead),
+            tie_jobs)
+        assert new.digest() == old.digest()
+        assert [o.job_id for o in new.outcomes] == [o.job_id for o in old.outcomes]
+
+    def test_lookahead_invariant_under_ties(self, tie_jobs):
+        config = ClusterConfig(n_nodes=1, map_slots_per_node=2,
+                               reduce_slots_per_node=1)
+        digests = {
+            lookahead: WorkloadReplayer(
+                cluster_config=config,
+                lookahead=lookahead).replay_jobs(tie_jobs).digest()
+            for lookahead in (1, 2, 5, 4096)
+        }
+        assert len({repr(sorted(d.items())) for d in digests.values()}) == 1
+
+    def test_store_sort_is_stable_on_ties(self, tie_jobs, tmp_path):
+        """Store conversion keeps input order within equal submit times
+        (np.argsort kind="stable" in ColumnTable), so a store round-trip
+        cannot reorder a tie group."""
+        shuffled = tie_jobs[8:] + tie_jobs[:8]  # groups out of order, ties intact
+        store = ChunkedTraceStore.write(tmp_path / "ties.store",
+                                        Trace(shuffled, name="ties"),
+                                        chunk_rows=5)
+        ids = []
+        for block in store.iter_chunks(columns=["job_id", "submit_time_s"]):
+            ids.extend(block.column("job_id").tolist())
+        expected = [j.job_id for j in sorted(
+            shuffled, key=lambda j: j.submit_time_s)]
+        # Python's sorted() is stable too: equal keys stay in input order.
+        assert ids == expected
+
+    def test_store_replay_matches_iterator_replay_on_ties(self, tie_jobs, tmp_path):
+        store = ChunkedTraceStore.write(tmp_path / "ties2.store",
+                                        Trace(tie_jobs, name="ties"),
+                                        chunk_rows=3)
+        config = ClusterConfig(n_nodes=1, map_slots_per_node=2,
+                               reduce_slots_per_node=1)
+        streamed = StreamingReplayer(
+            cluster_config=config).replay_store(store).digest()
+        direct = WorkloadReplayer(
+            cluster_config=config).replay_jobs(tie_jobs).digest()
+        assert streamed == direct

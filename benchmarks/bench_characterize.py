@@ -58,6 +58,16 @@ the incremental wall clock below ``--max-incremental-ratio`` (default 0.35×)
 of the cold rescan.  ``--incremental-only`` runs just this lane (the CI docs
 job uses it with ``--smoke``).
 
+**Format lane** (the v3 decode contract): the same trace is also written as
+a format-v3 store (compressed blocks + dictionary strings), and the full
+shared-scan suite is re-run in fresh subprocesses once per format (v1, v2,
+v3).  Enforced: every experiment's rows **bit-identical** across all three
+formats, the v3 store at most **1.3x** the v1 (.npz) footprint, and the v3
+shared-scan wall clock at most **1.2x** the v2 (mmap) wall clock — the
+code-native dictionary fold is what keeps compressed storage from costing
+scan time.  The wall bar shares the ``--smoke``/``--skip-speed-check``
+gating of the speedup bar; the disk bar and row equality always hold.
+
 ``--output`` (default: ``BENCH_characterize.json`` at the repo root, so the
 perf trajectory is tracked across PRs) writes the measured numbers as JSON —
 also uploaded as a CI artifact by the ``bench-characterize-smoke`` job.
@@ -366,8 +376,16 @@ def run_benchmark(n_jobs: int, chunk_rows: int, keep_store: str = "",
                                            chunk_rows=chunk_rows, name="FB-2010",
                                            format_version=2)
         v2_mb = v2_store.info()["on_disk_bytes"] / 1e6
-        print("wrote v2 (.npy) store   (%d chunks, %7.1f MB) in %.1f s\n"
+        print("wrote v2 (.npy) store   (%d chunks, %7.1f MB) in %.1f s"
               % (v2_store.n_chunks, v2_mb, time.perf_counter() - start))
+        start = time.perf_counter()
+        v3_path = os.path.join(store_dir, "store-v3")
+        v3_store = ChunkedTraceStore.write(v3_path, synthetic_characterize_jobs(n_jobs),
+                                           chunk_rows=chunk_rows, name="FB-2010",
+                                           format_version=3)
+        v3_mb = v3_store.info()["on_disk_bytes"] / 1e6
+        print("wrote v3 (block) store  (%d chunks, %7.1f MB) in %.1f s\n"
+              % (v3_store.n_chunks, v3_mb, time.perf_counter() - start))
 
         print("characterizing per-analysis (one scan per experiment, v1 store)...")
         streamed = _run_child(v1_path, "per-analysis")
@@ -379,11 +397,16 @@ def run_benchmark(n_jobs: int, chunk_rows: int, keep_store: str = "",
             shared_parallel = _run_child(v2_path, "shared", processes=processes)
         print("characterizing materialized (store -> Trace -> suite)...")
         full = _run_child(v1_path, "materialized")
+        print("format decode lanes: shared scan on the v1 and v3 stores...")
+        shared_v1 = _run_child(v1_path, "shared")
+        shared_v3 = _run_child(v3_path, "shared")
 
         named = [("per-analysis", streamed), ("shared", shared)]
         if shared_parallel is not None:
             named.append(("shared-p%d" % processes, shared_parallel))
         named.append(("materialized", full))
+        named.append(("shared-v1", shared_v1))
+        named.append(("shared-v3", shared_v3))
         header = "%-14s %12s %12s" % ("path", "wall s", "peak RSS MB")
         print("\n" + header)
         print("-" * len(header))
@@ -395,18 +418,43 @@ def run_benchmark(n_jobs: int, chunk_rows: int, keep_store: str = "",
             failures += _check_shared_equals_streamed(shared_parallel, shared,
                                                       "shared-p%d" % processes)
         failures += _check_equivalence(streamed, full)
+        # The v3 decode contract: every characterization row identical no
+        # matter which on-disk format fed the shared scan.
+        failures += _check_shared_equals_streamed(shared_v1, shared, "shared-v1")
+        failures += _check_shared_equals_streamed(shared_v3, shared, "shared-v3")
 
         ratio = shared["rss_mb"] / full["rss_mb"] if full["rss_mb"] else float("inf")
         speedup = streamed["wall_s"] / shared["wall_s"] if shared["wall_s"] else float("inf")
+        disk_ratio = v3_mb / v1_mb if v1_mb else float("inf")
+        wall_ratio = (shared_v3["wall_s"] / shared["wall_s"]
+                      if shared["wall_s"] else float("inf"))
         print("\nshared/materialized peak-RSS ratio:  %.3f (target <= 1/3)" % ratio)
         print("shared-scan speedup vs per-analysis: %.2fx (target >= %.1fx)"
               % (speedup, min_speedup))
+        print("v3/v1 on-disk ratio:                 %.3f (target <= 1.3)" % disk_ratio)
+        print("v3/v2 shared-scan wall ratio:        %.3f (target <= 1.2)" % wall_ratio)
         if check_rss and ratio > 1.0 / 3.0:
             failures.append("peak RSS ratio %.3f exceeds 1/3" % ratio)
         if check_speedup and speedup < min_speedup:
             failures.append("shared-scan speedup %.2fx below %.1fx" % (speedup, min_speedup))
+        if disk_ratio > 1.3:
+            failures.append("v3 store %.1f MB exceeds 1.3x the v1 footprint "
+                            "(%.1f MB)" % (v3_mb, v1_mb))
+        if check_speedup and wall_ratio > 1.2:
+            failures.append("v3 shared-scan wall %.1f s exceeds 1.2x the v2 "
+                            "wall (%.1f s)" % (shared_v3["wall_s"], shared["wall_s"]))
 
-        payload["store_disk_mb"] = {"v1": v1_mb, "v2": v2_mb}
+        payload["store_disk_mb"] = {"v1": v1_mb, "v2": v2_mb, "v3": v3_mb}
+        payload["formats"] = {
+            "v1": {"disk_mb": v1_mb, "wall_s": shared_v1["wall_s"],
+                   "rss_mb": shared_v1["rss_mb"]},
+            "v2": {"disk_mb": v2_mb, "wall_s": shared["wall_s"],
+                   "rss_mb": shared["rss_mb"]},
+            "v3": {"disk_mb": v3_mb, "wall_s": shared_v3["wall_s"],
+                   "rss_mb": shared_v3["rss_mb"]},
+            "v3_vs_v1_disk_ratio": disk_ratio,
+            "v3_vs_v2_wall_ratio": wall_ratio,
+        }
         payload["paths"] = {
             name.replace("-", "_"): {"wall_s": result["wall_s"],
                                      "rss_mb": result["rss_mb"]}

@@ -447,14 +447,13 @@ class ReaccessConsumer(ChunkConsumer):
         if not self.has_input:
             return state  # no reads: nothing re-accesses, writes are never consulted
         times = np.asarray(chunk.column("submit_time_s"), dtype=float)
-        inputs = np.asarray(chunk.column("input_path"))
-        read_mask = inputs != ""
+        # recorded_mask compares dictionary codes on a v3 store — the
+        # per-row path strings are never materialized in this fold.
+        read_mask = chunk.recorded_mask("input_path")
         n_reads = int(read_mask.sum())
         if self.has_output:
-            outputs = np.asarray(chunk.column("output_path"))
-            write_mask = outputs != ""
+            write_mask = chunk.recorded_mask("output_path")
         else:
-            outputs = None
             write_mask = np.zeros(times.size, dtype=bool)
         state["jobs_with_paths"] += n_reads
         if n_reads == 0 and not write_mask.any():

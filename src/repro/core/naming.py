@@ -225,22 +225,24 @@ class NamingConsumer(ChunkConsumer):
         }
 
     def fold(self, state, chunk: ScanChunk):
-        names = np.asarray(chunk.column("name"))
-        named = names != ""
+        named = chunk.recorded_mask("name")
         n_named = int(named.sum())
         if n_named == 0:
             return state
+        all_named = n_named == named.size
         byte_weights = chunk.column("total_bytes")
         task_weights = chunk.column("total_task_seconds")
-        declared = chunk.column("framework") if self.has_framework else None
-        if n_named != names.size:
-            names = names[named]
+        if not all_named:
             byte_weights = byte_weights[named]
             task_weights = task_weights[named]
-            declared = declared[named] if declared is not None else None
         state["n_named"] += n_named
 
-        unique_names, inverse = np.unique(names, return_inverse=True)
+        # Code-native fold: the per-row decomposition comes from the cached
+        # chunk.unique (an integer sort over dictionary codes on a v3 store),
+        # word extraction and framework classification run once per *distinct*
+        # name, and the per-row group keys stay integers end to end — no
+        # per-row string array is ever built.
+        unique_names, name_inverse = chunk.unique("name")
         cache = state["cache"]
         unique_words = []
         unique_frameworks = []
@@ -252,16 +254,36 @@ class NamingConsumer(ChunkConsumer):
                                             classify_framework(first, None))
             unique_words.append(cached[0])
             unique_frameworks.append(cached[1])
+        name_words = np.asarray(unique_words, dtype=np.str_)
+        name_frameworks = np.asarray(unique_frameworks, dtype=np.str_)
 
-        word_rows = np.asarray(unique_words, dtype=np.str_)[inverse]
-        framework_rows = np.asarray(unique_frameworks, dtype=np.str_)[inverse]
-        if declared is not None:
-            has_declared = declared != ""
-            if has_declared.any():
-                framework_rows = np.where(has_declared, declared, framework_rows)
-        for keys, totals in ((word_rows, state["word_totals"]),
-                             (framework_rows, state["framework_totals"])):
-            labels, codes = np.unique(keys, return_inverse=True)
+        word_labels, word_of_name = np.unique(name_words, return_inverse=True)
+        word_codes = word_of_name.ravel()[name_inverse]
+
+        if self.has_framework:
+            # A declared per-row framework overrides the name-derived one;
+            # both sides resolve into one sorted label vocabulary so the
+            # per-row merge is a uint choice between two code arrays.
+            declared_values, declared_inverse = chunk.unique("framework")
+            has_declared = chunk.recorded_mask("framework")
+            framework_labels = np.unique(np.concatenate([name_frameworks,
+                                                         declared_values]))
+            name_codes = np.searchsorted(framework_labels, name_frameworks)
+            declared_codes = np.searchsorted(framework_labels, declared_values)
+            framework_codes = np.where(has_declared,
+                                       declared_codes[declared_inverse],
+                                       name_codes[name_inverse])
+        else:
+            framework_labels, frame_of_name = np.unique(name_frameworks,
+                                                        return_inverse=True)
+            framework_codes = frame_of_name.ravel()[name_inverse]
+
+        if not all_named:
+            word_codes = word_codes[named]
+            framework_codes = framework_codes[named]
+        for labels, codes, totals in (
+                (word_labels, word_codes, state["word_totals"]),
+                (framework_labels, framework_codes, state["framework_totals"])):
             jobs = np.bincount(codes, minlength=labels.size)
             total_bytes = np.bincount(codes, weights=byte_weights, minlength=labels.size)
             total_tasks = np.bincount(codes, weights=task_weights, minlength=labels.size)
@@ -270,6 +292,11 @@ class NamingConsumer(ChunkConsumer):
             tasks_dict = totals["task_seconds"]
             for label, n_jobs, byte_total, task_total in zip(
                     labels.tolist(), jobs.tolist(), total_bytes.tolist(), total_tasks.tolist()):
+                if n_jobs == 0:
+                    # Vocabulary entry with no named row in this chunk (e.g.
+                    # the "" name's "[unnamed]" word): adding a zero would
+                    # create a spurious label in the running totals.
+                    continue
                 jobs_dict[label] += n_jobs
                 bytes_dict[label] += byte_total
                 tasks_dict[label] += task_total

@@ -138,7 +138,10 @@ class RankFrequencyConsumer(ChunkConsumer):
         return {}
 
     def fold(self, state, chunk: ScanChunk):
-        values, counts = np.unique(chunk.column(self.column), return_counts=True)
+        # value_counts is code-native on a v3 store: the counting happens as
+        # a bincount over dictionary codes and only the chunk's *distinct*
+        # values are ever decoded to strings.
+        values, counts = chunk.value_counts(self.column)
         for value, count in zip(values.tolist(), counts.tolist()):
             if value:
                 state[value] = state.get(value, 0) + count

@@ -6,9 +6,13 @@ list of :class:`~repro.traces.schema.Job` objects can hold:
 * :mod:`repro.engine.columnar` — :class:`ColumnarTrace`, one contiguous NumPy
   array per job dimension, with Trace-compatible analytical accessors;
 * :mod:`repro.engine.store` — :class:`ChunkedTraceStore`, a chunked columnar
-  on-disk format (v2: raw per-column ``.npy`` read via mmap; v1: compressed
-  ``.npz``) with a JSON manifest and per-chunk zone maps, written and read
-  without ever materializing the full job list;
+  on-disk format (v2: raw per-column ``.npy`` read via mmap; v3: per-column
+  compressed blocks with dictionary-encoded strings, read code-natively; v1:
+  compressed ``.npz``) with a JSON manifest and per-chunk zone maps, written
+  and read without ever materializing the full job list;
+* :mod:`repro.engine.codecs` — the v3 block codec registry (stdlib
+  ``zlib``/``lzma``, optional ``zstd``/``lz4``), bit-exact delta coding, and
+  the append-only :class:`StoreDictionary` string tables;
 * :mod:`repro.engine.operators` — lazy ``scan → filter → project →
   group-by/aggregate → top-k/limit`` pipelines with column pruning, zone-map
   chunk skipping, and limit short-circuiting;
@@ -63,6 +67,13 @@ from .aggregates import (
     parse_aggregate_spec,
 )
 from .catalog import CatalogEntry, StoreCatalog
+from .codecs import (
+    DEFAULT_CODEC,
+    StoreDictionary,
+    StringDictionary,
+    available_codecs,
+    register_codec,
+)
 from .columnar import (
     DEFAULT_CHUNK_ROWS,
     NUMERIC_COLUMNS,
@@ -108,6 +119,11 @@ __all__ = [
     "get_worker_store",
     "DEFAULT_FORMAT_VERSION",
     "SUPPORTED_FORMAT_VERSIONS",
+    "DEFAULT_CODEC",
+    "StoreDictionary",
+    "StringDictionary",
+    "available_codecs",
+    "register_codec",
     "NUMERIC_COLUMNS",
     "STRING_COLUMNS",
     "DEFAULT_CHUNK_ROWS",

@@ -26,6 +26,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 import numpy as np
 
 from ..errors import AnalysisError
+from .codecs import StringDictionary
 from ..traces.schema import Job, NUMERIC_DIMENSIONS
 from ..traces.trace import Trace
 
@@ -74,27 +75,84 @@ class ColumnBlock:
     arrays keyed by column name.  Blocks are cheap views wherever possible —
     :meth:`slice` returns array views, :meth:`select` copies only the selected
     rows.
+
+    A block read from a format-v3 store may additionally carry
+    **dictionary-encoded** string columns: ``codes`` holds the per-row
+    ``uint32`` codes and ``dictionaries`` the per-column value tables.
+    :meth:`column` materializes the strings lazily (and caches the result);
+    code-native consumers use :meth:`codes_for` to fold over the integer
+    codes without ever building the unicode array.
     """
 
-    __slots__ = ("columns",)
+    __slots__ = ("columns", "codes", "dictionaries")
 
-    def __init__(self, columns: Dict[str, np.ndarray]):
+    def __init__(self, columns: Dict[str, np.ndarray],
+                 codes: Optional[Dict[str, np.ndarray]] = None,
+                 dictionaries: Optional[Dict[str, StringDictionary]] = None):
         self.columns = columns
+        self.codes = codes if codes is not None else {}
+        self.dictionaries = dictionaries if dictionaries is not None else {}
         lengths = {array.shape[0] for array in columns.values()}
+        lengths.update(array.shape[0] for array in self.codes.values())
         if len(lengths) > 1:
             raise AnalysisError("column block has ragged columns: %s" % (
-                {name: arr.shape[0] for name, arr in columns.items()},))
+                {name: arr.shape[0]
+                 for name, arr in list(columns.items()) + list(self.codes.items())},))
 
     @property
     def n_rows(self) -> int:
         for array in self.columns.values():
             return int(array.shape[0])
+        for array in self.codes.values():
+            return int(array.shape[0])
         return 0
+
+    def column_names(self) -> List[str]:
+        """Every directly-stored column (decoded and dictionary-backed)."""
+        names = list(self.columns)
+        names.extend(name for name in self.codes if name not in self.columns)
+        return names
+
+    def codes_for(self, name: str):
+        """``(uint32 codes, StringDictionary)`` for a dictionary-backed column.
+
+        Returns ``None`` when the column is not dictionary-encoded — callers
+        fall back to :meth:`column`.
+        """
+        codes = self.codes.get(name)
+        if codes is None:
+            return None
+        return codes, self.dictionaries[name]
+
+    def recorded_mask(self, name: str) -> np.ndarray:
+        """True where the value is recorded ("finite" for strings and numbers).
+
+        For a dictionary-backed column this compares codes against the code
+        of ``""`` — no string materialization.
+        """
+        if name in self.codes and name not in self.columns:
+            codes = self.codes[name]
+            empty_code = self.dictionaries[name].lookup("")
+            if empty_code is None:
+                return np.ones(codes.shape[0], dtype=bool)
+            return codes != np.uint32(empty_code)
+        values = self.column(name)
+        if values.dtype.kind in "US":
+            return values != ""
+        return np.isfinite(values)
+
+    def materialized(self) -> Dict[str, np.ndarray]:
+        """All stored columns as plain arrays (dictionary columns decoded)."""
+        return {name: self.column(name) for name in self.column_names()}
 
     def column(self, name: str) -> np.ndarray:
         """One column by name, computing derived columns on the fly."""
         if name in self.columns:
             return self.columns[name]
+        if name in self.codes:
+            decoded = self.dictionaries[name].decode(self.codes[name])
+            self.columns[name] = decoded  # cache: decode each chunk at most once
+            return decoded
         if name == "total_bytes":
             return (_nan_to_zero(self.column("input_bytes"))
                     + _nan_to_zero(self.column("shuffle_bytes"))
@@ -109,7 +167,7 @@ class ColumnBlock:
         raise AnalysisError("unknown column %r (have %s)" % (name, sorted(self.columns)))
 
     def has_column(self, name: str) -> bool:
-        if name in self.columns:
+        if name in self.columns or name in self.codes:
             return True
         if name == "total_bytes":
             return all(dim in self.columns for dim in ("input_bytes", "shuffle_bytes", "output_bytes"))
@@ -122,30 +180,66 @@ class ColumnBlock:
         return False
 
     def select(self, mask: np.ndarray) -> "ColumnBlock":
-        """Rows where ``mask`` is true, as a new block."""
-        return ColumnBlock({name: array[mask] for name, array in self.columns.items()})
+        """Rows where ``mask`` is true, as a new block (codes stay codes)."""
+        return ColumnBlock(
+            {name: array[mask] for name, array in self.columns.items()},
+            {name: array[mask] for name, array in self.codes.items()},
+            self.dictionaries)
 
     def slice(self, start: int, stop: int) -> "ColumnBlock":
         """Rows ``[start, stop)`` as a view-backed block (no copy)."""
-        return ColumnBlock({name: array[start:stop] for name, array in self.columns.items()})
+        return ColumnBlock(
+            {name: array[start:stop] for name, array in self.columns.items()},
+            {name: array[start:stop] for name, array in self.codes.items()},
+            self.dictionaries)
 
     def take(self, indices: np.ndarray) -> "ColumnBlock":
-        return ColumnBlock({name: array[indices] for name, array in self.columns.items()})
+        return ColumnBlock(
+            {name: array[indices] for name, array in self.columns.items()},
+            {name: array[indices] for name, array in self.codes.items()},
+            self.dictionaries)
 
     def project(self, names: Sequence[str]) -> "ColumnBlock":
-        """Only the named columns (derived ones are materialized)."""
-        return ColumnBlock({name: self.column(name) for name in names})
+        """Only the named columns (derived ones are materialized).
+
+        Dictionary-backed columns stay code-backed — projection never forces
+        a string decode.
+        """
+        columns: Dict[str, np.ndarray] = {}
+        codes: Dict[str, np.ndarray] = {}
+        dictionaries: Dict[str, StringDictionary] = {}
+        for name in names:
+            if name in self.columns:
+                columns[name] = self.columns[name]
+            elif name in self.codes:
+                codes[name] = self.codes[name]
+                dictionaries[name] = self.dictionaries[name]
+            else:
+                columns[name] = self.column(name)
+        return ColumnBlock(columns, codes, dictionaries)
 
     @staticmethod
     def concat(blocks: Sequence["ColumnBlock"]) -> "ColumnBlock":
-        """Concatenate blocks row-wise (they must share a column set)."""
+        """Concatenate blocks row-wise (they must share a column set).
+
+        Columns that are code-backed in *every* block against the *same*
+        dictionary concatenate as codes; anything else materializes.
+        """
         if not blocks:
             return ColumnBlock({})
-        names = list(blocks[0].columns)
-        return ColumnBlock({
-            name: np.concatenate([block.columns[name] for block in blocks])
-            for name in names
-        })
+        columns: Dict[str, np.ndarray] = {}
+        codes: Dict[str, np.ndarray] = {}
+        dictionaries: Dict[str, StringDictionary] = {}
+        for name in blocks[0].column_names():
+            first = blocks[0].codes_for(name)
+            if first is not None and all(
+                    (pair := block.codes_for(name)) is not None
+                    and pair[1] is first[1] for block in blocks[1:]):
+                codes[name] = np.concatenate([block.codes[name] for block in blocks])
+                dictionaries[name] = first[1]
+            else:
+                columns[name] = np.concatenate([block.column(name) for block in blocks])
+        return ColumnBlock(columns, codes, dictionaries)
 
 
 class ColumnarTrace:
@@ -229,6 +323,8 @@ class ColumnarTrace:
 
     @property
     def columns(self) -> Dict[str, np.ndarray]:
+        if self.block.codes:
+            self.block.materialized()  # decode v3 dictionary columns into the cache
         return self.block.columns
 
     # -- analytical accessors (Trace-compatible) ---------------------------
@@ -333,8 +429,8 @@ def _buffers_to_arrays(buffers: Dict[str, List]) -> Dict[str, np.ndarray]:
 
 def _block_to_jobs(block: ColumnBlock) -> Iterator[Job]:
     """Reconstruct jobs from a block (inverse of :func:`_append_job`)."""
-    numeric = {name: block.columns[name] for name in NUMERIC_COLUMNS if name in block.columns}
-    strings = {name: block.columns[name] for name in STRING_COLUMNS if name in block.columns}
+    numeric = {name: block.column(name) for name in NUMERIC_COLUMNS if block.has_column(name)}
+    strings = {name: block.column(name) for name in STRING_COLUMNS if block.has_column(name)}
     for row in range(block.n_rows):
         data: Dict[str, object] = {}
         for name, array in numeric.items():

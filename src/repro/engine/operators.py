@@ -59,6 +59,23 @@ class Predicate:
                                 % (self.op, ", ".join(PREDICATE_OPS)))
 
     def mask(self, block: ColumnBlock) -> np.ndarray:
+        pair = block.codes_for(self.column)
+        if pair is not None:
+            # Dictionary-encoded (v3) column: resolve the literal against the
+            # dictionary once, then compare uint32 codes — the strings of this
+            # chunk are never materialized.
+            codes, table = pair
+            if self.op == "finite":
+                return block.recorded_mask(self.column)
+            if self.op in ("==", "!="):
+                code = table.lookup(str(self.value))
+                if code is None:  # value not in the store at all
+                    full = np.zeros(codes.shape[0], dtype=bool)
+                    return ~full if self.op == "!=" else full
+                return codes == np.uint32(code) if self.op == "==" \
+                    else codes != np.uint32(code)
+            raise AnalysisError("string column %r only supports ==/!=, got %r"
+                                % (self.column, self.op))
         values = block.column(self.column)
         if self.op == "finite":
             if values.dtype.kind in "US":
@@ -217,8 +234,8 @@ class QueryResult:
         """Collected rows as plain dicts (handy for CLI printing and tests)."""
         if self.rows is None:
             return []
-        names = list(self.rows.columns)
-        arrays = [self.rows.columns[name] for name in names]
+        names = self.rows.column_names()
+        arrays = [self.rows.column(name) for name in names]
         return [
             {name: _python_value(array[row]) for name, array in zip(names, arrays)}
             for row in range(self.rows.n_rows)

@@ -65,7 +65,8 @@ from .columnar import ColumnBlock, ColumnarTrace
 from .source import TraceSource
 
 __all__ = ["ScanChunk", "ChunkConsumer", "PipelineResult", "ScanPipeline",
-           "Checkpoint", "SummaryConsumer", "GatherConsumer", "fold_consumer"]
+           "Checkpoint", "SummaryConsumer", "GatherConsumer", "fold_consumer",
+           "find_store_checkpoints"]
 
 
 class ScanChunk:
@@ -93,6 +94,10 @@ class ScanChunk:
     def column(self, name: str) -> np.ndarray:
         return self.block.column(name)
 
+    def recorded_mask(self, name: str) -> np.ndarray:
+        """True where the value is recorded; code-native on v3 dict columns."""
+        return self.block.recorded_mask(name)
+
     def unique(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
         """``np.unique(column, return_inverse=True)``, cached per chunk.
 
@@ -101,12 +106,43 @@ class ScanChunk:
         caching it on the shared chunk means the string sort happens once per
         chunk per column no matter how many consumers ask — the same sharing
         argument as decoding itself.
+
+        On a dictionary-encoded column (format v3) this is **code-native**:
+        the heavy ``np.unique`` runs over the chunk's ``uint32`` codes (an
+        integer sort), only the chunk's *distinct* values are decoded, and a
+        small permutation restores lexicographic order — bit-identical output
+        to the string path without ever materializing the per-row strings.
         """
         cached = self._unique_cache.get(name)
-        if cached is None:
-            values, inverse = np.unique(self.column(name), return_inverse=True)
-            cached = self._unique_cache[name] = (values, inverse.ravel())
+        if cached is not None:
+            return cached
+        pair = self.block.codes_for(name)
+        if pair is not None:
+            codes, table = pair
+            unique_codes, inverse = np.unique(codes, return_inverse=True)
+            values = table.decode(unique_codes)
+            # Codes are in first-appearance order; consumers rely on
+            # np.unique's sorted-values contract (e.g. the "" sentinel
+            # landing at index 0), so remap through the sort permutation.
+            order = np.argsort(values, kind="stable")
+            values = values[order]
+            rank = np.empty(order.size, dtype=np.int64)
+            rank[order] = np.arange(order.size)
+            inverse = rank[inverse.ravel()]
+            cached = self._unique_cache[name] = (values, inverse)
+            return cached
+        values, inverse = np.unique(self.column(name), return_inverse=True)
+        cached = self._unique_cache[name] = (values, inverse.ravel())
         return cached
+
+    def value_counts(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Distinct values of ``name`` in this chunk with their row counts.
+
+        Rides :meth:`unique`, so on dictionary columns the count is a
+        ``bincount`` over integer codes — no string materialization.
+        """
+        values, inverse = self.unique(name)
+        return values, np.bincount(inverse, minlength=values.shape[0])
 
 
 class ChunkConsumer:
@@ -861,3 +897,47 @@ class GatherConsumer(ChunkConsumer):
         gathered.name = self.trace_name
         gathered.machines = self.machines
         return gathered
+
+
+def find_store_checkpoints(store, extra_directories: Sequence[str] = ()) -> List[str]:
+    """Best-effort scan for checkpoint files that reference ``store``.
+
+    Looks for ``*.json`` files inside the store directory, its parent, and
+    any ``extra_directories``, and returns the paths of those that parse as
+    :class:`Checkpoint` documents (``checkpoint_version`` key) whose
+    ``store_uid`` or ``store_directory`` points at ``store``.  ``engine
+    convert --store`` uses this to refuse a re-encode whose output would
+    orphan a live checkpoint: conversion mints a fresh ``store_uid``, so a
+    resume against the converted copy would be rejected only *after* the
+    caller had already discarded the original.
+
+    Checkpoints saved elsewhere (an absolute ``--checkpoint`` path in some
+    unrelated directory) are out of scan range — this is a guard rail, not a
+    registry.
+    """
+    directory = os.path.abspath(store.directory)
+    uid = getattr(store, "store_uid", None)
+    found: List[str] = []
+    scanned = set()
+    for base in (directory, os.path.dirname(directory), *extra_directories):
+        base = os.path.abspath(base)
+        if base in scanned or not os.path.isdir(base):
+            continue
+        scanned.add(base)
+        for entry in sorted(os.listdir(base)):
+            if not entry.endswith(".json"):
+                continue
+            path = os.path.join(base, entry)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    document = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if not isinstance(document, dict) or "checkpoint_version" not in document:
+                continue
+            doc_uid = document.get("store_uid")
+            doc_dir = document.get("store_directory")
+            if (uid is not None and doc_uid == uid) or (
+                    doc_dir and os.path.abspath(str(doc_dir)) == directory):
+                found.append(path)
+    return found

@@ -1,7 +1,7 @@
 """Chunked on-disk columnar trace store.
 
 A store is a directory holding a JSON manifest plus the column data of each
-chunk of rows, in one of two manifest-versioned layouts:
+chunk of rows, in one of three manifest-versioned layouts:
 
 * **format v2** (default) — one raw ``.npy`` file per column per chunk::
 
@@ -15,6 +15,29 @@ chunk of rows, in one of two manifest-versioned layouts:
   scan touches only the pages it actually reads and concurrent readers (the
   shared-scan pipeline's worker processes) share one copy of the data in the
   OS page cache instead of each decompressing its own.
+
+* **format v3** — one *compressed block* (``.bin``) per column per chunk,
+  same chunk addressing as v2 but roughly v1's disk footprint::
+
+      store/
+        manifest.json
+        dictionary.json
+        chunk-00000.submit_time_s.bin
+        ...
+
+  Numeric columns compress through a pluggable codec registry (stdlib
+  ``zlib``/``lzma``; ``zstd``/``lz4`` auto-register when importable) with
+  ``submit_time_s`` delta-encoded via exact uint64 bit differences.
+  Low-cardinality string columns are **dictionary-encoded**: chunks store
+  ``uint32`` codes and the per-store value tables live in the
+  ``dictionary.json`` sidecar.  The dictionary only ever grows (appends add
+  codes, never renumber), so open handles and resume checkpoints survive an
+  append.  ``read_chunk`` returns the codes *as codes* (see
+  :meth:`~repro.engine.columnar.ColumnBlock.codes_for`) — scan consumers
+  fold over integers and strings materialize lazily only when truly needed.
+  High-cardinality columns (``job_id``) skip the dictionary and store
+  compressed fixed-width text instead; the choice is made per column on
+  first appearance and recorded in the manifest's ``string_encodings``.
 
 * **format v1** (legacy, still fully readable) — one compressed ``.npz`` file
   per chunk whose members are the columns.  Compact on disk, but every read
@@ -33,7 +56,7 @@ form without ever holding more than one chunk of jobs in memory.  Readers are
 equally lazy: :meth:`ChunkedTraceStore.iter_chunks` loads one chunk (and only
 the requested columns) at a time.
 
-**Appending.**  v2 stores are *appendable*: :meth:`ChunkedTraceStore.open_append`
+**Appending.**  v2 and v3 stores are *appendable*: :meth:`ChunkedTraceStore.open_append`
 (the ``repro engine ingest`` CLI) adds new chunks — with zone maps — to an
 existing store without rewriting the old ones.  The append is crash-safe: new
 chunk files land on disk first, then the updated manifest is written to a
@@ -58,6 +81,15 @@ import numpy as np
 from ..errors import TraceFormatError
 from ..traces.schema import Job
 from ..traces.trace import Trace
+from .codecs import (
+    DEFAULT_CODEC,
+    DICTIONARY_NAME,
+    StoreDictionary,
+    available_codecs,
+    pack_block,
+    read_block_header,
+    unpack_block,
+)
 from .columnar import (
     ALL_COLUMNS,
     DEFAULT_CHUNK_ROWS,
@@ -75,9 +107,14 @@ __all__ = ["ChunkedTraceStore", "StoreAppender", "write_store", "append_store",
 
 MANIFEST_NAME = "manifest.json"
 #: Manifest versions this reader understands.
-SUPPORTED_FORMAT_VERSIONS = (1, 2)
+SUPPORTED_FORMAT_VERSIONS = (1, 2, 3)
 #: The version new stores are written with (raw per-column ``.npy``).
 DEFAULT_FORMAT_VERSION = 2
+
+#: v3: dictionary-encode a string column when its first non-empty chunk has at
+#: most this many distinct values (or 1/4 of the rows, whichever is larger) —
+#: otherwise (``job_id``-like, unique per row) store compressed raw text.
+DICTIONARY_MAX_DISTINCT = 1024
 
 
 class _ChunkMeta:
@@ -151,7 +188,23 @@ class ChunkedTraceStore:
         #: how a checkpoint tells "this store, grown" apart from "a different
         #: (or rewritten) store of the same shape".  None for pre-ingest stores.
         self.store_uid: Optional[str] = manifest.get("store_uid")
+        #: v3 block codec name and level (None for v1/v2 stores).
+        self.codec: Optional[str] = manifest.get("codec")
+        self.codec_level: Optional[int] = manifest.get("codec_level")
+        #: v3 per-string-column encoding choice ("dict" or "raw"), fixed at
+        #: first appearance so appends stay consistent with existing chunks.
+        self.string_encodings: Dict[str, str] = dict(manifest.get("string_encodings", {}))
         self._chunks: List[_ChunkMeta] = [_ChunkMeta.from_json(c) for c in manifest["chunks"]]
+        self._dictionary: Optional[StoreDictionary] = None
+        if self.format_version == 3:
+            if os.path.isfile(os.path.join(self.directory, DICTIONARY_NAME)):
+                self._dictionary = StoreDictionary.load(self.directory)
+            elif any(enc == "dict" for enc in self.string_encodings.values()):
+                raise TraceFormatError(
+                    "%s: manifest declares dictionary-encoded columns but the "
+                    "%s sidecar is missing" % (self.directory, DICTIONARY_NAME))
+            else:
+                self._dictionary = StoreDictionary()
 
     # -- metadata ----------------------------------------------------------
     @property
@@ -206,7 +259,8 @@ class ChunkedTraceStore:
         """All on-disk files belonging to one chunk."""
         if self.format_version == 1:
             return [meta.file]
-        return ["%s.%s.npy" % (meta.file, column) for column in self.columns]
+        suffix = "bin" if self.format_version == 3 else "npy"
+        return ["%s.%s.%s" % (meta.file, column, suffix) for column in self.columns]
 
     def info(self) -> Dict:
         """Manifest-level summary (for ``repro engine info``)."""
@@ -216,9 +270,15 @@ class ChunkedTraceStore:
                 path = os.path.join(self.directory, file_name)
                 if os.path.isfile(path):
                     total_bytes += os.path.getsize(path)
+        dictionary_bytes = 0
+        if self.format_version == 3:
+            sidecar = os.path.join(self.directory, DICTIONARY_NAME)
+            if os.path.isfile(sidecar):
+                dictionary_bytes = os.path.getsize(sidecar)
+            total_bytes += dictionary_bytes
         submit_zones = [chunk.zones.get("submit_time_s") for chunk in self._chunks]
         submit_zones = [zone for zone in submit_zones if zone]
-        return {
+        summary = {
             "directory": self.directory,
             "name": self.name,
             "store_uid": self.store_uid,
@@ -233,20 +293,29 @@ class ChunkedTraceStore:
             "submit_time_range": [min(z[0] for z in submit_zones),
                                   max(z[1] for z in submit_zones)] if submit_zones else None,
         }
+        if self.format_version == 3:
+            summary["codec"] = self.codec
+            summary["codec_level"] = self.codec_level
+            summary["string_encodings"] = dict(self.string_encodings)
+            summary["dictionary_bytes"] = int(dictionary_bytes)
+        return summary
 
     def column_sizes(self) -> Dict[str, int]:
         """On-disk bytes per stored column (``repro engine info --sizes``).
 
-        v2 stores sum the per-column ``.npy`` file sizes.  v1 ``.npz`` chunks
-        are zip archives, so the per-member *compressed* sizes are read from
-        the zip directory — which is what makes the v1-vs-v2 disk trade-off
+        v2 stores sum the per-column ``.npy`` file sizes; v3 sums the
+        compressed ``.bin`` block files.  v1 ``.npz`` chunks are zip archives,
+        so the per-member *compressed* sizes are read from the zip directory —
+        which is what makes the disk trade-off between the formats
         (compression vs. mmap-ability) observable per column.
         """
         sizes: Dict[str, int] = {column: 0 for column in self.columns}
-        if self.format_version == 2:
+        if self.format_version in (2, 3):
+            suffix = "bin" if self.format_version == 3 else "npy"
             for chunk in self._chunks:
                 for column in self.columns:
-                    path = os.path.join(self.directory, "%s.%s.npy" % (chunk.file, column))
+                    path = os.path.join(self.directory,
+                                        "%s.%s.%s" % (chunk.file, column, suffix))
                     if os.path.isfile(path):
                         sizes[column] += os.path.getsize(path)
             return sizes
@@ -266,6 +335,27 @@ class ChunkedTraceStore:
                                        % (self.directory, chunk.file, exc))
         return sizes
 
+    def column_raw_sizes(self) -> Optional[Dict[str, int]]:
+        """Per-column *uncompressed* bytes, from v3 block headers.
+
+        Each v3 block records the logical (pre-compression) size of its
+        column — for dictionary columns, the size of the *string* array a v2
+        store would have written, not the uint32 codes.  Only headers are
+        read; nothing is decompressed.  Returns ``None`` for v1/v2 stores,
+        whose ``engine info --sizes`` output is unchanged.
+        """
+        if self.format_version != 3:
+            return None
+        sizes: Dict[str, int] = {column: 0 for column in self.columns}
+        for chunk in self._chunks:
+            for column in self.columns:
+                path = os.path.join(self.directory,
+                                    "%s.%s.bin" % (chunk.file, column))
+                if os.path.isfile(path):
+                    header = read_block_header(path)
+                    sizes[column] += int(header.get("raw_bytes", 0))
+        return sizes
+
     # -- lazy readers ------------------------------------------------------
     def read_chunk(self, index: int, columns: Optional[Sequence[str]] = None) -> ColumnBlock:
         """Load one chunk, materializing only the requested columns.
@@ -273,9 +363,39 @@ class ChunkedTraceStore:
         v2 column files are opened with ``mmap_mode="r"``: the returned arrays
         are read-only memory maps whose pages load on first touch and are
         shared between every process scanning the same store.
+
+        v3 blocks are decompressed per column; dictionary-encoded string
+        columns come back as **uint32 codes** attached to the block's
+        ``codes``/``dictionaries`` side-channel — strings materialize lazily
+        through :meth:`ColumnBlock.column`, and code-native consumers never
+        pay for the decode at all.
         """
         meta = self._chunks[index]
         wanted = self._storage_columns(columns)
+        if self.format_version == 3:
+            data: Dict[str, np.ndarray] = {}
+            codes: Dict[str, np.ndarray] = {}
+            dictionaries = {}
+            for name in wanted:
+                path = os.path.join(self.directory, "%s.%s.bin" % (meta.file, name))
+                try:
+                    with open(path, "rb") as handle:
+                        header, array = unpack_block(handle.read(), path)
+                except IOError as exc:
+                    raise TraceFormatError("%s: cannot read chunk column %s: %s"
+                                           % (self.directory, os.path.basename(path), exc))
+                if header.get("encoding") == "dict":
+                    table = self._dictionary.get(name) if self._dictionary else None
+                    if table is None:
+                        raise TraceFormatError(
+                            "%s: chunk column %s is dictionary-encoded but the "
+                            "store dictionary has no table for %r"
+                            % (self.directory, os.path.basename(path), name))
+                    codes[name] = array
+                    dictionaries[name] = table
+                else:
+                    data[name] = array
+            return ColumnBlock(data, codes, dictionaries)
         if self.format_version == 1:
             path = os.path.join(self.directory, meta.file)
             try:
@@ -357,19 +477,27 @@ class ChunkedTraceStore:
     @classmethod
     def write(cls, directory, source, chunk_rows: int = DEFAULT_CHUNK_ROWS,
               name: Optional[str] = None, machines: Optional[int] = None,
-              format_version: int = DEFAULT_FORMAT_VERSION) -> "ChunkedTraceStore":
+              format_version: int = DEFAULT_FORMAT_VERSION,
+              codec: Optional[str] = None,
+              codec_level: Optional[int] = None) -> "ChunkedTraceStore":
         """Write a store from a :class:`Trace`, :class:`ColumnarTrace`, or job iterable.
 
         Job iterables are consumed streamingly: at most ``chunk_rows`` jobs are
         buffered before being flushed to disk, so arbitrarily large traces can
         be converted with bounded memory.  ``format_version`` selects the
         on-disk layout: 2 (default) writes raw per-column ``.npy`` files read
-        back via mmap; 1 writes the legacy compressed ``.npz`` chunks.
+        back via mmap; 3 writes compressed per-column blocks with
+        dictionary-encoded strings (``codec``/``codec_level`` pick the block
+        codec, default ``zlib``); 1 writes the legacy compressed ``.npz``
+        chunks.
 
         A :class:`ChunkedTraceStore` source converts store→store (the
-        ``engine convert --store`` v1↔v2 path): chunks stream through one at
-        a time at the source's chunk boundaries, and the sorted-by-submit-time
-        flag carries over from the source manifest.
+        ``engine convert --store`` v1↔v2↔v3 path): chunks stream through one
+        at a time at the source's chunk boundaries, and the
+        sorted-by-submit-time flag *and* ``manifest_sequence`` carry over from
+        the source manifest (the converted store still mints a fresh
+        ``store_uid``, so checkpoints of the source can never resume against
+        it — :meth:`Checkpoint.validate` rejects the uid mismatch).
         """
         if chunk_rows <= 0:
             raise TraceFormatError("chunk_rows must be positive, got %r" % (chunk_rows,))
@@ -377,6 +505,15 @@ class ChunkedTraceStore:
             raise TraceFormatError("unsupported store format version %r (supported: %s)"
                                    % (format_version,
                                       ", ".join(str(v) for v in SUPPORTED_FORMAT_VERSIONS)))
+        if format_version != 3 and (codec is not None or codec_level is not None):
+            raise TraceFormatError(
+                "codec/codec_level only apply to format v3 (got format v%d)"
+                % (format_version,))
+        if format_version == 3:
+            codec = codec or DEFAULT_CODEC
+            if codec not in available_codecs():
+                raise TraceFormatError("unknown codec %r (available: %s)"
+                                       % (codec, ", ".join(available_codecs())))
         if isinstance(source, ChunkedTraceStore):
             if os.path.abspath(str(directory)) == os.path.abspath(source.directory):
                 raise TraceFormatError("cannot convert store %s onto itself"
@@ -386,7 +523,9 @@ class ChunkedTraceStore:
                                      source.chunk_rows_target,
                                      name or source.name,
                                      machines if machines is not None else source.machines,
-                                     source.sorted_by_submit_time, format_version)
+                                     source.sorted_by_submit_time, format_version,
+                                     codec=codec, codec_level=codec_level,
+                                     manifest_sequence=source.manifest_sequence)
         os.makedirs(directory, exist_ok=True)
         sorted_hint = False
         if isinstance(source, ColumnarTrace):
@@ -395,7 +534,8 @@ class ChunkedTraceStore:
             sorted_hint = True
             block_iter = source.iter_chunks(chunk_rows=chunk_rows)
             return cls._write_blocks(directory, block_iter, chunk_rows, name, machines,
-                                     sorted_hint, format_version)
+                                     sorted_hint, format_version,
+                                     codec=codec, codec_level=codec_level)
         if isinstance(source, Trace):
             name = name or source.name
             machines = machines if machines is not None else source.machines
@@ -406,12 +546,16 @@ class ChunkedTraceStore:
         return cls._write_blocks(directory,
                                  _job_blocks(jobs, chunk_rows),
                                  chunk_rows, name or "trace", machines, sorted_hint,
-                                 format_version)
+                                 format_version, codec=codec, codec_level=codec_level)
 
     @classmethod
     def _write_blocks(cls, directory, blocks: Iterable[ColumnBlock], chunk_rows: int,
                       name: str, machines: Optional[int], sorted_hint: bool,
-                      format_version: int) -> "ChunkedTraceStore":
+                      format_version: int, codec: Optional[str] = None,
+                      codec_level: Optional[int] = None,
+                      manifest_sequence: int = 0) -> "ChunkedTraceStore":
+        dictionary = StoreDictionary() if format_version == 3 else None
+        string_encodings: Dict[str, str] = {}
         chunk_metas: List[_ChunkMeta] = []
         column_names: Optional[List[str]] = None
         # Sources without a sortedness guarantee (raw job iterables) are
@@ -423,7 +567,10 @@ class ChunkedTraceStore:
         for index, block in enumerate(blocks):
             if block.n_rows == 0 and index > 0:
                 continue
-            columns = dict(block.columns)
+            # materialized() decodes any dictionary-backed columns of a v3
+            # source block — a plain dict(block.columns) would silently drop
+            # the code-backed string columns during store→store conversion.
+            columns = block.materialized()
             times = columns.get("submit_time_s")
             if times is not None and times.size:
                 if times[0] < previous_end or np.any(times[:-1] > times[1:]):
@@ -440,18 +587,27 @@ class ChunkedTraceStore:
                 for col in union:
                     if col not in columns:
                         columns[col] = _empty_column(col, block.n_rows)
-            file_name = _write_chunk(str(directory), index, columns, format_version)
+            file_name = _write_chunk(str(directory), index, columns, format_version,
+                                     codec=codec, codec_level=codec_level,
+                                     dictionary=dictionary,
+                                     string_encodings=string_encodings)
             chunk_metas.append(_ChunkMeta(file=file_name, rows=block.n_rows,
                                           zones=_zone_maps(columns)))
         if column_names is None:
             column_names = sorted(NUMERIC_COLUMNS + ("job_id",))
             empty = {col: _empty_column(col, 0) for col in column_names}
-            file_name = _write_chunk(str(directory), 0, empty, format_version)
+            file_name = _write_chunk(str(directory), 0, empty, format_version,
+                                     codec=codec, codec_level=codec_level,
+                                     dictionary=dictionary,
+                                     string_encodings=string_encodings)
             chunk_metas.append(_ChunkMeta(file=file_name, rows=0, zones={}))
-        _backfill_missing_columns(str(directory), chunk_metas, column_names, format_version)
+        _backfill_missing_columns(str(directory), chunk_metas, column_names,
+                                  format_version, codec=codec,
+                                  codec_level=codec_level, dictionary=dictionary,
+                                  string_encodings=string_encodings)
         manifest = {
             "format_version": format_version,
-            "manifest_sequence": 0,
+            "manifest_sequence": int(manifest_sequence),
             "store_uid": uuid.uuid4().hex,
             "name": name,
             "machines": machines,
@@ -461,17 +617,24 @@ class ChunkedTraceStore:
             "columns": column_names,
             "chunks": [meta.to_json() for meta in chunk_metas],
         }
+        if format_version == 3:
+            manifest["codec"] = codec
+            manifest["codec_level"] = codec_level
+            manifest["string_encodings"] = string_encodings
+            # Chunk blocks are on disk; commit the dictionary *before* the
+            # manifest swap so any committed manifest reads correctly.
+            dictionary.save(str(directory))
         _swap_manifest(str(directory), manifest)
         return cls(directory)
 
     # -- appender ----------------------------------------------------------
     @classmethod
     def open_append(cls, directory) -> "StoreAppender":
-        """Open an existing v2 store for appending (``repro engine ingest``).
+        """Open an existing v2/v3 store for appending (``repro engine ingest``).
 
         Raises:
             TraceFormatError: for a v1 store — compressed ``.npz`` chunks are
-                immutable archives; convert to v2 first with
+                immutable archives; convert to v2 or v3 first with
                 ``repro engine convert --store <dir> --output <new> --format v2``.
         """
         return StoreAppender(cls(directory))
@@ -495,20 +658,25 @@ def _swap_manifest(directory: str, manifest: Dict) -> None:
 
 
 class StoreAppender:
-    """Appends chunks to an existing v2 store (see :meth:`ChunkedTraceStore.open_append`).
+    """Appends chunks to an existing v2/v3 store (see :meth:`ChunkedTraceStore.open_append`).
 
     One :meth:`append` call writes the new chunk files (with zone maps), keeps
     the column set coherent (new columns are backfilled into old chunks, old
     columns are filled into new chunks), re-derives the
     ``sorted_by_submit_time`` flag across the append boundary, bumps
     ``manifest_sequence``, and commits with an atomic manifest swap.
+
+    For v3, new chunks reuse the store's codec and per-column string
+    encodings, and unseen string values are *appended* to the dictionary —
+    codes already on disk never change, so readers and checkpoints that
+    predate the append stay valid.
     """
 
     def __init__(self, store: ChunkedTraceStore):
-        if store.format_version != 2:
+        if store.format_version not in (2, 3):
             raise TraceFormatError(
                 "%s is a format-v1 (compressed .npz) store; appending requires "
-                "format v2 — convert it first: repro engine convert --store %s "
+                "format v2 or v3 — convert it first: repro engine convert --store %s "
                 "--output <new-dir> --format v2"
                 % (store.directory, store.directory))
         self.store = store
@@ -541,20 +709,25 @@ class StoreAppender:
             if zone is not None:
                 previous_end = max(previous_end, zone[1])
 
+        string_encodings = dict(store.string_encodings)
         new_metas: List[_ChunkMeta] = []
         new_columns: set = set()
         next_index = store.n_chunks
         for block in blocks:
             if block.n_rows == 0:
                 continue
-            columns = dict(block.columns)
+            columns = block.materialized()
             times = columns.get("submit_time_s")
             if times is not None and times.size:
                 if times[0] < previous_end or np.any(times[:-1] > times[1:]):
                     still_sorted = False
                 previous_end = max(previous_end, float(times[-1]))
             file_name = _write_chunk(store.directory, next_index, columns,
-                                     format_version=2)
+                                     format_version=store.format_version,
+                                     codec=store.codec,
+                                     codec_level=store.codec_level,
+                                     dictionary=store._dictionary,
+                                     string_encodings=string_encodings)
             new_columns.update(columns)
             new_metas.append(_ChunkMeta(file=file_name, rows=block.n_rows,
                                         zones=_zone_maps(columns)))
@@ -566,10 +739,14 @@ class StoreAppender:
         column_names = sorted(set(store.columns) | new_columns)
         # Fill the gaps both ways: old chunks missing a newly appeared column,
         # new chunks missing a column only the old data recorded.
-        _backfill_missing_columns(store.directory, all_metas, column_names, 2)
+        _backfill_missing_columns(store.directory, all_metas, column_names,
+                                  store.format_version, codec=store.codec,
+                                  codec_level=store.codec_level,
+                                  dictionary=store._dictionary,
+                                  string_encodings=string_encodings)
 
         manifest = {
-            "format_version": 2,
+            "format_version": store.format_version,
             "manifest_sequence": store.manifest_sequence + 1,
             "store_uid": store.store_uid or uuid.uuid4().hex,
             "name": store.name,
@@ -580,6 +757,13 @@ class StoreAppender:
             "columns": column_names,
             "chunks": [meta.to_json() for meta in all_metas],
         }
+        if store.format_version == 3:
+            manifest["codec"] = store.codec
+            manifest["codec_level"] = store.codec_level
+            manifest["string_encodings"] = string_encodings
+            # Grown dictionary commits before the manifest swap; extra
+            # (not-yet-referenced) entries are harmless if we crash here.
+            store._dictionary.save(store.directory)
         _swap_manifest(store.directory, manifest)
         self.store = ChunkedTraceStore(store.directory)
         return self.store
@@ -601,14 +785,66 @@ def append_store(directory, source, chunk_rows: Optional[int] = None) -> Chunked
     return ChunkedTraceStore.open_append(directory).append(source, chunk_rows=chunk_rows)
 
 
+def _choose_string_encoding(array: np.ndarray) -> str:
+    """Dictionary-encode low-cardinality columns; raw-compress the rest.
+
+    Decided once per column on its first non-empty chunk and persisted in the
+    manifest: a unique-per-row column like ``job_id`` would bloat the
+    dictionary sidecar to one entry per job and buy nothing, while ``name``/
+    ``input_path``-style columns shrink to uint32 codes that consumers can
+    fold over directly.  Dictionary coding needs *repetition* to pay for the
+    sidecar entries, so a column must show at least 2x reuse in the first
+    chunk (distinct <= rows/2) on top of the absolute cardinality cap.
+    """
+    distinct = np.unique(array).size
+    limit = min(max(DICTIONARY_MAX_DISTINCT, array.size // 4), array.size // 2)
+    return "dict" if distinct <= limit else "raw"
+
+
+def _encode_v3_column(name: str, array: np.ndarray, codec: Optional[str],
+                      codec_level: Optional[int],
+                      dictionary: StoreDictionary,
+                      string_encodings: Dict[str, str]) -> bytes:
+    """Encode one column of one chunk as a v3 block."""
+    codec = codec or DEFAULT_CODEC
+    array = np.asarray(array)
+    if array.dtype.kind in "US":
+        encoding = string_encodings.get(name)
+        if encoding is None:
+            if array.size == 0:
+                # No data to judge cardinality by: write a raw empty block and
+                # leave the decision to the first non-empty chunk.
+                return pack_block(array, "raw", codec, codec_level)
+            encoding = string_encodings[name] = _choose_string_encoding(array)
+        if encoding == "dict":
+            codes = dictionary.column(name).encode(array)
+            return pack_block(codes, "dict", codec, codec_level,
+                              raw_bytes=array.nbytes)
+        return pack_block(array, "raw", codec, codec_level)
+    if name == "submit_time_s" and array.dtype == np.float64:
+        return pack_block(array, "delta64", codec, codec_level)
+    return pack_block(array, "raw", codec, codec_level)
+
+
 def _write_chunk(directory: str, index: int, columns: Dict[str, np.ndarray],
-                 format_version: int) -> str:
+                 format_version: int, codec: Optional[str] = None,
+                 codec_level: Optional[int] = None,
+                 dictionary: Optional[StoreDictionary] = None,
+                 string_encodings: Optional[Dict[str, str]] = None) -> str:
     """Write one chunk's columns; returns the manifest ``file`` entry."""
     if format_version == 1:
         file_name = "chunk-%05d.npz" % index
         np.savez_compressed(os.path.join(directory, file_name), **columns)
         return file_name
     prefix = "chunk-%05d" % index
+    if format_version == 3:
+        for name, array in columns.items():
+            block = _encode_v3_column(name, np.asarray(array), codec, codec_level,
+                                      dictionary, string_encodings)
+            with open(os.path.join(directory, "%s.%s.bin" % (prefix, name)),
+                      "wb") as handle:
+                handle.write(block)
+        return prefix
     for name, array in columns.items():
         np.save(os.path.join(directory, "%s.%s.npy" % (prefix, name)),
                 np.ascontiguousarray(array))
@@ -622,8 +858,23 @@ def _empty_column(name: str, rows: int) -> np.ndarray:
 
 
 def _backfill_missing_columns(directory: str, chunk_metas: List[_ChunkMeta],
-                              column_names: List[str], format_version: int) -> None:
+                              column_names: List[str], format_version: int,
+                              codec: Optional[str] = None,
+                              codec_level: Optional[int] = None,
+                              dictionary: Optional[StoreDictionary] = None,
+                              string_encodings: Optional[Dict[str, str]] = None) -> None:
     """Rewrite early chunks that predate a column first seen in a later chunk."""
+    if format_version == 3:
+        for meta in chunk_metas:
+            for col in column_names:
+                path = os.path.join(directory, "%s.%s.bin" % (meta.file, col))
+                if not os.path.isfile(path):
+                    block = _encode_v3_column(col, _empty_column(col, meta.rows),
+                                              codec, codec_level, dictionary,
+                                              string_encodings)
+                    with open(path, "wb") as handle:
+                        handle.write(block)
+        return
     if format_version == 2:
         for meta in chunk_metas:
             for col in column_names:
@@ -663,8 +914,11 @@ def _job_blocks(jobs: Iterable[Job], chunk_rows: int) -> Iterator[ColumnBlock]:
 
 def write_store(directory, source, chunk_rows: int = DEFAULT_CHUNK_ROWS,
                 name: Optional[str] = None, machines: Optional[int] = None,
-                format_version: int = DEFAULT_FORMAT_VERSION) -> ChunkedTraceStore:
+                format_version: int = DEFAULT_FORMAT_VERSION,
+                codec: Optional[str] = None,
+                codec_level: Optional[int] = None) -> ChunkedTraceStore:
     """Functional alias for :meth:`ChunkedTraceStore.write`."""
     return ChunkedTraceStore.write(directory, source, chunk_rows=chunk_rows,
                                    name=name, machines=machines,
-                                   format_version=format_version)
+                                   format_version=format_version,
+                                   codec=codec, codec_level=codec_level)

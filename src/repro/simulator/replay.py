@@ -263,20 +263,23 @@ class _ReplayEngine:
         self._exhausted = False
 
     def _load_block(self, block) -> None:
-        cols = block.columns
         n_rows = block.n_rows
 
         def numeric(name: str) -> np.ndarray:
-            array = cols.get(name)
-            if array is None:  # column never recorded: every job reads None
+            if not block.has_column(name):  # never recorded: every job reads None
                 return np.zeros(n_rows, dtype=float)
-            return _nan_to_zero(np.asarray(array, dtype=float))
+            return _nan_to_zero(np.asarray(block.column(name), dtype=float))
+
+        def string(name: str) -> Optional[np.ndarray]:
+            # block.column materializes v3 dictionary-encoded columns, which
+            # a raw block.columns lookup would miss entirely.
+            return block.column(name) if block.has_column(name) else None
 
         input_bytes = numeric("input_bytes")
         shuffle_bytes = numeric("shuffle_bytes")
         output_bytes = numeric("output_bytes")
         self._cols = {
-            "submit": np.asarray(cols["submit_time_s"], dtype=float),
+            "submit": np.asarray(block.column("submit_time_s"), dtype=float),
             "map_sec": numeric("map_task_seconds"),
             "red_sec": numeric("reduce_task_seconds"),
             "map_cnt": numeric("map_tasks"),
@@ -285,9 +288,9 @@ class _ReplayEngine:
             "output_bytes": output_bytes,
             # Same add order as Job.total_bytes: (input + shuffle) + output.
             "total_bytes": input_bytes + shuffle_bytes + output_bytes,
-            "job_id": cols["job_id"],
-            "input_path": cols.get("input_path"),
-            "output_path": cols.get("output_path"),
+            "job_id": string("job_id"),
+            "input_path": string("input_path"),
+            "output_path": string("output_path"),
         }
         self._row = 0
         self._n_rows = n_rows

@@ -24,9 +24,12 @@ main workflows:
   existing store) to the chunked on-disk columnar store, **append** fresh
   jobs to a v2 store (``ingest``, crash-safe), inspect a store (``info
   --sizes`` breaks the disk footprint down per column; ``info --json``
-  emits the machine-readable metadata the service catalog consumes), and
-  run filtered/grouped aggregate and top-k queries over it (optionally in
-  parallel);
+  emits the machine-readable metadata the service catalog consumes), build
+  secondary-index sidecars (``index build``/``status``/``drop``), and run
+  filtered/grouped aggregate and top-k queries over it — planned through
+  the indexes when fresh ones exist (``query --explain`` prints the chosen
+  access path; ``--no-index`` forces the scan path), optionally in
+  parallel;
 * ``serve`` — run the trace-analytics daemon: an HTTP server over a catalog
   of named stores with shared-scan admission, append-aware result caching,
   background feed ingest and workload-drift subscriptions (see
@@ -197,7 +200,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", help="also write the report to this file")
 
     engine = subparsers.add_parser("engine",
-                                   help="columnar trace engine (convert / info / query)")
+                                   help="columnar trace engine (convert / info "
+                                        "/ index / query)")
     engine_actions = engine.add_subparsers(dest="engine_command", required=True)
 
     convert = engine_actions.add_parser("convert",
@@ -256,6 +260,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit machine-readable JSON (store uid, manifest "
                            "sequence, columns, sizes) instead of the table")
 
+    index = engine_actions.add_parser(
+        "index", help="build / inspect / drop the secondary-index sidecar "
+                      "(sorted numeric indexes, inverted string indexes)")
+    index.add_argument("action", choices=["build", "status", "drop"],
+                       help="build: stream the store chunk-at-a-time and write "
+                            "the sidecar; status: freshness and per-column "
+                            "stats; drop: delete the sidecar")
+    index.add_argument("--store", required=True, help="store directory")
+    index.add_argument("--columns", nargs="*", default=None,
+                       help="columns to index with 'build' (default: every "
+                            "indexable column)")
+    index.add_argument("--json", action="store_true",
+                       help="emit the 'status' summary as JSON")
+
     query = engine_actions.add_parser("query",
                                       help="filtered aggregate / group-by / top-k over a store")
     query.add_argument("--store", required=True, help="store directory")
@@ -271,6 +289,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--columns", nargs="*", help="projection for top-k/limit output")
     query.add_argument("--parallel", type=int, default=None, metavar="N",
                        help="fan the scan out over N worker processes")
+    query.add_argument("--explain", action="store_true",
+                       help="print the planner's chosen access path without "
+                            "executing the query")
+    query.add_argument("--no-index", action="store_true",
+                       help="ignore any index sidecar (zone-map scan only)")
+    query.add_argument("--json", action="store_true",
+                       help="emit results, stats and the plan as JSON")
 
     serve = subparsers.add_parser(
         "serve", help="run the trace-analytics service daemon over a store catalog")
@@ -661,15 +686,67 @@ def _run_engine(parser, args) -> int:
                          ", compressed" if store.format_version == 1 else ", raw .npy"))
                 for column, size in sorted(sizes.items(), key=lambda item: -item[1]):
                     print("  %-20s %12d  (%5.1f%%)" % (column, size, 100.0 * size / total))
+            index_info = info.get("indexes")
+            if index_info is not None:
+                state = ("fresh" if index_info["fresh"]
+                         else "STALE: %s" % index_info["stale_reason"])
+                print("\nindex sidecar bytes (%s):" % (state,))
+                from .engine import load_indexes
+
+                index_sizes = load_indexes(store).sizes()
+                for column, size in sorted(index_sizes.items(),
+                                           key=lambda item: -item[1]):
+                    kind = index_info["columns"][column]["kind"]
+                    print("  %-20s %-9s %12d" % (column, kind, size))
         return 0
 
     if args.engine_command == "query":
+        import json as json_module
+
         store = ChunkedTraceStore(args.store)
         query = _build_engine_query(args)
+        use_index = not args.no_index
+        if args.explain:
+            from .engine import plan_query
+
+            plan = plan_query(store, query, use_index=use_index)
+            if args.json:
+                print(json_module.dumps(plan.to_dict(), indent=2, sort_keys=True))
+            else:
+                print(plan.describe())
+            return 0
         if args.parallel and query.is_aggregate_only():
             result = ParallelExecutor(processes=args.parallel).run(store, query)
         else:
-            result = execute(store, query)
+            from .engine import execute_planned
+
+            result = execute_planned(store, query, use_index=use_index)
+        plan = result.plan
+        if plan is not None and plan.stale_index:
+            print("warning: stale index sidecar ignored -- rebuild it with "
+                  "'repro engine index build --store %s'" % (args.store,),
+                  file=sys.stderr)
+        if args.json:
+            payload = {
+                "stats": {
+                    "rows_scanned": result.rows_scanned,
+                    "chunks_scanned": result.chunks_scanned,
+                    "chunks_skipped": result.chunks_skipped,
+                    "rows_matched": result.rows_matched,
+                },
+                "plan": plan.to_dict() if plan is not None else None,
+            }
+            if result.aggregates is not None:
+                payload["aggregates"] = result.aggregates
+            elif result.groups is not None:
+                payload["groups"] = {
+                    str(key if key != "" else "(missing)"): aggregates
+                    for key, aggregates in result.groups.items()}
+            else:
+                payload["rows"] = result.row_dicts()
+            print(json_module.dumps(payload, indent=2, sort_keys=True,
+                                    default=float))
+            return 0
         if result.aggregates is not None:
             for label, value in result.aggregates.items():
                 print("%-24s %s" % (label, _render_value(value)))
@@ -684,7 +761,58 @@ def _run_engine(parser, args) -> int:
         print("-- scanned %d rows in %d chunks (%d skipped via zone maps), %d matched"
               % (result.rows_scanned, result.chunks_scanned,
                  result.chunks_skipped, result.rows_matched))
+        if plan is not None:
+            print("-- plan: %s" % (plan.summary(),))
         return 0
+
+    if args.engine_command == "index":
+        import json as json_module
+
+        from .engine import build_indexes, drop_indexes, load_indexes
+
+        store = ChunkedTraceStore(args.store)
+        if args.action == "build":
+            indexes = build_indexes(store, columns=args.columns or None)
+            indexes.save()
+            sizes = indexes.sizes()
+            print("indexed %d columns over %d chunks / %d rows (%d sidecar "
+                  "bytes, manifest_sequence=%d)"
+                  % (len(indexes.columns), indexes.n_chunks, indexes.n_rows,
+                     sum(sizes.values()), indexes.manifest_sequence))
+            for column in indexes.columns:
+                meta = indexes.column_meta[column]
+                print("  %-20s %-9s %12d bytes" % (column, meta["kind"],
+                                                   sizes.get(column, 0)))
+            return 0
+        if args.action == "drop":
+            removed = drop_indexes(store)
+            print("removed %d index sidecar file(s) from %s"
+                  % (removed, args.store))
+            return 0
+        indexes = load_indexes(store)
+        if indexes is None:
+            print("no index sidecar in %s (build one with 'repro engine "
+                  "index build')" % (args.store,))
+            return 1
+        info = indexes.info(store)
+        if args.json:
+            print(json_module.dumps(info, indent=2, sort_keys=True))
+            return 0
+        state = "fresh" if info["fresh"] else "STALE (%s)" % info["stale_reason"]
+        print("index sidecar: %s" % (state,))
+        print("covers %d chunks / %d rows at manifest_sequence=%d "
+              "(store is at %d); %d bytes on disk"
+              % (info["n_chunks"], info["n_rows"], info["manifest_sequence"],
+                 store.manifest_sequence, info["on_disk_bytes"]))
+        sizes = indexes.sizes()
+        for column in indexes.columns:
+            meta = info["columns"][column]
+            stats = ", ".join("%s=%s" % (key, meta[key])
+                              for key in sorted(meta)
+                              if key not in ("kind", "file"))
+            print("  %-20s %-9s %12d bytes  %s"
+                  % (column, meta["kind"], sizes.get(column, 0), stats))
+        return int(not info["fresh"])
 
     parser.error("unknown engine command %r" % (args.engine_command,))
     return 2

@@ -16,6 +16,12 @@ list of :class:`~repro.traces.schema.Job` objects can hold:
 * :mod:`repro.engine.operators` — lazy ``scan → filter → project →
   group-by/aggregate → top-k/limit`` pipelines with column pruning, zone-map
   chunk skipping, and limit short-circuiting;
+* :mod:`repro.engine.indexes` — secondary index sidecars (sorted-permutation
+  indexes for numeric columns, inverted indexes over v3 dictionary codes,
+  per-chunk density stats), built chunk-at-a-time and extended on append;
+* :mod:`repro.engine.planner` — the cost-aware access-path planner: per
+  predicate, index-probe vs zone-skip vs full scan, with an inspectable
+  :class:`Plan` on every store query result;
 * :mod:`repro.engine.aggregates` — mergeable partial aggregates (count, sum,
   min, max, mean, log-histogram percentile/CDF sketches);
 * :mod:`repro.engine.parallel` — a ``multiprocessing`` executor that fans
@@ -81,8 +87,19 @@ from .columnar import (
     ColumnBlock,
     ColumnarTrace,
 )
+from .indexes import (
+    InvertedColumnIndex,
+    SortedColumnIndex,
+    StaleIndexError,
+    StoreIndexes,
+    build_indexes,
+    drop_indexes,
+    indexable_columns,
+    load_indexes,
+)
 from .operators import PREDICATE_OPS, Predicate, Query, QueryResult, execute
 from .parallel import ParallelExecutor, get_worker_store
+from .planner import Plan, execute_planned, plan_query
 from .pipeline import (
     Checkpoint,
     ChunkConsumer,
@@ -136,6 +153,17 @@ __all__ = [
     "QueryResult",
     "execute",
     "PREDICATE_OPS",
+    "SortedColumnIndex",
+    "InvertedColumnIndex",
+    "StoreIndexes",
+    "StaleIndexError",
+    "build_indexes",
+    "load_indexes",
+    "drop_indexes",
+    "indexable_columns",
+    "Plan",
+    "plan_query",
+    "execute_planned",
     "ParallelExecutor",
     "TraceSource",
     "AggregateState",

@@ -109,8 +109,12 @@ class Predicate:
         """Can any row of a chunk with finite-value range ``zone`` match?
 
         ``zone`` is the [min, max] recorded in the store manifest, or ``None``
-        when unavailable — in which case the chunk must be scanned.  NaN rows
-        never satisfy a comparison, so a zone over finite values is sound.
+        when unavailable (string columns, absent columns) — in which case the
+        chunk must be scanned.  NaN rows never satisfy a comparison, so a zone
+        over finite values is sound.  A zone carrying NaN *bounds* (a
+        hand-written or corrupted manifest — the store writer only records
+        finite extrema) is unreliable and admits the chunk: every comparison
+        against NaN is false, which would otherwise silently skip rows.
         """
         if zone is None or self.op in ("finite", "!="):
             return True
@@ -118,7 +122,9 @@ class Predicate:
             value = float(self.value)  # type: ignore[arg-type]
         except (TypeError, ValueError):
             return True
-        low, high = zone
+        low, high = (float(zone[0]), float(zone[1]))
+        if np.isnan(low) or np.isnan(high):
+            return True
         if self.op == "==":
             return low <= value <= high
         if self.op == "<":
@@ -229,6 +235,9 @@ class QueryResult:
     rows_matched: int = 0
     chunks_scanned: int = 0
     chunks_skipped: int = 0
+    #: The planner's access-path decision (:class:`repro.engine.planner.Plan`)
+    #: when the query ran against a store through the planner; None otherwise.
+    plan: Optional[object] = None
 
     def row_dicts(self) -> List[Dict[str, object]]:
         """Collected rows as plain dicts (handy for CLI printing and tests)."""
@@ -278,15 +287,28 @@ def _iter_source_chunks(source, columns, predicates,
             yield block, False
 
 
-def execute(source, query: Query, chunk_indices: Optional[Sequence[int]] = None) -> QueryResult:
+def execute(source, query: Query, chunk_indices: Optional[Sequence[int]] = None,
+            use_planner: bool = True) -> QueryResult:
     """Run ``query`` against ``source``, streaming one chunk at a time.
 
     ``source`` is anything with ``iter_chunks(columns=...)`` — a
     :class:`ColumnarTrace` or a :class:`ChunkedTraceStore` (the latter also
     gets zone-map chunk skipping).  ``chunk_indices`` restricts the scan to a
     subset of a store's chunks (used by the parallel executor).
+
+    Store-backed queries route through :mod:`repro.engine.planner`, which
+    picks index-probe vs zone-skip vs full scan from the store's index
+    sidecar (when one exists and is fresh) and attaches its :class:`Plan` to
+    the result.  ``use_planner=False`` forces the raw scan path — the
+    planner itself, the parallel executor's per-worker chunk subsets, and
+    benchmarks comparing access paths use it.
     """
     query.validate()
+    if (use_planner and chunk_indices is None
+            and hasattr(source, "chunk_zone") and hasattr(source, "directory")):
+        from .planner import execute_planned
+
+        return execute_planned(source, query)
     columns = query.required_columns()
     result = QueryResult()
 
@@ -407,7 +429,11 @@ def _execute_top_k(source, query: Query, columns, chunk_indices, result: QueryRe
         k = query.top_k
         if values.size > k:
             # Keep only this chunk's k best candidates before heap insertion.
-            order = np.argpartition(sign * values, -k)[-k:]
+            # Sorting the selection restores store order within the chunk, so
+            # the heap's insertion-order tiebreak is deterministic (global
+            # store position) — the index-backed top-k path reproduces the
+            # same tie semantics from the sorted permutation.
+            order = np.sort(np.argpartition(sign * values, -k)[-k:])
             block = block.take(order)
             values = values[order]
         for row in range(values.size):

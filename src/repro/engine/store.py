@@ -245,6 +245,17 @@ class ChunkedTraceStore:
                         float(np.floor(time_zone[1] / 3600.0))]
         return None
 
+    def string_table(self, name: str):
+        """The dictionary table backing a v3 dict-encoded column, else ``None``.
+
+        The planner uses it to resolve a string literal to its code without
+        decoding any chunk; raw-encoded and v1/v2 string columns answer
+        ``None`` (no stable code space).
+        """
+        if self._dictionary is None or self.string_encodings.get(name) != "dict":
+            return None
+        return self._dictionary.get(name)
+
     def has_column(self, name: str) -> bool:
         """Whether the store records ``name``, including resolvable derived columns."""
         if name in self.columns:
@@ -298,6 +309,10 @@ class ChunkedTraceStore:
             summary["codec_level"] = self.codec_level
             summary["string_encodings"] = dict(self.string_encodings)
             summary["dictionary_bytes"] = int(dictionary_bytes)
+        from .indexes import load_indexes
+
+        indexes = load_indexes(self)
+        summary["indexes"] = indexes.info(self) if indexes is not None else None
         return summary
 
     def column_sizes(self) -> Dict[str, int]:
@@ -670,6 +685,10 @@ class StoreAppender:
     encodings, and unseen string values are *appended* to the dictionary —
     codes already on disk never change, so readers and checkpoints that
     predate the append stay valid.
+
+    A secondary-index sidecar (:mod:`repro.engine.indexes`), when present and
+    fresh, is *extended* over the appended chunks after the commit — the
+    already-indexed chunks are never re-read.
     """
 
     def __init__(self, store: ChunkedTraceStore):
@@ -693,6 +712,7 @@ class StoreAppender:
         stays untouched.
         """
         store = self.store
+        chunks_before_append = store.n_chunks
         rows_per_chunk = (store.chunk_rows_target if chunk_rows is None
                           else int(chunk_rows))
         if rows_per_chunk <= 0:
@@ -766,6 +786,13 @@ class StoreAppender:
             store._dictionary.save(store.directory)
         _swap_manifest(store.directory, manifest)
         self.store = ChunkedTraceStore(store.directory)
+        # Extend any index sidecar over the appended chunks only (old chunks
+        # are never re-read).  Runs after the manifest swap: a crash in
+        # between leaves the sidecar pinned to the previous sequence, which
+        # the staleness check detects — never a silently wrong index.
+        from .indexes import extend_indexes
+
+        extend_indexes(self.store, previous_chunks=chunks_before_append)
         return self.store
 
 

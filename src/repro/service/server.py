@@ -571,6 +571,11 @@ class TraceAnalyticsService:
             result = execute(store, query)
             self.metrics.increment("repro_rows_scanned_total", result.rows_scanned)
             self.metrics.increment("repro_chunks_scanned_total", result.chunks_scanned)
+            plan = result.plan
+            if plan is not None and plan.used_index:
+                self.metrics.increment("repro_index_probes_total")
+            else:
+                self.metrics.increment("repro_full_scans_total")
             payload = {
                 "store": name,
                 "store_uid": store.store_uid,
@@ -580,6 +585,7 @@ class TraceAnalyticsService:
                     "chunks_scanned": result.chunks_scanned,
                     "chunks_skipped": result.chunks_skipped,
                     "rows_matched": result.rows_matched,
+                    "plan": plan.to_dict() if plan is not None else None,
                 },
             }
             if result.aggregates is not None:

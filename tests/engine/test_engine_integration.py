@@ -99,6 +99,123 @@ class TestEngineCli:
         assert serial_out == parallel_out
 
 
+class TestIndexCli:
+    @pytest.fixture(scope="class")
+    def indexed_store(self, tmp_path_factory, trace):
+        root = tmp_path_factory.mktemp("ixcli")
+        trace_path = root / "trace.jsonl.gz"
+        write_jsonl(trace, trace_path)
+        store_dir = str(root / "store")
+        assert main(["engine", "convert", "--trace", str(trace_path),
+                     "--output", store_dir, "--chunk-rows", "64",
+                     "--format", "v3"]) == 0
+        assert main(["engine", "index", "build", "--store", store_dir]) == 0
+        return store_dir
+
+    def test_build_reports_columns(self, indexed_store, capsys):
+        assert main(["engine", "index", "build", "--store", indexed_store]) == 0
+        out = capsys.readouterr().out
+        assert "indexed" in out
+        assert "input_bytes" in out and "sorted" in out
+        assert "framework" in out and "inverted" in out
+
+    def test_status_fresh(self, indexed_store, capsys):
+        assert main(["engine", "index", "status", "--store", indexed_store]) == 0
+        out = capsys.readouterr().out
+        assert "fresh" in out
+
+    def test_status_json(self, indexed_store, capsys):
+        import json
+
+        assert main(["engine", "index", "status", "--store", indexed_store,
+                     "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["fresh"] is True
+        assert info["columns"]["framework"]["kind"] == "inverted"
+        assert info["on_disk_bytes"] > 0
+
+    def test_status_without_sidecar_fails(self, tmp_path_factory, trace, capsys):
+        root = tmp_path_factory.mktemp("noix")
+        trace_path = root / "trace.jsonl.gz"
+        write_jsonl(trace, trace_path)
+        bare = str(root / "store")
+        assert main(["engine", "convert", "--trace", str(trace_path),
+                     "--output", bare, "--chunk-rows", "64"]) == 0
+        assert main(["engine", "index", "status", "--store", bare]) == 1
+        assert "no index sidecar" in capsys.readouterr().out
+
+    def test_query_explain_prints_plan_only(self, indexed_store, trace, capsys):
+        value = trace.jobs[5].input_bytes
+        assert main(["engine", "query", "--store", indexed_store,
+                     "--where", "input_bytes == %r" % value,
+                     "--limit", "5", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("plan: index-probe")
+        assert "chunks to touch" in out
+        assert "scanned" not in out  # nothing executed
+
+    def test_query_json_carries_plan_and_matches_scan(self, indexed_store,
+                                                      trace, capsys):
+        import json
+
+        argv = ["engine", "query", "--store", indexed_store,
+                "--where", "framework == %s" % trace.jobs[0].framework,
+                "--agg", "count", "--json"]
+        assert main(argv) == 0
+        via_index = json.loads(capsys.readouterr().out)
+        assert via_index["plan"]["used_index"] is True
+        assert main(argv + ["--no-index"]) == 0
+        via_scan = json.loads(capsys.readouterr().out)
+        assert via_scan["plan"]["used_index"] is False
+        assert via_index["aggregates"] == via_scan["aggregates"]
+
+    def test_query_footer_shows_plan(self, indexed_store, capsys):
+        assert main(["engine", "query", "--store", indexed_store,
+                     "--agg", "count"]) == 0
+        out = capsys.readouterr().out
+        assert "-- plan:" in out
+
+    def test_info_sizes_lists_index_bytes(self, indexed_store, capsys):
+        assert main(["engine", "info", "--store", indexed_store,
+                     "--sizes"]) == 0
+        out = capsys.readouterr().out
+        assert "index sidecar bytes (fresh)" in out
+        assert main(["engine", "info", "--store", indexed_store,
+                     "--json"]) == 0
+        import json
+
+        info = json.loads(capsys.readouterr().out)
+        assert info["indexes"]["fresh"] is True
+
+    def test_stale_status_and_query_warning(self, indexed_store, capsys):
+        import json
+        import os
+
+        manifest_path = os.path.join(indexed_store, "index.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["manifest_sequence"] += 1
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        try:
+            assert main(["engine", "index", "status",
+                         "--store", indexed_store]) == 1
+            assert "STALE" in capsys.readouterr().out
+            assert main(["engine", "query", "--store", indexed_store,
+                         "--where", "input_bytes > 1e6", "--agg", "count"]) == 0
+            captured = capsys.readouterr()
+            assert "stale index sidecar ignored" in captured.err
+        finally:
+            assert main(["engine", "index", "build",
+                         "--store", indexed_store]) == 0
+            capsys.readouterr()
+
+    def test_drop_removes_sidecar(self, indexed_store, capsys):
+        assert main(["engine", "index", "drop", "--store", indexed_store]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["engine", "index", "status", "--store", indexed_store]) == 1
+
+
 class TestBoundedMemory:
     def test_store_scan_touches_one_chunk_at_a_time(self, trace, tmp_path, monkeypatch):
         """The aggregate path must never hold more than one chunk's arrays."""

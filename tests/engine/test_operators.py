@@ -300,3 +300,42 @@ class TestPredicates:
         equals = Predicate("x", "==", 5.0)
         assert equals.admits_zone([0.0, 10.0])
         assert not equals.admits_zone([6.0, 10.0])
+
+    def test_zone_nan_bounds_admit(self):
+        # A NaN bound means the zone is unreliable (hand-written / corrupted
+        # manifest); skipping on it would silently drop rows, so it must admit.
+        nan = float("nan")
+        for zone in ([nan, nan], [0.0, nan], [nan, 5.0]):
+            assert Predicate("x", ">", 10.0).admits_zone(zone)
+            assert Predicate("x", "==", 1.0).admits_zone(zone)
+            assert Predicate("x", "<=", -1.0).admits_zone(zone)
+
+    def test_zone_infinite_bounds_admit(self):
+        zone = [float("-inf"), float("inf")]
+        assert Predicate("x", "==", 1.0).admits_zone(zone)
+        assert Predicate("x", "<", 1.0).admits_zone(zone)
+        assert Predicate("x", ">", 1.0).admits_zone(zone)
+
+    def test_zone_absent_column_admits(self):
+        # Absent and string columns have no zone in the manifest -> None -> scan.
+        assert Predicate("framework", "==", "hive").admits_zone(None)
+        assert Predicate("no_such_column", "<", 0.0).admits_zone(None)
+
+    def test_zone_unparsable_value_admits(self):
+        assert Predicate("x", "==", "abc").admits_zone([0.0, 1.0])
+
+    def test_zone_finite_and_ne_always_admit(self):
+        # "finite" matches NaN-free rows the zone says nothing about; "!="
+        # can match inside any zone.
+        assert Predicate("x", "finite").admits_zone([0.0, 1.0])
+        assert Predicate("x", "!=", 5.0).admits_zone([6.0, 7.0])
+
+    def test_zone_boundary_equality_semantics(self):
+        zone = [0.0, 1.0]
+        assert Predicate("x", "<=", 0.0).admits_zone(zone)
+        assert not Predicate("x", "<", 0.0).admits_zone(zone)
+        assert Predicate("x", ">=", 1.0).admits_zone(zone)
+        assert not Predicate("x", ">", 1.0).admits_zone(zone)
+        assert Predicate("x", "==", 0.0).admits_zone(zone)
+        assert Predicate("x", "==", 1.0).admits_zone(zone)
+        assert not Predicate("x", "==", 1.0000001).admits_zone(zone)

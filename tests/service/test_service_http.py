@@ -273,3 +273,37 @@ class TestStructuredLogs:
         assert requests[0]["status"] == 200
         assert requests[1]["cache"] == "miss"
         assert requests[1]["duration_ms"] >= 0
+
+
+class TestPlannerIntegration:
+    def test_query_stats_carry_plan_and_scan_metric(self, client):
+        body = client.query("fb", agg=["count"],
+                            where=["input_bytes > 1e9"]).json()
+        plan = body["stats"]["plan"]
+        assert plan is not None
+        assert plan["access_path"] in ("scan", "zone-scan")
+        assert plan["used_index"] is False
+        assert "repro_full_scans_total" in client.metrics_text()
+
+    def test_indexed_store_probes_and_counts_metric(self, catalog_dir, client):
+        from repro.engine import ChunkedTraceStore, build_indexes
+
+        build_indexes(
+            ChunkedTraceStore(os.path.join(catalog_dir, "fb"))).save()
+        body = client.query("fb", agg=["count"],
+                            where=["input_bytes > 1e9"]).json()
+        plan = body["stats"]["plan"]
+        assert plan["used_index"] is True
+        assert plan["access_path"] == "index-count"
+        assert body["stats"]["chunks_scanned"] == 0
+        assert "repro_index_probes_total" in client.metrics_text()
+
+    def test_store_info_exposes_indexes(self, catalog_dir, client):
+        from repro.engine import ChunkedTraceStore, build_indexes
+
+        assert client.store_info("fb")["indexes"] is None
+        build_indexes(
+            ChunkedTraceStore(os.path.join(catalog_dir, "fb"))).save()
+        info = client.store_info("fb")
+        assert info["indexes"]["fresh"] is True
+        assert info["indexes"]["on_disk_bytes"] > 0

@@ -1,0 +1,336 @@
+"""Federated multi-store comparison benchmark: the seven-cluster study at scale.
+
+Run directly (not collected by pytest — the workload is deliberately large)::
+
+    PYTHONPATH=src python benchmarks/bench_federation.py --jobs 1000000
+
+The benchmark writes **seven** synthetic clusters shaped after the paper's
+§7 roster — five Cloudera customers (``CC-a`` … ``CC-e``) plus the Facebook
+deployment as two epochs (``FB@2009``, ``FB@2010``, which also exercises the
+§4.1 epoch-drift chain) — each with ``--jobs`` jobs, as format-v3 stores in
+one catalog directory.  It then runs the full federated comparison
+(:func:`repro.core.federation.compare_catalog`: per-member profile scans →
+§7 pairwise distances + representative-suite selection → §4.1 drift chains)
+along three lanes:
+
+1. **serial**    — the members profiled one after another in this process;
+2. **parallel**  — the same comparison with member scans fanned over
+   ``--processes`` worker processes (default: up to 4);
+3. **resumed**   — the comparison re-run after appending a tail to one
+   member, resuming every member's profile from per-member checkpoints
+   (``checkpoint_dir=``) so only the appended chunks are folded.
+
+Enforced (the cross-store equivalence contract, always — even ``--smoke``):
+
+* the serial and parallel reports are **bit-identical** (the parallel path
+  runs the identical per-member fold, so every distance, feature, suite pick
+  and drift row must match exactly);
+* the resumed report is **bit-identical** to a cold rescan of the grown
+  catalog.
+
+Enforced unless ``--smoke``/``--skip-speed-check``:
+
+* the parallel federated wall is at least ``--min-parallel-speedup``
+  (default 1.6×) faster than the serial walk — only when ``--processes`` is
+  at least 2 (on a single-core machine the executor degrades to the serial
+  walk, so there is nothing to measure, only equivalence to enforce);
+* the resumed comparison finishes below ``--max-resume-ratio`` (default
+  0.5×) of the cold-rescan wall after appending ``5%`` to one member.
+
+``--output`` (default ``BENCH_federation.json`` at the repo root, tracked
+across PRs) records every wall clock, the member roster, the suite the
+greedy k-center picked, and the failure list — also uploaded as a CI
+artifact by the ``bench-federation-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.federation import compare_catalog
+from repro.engine import ChunkedTraceStore, ParallelExecutor
+from repro.engine.catalog import StoreCatalog
+from repro.traces import Job
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_federation.json")
+
+#: The §7 roster: (member name, seed, per-cluster shape).  FB appears as two
+#: epochs of one cluster so the drift chain has a consecutive pair; the 2010
+#: epoch shifts the byte distributions up and adds Hive-style names, echoing
+#: the §4.1 observations.
+CLUSTER_ROSTER = [
+    ("CC-a", 101, dict(input_mu=14.0, input_sigma=2.5, reduce_p=0.25,
+                       query_p=0.30, horizon_days=20.0)),
+    ("CC-b", 102, dict(input_mu=16.0, input_sigma=3.2, reduce_p=0.45,
+                       query_p=0.55, horizon_days=30.0)),
+    ("CC-c", 103, dict(input_mu=17.5, input_sigma=3.0, reduce_p=0.35,
+                       query_p=0.40, horizon_days=30.0)),
+    ("CC-d", 104, dict(input_mu=15.0, input_sigma=2.2, reduce_p=0.30,
+                       query_p=0.70, horizon_days=25.0)),
+    ("CC-e", 105, dict(input_mu=18.0, input_sigma=3.5, reduce_p=0.50,
+                       query_p=0.35, horizon_days=30.0)),
+    ("FB@2009", 109, dict(input_mu=15.5, input_sigma=2.8, reduce_p=0.35,
+                          query_p=0.10, horizon_days=30.0)),
+    ("FB@2010", 110, dict(input_mu=16.5, input_sigma=3.1, reduce_p=0.40,
+                          query_p=0.60, horizon_days=30.0)),
+]
+
+
+def synthetic_cluster_jobs(n_jobs: int, seed: int, input_mu: float,
+                           input_sigma: float, reduce_p: float, query_p: float,
+                           horizon_days: float):
+    """Yield one cluster's jobs lazily, sorted by submission time.
+
+    The shape knobs steer exactly the quantities the §7 features read: byte
+    distributions (``input_mu``/``input_sigma``), the map-only fraction
+    (``reduce_p``), the framework share (``query_p`` drives the query-like
+    name mix), and burstiness/diurnality (a daily sinusoid on the arrival
+    rate over ``horizon_days``).
+    """
+    rng = np.random.default_rng(seed)
+    horizon_s = horizon_days * 86400.0
+    # Diurnal arrivals: thin a uniform candidate stream with a daily sinusoid.
+    submits = np.sort(rng.uniform(0.0, horizon_s, size=n_jobs))
+    phase = 2.0 * np.pi * (submits % 86400.0) / 86400.0
+    keep_p = 0.55 + 0.45 * np.sin(phase)
+    jitter = rng.random(n_jobs)
+    # Jobs "rejected" by the sinusoid are re-timed into the next burst hour
+    # rather than dropped, keeping the job count exact.
+    submits = np.where(jitter < keep_p, submits,
+                       (submits // 86400.0) * 86400.0
+                       + rng.uniform(30000.0, 40000.0, size=n_jobs))
+    submits = np.sort(submits)
+    kind = rng.random(n_jobs)
+    map_s = np.where(kind < 0.80, rng.uniform(5.0, 45.0, size=n_jobs),
+                     np.where(kind < 0.99, rng.uniform(60.0, 600.0, size=n_jobs),
+                              rng.uniform(600.0, 5000.0, size=n_jobs)))
+    has_reduce = rng.random(n_jobs) < reduce_p
+    reduce_s = np.where(has_reduce, map_s * 0.3, 0.0)
+    input_b = rng.lognormal(input_mu, input_sigma, size=n_jobs)
+    shuffle_b = np.where(has_reduce, input_b * 0.3, 0.0)
+    output_b = rng.lognormal(input_mu - 3.0, input_sigma, size=n_jobs)
+    query_words = np.array(["insert", "select", "from", "piglatin"])
+    other_words = np.array(["oozie", "ad", "distcp", "data"])
+    is_query = rng.random(n_jobs) < query_p
+    query_ids = rng.integers(0, query_words.size, size=n_jobs)
+    other_ids = rng.integers(0, other_words.size, size=n_jobs)
+    for index in range(n_jobs):
+        word = (query_words[query_ids[index]] if is_query[index]
+                else other_words[other_ids[index]])
+        yield Job(
+            job_id="fed_%07d" % index,
+            submit_time_s=float(submits[index]),
+            duration_s=float(map_s[index] + reduce_s[index]),
+            input_bytes=float(input_b[index]),
+            shuffle_bytes=float(shuffle_b[index]),
+            output_bytes=float(output_b[index]),
+            map_task_seconds=float(map_s[index]),
+            reduce_task_seconds=float(reduce_s[index]),
+            name="%s job %d" % (word, index % 97),
+        )
+
+
+def _report_digest(report) -> str:
+    """Canonical JSON of a report: the unit of bit-identity checks."""
+    return json.dumps(report.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _compare(catalog_dir: str, processes: int = 0, checkpoint_dir: str = "",
+             suite_size: int = 3):
+    executor = ParallelExecutor(processes=processes) if processes else None
+    start = time.perf_counter()
+    report = compare_catalog(StoreCatalog(catalog_dir), suite_size=suite_size,
+                             executor=executor,
+                             checkpoint_dir=checkpoint_dir or None)
+    return report, time.perf_counter() - start
+
+
+def run_benchmark(n_jobs: int, chunk_rows: int, processes: int,
+                  keep_store: str = "", output: str = DEFAULT_OUTPUT,
+                  check_speed: bool = True, min_parallel_speedup: float = 1.6,
+                  max_resume_ratio: float = 0.5,
+                  append_fraction: float = 0.05) -> int:
+    print("== federated comparison benchmark: %d members x %d jobs =="
+          % (len(CLUSTER_ROSTER), n_jobs))
+    work_dir = keep_store or tempfile.mkdtemp(prefix="bench_federation_")
+    catalog_dir = os.path.join(work_dir, "catalog")
+    os.makedirs(catalog_dir, exist_ok=True)
+    failures = []
+
+    total_mb = 0.0
+    build_start = time.perf_counter()
+    for name, seed, shape in CLUSTER_ROSTER:
+        store_path = os.path.join(catalog_dir, name)
+        if os.path.isdir(store_path):
+            store = ChunkedTraceStore(store_path)
+        else:
+            start = time.perf_counter()
+            store = ChunkedTraceStore.write(
+                store_path, synthetic_cluster_jobs(n_jobs, seed, **shape),
+                chunk_rows=chunk_rows, name=name.split("@")[0],
+                format_version=3)
+            print("wrote %-8s (%3d chunks, %7.1f MB) in %6.1f s"
+                  % (name, store.n_chunks,
+                     store.info()["on_disk_bytes"] / 1e6,
+                     time.perf_counter() - start))
+        total_mb += store.info()["on_disk_bytes"] / 1e6
+    build_s = time.perf_counter() - build_start
+    print("catalog: %d stores, %.1f MB on disk (built in %.1f s)\n"
+          % (len(CLUSTER_ROSTER), total_mb, build_s))
+
+    print("federated comparison, serial member walk...")
+    serial_report, serial_s = _compare(catalog_dir)
+    print("federated comparison, %d worker processes..." % processes)
+    parallel_report, parallel_s = _compare(catalog_dir, processes=processes)
+
+    serial_digest = _report_digest(serial_report)
+    if _report_digest(parallel_report) != serial_digest:
+        failures.append("parallel federated report is not bit-identical to "
+                        "the serial report")
+
+    # Resumed lane: checkpoint every member, append a tail to one, re-compare.
+    checkpoint_dir = os.path.join(work_dir, "checkpoints")
+    print("federated comparison, writing per-member checkpoints...")
+    _, checkpoint_s = _compare(catalog_dir, checkpoint_dir=checkpoint_dir)
+    appended = int(n_jobs * append_fraction)
+    target_name, target_seed, target_shape = CLUSTER_ROSTER[-1]
+    grown = ChunkedTraceStore.open_append(
+        os.path.join(catalog_dir, target_name)).append(
+        itertools.islice(
+            synthetic_cluster_jobs(n_jobs + appended, target_seed + 1,
+                                   **target_shape), n_jobs, None))
+    print("appended %d jobs to %s (%d chunks now)"
+          % (appended, target_name, grown.n_chunks))
+    print("federated comparison, cold rescan of the grown catalog...")
+    cold_report, cold_s = _compare(catalog_dir)
+    print("federated comparison, resumed from per-member checkpoints...")
+    resumed_report, resumed_s = _compare(catalog_dir,
+                                         checkpoint_dir=checkpoint_dir)
+
+    if _report_digest(resumed_report) != _report_digest(cold_report):
+        failures.append("resumed federated report is not bit-identical to "
+                        "the cold rescan")
+    resumed_members = sorted(
+        name for name, profile in resumed_report.profiles.items()
+        if profile.resume is not None and profile.resume.get("resumed"))
+    if not resumed_members:
+        failures.append("no member profile resumed from its checkpoint")
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    resume_ratio = resumed_s / cold_s if cold_s else float("inf")
+    header = "%-22s %12s" % ("lane", "wall s")
+    print("\n" + header)
+    print("-" * len(header))
+    for name, wall in (("serial", serial_s),
+                       ("parallel-p%d" % processes, parallel_s),
+                       ("checkpoint", checkpoint_s),
+                       ("cold-rescan", cold_s),
+                       ("resumed", resumed_s)):
+        print("%-22s %12.1f" % (name, wall))
+    print("\nparallel speedup vs serial: %.2fx (target >= %.1fx)"
+          % (speedup, min_parallel_speedup))
+    print("resumed/cold wall ratio after appending %d%% to one member: "
+          "%.3f (target < %.2f)"
+          % (round(append_fraction * 100), resume_ratio, max_resume_ratio))
+    print("members resumed from checkpoints: %s" % ", ".join(resumed_members))
+    print("suite (k=3): %s" % ", ".join(serial_report.suite.selected))
+    cores = os.cpu_count() or 1
+    if (check_speed and processes >= 2 and cores >= 2
+            and speedup < min_parallel_speedup):
+        failures.append("parallel federated speedup %.2fx below %.1fx"
+                        % (speedup, min_parallel_speedup))
+    elif check_speed and (processes < 2 or cores < 2):
+        print("(parallel speedup bar skipped: %d worker(s) on %d core(s))"
+              % (processes, cores))
+    if check_speed and resume_ratio >= max_resume_ratio:
+        failures.append("resumed/cold wall ratio %.3f not below %.2f"
+                        % (resume_ratio, max_resume_ratio))
+
+    payload = {
+        "benchmark": "federation",
+        "members": [name for name, _, _ in CLUSTER_ROSTER],
+        "n_jobs_per_member": n_jobs,
+        "chunk_rows": chunk_rows,
+        "catalog_disk_mb": total_mb,
+        "build_wall_s": build_s,
+        "processes": processes,
+        "lanes": {
+            "serial": {"wall_s": serial_s},
+            "parallel": {"wall_s": parallel_s},
+            "checkpoint": {"wall_s": checkpoint_s},
+            "cold_rescan": {"wall_s": cold_s},
+            "resumed": {"wall_s": resumed_s},
+        },
+        "parallel_speedup_vs_serial": speedup,
+        "resume_ratio_vs_cold": resume_ratio,
+        "resumed_members": resumed_members,
+        "parallel_bit_identical": _report_digest(parallel_report) == serial_digest,
+        "suite_selected": list(serial_report.suite.selected),
+        "drift_clusters": sorted(cold_report.drift),
+        "failures": failures,
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print("wrote results JSON to %s" % output)
+
+    if not keep_store:
+        shutil.rmtree(work_dir, ignore_errors=True)
+
+    if failures:
+        print("\nFAIL:\n" + "\n".join(failures))
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1_000_000,
+                        help="jobs per member store (default 1M; 7 members)")
+    parser.add_argument("--chunk-rows", type=int, default=65536,
+                        help="rows per on-disk chunk")
+    parser.add_argument("--processes", type=int,
+                        default=min(4, os.cpu_count() or 1), metavar="N",
+                        help="worker processes for the parallel lane")
+    parser.add_argument("--keep-store", default="",
+                        help="write the catalog here and keep it")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="write the measured numbers as JSON here "
+                             "(default: BENCH_federation.json at the repo root)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke: 5k jobs per member, small chunks, no "
+                             "wall-clock bars (bit-identity always enforced)")
+    parser.add_argument("--skip-speed-check", action="store_true",
+                        help="report but do not enforce the wall-clock bars")
+    parser.add_argument("--min-parallel-speedup", type=float, default=1.6,
+                        help="required parallel-vs-serial federated speedup")
+    parser.add_argument("--max-resume-ratio", type=float, default=0.5,
+                        help="required resumed/cold wall-clock ratio bound")
+    args = parser.parse_args(argv)
+    n_jobs = 5_000 if args.smoke else args.jobs
+    chunk_rows = min(args.chunk_rows, 2048) if args.smoke else args.chunk_rows
+    check_speed = not (args.smoke or args.skip_speed_check)
+    return run_benchmark(n_jobs, chunk_rows, processes=args.processes,
+                         keep_store=args.keep_store, output=args.output,
+                         check_speed=check_speed,
+                         min_parallel_speedup=args.min_parallel_speedup,
+                         max_resume_ratio=args.max_resume_ratio)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -297,6 +297,35 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--json", action="store_true",
                        help="emit results, stats and the plan as JSON")
 
+    fed_compare = engine_actions.add_parser(
+        "compare", help="federated cross-store comparison over a catalog of "
+                        "member stores (the paper's seven-cluster argument)")
+    fed_compare.add_argument("--catalog", required=True,
+                             help="catalog directory: each subdirectory holding "
+                                  "a store manifest is one member (name "
+                                  "'<cluster>@<epoch>' tags cluster and epoch; "
+                                  "catalog.json can override per member)")
+    fed_compare.add_argument("--members", nargs="*", default=None,
+                             help="member names to compare (default: every "
+                                  "member in the catalog)")
+    fed_compare.add_argument("--pairs", action="append", default=None,
+                             metavar="A,B",
+                             help="focus pair to detail with per-feature "
+                                  "deltas (repeatable; default: every pair)")
+    fed_compare.add_argument("--suite-size", type=int, default=None, metavar="K",
+                             help="also select K representative members by "
+                                  "greedy k-center")
+    fed_compare.add_argument("--threshold-gb", type=float, default=10.0,
+                             help="small-job byte threshold in GB (default 10)")
+    fed_compare.add_argument("--processes", type=int, default=None, metavar="N",
+                             help="profile members in parallel over N worker "
+                                  "processes (results identical to serial)")
+    fed_compare.add_argument("--checkpoints", metavar="DIR",
+                             help="per-member profile checkpoints directory; "
+                                  "reruns after appends fold only new chunks")
+    fed_compare.add_argument("--json", action="store_true",
+                             help="emit the full machine-readable report as JSON")
+
     serve = subparsers.add_parser(
         "serve", help="run the trace-analytics service daemon over a store catalog")
     serve.add_argument("--catalog", required=True,
@@ -813,6 +842,33 @@ def _run_engine(parser, args) -> int:
             print("  %-20s %-9s %12d bytes  %s"
                   % (column, meta["kind"], sizes.get(column, 0), stats))
         return int(not info["fresh"])
+
+    if args.engine_command == "compare":
+        import json as json_module
+
+        from .core.federation import compare_catalog
+        from .units import GB
+
+        pairs = None
+        if args.pairs:
+            pairs = []
+            for item in args.pairs:
+                a, separator, b = item.partition(",")
+                if not separator or not a or not b:
+                    parser.error("--pairs must look like A,B, got %r" % (item,))
+                pairs.append((a, b))
+        executor = (ParallelExecutor(processes=args.processes)
+                    if args.processes else None)
+        report = compare_catalog(
+            args.catalog, members=args.members, pairs=pairs,
+            suite_size=args.suite_size,
+            small_job_threshold_bytes=args.threshold_gb * GB,
+            executor=executor, checkpoint_dir=args.checkpoints)
+        if args.json:
+            print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        return 0
 
     parser.error("unknown engine command %r" % (args.engine_command,))
     return 2

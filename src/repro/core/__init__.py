@@ -76,15 +76,23 @@ from .sharedscan import (
     CharacterizationAnalyses,
     run_characterization_scan,
 )
+from .profile import (
+    DEFAULT_SMALL_JOB_THRESHOLD_BYTES,
+    SmallJobCountConsumer,
+    WorkloadProfile,
+    profile_source,
+)
 from .comparison import (
     WorkloadFeatures,
     WorkloadSuite,
     cdf_distance,
+    features_from_profile,
     select_workload_suite,
     workload_distance,
     workload_features,
 )
-from .evolution import DimensionShift, EvolutionReport, compare_evolution
+from .evolution import DimensionShift, EvolutionReport, compare_evolution, evolution_from_profiles
+from .federation import FederationReport, PairComparison, compare_catalog
 from .report import WorkloadReport, render_table
 from .characterization import WorkloadCharacterizer, characterize
 
@@ -166,8 +174,14 @@ __all__ = [
     "consolidate",
     "ConsolidationStudy",
     "consolidation_study",
+    # workload profiles
+    "DEFAULT_SMALL_JOB_THRESHOLD_BYTES",
+    "SmallJobCountConsumer",
+    "WorkloadProfile",
+    "profile_source",
     # cross-workload comparison / suites
     "WorkloadFeatures",
+    "features_from_profile",
     "workload_features",
     "cdf_distance",
     "workload_distance",
@@ -177,6 +191,11 @@ __all__ = [
     "DimensionShift",
     "EvolutionReport",
     "compare_evolution",
+    "evolution_from_profiles",
+    # federation
+    "FederationReport",
+    "PairComparison",
+    "compare_catalog",
     # report / characterization
     "WorkloadReport",
     "render_table",

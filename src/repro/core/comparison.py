@@ -25,13 +25,11 @@ import numpy as np
 from ..engine.source import TraceSource
 from ..errors import AnalysisError
 from ..units import GB
-from .burstiness import analyze_burstiness
-from .datasizes import analyze_data_sizes
-from .naming import analyze_naming
-from .temporal import dimension_correlations, diurnal_strength, hourly_dimensions
+from .profile import WorkloadProfile, profile_source
 
 __all__ = [
     "WorkloadFeatures",
+    "features_from_profile",
     "workload_features",
     "cdf_distance",
     "workload_distance",
@@ -71,6 +69,28 @@ class WorkloadFeatures:
         return np.array([self.values[name] for name in FEATURE_NAMES], dtype=float)
 
 
+def features_from_profile(profile: WorkloadProfile) -> WorkloadFeatures:
+    """Read the comparison feature vector out of a computed profile.
+
+    Pure read-out — no further scanning — so a federation layer that already
+    profiled each member store gets every member's features for free.
+    """
+    sizes = profile.sizes
+    values = {
+        "log_median_input_bytes": float(np.log10(max(1.0, sizes.median("input_bytes")))),
+        "log_median_shuffle_bytes": float(np.log10(max(1.0, sizes.median("shuffle_bytes")))),
+        "log_median_output_bytes": float(np.log10(max(1.0, sizes.median("output_bytes")))),
+        "small_job_fraction": profile.small_job_fraction,
+        "map_only_fraction": sizes.map_only_fraction,
+        "log_peak_to_median": float(np.log10(max(1.0, profile.burstiness.peak_to_median))),
+        "diurnal_strength": profile.diurnal.diurnal_strength,
+        "bytes_compute_correlation": (profile.correlations.bytes_task_seconds
+                                      if profile.correlations else 0.0),
+        "framework_share": profile.framework_share,
+    }
+    return WorkloadFeatures(workload=profile.workload, values=values)
+
+
 def workload_features(trace, small_job_threshold_bytes: float = 10 * GB) -> WorkloadFeatures:
     """Condense a trace into the scalar features used for workload comparison.
 
@@ -80,8 +100,9 @@ def workload_features(trace, small_job_threshold_bytes: float = 10 * GB) -> Work
     and the share of query-like frameworks (0 when the trace records no names).
 
     Accepts any :class:`TraceSource`-wrappable representation; store-backed
-    sources are scanned chunk by chunk (the service daemon's workload-drift
-    subscriptions recompute this on every append).
+    sources are folded in **one** shared chunk scan (via
+    :func:`~repro.core.profile.profile_source` — the service daemon's
+    workload-drift subscriptions recompute this on every append).
 
     Raises:
         AnalysisError: for an empty trace.
@@ -89,40 +110,8 @@ def workload_features(trace, small_job_threshold_bytes: float = 10 * GB) -> Work
     source = TraceSource.wrap(trace)
     if source.is_empty():
         raise AnalysisError("cannot compute features of an empty trace")
-
-    sizes = analyze_data_sizes(source)
-    burstiness = analyze_burstiness(source, drop_zero_hours=True)
-    dims = hourly_dimensions(source)
-    correlations = dimension_correlations(dims) if dims.n_hours >= 2 else None
-    diurnal = diurnal_strength(dims.task_seconds_per_hour)
-
-    small_jobs = 0
-    for block in source.iter_chunks(columns=["total_bytes"]):
-        if block.n_rows:
-            # The derived total_bytes column treats unrecorded sizes as 0,
-            # exactly like Job.total_bytes.
-            small_jobs += int(np.count_nonzero(
-                block.column("total_bytes") <= small_job_threshold_bytes))
-    small_fraction = small_jobs / len(source)
-
-    try:
-        naming = analyze_naming(source)
-        framework_share = naming.framework_share("jobs")
-    except AnalysisError:
-        framework_share = 0.0
-
-    values = {
-        "log_median_input_bytes": float(np.log10(max(1.0, sizes.median("input_bytes")))),
-        "log_median_shuffle_bytes": float(np.log10(max(1.0, sizes.median("shuffle_bytes")))),
-        "log_median_output_bytes": float(np.log10(max(1.0, sizes.median("output_bytes")))),
-        "small_job_fraction": small_fraction,
-        "map_only_fraction": sizes.map_only_fraction,
-        "log_peak_to_median": float(np.log10(max(1.0, burstiness.peak_to_median))),
-        "diurnal_strength": diurnal.diurnal_strength,
-        "bytes_compute_correlation": correlations.bytes_task_seconds if correlations else 0.0,
-        "framework_share": framework_share,
-    }
-    return WorkloadFeatures(workload=source.name, values=values)
+    return features_from_profile(
+        profile_source(source, small_job_threshold_bytes=small_job_threshold_bytes))
 
 
 def cdf_distance(values_a: Sequence[float], values_b: Sequence[float]) -> float:
@@ -203,6 +192,11 @@ def select_workload_suite(features: Sequence[WorkloadFeatures], suite_size: int,
     paper's suggestion to "identify a small suite of workload classes that
     cover a large range of behavior".
 
+    The selection is deterministic under permutation of the input: the
+    centroid is summed in name-sorted row order and every greedy pick breaks
+    exact distance ties by workload name, so equal populations presented in
+    any order select the same suite (pinned by the federation property tests).
+
     Raises:
         AnalysisError: when the suite size is invalid or ``first`` is unknown.
     """
@@ -221,18 +215,27 @@ def select_workload_suite(features: Sequence[WorkloadFeatures], suite_size: int,
             d = float(np.linalg.norm(matrix[i] - matrix[j]))
             distance[i, j] = distance[j, i] = d
 
+    def pick(scores: np.ndarray, target: float) -> int:
+        """Index whose score equals ``target``; exact ties break by name."""
+        candidates = [index for index in range(n) if scores[index] == target]
+        return min(candidates, key=lambda index: (names[index], index))
+
     if first is not None:
         if first not in names:
             raise AnalysisError("unknown workload %r for the first representative" % (first,))
         start = names.index(first)
     else:
-        centroid = matrix.mean(axis=0)
-        start = int(np.argmin(np.linalg.norm(matrix - centroid, axis=1)))
+        # Sum in name-sorted row order so the centroid (and therefore the
+        # whole greedy selection) is invariant under input permutation.
+        name_order = sorted(range(n), key=lambda index: (names[index], index))
+        centroid = matrix[name_order].mean(axis=0)
+        gaps = np.linalg.norm(matrix - centroid, axis=1)
+        start = pick(gaps, float(gaps.min()))
 
     selected = [start]
     nearest = distance[start].copy()
     while len(selected) < suite_size:
-        candidate = int(np.argmax(nearest))
+        candidate = pick(nearest, float(nearest.max()))
         if nearest[candidate] == 0:
             break
         selected.append(candidate)

@@ -11,23 +11,30 @@ periodically revisited."
 :func:`compare_evolution` packages those comparisons for any pair of traces
 from the same deployment, producing the quantities the paper quotes: median
 shifts per dimension in orders of magnitude, the burstiness change, and the
-change in small-job and map-only fractions.
+change in small-job and map-only fractions.  It accepts any
+:class:`~repro.engine.source.TraceSource`-wrappable representation —
+store-backed snapshots are profiled in one chunked scan each, never
+materialized — and :func:`evolution_from_profiles` builds the same report
+from two already-computed :class:`~repro.core.profile.WorkloadProfile`\\ s
+(the federation layer's epoch-over-epoch drift rows come from there, with no
+extra scanning).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
+from ..engine.source import TraceSource
 from ..errors import AnalysisError
-from ..traces.trace import Trace
 from ..units import GB
-from .burstiness import analyze_burstiness
-from .datasizes import SIZE_DIMENSIONS, analyze_data_sizes
+from .datasizes import SIZE_DIMENSIONS
+from .profile import WorkloadProfile, profile_source
 
-__all__ = ["DimensionShift", "EvolutionReport", "compare_evolution"]
+__all__ = ["DimensionShift", "EvolutionReport", "compare_evolution",
+           "evolution_from_profiles"]
 
 
 @dataclass
@@ -115,32 +122,18 @@ class EvolutionReport:
         return lines
 
 
-def _small_job_fraction(trace: Trace, threshold_bytes: float) -> float:
-    return float(np.mean([1.0 if job.total_bytes <= threshold_bytes else 0.0 for job in trace]))
+def evolution_from_profiles(before: WorkloadProfile,
+                            after: WorkloadProfile) -> EvolutionReport:
+    """Build the §4.1 evolution report from two already-computed profiles.
 
-
-def compare_evolution(before: Trace, after: Trace,
-                      small_job_threshold_bytes: float = 10 * GB) -> EvolutionReport:
-    """Compare an earlier and a later trace of the same deployment.
-
-    Args:
-        before: the earlier snapshot (e.g. FB-2009).
-        after: the later snapshot (e.g. FB-2010).
-        small_job_threshold_bytes: byte threshold used for the small-job
-            fraction comparison.
-
-    Raises:
-        AnalysisError: when either trace is empty.
+    Pure read-out — no further scanning — so callers that already profiled
+    each snapshot (the federation layer's per-cluster epoch chains) pay for
+    each scan exactly once however many consecutive pairs they compare.
     """
-    if before.is_empty() or after.is_empty():
-        raise AnalysisError("evolution comparison needs two non-empty traces")
-
-    sizes_before = analyze_data_sizes(before)
-    sizes_after = analyze_data_sizes(after)
     shifts: Dict[str, DimensionShift] = {}
     for dimension in SIZE_DIMENSIONS:
-        median_before = sizes_before.median(dimension)
-        median_after = sizes_after.median(dimension)
+        median_before = before.sizes.median(dimension)
+        median_after = after.sizes.median(dimension)
         orders = float(np.log10(max(1.0, median_after)) - np.log10(max(1.0, median_before)))
         shifts[dimension] = DimensionShift(
             dimension=dimension,
@@ -149,21 +142,44 @@ def compare_evolution(before: Trace, after: Trace,
             orders_of_magnitude=orders,
         )
 
-    burst_before = analyze_burstiness(before, drop_zero_hours=True)
-    burst_after = analyze_burstiness(after, drop_zero_hours=True)
-    reduction = (burst_before.peak_to_median / burst_after.peak_to_median
-                 if burst_after.peak_to_median > 0 else float("inf"))
+    reduction = (before.burstiness.peak_to_median / after.burstiness.peak_to_median
+                 if after.burstiness.peak_to_median > 0 else float("inf"))
 
     return EvolutionReport(
-        before_name=before.name,
-        after_name=after.name,
+        before_name=before.workload,
+        after_name=after.workload,
         shifts=shifts,
-        peak_to_median_before=burst_before.peak_to_median,
-        peak_to_median_after=burst_after.peak_to_median,
+        peak_to_median_before=before.burstiness.peak_to_median,
+        peak_to_median_after=after.burstiness.peak_to_median,
         burstiness_reduction=reduction,
-        small_job_fraction_before=_small_job_fraction(before, small_job_threshold_bytes),
-        small_job_fraction_after=_small_job_fraction(after, small_job_threshold_bytes),
-        map_only_fraction_before=sizes_before.map_only_fraction,
-        map_only_fraction_after=sizes_after.map_only_fraction,
-        job_count_growth=len(after) / len(before),
+        small_job_fraction_before=before.small_job_fraction,
+        small_job_fraction_after=after.small_job_fraction,
+        map_only_fraction_before=before.sizes.map_only_fraction,
+        map_only_fraction_after=after.sizes.map_only_fraction,
+        job_count_growth=after.n_jobs / before.n_jobs,
+    )
+
+
+def compare_evolution(before, after,
+                      small_job_threshold_bytes: float = 10 * GB) -> EvolutionReport:
+    """Compare an earlier and a later trace of the same deployment.
+
+    Args:
+        before: the earlier snapshot (e.g. FB-2009) — any
+            :class:`TraceSource`-wrappable representation, chunked stores
+            included (scanned chunk by chunk, never materialized).
+        after: the later snapshot (e.g. FB-2010).
+        small_job_threshold_bytes: byte threshold used for the small-job
+            fraction comparison.
+
+    Raises:
+        AnalysisError: when either trace is empty.
+    """
+    source_before = TraceSource.wrap(before)
+    source_after = TraceSource.wrap(after)
+    if source_before.is_empty() or source_after.is_empty():
+        raise AnalysisError("evolution comparison needs two non-empty traces")
+    return evolution_from_profiles(
+        profile_source(source_before, small_job_threshold_bytes=small_job_threshold_bytes),
+        profile_source(source_after, small_job_threshold_bytes=small_job_threshold_bytes),
     )

@@ -72,7 +72,8 @@ from .aggregates import (
     make_aggregate,
     parse_aggregate_spec,
 )
-from .catalog import CatalogEntry, StoreCatalog
+from .catalog import CATALOG_METADATA_NAME, CatalogEntry, StoreCatalog
+from .federation import FederatedSource, MemberScan
 from .codecs import (
     DEFAULT_CODEC,
     StoreDictionary,
@@ -109,6 +110,7 @@ from .pipeline import (
     ScanPipeline,
     SummaryConsumer,
     fold_consumer,
+    run_resumable_scan,
 )
 from .source import TraceSource
 from .store import (
@@ -121,8 +123,12 @@ from .store import (
 )
 
 __all__ = [
+    "CATALOG_METADATA_NAME",
     "CatalogEntry",
     "StoreCatalog",
+    "FederatedSource",
+    "MemberScan",
+    "run_resumable_scan",
     "ColumnarTrace",
     "ColumnBlock",
     "Checkpoint",

@@ -768,6 +768,107 @@ class Checkpoint:
                    store_uid=document.get("store_uid"))
 
 
+def _merge_pipeline_results(target: PipelineResult, part: PipelineResult) -> None:
+    target.results.update(part.results)
+    target.errors.update(part.errors)
+    target.final_states.update(part.final_states)
+    target.chunks_scanned += part.chunks_scanned
+    target.rows_scanned += part.rows_scanned
+
+
+def run_resumable_scan(source, consumers: Sequence[ChunkConsumer], executor=None,
+                       resume_from=None, checkpoint_to: Optional[str] = None,
+                       meta: Optional[Dict[str, object]] = None):
+    """Run one shared scan, resuming from a checkpoint when one is given.
+
+    The generic form of the characterization scan's resume protocol, shared
+    by the workload-profile scan (:mod:`repro.core.profile`) and the
+    federation layer (:mod:`repro.engine.federation`).  With ``resume_from``,
+    consumers split into a **resumed** lane (restored states folding only the
+    appended chunks, ordered folds floored at the checkpoint's last submit
+    time) and a **rescan** lane (full scan from chunk 0) — both over the same
+    store handle, results merged.  Resumed results are bit-identical to a
+    cold full rescan.
+
+    Returns ``(merged, resume_report, saved_path)``: the merged
+    :class:`PipelineResult`; a report dict (``chunk_watermark`` /
+    ``new_chunks`` / ``resumed`` / ``rescanned`` reasons, or ``None`` for a
+    plain full scan); and where the fresh checkpoint was saved, if asked.
+
+    Raises:
+        AnalysisError: when the checkpoint does not validate against the
+            store (rewritten, shrunk, or a different store entirely) —
+            callers wanting lenient behaviour catch this and scan cold.
+    """
+    checkpoint: Optional[Checkpoint] = None
+    if resume_from is not None:
+        checkpoint = (Checkpoint.load(os.fspath(resume_from))
+                      if not isinstance(resume_from, Checkpoint) else resume_from)
+        checkpoint.validate(source.backing)
+
+    resumed: List[ChunkConsumer] = []
+    rescan: List[ChunkConsumer] = []
+    reasons: Dict[str, str] = {}
+    initial_states: Dict[str, object] = {}
+    if checkpoint is None:
+        rescan = list(consumers)
+    else:
+        store = source.backing
+        for consumer in consumers:
+            if not consumer.resumable:
+                rescan.append(consumer)
+                reasons[consumer.name] = ("not resumable: result is defined over "
+                                          "the total row count")
+            elif consumer.name not in checkpoint.consumers:
+                rescan.append(consumer)
+                reasons[consumer.name] = "no state in the checkpoint"
+            elif consumer.ordered and not store.sorted_by_submit_time:
+                rescan.append(consumer)
+                reasons[consumer.name] = ("ordered fold cannot resume: appended "
+                                          "data interleaves in time (store is no "
+                                          "longer sorted by submit time)")
+            else:
+                try:
+                    initial_states[consumer.name] = consumer.restore(
+                        checkpoint.consumers[consumer.name])
+                    resumed.append(consumer)
+                except AnalysisError as exc:
+                    rescan.append(consumer)
+                    reasons[consumer.name] = "checkpoint state unreadable: %s" % exc
+
+    merged = PipelineResult()
+    if resumed:
+        pipeline = ScanPipeline(source, executor=executor)
+        for consumer in resumed:
+            pipeline.add(consumer)
+        floor = (checkpoint.last_submit_time
+                 if checkpoint.last_submit_time is not None else -np.inf)
+        _merge_pipeline_results(merged, pipeline.run(
+            start_chunk=checkpoint.chunk_watermark,
+            initial_states=initial_states, order_floor=floor))
+    if rescan:
+        pipeline = ScanPipeline(source, executor=executor)
+        for consumer in rescan:
+            pipeline.add(consumer)
+        _merge_pipeline_results(merged, pipeline.run())
+
+    resume_report = None
+    if checkpoint is not None:
+        resume_report = {
+            "chunk_watermark": checkpoint.chunk_watermark,
+            "new_chunks": checkpoint.new_chunks(source.backing),
+            "resumed": [consumer.name for consumer in resumed],
+            "rescanned": reasons,
+        }
+    saved_path = None
+    if checkpoint_to:
+        fresh = Checkpoint.capture(source.backing, consumers, merged.final_states,
+                                   merged.errors, meta=meta)
+        fresh.save(os.fspath(checkpoint_to))
+        saved_path = os.fspath(checkpoint_to)
+    return merged, resume_report, saved_path
+
+
 # ---------------------------------------------------------------------------
 # Generic consumers
 # ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@ import os
 import threading
 from typing import Dict, Optional, Sequence, Set, Tuple
 
+from ..core.profile import WorkloadProfile, profile_source
 from ..core.sharedscan import CharacterizationAnalyses, run_characterization_scan
 from ..engine.store import ChunkedTraceStore
 from ..errors import AnalysisError
@@ -37,6 +38,7 @@ from .metrics import ServiceMetrics
 __all__ = ["SharedScanAdmission"]
 
 BatchKey = Tuple[str, int, int]
+ProfileKey = Tuple[str, int, float]
 
 
 class _ScanBatch:
@@ -60,6 +62,7 @@ class SharedScanAdmission:
         self.batch_window_s = batch_window_s
         self.checkpoint_dir = checkpoint_dir
         self._batches: Dict[BatchKey, _ScanBatch] = {}
+        self._profiles: Dict[ProfileKey, "asyncio.Future"] = {}
         self._checkpoint_locks: Dict[str, threading.Lock] = {}
         self._lock = threading.Lock()
 
@@ -108,6 +111,41 @@ class SharedScanAdmission:
         if not batch.future.cancelled():
             batch.future.set_result(bundle)
 
+    async def profiled(self, name: str, store: ChunkedTraceStore,
+                       threshold: float) -> WorkloadProfile:
+        """One member's workload profile, shared across concurrent requests.
+
+        The federated comparison endpoint calls this once per member store;
+        concurrent comparisons touching the same member at the same manifest
+        sequence (and small-job threshold — it changes the fold) coalesce
+        onto one profile scan.  Like the characterization batches, the key
+        pins the manifest sequence, so a comparison admitted before an append
+        never shares a scan with one admitted after it.
+        """
+        loop = asyncio.get_running_loop()
+        key: ProfileKey = (store.store_uid or store.directory,
+                           store.manifest_sequence, float(threshold))
+        pending = self._profiles.get(key)
+        if pending is not None:
+            self.metrics.increment("repro_scan_requests_batched_total")
+            return await asyncio.shield(pending)
+        future = loop.create_future()
+        self._profiles[key] = future
+        try:
+            profile = await loop.run_in_executor(
+                self._pool, self._profile, name, store, threshold)
+            if not future.done():
+                future.set_result(profile)
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # Coalesced riders consume the exception; nobody else will.
+                future.exception()
+            raise
+        finally:
+            self._profiles.pop(key, None)
+        return profile
+
     # -- blocking side (worker pool) ---------------------------------------
     def _checkpoint_path(self, name: str, seed: int) -> Optional[str]:
         if self.checkpoint_dir is None:
@@ -149,3 +187,43 @@ class SharedScanAdmission:
                 "repro_bytes_scanned_total",
                 info["on_disk_bytes"] * bundle.chunks_scanned / store.n_chunks)
         return bundle
+
+    def _profile_checkpoint_path(self, name: str,
+                                 threshold: float) -> Optional[str]:
+        if self.checkpoint_dir is None:
+            return None
+        # The threshold is in the filename (and the small-job fold validates
+        # its checkpointed threshold on restore), so scans at different
+        # thresholds never share — or clobber — resume state.
+        return os.path.join(self.checkpoint_dir,
+                            "%s-profile-t%d.checkpoint.json"
+                            % (name, int(threshold)))
+
+    def _profile(self, name: str, store: ChunkedTraceStore,
+                 threshold: float) -> WorkloadProfile:
+        self.metrics.increment("repro_scans_started_total", store=name)
+        checkpoint = self._profile_checkpoint_path(name, threshold)
+        if checkpoint is None:
+            profile = profile_source(store, threshold, name=name)
+        else:
+            with self._lock:
+                lock = self._checkpoint_locks.setdefault(name, threading.Lock())
+            with lock:
+                resume = checkpoint if os.path.isfile(checkpoint) else None
+                try:
+                    profile = profile_source(store, threshold, name=name,
+                                             resume_from=resume,
+                                             checkpoint_to=checkpoint)
+                except AnalysisError:
+                    if resume is None:
+                        raise
+                    # Unreadable or mismatched checkpoint: full scan,
+                    # re-checkpoint.
+                    profile = profile_source(store, threshold, name=name,
+                                             checkpoint_to=checkpoint)
+        if profile.resume is not None and profile.resume.get("resumed"):
+            self.metrics.increment("repro_scans_resumed_total", store=name)
+        self.metrics.increment("repro_chunks_scanned_total",
+                               profile.chunks_scanned)
+        self.metrics.increment("repro_rows_scanned_total", profile.rows_scanned)
+        return profile

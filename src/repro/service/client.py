@@ -102,6 +102,12 @@ class ServiceClient:
     def replay(self, name: str, **scenario) -> ServiceResponse:
         return self.post("/v1/stores/%s/replay" % name, scenario)
 
+    def catalog_compare(self, **spec) -> ServiceResponse:
+        """Federated cross-store comparison (GET when no spec is given)."""
+        if spec:
+            return self.post("/v1/catalog/compare", spec)
+        return self.get("/v1/catalog/compare")
+
     def append(self, name: str, jobs) -> Dict:
         records = [job.to_dict() if hasattr(job, "to_dict") else job
                    for job in jobs]

@@ -30,12 +30,14 @@ import json
 from typing import Dict, Optional, Tuple
 
 from ..bench.suite import CHARACTERIZATION_EXPERIMENT_IDS
+from ..core.profile import DEFAULT_SMALL_JOB_THRESHOLD_BYTES
 from ..engine import Query, parse_aggregate_spec
 from ..errors import AnalysisError, SimulationError
 from ..simulator.sharded import SHARD_MODES
 from ..simulator.sweep import Scenario
 
-__all__ = ["normalize_characterize", "normalize_query", "normalize_replay",
+__all__ = ["normalize_characterize", "normalize_catalog_compare",
+           "normalize_query", "normalize_replay",
            "build_query", "parse_where", "fingerprint"]
 
 
@@ -87,6 +89,65 @@ def normalize_characterize(body: Optional[Dict]) -> Dict:
                             % (body.get("seed"),))
     return {"experiments": experiments, "seed": seed,
             "series": bool(body.get("series", False))}
+
+
+def normalize_catalog_compare(body: Optional[Dict]) -> Dict:
+    """Canonical federated-comparison spec over the whole catalog.
+
+    ``members`` is sorted — member order never changes the comparison
+    (distances are symmetric and suite selection is permutation-invariant) —
+    so two requests naming the same stores share one cache entry.  ``pairs``
+    keep their order and direction: per-feature deltas are ``B - A``.
+    """
+    body = body or {}
+    _reject_unknown(body, ("members", "pairs", "suite_size",
+                           "small_job_threshold_bytes"), "catalog compare")
+    members = body.get("members")
+    if members is not None:
+        if isinstance(members, str):
+            members = [members]
+        members = [str(name) for name in members]
+        if len(set(members)) != len(members):
+            raise AnalysisError("catalog compare members repeat a name: %s"
+                                % (sorted(members),))
+        members = sorted(members)
+    pairs = body.get("pairs")
+    if pairs is not None:
+        if isinstance(pairs, str):
+            pairs = [pairs]
+        normalized = []
+        for pair in pairs:
+            if isinstance(pair, str):
+                a, separator, b = pair.partition(",")
+                pair = [a.strip(), b.strip()] if separator else [a]
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise AnalysisError(
+                    "catalog compare pairs must be [A, B] pairs "
+                    "(or \"A,B\" strings), got %r" % (pair,))
+            normalized.append([str(pair[0]), str(pair[1])])
+        pairs = normalized
+    suite_size = body.get("suite_size")
+    if suite_size is not None:
+        try:
+            suite_size = int(suite_size)
+        except (TypeError, ValueError):
+            raise AnalysisError("suite_size must be an integer, got %r"
+                                % (body.get("suite_size"),))
+        if suite_size < 1:
+            raise AnalysisError("suite_size must be at least 1, got %d"
+                                % suite_size)
+    threshold = body.get("small_job_threshold_bytes",
+                         DEFAULT_SMALL_JOB_THRESHOLD_BYTES)
+    try:
+        threshold = float(threshold)
+    except (TypeError, ValueError):
+        raise AnalysisError("small_job_threshold_bytes must be a number, got %r"
+                            % (body.get("small_job_threshold_bytes"),))
+    if not threshold > 0:
+        raise AnalysisError("small_job_threshold_bytes must be positive, got %r"
+                            % (threshold,))
+    return {"members": members, "pairs": pairs, "suite_size": suite_size,
+            "small_job_threshold_bytes": threshold}
 
 
 def normalize_query(body: Optional[Dict]) -> Dict:

@@ -30,6 +30,8 @@ POST   /v1/stores/NAME/replay             cached simulator replay of the store
 POST   /v1/stores/NAME/append             append jobs (invalidates that store)
 POST   /v1/stores/NAME/drift              subscribe to workload drift
 GET    /v1/stores/NAME/drift              list that store's subscriptions
+GET    /v1/catalog/compare                federated cross-store comparison
+POST   /v1/catalog/compare                same, with members/pairs/suite_size
 GET    /v1/notifications                  drained with ?clear=1
 GET    /v1/feeds                          feed-tailer status
 GET    /metrics                           Prometheus text format
@@ -66,10 +68,11 @@ import numpy as np
 from .. import __version__
 from ..bench.rendering import ExperimentResult
 from ..bench.suite import run_suite
+from ..core.federation import compare_catalog
 from ..engine.catalog import StoreCatalog
 from ..engine.operators import execute
 from ..engine.store import ChunkedTraceStore, append_store
-from ..errors import ReproError, TraceFormatError
+from ..errors import AnalysisError, ReproError, TraceFormatError
 from ..simulator.sweep import Scenario
 from ..traces.schema import Job
 from . import requests as request_specs
@@ -442,6 +445,22 @@ class TraceAnalyticsService:
             return 200, canonical_json(
                 {"feeds": [tailer.status() for tailer in self.tailers]}), \
                 "application/json", "-"
+        if parts == ["v1", "catalog", "compare"]:
+            if method not in ("GET", "POST"):
+                raise _HTTPError(405, "no route for %s on catalog compare"
+                                 % method, "not_found")
+            try:
+                spec = request_specs.normalize_catalog_compare(body)
+                payload, cache_state = await self._cached_catalog_compare(spec)
+            except _HTTPError:
+                raise
+            except TraceFormatError as exc:
+                if "has no store named" in str(exc):
+                    raise _HTTPError(404, str(exc), "unknown_store")
+                raise _HTTPError(400, str(exc), type(exc).__name__)
+            except ReproError as exc:
+                raise _HTTPError(400, str(exc), type(exc).__name__)
+            return 200, payload, "application/json", cache_state
         if parts[:2] == ["v1", "stores"] and len(parts) == 2 and method == "GET":
             self.catalog.refresh()
             return 200, canonical_json({"stores": self.catalog.info()}), \
@@ -535,6 +554,90 @@ class TraceAnalyticsService:
         self.cache.put(store.store_uid, store.manifest_sequence, fingerprint,
                        payload)
         return payload, "miss"
+
+    async def _cached_catalog_compare(self, spec: Dict) -> Tuple[bytes, str]:
+        """Catalog-compare cache: every member's manifest version keys it.
+
+        The per-store cache keys entries by one store's ``(uid, sequence)``;
+        a federated response depends on *every* member, so each member's
+        ``(name, uid, sequence)`` triple is folded into the fingerprint and
+        the entry lives under a synthetic catalog uid.  An append to any
+        member changes the fingerprint, so stale entries are never hit again
+        (they simply age out of the LRU).
+        """
+        self.catalog.refresh()
+        names = (spec["members"] if spec["members"] is not None
+                 else self.catalog.names())
+        if len(names) < 2:
+            # Checked before any member is profiled (the same check inside
+            # compare_catalog would only fire after the scans).
+            raise AnalysisError(
+                "federated comparison needs at least two member stores "
+                "(catalog %s has %d)" % (self.catalog.directory, len(names)))
+        stores = {name: self._observe_store(name) for name in names}
+        versions = [[name, stores[name].store_uid or stores[name].directory,
+                     stores[name].manifest_sequence] for name in names]
+        fingerprint = request_specs.fingerprint("catalog_compare",
+                                                dict(spec, versions=versions))
+        cache_uid = "catalog:%s" % self.catalog.directory
+        cached = self.cache.get(cache_uid, 0, fingerprint)
+        if cached is not None:
+            self.metrics.increment("repro_cache_hits_total",
+                                   endpoint="catalog_compare")
+            return cached, "hit"
+        self.metrics.increment("repro_cache_misses_total",
+                               endpoint="catalog_compare")
+        key = (cache_uid, 0, fingerprint)
+        pending = self._inflight.get(key)
+        if pending is not None:
+            payload = await asyncio.shield(pending)
+            return payload, "coalesced"
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._inflight[key] = future
+        try:
+            payload = await self._build_catalog_compare(spec, names, stores)
+            if not future.done():
+                future.set_result(payload)
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # Coalesced waiters consume the exception; nobody else will.
+                future.exception()
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        self.cache.put(cache_uid, 0, fingerprint, payload)
+        return payload, "miss"
+
+    async def _build_catalog_compare(self, spec: Dict, names: List[str],
+                                     stores: Dict[str, ChunkedTraceStore]) -> bytes:
+        threshold = spec["small_job_threshold_bytes"]
+        # Every member profile rides shared-scan admission: concurrent
+        # comparisons touching the same member coalesce onto one scan, and
+        # the members of one comparison profile concurrently across the pool.
+        profiles = await asyncio.gather(*[
+            self.admission.profiled(name, stores[name], threshold)
+            for name in names])
+        profiles = dict(zip(names, profiles))
+        loop = asyncio.get_running_loop()
+
+        def build() -> bytes:
+            report = compare_catalog(
+                self.catalog, members=list(names),
+                pairs=([tuple(pair) for pair in spec["pairs"]]
+                       if spec["pairs"] else None),
+                suite_size=spec["suite_size"],
+                small_job_threshold_bytes=threshold,
+                profiles=profiles)
+            payload = report.to_dict()
+            payload["members_versions"] = [
+                {"name": name, "store_uid": stores[name].store_uid,
+                 "manifest_sequence": stores[name].manifest_sequence}
+                for name in names]
+            return canonical_json(payload)
+
+        return await loop.run_in_executor(self._pool, build)
 
     async def _build_characterize(self, name: str, store: ChunkedTraceStore,
                                   spec: Dict) -> bytes:

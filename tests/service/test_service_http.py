@@ -185,6 +185,77 @@ class TestAppendInvalidation:
         assert excinfo.value.status == 400
 
 
+class TestCatalogCompare:
+    def test_get_compares_whole_catalog_and_caches(self, client):
+        first = client.catalog_compare()
+        assert first.status == 200
+        assert first.cache == "miss"
+        payload = first.json()
+        assert sorted(m["name"] for m in payload["members"]) == ["cc", "fb"]
+        assert {v["name"] for v in payload["members_versions"]} == {"cc", "fb"}
+        assert len(payload["distances"]) == 1
+        assert 0.0 <= payload["distances"][0]["distance"]
+        second = client.catalog_compare()
+        assert second.cache == "hit"
+        assert second.data == first.data  # bit-identical replay
+
+    def test_post_spec_members_pairs_and_suite(self, client):
+        response = client.catalog_compare(members=["fb", "cc"],
+                                          pairs=["cc,fb"], suite_size=1)
+        assert response.status == 200
+        payload = response.json()
+        (pair,) = payload["pairs"]
+        assert (pair["a"], pair["b"]) == ("cc", "fb")
+        assert set(pair["deltas"])  # directional per-feature deltas
+        assert len(payload["suite"]["selected"]) == 1
+        assert set(payload["suite"]["assignment"]) == {"cc", "fb"}
+        # Member order is normalized: the permuted spec replays from cache.
+        assert client.catalog_compare(members=["cc", "fb"], pairs=["cc,fb"],
+                                      suite_size=1).cache == "hit"
+
+    def test_append_to_any_member_invalidates_compare(self, client,
+                                                      cc_service_trace):
+        before = client.catalog_compare()
+        assert client.catalog_compare().cache == "hit"
+        client.append("fb", cc_service_trace.jobs[:50])
+        fresh = client.catalog_compare()
+        assert fresh.cache == "miss"  # member versions are in the fingerprint
+        versions = {v["name"]: v["manifest_sequence"]
+                    for v in fresh.json()["members_versions"]}
+        assert versions["fb"] == 1
+        fb_jobs = {m["name"]: m["n_jobs"] for m in fresh.json()["members"]}
+        old_jobs = {m["name"]: m["n_jobs"] for m in before.json()["members"]}
+        assert fb_jobs["fb"] == old_jobs["fb"] + 50
+
+    def test_bad_specs_and_methods(self, client):
+        for body, fragment in [
+                ({"members": ["fb"]}, "at least two member stores"),
+                ({"members": ["fb", "fb"]}, "repeat a name"),
+                ({"pairs": ["fb"]}, "pairs must be"),
+                ({"suite_size": 0}, "suite"),
+                ({"bogus": 1}, "unknown"),
+        ]:
+            with pytest.raises(ServiceError) as excinfo:
+                client.post("/v1/catalog/compare", body)
+            assert excinfo.value.status == 400, body
+            assert fragment in excinfo.value.body["error"]
+        with pytest.raises(ServiceError) as excinfo:
+            client.catalog_compare(members=["fb", "nope"])
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("DELETE", "/v1/catalog/compare")
+        assert excinfo.value.status == 405
+
+    def test_compare_rides_shared_scan_admission(self, client):
+        client.catalog_compare(suite_size=2)
+        started = client.metric("repro_scans_started_total")
+        # One profiling scan per member, not per (member, request).
+        assert started == 2
+        # A cached replay starts no further scans.
+        assert client.catalog_compare(suite_size=2).cache == "hit"
+        assert client.metric("repro_scans_started_total") == started
+
+
 class TestSharedScanAdmission:
     @pytest.fixture()
     def windowed_service(self, catalog_dir):
